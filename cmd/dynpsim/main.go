@@ -1,0 +1,125 @@
+// Command dynpsim runs the planning-based discrete event simulation with
+// the self-tuning dynP scheduler over an SWF trace file or a freshly
+// synthesized CTC-like workload, and reports the actual (post-execution)
+// performance metrics plus the self-tuning statistics.
+//
+// Usage:
+//
+//	dynpsim -trace ctc.swf -metric SLDwA -decider advanced
+//	dynpsim -synthetic 2000 -seed 3 -policies FCFS,SJF,LJF
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/dynp"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/swf"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		tracePath  = flag.String("trace", "", "SWF trace file (overrides -synthetic)")
+		synthetic  = flag.Int("synthetic", 1000, "synthesize this many CTC-like jobs when no trace is given")
+		seed       = flag.Uint64("seed", 1, "seed for synthetic workloads")
+		machineSz  = flag.Int("machine", 0, "override machine size (0 = from trace)")
+		metricName = flag.String("metric", "SLDwA", "self-tuning metric: ART, ARTwW, AWT, SLD, SLDwA, UTIL, CMAX")
+		deciderStr = flag.String("decider", "advanced", "decider: simple or advanced")
+		policiesCS = flag.String("policies", "FCFS,SJF,LJF", "comma-separated policy list")
+		noReplan   = flag.Bool("no-replan", false, "do not replan when jobs finish early")
+	)
+	flag.Parse()
+
+	tr, err := loadTrace(*tracePath, *synthetic, *seed)
+	if err != nil {
+		fail(err)
+	}
+	m, err := metrics.ByName(*metricName)
+	if err != nil {
+		fail(err)
+	}
+	var pols []policy.Policy
+	for _, name := range strings.Split(*policiesCS, ",") {
+		p, err := policy.ByName(strings.TrimSpace(name))
+		if err != nil {
+			fail(err)
+		}
+		pols = append(pols, p)
+	}
+	var dec dynp.Decider
+	switch *deciderStr {
+	case "simple":
+		dec = dynp.SimpleDecider{}
+	case "advanced":
+		dec = dynp.AdvancedDecider{}
+	default:
+		fail(fmt.Errorf("unknown decider %q", *deciderStr))
+	}
+	sched, err := dynp.New(pols, m, dec)
+	if err != nil {
+		fail(err)
+	}
+	cfg := sim.Config{Machine: *machineSz, ReplanOnCompletion: !*noReplan}
+	s, err := sim.New(tr, sched, cfg)
+	if err != nil {
+		fail(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		fail(err)
+	}
+
+	procs := *machineSz
+	if procs == 0 {
+		procs = tr.Processors
+	}
+	t := table.New("metric", "value")
+	t.Row("jobs completed", len(res.Completed))
+	t.Row("makespan [s]", res.Makespan)
+	t.Row("mean response time [s]", fmt.Sprintf("%.1f", res.MeanResponseTime()))
+	t.Row("mean wait time [s]", fmt.Sprintf("%.1f", res.MeanWaitTime()))
+	t.Row("mean slowdown", fmt.Sprintf("%.3f", res.MeanSlowdown()))
+	t.Row("SLDwA", fmt.Sprintf("%.3f", res.SlowdownWeightedByArea()))
+	t.Row("utilization", fmt.Sprintf("%.3f", res.Utilization(procs)))
+	t.Row("self-tuning steps", res.Steps)
+	t.Row("policy switches", res.Switches)
+	fmt.Print(t.String())
+
+	use := table.New("policy", "times chosen")
+	for _, p := range pols {
+		use.Row(p.Name(), res.PolicyUse[p.Name()])
+	}
+	fmt.Print(use.String())
+}
+
+func loadTrace(path string, synthetic int, seed uint64) (*job.Trace, error) {
+	if path == "" {
+		return workload.Generate(workload.CTC(), synthetic, seed)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	res, err := swf.Parse(f)
+	if err != nil {
+		return nil, err
+	}
+	if res.Skipped > 0 {
+		fmt.Fprintf(os.Stderr, "dynpsim: skipped %d unusable records\n", res.Skipped)
+	}
+	return res.Trace, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dynpsim:", err)
+	os.Exit(1)
+}

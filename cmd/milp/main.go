@@ -1,0 +1,120 @@
+// Command milp is a standalone LP/MILP solver over MPS and CPLEX LP
+// files — the from-scratch CPLEX stand-in of this repository exposed as a
+// tool. It reads the problem, minimizes it, and prints the status,
+// objective and nonzero solution values.
+//
+// Usage:
+//
+//	milp -mps model.mps [-nodes 100000] [-timeout 60s] [-gap 0.01]
+//	milp -lp model.lp          # e.g. a file written by optsched -lp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/lp"
+	"repro/internal/mip"
+	"repro/internal/table"
+)
+
+func main() {
+	var (
+		mpsPath = flag.String("mps", "", "MPS input file")
+		lpPath  = flag.String("lp", "", "CPLEX LP input file")
+		nodes   = flag.Int("nodes", 1<<20, "branch-and-bound node limit")
+		timeout = flag.Duration("timeout", 5*time.Minute, "time limit")
+		gap     = flag.Float64("gap", 0, "relative MIP gap (0 = prove optimality)")
+		maxIter = flag.Int("iters", 200000, "simplex iteration limit per LP")
+		quiet   = flag.Bool("q", false, "print only status and objective")
+	)
+	flag.Parse()
+	if (*mpsPath == "") == (*lpPath == "") {
+		fmt.Fprintln(os.Stderr, "milp: exactly one of -mps or -lp is required")
+		os.Exit(2)
+	}
+	path := *mpsPath
+	if path == "" {
+		path = *lpPath
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	var (
+		p    *lp.Problem
+		ints []int
+	)
+	if *mpsPath != "" {
+		p, ints, err = lp.ReadMPS(f)
+	} else {
+		p, ints, err = lp.ReadLP(f)
+	}
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "milp: %d columns (%d integer), %d rows, %d nonzeros\n",
+		p.NumVariables(), len(ints), p.NumConstraints(), p.NumNonZeros())
+
+	start := time.Now()
+	if len(ints) == 0 {
+		res, err := p.Solve(lp.Options{MaxIters: *maxIter})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("status:    %v\n", res.Status)
+		if res.Status == lp.Optimal {
+			fmt.Printf("objective: %.10g\n", res.Objective)
+		}
+		fmt.Printf("iterations: %d, elapsed %v\n", res.Iterations, time.Since(start).Round(time.Millisecond))
+		if !*quiet && res.Status == lp.Optimal {
+			printSolution(p, res.X)
+		}
+		return
+	}
+
+	res, err := mip.Solve(p, ints, mip.Options{
+		MaxNodes:    *nodes,
+		TimeLimit:   *timeout,
+		RelativeGap: *gap,
+		LP:          lp.Options{MaxIters: *maxIter},
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("status:    %v\n", res.Status)
+	switch res.Status {
+	case mip.Optimal, mip.Feasible:
+		fmt.Printf("objective: %.10g (best bound %.10g, gap %.2f%%)\n",
+			res.Objective, res.BestBound, 100*res.Gap())
+	}
+	fmt.Printf("nodes: %d, LP iterations: %d, heuristic hits: %d, elapsed %v\n",
+		res.Nodes, res.LPIters, res.HeuristicHits, time.Since(start).Round(time.Millisecond))
+	if !*quiet && res.X != nil {
+		printSolution(p, res.X)
+	}
+}
+
+func printSolution(p *lp.Problem, x []float64) {
+	t := table.New("column", "value")
+	shown := 0
+	for j := 0; j < p.NumVariables() && shown < 200; j++ {
+		if math.Abs(x[j]) > 1e-9 {
+			t.Row(p.Name(j), fmt.Sprintf("%.6g", x[j]))
+			shown++
+		}
+	}
+	fmt.Print(t.String())
+	if shown == 200 {
+		fmt.Println("... (truncated at 200 nonzeros)")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "milp:", err)
+	os.Exit(1)
+}

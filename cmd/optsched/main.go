@@ -1,0 +1,158 @@
+// Command optsched solves one quasi off-line self-tuning-step instance to
+// optimality with the time-indexed ILP (the CPLEX-substitute pipeline):
+// it synthesizes a random step (waiting jobs plus running-job machine
+// history), prints the machine history in the format of the paper's
+// Figure 1, schedules with FCFS/SJF/LJF, solves the ILP at the Eq. 6 (or
+// a fixed) time scale, compacts the solution, and reports the quality and
+// performance loss of every policy. Optionally the model is written as a
+// CPLEX LP file.
+//
+// Usage:
+//
+//	optsched -jobs 10 -machine 64 -seed 3 -history -scale 0 -lp model.lp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/ilpsched"
+	"repro/internal/job"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/mip"
+	"repro/internal/policy"
+	"repro/internal/stats"
+	"repro/internal/table"
+)
+
+func main() {
+	var (
+		nJobs     = flag.Int("jobs", 8, "number of waiting jobs")
+		mSize     = flag.Int("machine", 64, "machine size")
+		seed      = flag.Uint64("seed", 1, "instance seed")
+		scale     = flag.Int64("scale", 0, "time scale in seconds (0 = Eq. 6)")
+		nodes     = flag.Int("nodes", 20000, "branch-and-bound node limit")
+		timeLimit = flag.Duration("timeout", 30*time.Second, "branch-and-bound time limit")
+		history   = flag.Bool("history", false, "print the machine history (Figure 1)")
+		lpOut     = flag.String("lp", "", "write the model as a CPLEX LP file")
+		metricStr = flag.String("metric", "SLDwA", "comparison metric")
+	)
+	flag.Parse()
+
+	m, err := metrics.ByName(*metricStr)
+	if err != nil {
+		fail(err)
+	}
+	r := stats.NewRand(*seed)
+
+	// Running jobs occupy the machine: the machine history.
+	var running []machine.Running
+	busy := 0
+	for busy < *mSize/2 {
+		w := r.Intn(*mSize/4+1) + 1
+		running = append(running, machine.Running{
+			JobID: 1000 + len(running), Width: w,
+			End: int64(r.Intn(5000) + 300),
+		})
+		busy += w
+	}
+	hist, err := machine.HistoryFromRunning(*mSize, 0, running)
+	if err != nil {
+		fail(err)
+	}
+	if *history {
+		fmt.Println("machine history (Figure 1):")
+		fmt.Print(hist.String())
+	}
+	base := hist.Profile(*mSize)
+
+	jobs := make([]*job.Job, *nJobs)
+	for i := range jobs {
+		est := int64(r.Intn(7200) + 120)
+		jobs[i] = &job.Job{ID: i + 1, Submit: 0, Width: r.Intn(*mSize/2) + 1,
+			Estimate: est, Runtime: est}
+	}
+
+	// Policy schedules; the worst makespan is the ILP horizon T.
+	var horizon int64
+	type polRes struct {
+		name  string
+		value float64
+	}
+	var pols []polRes
+	var bestVal float64
+	var bestName string
+	for i, p := range policy.Standard() {
+		s, err := policy.Build(p, 0, base, jobs)
+		if err != nil {
+			fail(err)
+		}
+		if mk := s.Makespan(); mk > horizon {
+			horizon = mk
+		}
+		v := m.Eval(s)
+		pols = append(pols, polRes{p.Name(), v})
+		if i == 0 || metrics.Better(m, v, bestVal) {
+			bestVal, bestName = v, p.Name()
+		}
+	}
+
+	inst := &ilpsched.Instance{Now: 0, Machine: *mSize, Base: base, Jobs: jobs, Horizon: horizon}
+	sc := *scale
+	if sc <= 0 {
+		sc = ilpsched.DefaultScaling().TimeScale(inst)
+	}
+	fmt.Printf("instance: %d jobs, makespan bound %d s, acc. runtime %d s, time scale %d s\n",
+		len(jobs), inst.MaxMakespan(), inst.AccumulatedRuntime(), sc)
+
+	model, err := ilpsched.Build(inst, sc)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("model: %d binary variables, %d rows, %d matrix entries\n",
+		model.NumVariables(), model.NumConstraints(), model.MatrixEntries())
+	if *lpOut != "" {
+		f, err := os.Create(*lpOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := model.WriteLP(f); err != nil {
+			fail(err)
+		}
+		f.Close()
+		fmt.Printf("wrote LP file %s\n", *lpOut)
+	}
+
+	start := time.Now()
+	sol, err := model.Solve(mip.Options{MaxNodes: *nodes, TimeLimit: *timeLimit})
+	if err != nil {
+		fail(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("branch and bound: %v after %d nodes, %d LP iterations, %v\n",
+		sol.MIP.Status, sol.MIP.Nodes, sol.MIP.LPIters, elapsed.Round(time.Millisecond))
+	if sol.Compacted == nil {
+		fail(fmt.Errorf("no ILP schedule found"))
+	}
+	ilpVal := m.Eval(sol.Compacted)
+
+	t := table.New("schedule", *metricStr, "quality", "loss[%]")
+	for _, pr := range pols {
+		q := metrics.Quality(m, ilpVal, pr.value)
+		t.Row(pr.name, fmt.Sprintf("%.4f", pr.value),
+			fmt.Sprintf("%.4f", q), fmt.Sprintf("%+.2f", metrics.LossPercent(q)))
+	}
+	t.Separator()
+	t.Row("ILP (compacted)", fmt.Sprintf("%.4f", ilpVal), "1.0000", "+0.00")
+	fmt.Print(t.String())
+	fmt.Printf("best policy: %s; the ILP schedule %s\n", bestName,
+		map[bool]string{true: "wins", false: "loses (time-scaling artifact)"}[metrics.Better(m, ilpVal, bestVal) || ilpVal == bestVal])
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "optsched:", err)
+	os.Exit(1)
+}

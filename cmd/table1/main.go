@@ -1,0 +1,78 @@
+// Command table1 regenerates the paper's Table 1 ("Examples of CPLEX
+// problem sizes, the quality, and the compute time"): it simulates a
+// CTC-like trace with the self-tuning dynP scheduler, and at sampled
+// self-tuning steps solves the time-scaled time-indexed ILP, compacts the
+// solution, and reports per-step problem size, time scale, quality,
+// performance loss and compute time, plus the averages row.
+//
+// Usage:
+//
+//	table1 -jobs 300 -seed 7 -sample 5 -minjobs 5 -maxjobs 25 -nodes 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		nJobs   = flag.Int("jobs", 300, "trace length (synthetic CTC-like jobs)")
+		seed    = flag.Uint64("seed", 7, "workload seed")
+		sample  = flag.Int("sample", 5, "compare every k-th eligible step")
+		minJobs = flag.Int("minjobs", 5, "minimum waiting jobs for a comparison")
+		maxJobs = flag.Int("maxjobs", 25, "maximum waiting jobs for a comparison (0 = unlimited)")
+		nodes   = flag.Int("nodes", 2000, "branch-and-bound node limit per step")
+		timeout = flag.Duration("timeout", 20*time.Second, "branch-and-bound time limit per step")
+		scale   = flag.Int64("scale", 0, "fixed time scale in seconds (0 = Eq. 6)")
+		jsonOut = flag.String("json", "", "also write the rows as JSON to this file")
+	)
+	flag.Parse()
+
+	tr, err := workload.Generate(workload.CTC(), *nJobs, *seed)
+	if err != nil {
+		fail(err)
+	}
+	cmp := core.NewComparator(*nodes)
+	cmp.MIP.TimeLimit = *timeout
+	cmp.FixedScale = *scale
+	st := &core.Study{
+		Comparator:  cmp,
+		SampleEvery: *sample,
+		MinJobs:     *minJobs,
+		MaxJobs:     *maxJobs,
+	}
+	res, err := core.RunStudy(tr, st, sim.DefaultConfig())
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("simulated %d jobs, %d self-tuning steps, %d policy switches\n",
+		len(res.Completed), res.Steps, res.Switches)
+	if len(st.Rows) == 0 {
+		fail(fmt.Errorf("no eligible steps (queue never reached %d jobs); try more jobs or -minjobs 1", *minJobs))
+	}
+	fmt.Printf("compared %d steps (%d errors)\n\n", len(st.Rows), st.Errors)
+	fmt.Print(core.FormatTable1(st.Rows, st.Averages()))
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := st.WriteJSON(f); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "table1: wrote %s\n", *jsonOut)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "table1:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,18 @@
+// Package repro reproduces "On the Comparison of CPLEX-Computed Job
+// Schedules with the Self-Tuning dynP Job Scheduler" (Grothklags &
+// Streit, IPPS/IPDPS 2004) as a complete Go system:
+//
+//   - internal/dynp — the self-tuning dynP scheduler (FCFS/SJF/LJF
+//     candidates, simple and advanced deciders);
+//   - internal/sim — a planning-based resource-management simulator
+//     (full-schedule replanning, implicit backfilling);
+//   - internal/lp + internal/mip — a from-scratch LP/MILP solver standing
+//     in for ILOG CPLEX;
+//   - internal/ilpsched — the paper's time-indexed integer program with
+//     Eq. 6 time-scaling and §3.2 compaction;
+//   - internal/core — the per-step comparison study that regenerates
+//     Table 1.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of
+// the paper's evaluation; see DESIGN.md and EXPERIMENTS.md.
+package repro

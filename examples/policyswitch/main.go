@@ -1,0 +1,72 @@
+// Policyswitch: demonstrate why a single scheduling policy is not enough.
+// A phased workload alternates between a short-sequential-job burst (a
+// parameter study, where SJF shines) and long parallel jobs (where LJF
+// packs better). The example runs the same trace under each fixed policy
+// and under self-tuning dynP with both deciders, and prints the SLDwA of
+// every configuration — dynP should track the best fixed policy without
+// knowing the workload in advance.
+//
+//	go run ./examples/policyswitch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/dynp"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+func run(tr *job.Trace, pols []policy.Policy, dec dynp.Decider) (*sim.Result, error) {
+	sched, err := dynp.New(pols, metrics.SLDwA{}, dec)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(tr, sched, sim.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+func main() {
+	trace, err := workload.GeneratePhased([]workload.Phase{
+		{Cfg: workload.ShortBurst(), Jobs: 300},
+		{Cfg: workload.LongParallel(), Jobs: 120},
+		{Cfg: workload.ShortBurst(), Jobs: 300},
+		{Cfg: workload.LongParallel(), Jobs: 120},
+	}, 2024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phased workload: %d jobs on %d processors\n\n",
+		len(trace.Jobs), trace.Processors)
+
+	t := table.New("scheduler", "SLDwA", "mean wait [s]", "switches", "policy use")
+	for _, p := range policy.Standard() {
+		res, err := run(trace, []policy.Policy{p}, dynp.SimpleDecider{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.Row("fixed "+p.Name(), fmt.Sprintf("%.3f", res.SlowdownWeightedByArea()),
+			fmt.Sprintf("%.0f", res.MeanWaitTime()), res.Switches, "")
+	}
+	t.Separator()
+	for _, dec := range []dynp.Decider{dynp.SimpleDecider{}, dynp.AdvancedDecider{}} {
+		res, err := run(trace, policy.Standard(), dec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.Row("dynP ("+dec.Name()+" decider)",
+			fmt.Sprintf("%.3f", res.SlowdownWeightedByArea()),
+			fmt.Sprintf("%.0f", res.MeanWaitTime()), res.Switches,
+			fmt.Sprint(res.PolicyUse))
+	}
+	fmt.Print(t.String())
+	fmt.Println("\nlower SLDwA is better; dynP switches policies as the phases change.")
+}

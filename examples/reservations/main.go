@@ -1,0 +1,83 @@
+// Reservations: the capability that motivates planning-based resource
+// management in the paper ("a request for a reservation is submitted
+// right after. An answer is expected immediately"). The example runs the
+// same workload twice — once on a free machine and once with an advance
+// reservation blocking half the machine for a maintenance window — and
+// shows how every plan routes the batch jobs around the window, something
+// a queueing system cannot promise.
+//
+//	go run ./examples/reservations
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/dynp"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+func run(cfg sim.Config) (*sim.Result, error) {
+	cfgWorkload := workload.CTC()
+	cfgWorkload.Processors = 64
+	cfgWorkload.MeanInterarrival = 600
+	cfgWorkload.WidthValues = []int{1, 2, 4, 8, 16, 32}
+	cfgWorkload.WidthWeights = []float64{30, 15, 20, 15, 12, 8}
+	trace, err := workload.Generate(cfgWorkload, 250, 7)
+	if err != nil {
+		return nil, err
+	}
+	sched := dynp.MustNew(policy.Standard(), metrics.SLDwA{}, dynp.AdvancedDecider{})
+	s, err := sim.New(trace, sched, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+func main() {
+	// A 6-hour maintenance window on half the machine, announced in
+	// advance, starting 8 hours into the trace.
+	window := sim.Reservation{Start: 8 * 3600, End: 14 * 3600, Width: 32}
+
+	free, err := run(sim.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Reservations = []sim.Reservation{window}
+	reserved, err := run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("advance reservation: %d processors blocked on [%d, %d) s\n\n",
+		window.Width, window.Start, window.End)
+	t := table.New("machine", "SLDwA", "mean wait [s]", "makespan [s]", "switches")
+	t.Row("free", fmt.Sprintf("%.3f", free.SlowdownWeightedByArea()),
+		fmt.Sprintf("%.0f", free.MeanWaitTime()), free.Makespan, free.Switches)
+	t.Row("with reservation", fmt.Sprintf("%.3f", reserved.SlowdownWeightedByArea()),
+		fmt.Sprintf("%.0f", reserved.MeanWaitTime()), reserved.Makespan, reserved.Switches)
+	fmt.Print(t.String())
+
+	// Verify no batch job overlaps the reserved window beyond the free
+	// half of the machine.
+	for _, c := range reserved.Completed {
+		if c.Start < window.End && c.End > window.Start {
+			// Overlapping jobs exist (the free half keeps working); the
+			// planner guarantees the *sum* respects the reduced capacity,
+			// which sim's internal feasibility checks enforce. Spot-check
+			// the width here.
+			if c.Job.Width > 64-window.Width {
+				log.Fatalf("job %d (width %d) ran inside the reserved window",
+					c.Job.ID, c.Job.Width)
+			}
+		}
+	}
+	fmt.Println("\nevery plan routed the batch jobs around the reserved window;")
+	fmt.Println("the slowdown cost of the blocked capacity is visible above.")
+}

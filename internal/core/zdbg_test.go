@@ -1,0 +1,22 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestZDebugStep(t *testing.T) {
+	tr, _ := workload.Generate(workload.CTC(), 60, 7)
+	cmp := NewComparator(100000)
+	cmp.MIP.TimeLimit = 8 * time.Second
+	st := &Study{Comparator: cmp, SampleEvery: 10, MinJobs: 4, MaxJobs: 8}
+	if _, err := RunStudy(tr, st, sim.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range st.Rows {
+		t.Logf("jobs=%d vars=%d nodes=%d lpiters=%d %v %v", r.Jobs, r.Variables, r.Nodes, r.LPIters, r.Status, r.ComputeTime)
+	}
+}

@@ -1,0 +1,128 @@
+// Package exact is a reference solver for the quasi off-line scheduling
+// problem of a self-tuning step: it finds the schedule minimizing the
+// ARTwW objective (Eq. 2) by branch and bound over job start orders.
+//
+// Correctness rests on a dominance property: for any feasible schedule,
+// greedily re-inserting the jobs in start order ("as soon as possible")
+// never delays any job, so some greedy list schedule attains the optimum.
+// Enumerating the n! orders with pruning therefore solves the problem
+// exactly — practical for roughly n <= 10 and used to cross-validate the
+// time-indexed ILP path (package ilpsched) in tests.
+package exact
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/job"
+	"repro/internal/machine"
+	"repro/internal/schedule"
+)
+
+// MaxJobs is the largest instance Solve accepts; order enumeration is
+// factorial, so anything bigger belongs to the ILP solver.
+const MaxJobs = 10
+
+// Solve returns an ARTwW-optimal schedule for the waiting jobs on top of
+// base (the running-jobs profile) at time now, together with the optimal
+// weighted-sum objective value.
+func Solve(now int64, base *machine.Profile, jobs []*job.Job) (*schedule.Schedule, float64, error) {
+	n := len(jobs)
+	if n == 0 {
+		return &schedule.Schedule{Policy: "EXACT", Now: now, Machine: base.Total()}, 0, nil
+	}
+	if n > MaxJobs {
+		return nil, 0, fmt.Errorf("exact: %d jobs exceeds limit %d", n, MaxJobs)
+	}
+	for _, j := range jobs {
+		if j.Width > base.Total() {
+			return nil, 0, fmt.Errorf("exact: %v wider than machine", j)
+		}
+	}
+	s := &searcher{now: now, base: base, jobs: jobs, bestObj: math.Inf(1)}
+	// Lower-bound ingredient: each job's individually earliest response
+	// time on the bare profile (adding jobs only delays others).
+	s.minCost = make([]float64, n)
+	for i, j := range jobs {
+		earliest := now
+		if j.Submit > earliest {
+			earliest = j.Submit
+		}
+		st, ok := base.EarliestFit(earliest, j.Estimate, j.Width)
+		if !ok {
+			return nil, 0, fmt.Errorf("exact: job %d does not fit", j.ID)
+		}
+		s.minCost[i] = float64((st + j.Estimate - j.Submit) * int64(j.Width))
+	}
+	used := make([]bool, n)
+	order := make([]int, 0, n)
+	s.search(base.Clone(), used, order, 0)
+	if math.IsInf(s.bestObj, 1) {
+		return nil, 0, fmt.Errorf("exact: no feasible schedule found")
+	}
+	out := &schedule.Schedule{Policy: "EXACT", Now: now, Machine: base.Total(),
+		Entries: make([]schedule.Entry, n)}
+	copy(out.Entries, s.best)
+	return out, s.bestObj, nil
+}
+
+type searcher struct {
+	now     int64
+	base    *machine.Profile
+	jobs    []*job.Job
+	minCost []float64
+
+	best    []schedule.Entry
+	bestObj float64
+	cur     []schedule.Entry
+}
+
+// search extends the partial order. prof holds the reservations of the
+// already-placed jobs; obj their accumulated weighted response time.
+func (s *searcher) search(prof *machine.Profile, used []bool, order []int, obj float64) {
+	n := len(s.jobs)
+	if len(order) == n {
+		if obj < s.bestObj {
+			s.bestObj = obj
+			s.best = append(s.best[:0], s.cur...)
+		}
+		return
+	}
+	// Bound: remaining jobs cost at least their bare-profile minimum.
+	rest := 0.0
+	for i := 0; i < n; i++ {
+		if !used[i] {
+			rest += s.minCost[i]
+		}
+	}
+	if obj+rest >= s.bestObj {
+		return
+	}
+	for i := 0; i < n; i++ {
+		if used[i] {
+			continue
+		}
+		j := s.jobs[i]
+		earliest := s.now
+		if j.Submit > earliest {
+			earliest = j.Submit
+		}
+		st, ok := prof.EarliestFit(earliest, j.Estimate, j.Width)
+		if !ok {
+			continue
+		}
+		cost := float64((st + j.Estimate - j.Submit) * int64(j.Width))
+		if obj+cost+rest-s.minCost[i] >= s.bestObj {
+			continue
+		}
+		child := prof.Clone()
+		if err := child.Reserve(st, st+j.Estimate, j.Width); err != nil {
+			continue
+		}
+		used[i] = true
+		s.cur = append(s.cur, schedule.Entry{Job: j, Start: st})
+		s.search(child, used, append(order, i), obj+cost)
+		s.cur = s.cur[:len(s.cur)-1]
+		used[i] = false
+	}
+}

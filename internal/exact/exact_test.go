@@ -1,0 +1,179 @@
+package exact
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ilpsched"
+	"repro/internal/job"
+	"repro/internal/machine"
+	"repro/internal/mip"
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+func jb(id int, submit int64, width int, est int64) *job.Job {
+	return &job.Job{ID: id, Submit: submit, Width: width, Estimate: est, Runtime: est}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	s, obj, err := Solve(0, machine.New(4, 0), nil)
+	if err != nil || obj != 0 || len(s.Entries) != 0 {
+		t.Fatalf("empty solve: %v %v %v", s, obj, err)
+	}
+}
+
+func TestKnownOptimum(t *testing.T) {
+	// Same instance as the ilpsched tiny test: optimal 240.
+	base := machine.New(2, 0)
+	jobs := []*job.Job{jb(1, 0, 2, 10), jb(2, 0, 1, 100), jb(3, 0, 1, 100)}
+	s, obj, err := Solve(0, base, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj != 240 {
+		t.Fatalf("objective = %v, want 240", obj)
+	}
+	if err := s.Validate(base); err != nil {
+		t.Fatal(err)
+	}
+	if s.Find(1).Start != 0 {
+		t.Fatalf("job 1 start %d, want 0", s.Find(1).Start)
+	}
+}
+
+func TestTooManyJobs(t *testing.T) {
+	base := machine.New(2, 0)
+	var jobs []*job.Job
+	for i := 0; i < MaxJobs+1; i++ {
+		jobs = append(jobs, jb(i+1, 0, 1, 10))
+	}
+	if _, _, err := Solve(0, base, jobs); err == nil {
+		t.Fatal("oversized instance accepted")
+	}
+}
+
+func TestTooWide(t *testing.T) {
+	base := machine.New(2, 0)
+	if _, _, err := Solve(0, base, []*job.Job{jb(1, 0, 3, 10)}); err == nil {
+		t.Fatal("over-wide job accepted")
+	}
+}
+
+func TestRespectsRunningJobs(t *testing.T) {
+	base := machine.New(4, 0)
+	if err := base.Reserve(0, 100, 4); err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := Solve(0, base, []*job.Job{jb(1, 0, 1, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Find(1).Start != 100 {
+		t.Fatalf("start %d, want 100", s.Find(1).Start)
+	}
+}
+
+// Property: exact never loses to any basic policy.
+func TestExactBeatsPolicies(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRand(seed)
+		mSize := r.Intn(6) + 2
+		base := machine.New(mSize, 0)
+		if r.Intn(2) == 0 {
+			base.Reserve(0, int64(r.Intn(60)+1), r.Intn(mSize)+1)
+		}
+		n := r.Intn(5) + 1
+		jobs := make([]*job.Job, n)
+		for k := range jobs {
+			jobs[k] = jb(k+1, 0, r.Intn(mSize)+1, int64(r.Intn(60)+5))
+		}
+		_, obj, err := Solve(0, base, jobs)
+		if err != nil {
+			return false
+		}
+		for _, p := range policy.Standard() {
+			s, err := policy.Build(p, 0, base, jobs)
+			if err != nil {
+				return false
+			}
+			if obj > ilpsched.ObjectiveOfSchedule(s)+1e-9 {
+				t.Logf("seed %d: exact %v worse than %s %v", seed, obj,
+					p.Name(), ilpsched.ObjectiveOfSchedule(s))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Cross-validation of the entire CPLEX-substitute path: the time-indexed
+// ILP at scale 1 must agree exactly with the order-enumeration optimum.
+func TestILPAgreesWithExact(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRand(seed)
+		mSize := r.Intn(4) + 2
+		base := machine.New(mSize, 0)
+		if r.Intn(2) == 0 {
+			base.Reserve(0, int64(r.Intn(30)+1), r.Intn(mSize)+1)
+		}
+		n := r.Intn(4) + 1
+		jobs := make([]*job.Job, n)
+		for k := range jobs {
+			jobs[k] = jb(k+1, 0, r.Intn(mSize)+1, int64(r.Intn(30)+5))
+		}
+		_, exactObj, err := Solve(0, base, jobs)
+		if err != nil {
+			return false
+		}
+		var horizon int64
+		for _, p := range policy.Standard() {
+			s, err := policy.Build(p, 0, base, jobs)
+			if err != nil {
+				return false
+			}
+			if mk := s.Makespan(); mk > horizon {
+				horizon = mk
+			}
+		}
+		inst := &ilpsched.Instance{Now: 0, Machine: mSize, Base: base,
+			Jobs: jobs, Horizon: horizon}
+		m, err := ilpsched.Build(inst, 1)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		sol, err := m.Solve(mip.Options{MaxNodes: 20000})
+		if err != nil || sol.MIP.Status != mip.Optimal {
+			t.Logf("seed %d: ilp status %v err %v", seed, sol.MIP.Status, err)
+			return false
+		}
+		if math.Abs(sol.MIP.Objective-exactObj) > 1e-6 {
+			t.Logf("seed %d: ilp %g exact %g", seed, sol.MIP.Objective, exactObj)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkExact7Jobs(b *testing.B) {
+	r := stats.NewRand(9)
+	base := machine.New(8, 0)
+	jobs := make([]*job.Job, 7)
+	for k := range jobs {
+		jobs[k] = jb(k+1, 0, r.Intn(8)+1, int64(r.Intn(500)+10))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Solve(0, base, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

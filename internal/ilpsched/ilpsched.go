@@ -1,0 +1,516 @@
+// Package ilpsched builds and solves the paper's time-indexed integer
+// program for one self-tuning step (the quasi off-line scheduling problem),
+// following van den Akker et al. [17] as §3.1 prescribes:
+//
+//	variables    x_it = 1 iff job i starts at time t            (Eq. 1)
+//	minimize     sum_{i,t} x_it (t - s_i + d_i) w_i             (Eq. 2, ARTwW)
+//	subject to   sum_t x_it = 1                   for every i   (Eq. 3)
+//	             sum_i sum_{t-d_i < j <= t} x_ij w_i <= M_t     (Eq. 4)
+//	             x_it binary                                    (Eq. 5)
+//
+// where M_t is the machine capacity reduced by the machine history of the
+// already-running jobs. Because a one-second grid needs too much memory,
+// the model is built on a time-scaled grid (§3.2, Eq. 6) and the solved
+// start order is compacted ("each job is placed as soon as possible")
+// before it is compared against the basic policies.
+package ilpsched
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/job"
+	"repro/internal/lp"
+	"repro/internal/machine"
+	"repro/internal/mip"
+	"repro/internal/schedule"
+)
+
+// Instance is one quasi off-line scheduling problem: the waiting jobs of a
+// self-tuning step plus the machine history at that instant.
+type Instance struct {
+	// Now is the step instant.
+	Now int64
+	// Machine is the total processor count M.
+	Machine int
+	// Base is the free-capacity profile of the running jobs.
+	Base *machine.Profile
+	// Jobs are the waiting jobs, each with Submit <= Now allowed to start
+	// from Now on (later submitters from Now or their submission).
+	Jobs []*job.Job
+	// Horizon is the maximum possible end of the schedule, "usually ...
+	// the maximum makespan of the three [policy] schedules" (absolute
+	// time). Jobs must fit entirely before the (slack-extended) horizon.
+	Horizon int64
+}
+
+// Validate checks the instance.
+func (inst *Instance) Validate() error {
+	if inst.Machine < 1 {
+		return fmt.Errorf("ilpsched: machine size %d", inst.Machine)
+	}
+	if inst.Base == nil {
+		return fmt.Errorf("ilpsched: nil base profile")
+	}
+	if inst.Base.Total() != inst.Machine {
+		return fmt.Errorf("ilpsched: profile machine %d != %d", inst.Base.Total(), inst.Machine)
+	}
+	if len(inst.Jobs) == 0 {
+		return fmt.Errorf("ilpsched: no jobs")
+	}
+	if inst.Horizon <= inst.Now {
+		return fmt.Errorf("ilpsched: horizon %d not after now %d", inst.Horizon, inst.Now)
+	}
+	for _, j := range inst.Jobs {
+		if j.Width > inst.Machine {
+			return fmt.Errorf("ilpsched: %v wider than machine", j)
+		}
+		if inst.Now+j.Estimate > inst.Horizon && j.Submit <= inst.Now {
+			return fmt.Errorf("ilpsched: job %d cannot finish before the horizon", j.ID)
+		}
+	}
+	return nil
+}
+
+// AccumulatedRuntime is the Eq. 6 input: the summed estimated durations.
+func (inst *Instance) AccumulatedRuntime() int64 {
+	return job.AccumulatedRuntime(inst.Jobs)
+}
+
+// MaxMakespan is the Eq. 6 input: horizon minus now.
+func (inst *Instance) MaxMakespan() int64 { return inst.Horizon - inst.Now }
+
+// Scaling is the paper's Eq. 6 memory model for choosing a time scale.
+type Scaling struct {
+	// BytesPerEntry is x, the memory per matrix entry; "good values for x
+	// are 0.1 kB" (102.4 bytes).
+	BytesPerEntry float64
+	// MemoryBytes is the memory available for the matrix. The paper uses
+	// an 8 GB machine and keeps the problem "about four times smaller
+	// than the total memory available", i.e. 2 GiB.
+	MemoryBytes float64
+	// RoundTo rounds the scale up to this granularity ("rounded up to
+	// the next 60 seconds").
+	RoundTo int64
+	// SlotCap additionally bounds the number of grid slots (0 = no cap).
+	// The paper's Eq. 6 models the 2004 machine's memory; the analogous
+	// budget for this solver is the simplex basis size, which grows with
+	// the slot count.
+	SlotCap int
+}
+
+// DefaultScaling returns the paper's configuration.
+func DefaultScaling() Scaling {
+	return Scaling{
+		BytesPerEntry: 102.4,
+		MemoryBytes:   8 * float64(1<<30) / 4,
+		RoundTo:       60,
+		SlotCap:       360,
+	}
+}
+
+// TimeScale computes Eq. 6 for the instance:
+//
+//	time-scale = sqrt(max-makespan * acc-runtime * x / memory)
+//
+// rounded up to the RoundTo granularity with a minimum of one second.
+// (The paper's printed formula lost the square root its own derivation
+// implies — the matrix size scales with 1/scale²; see DESIGN.md.)
+func (s Scaling) TimeScale(inst *Instance) int64 {
+	raw := math.Sqrt(float64(inst.MaxMakespan()) * float64(inst.AccumulatedRuntime()) *
+		s.BytesPerEntry / s.MemoryBytes)
+	if s.SlotCap > 0 {
+		if bySlots := float64(inst.MaxMakespan()) / float64(s.SlotCap); bySlots > raw {
+			raw = bySlots
+		}
+	}
+	scale := int64(math.Ceil(raw))
+	if s.RoundTo > 1 {
+		if rem := scale % s.RoundTo; rem != 0 || scale == 0 {
+			scale += s.RoundTo - rem
+		}
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return scale
+}
+
+// Model is the scaled time-indexed integer program of an instance.
+type Model struct {
+	Inst  *Instance
+	Scale int64 // seconds per grid slot
+	Slots int   // number of start slots
+
+	prob    *lp.Problem
+	intCols []int
+	// varOf[i] maps job index i's slot offset to its column:
+	// column = varOf[i] + (slot - minSlot[i]).
+	varOf    []int
+	minSlot  []int
+	maxSlot  []int
+	slotDur  []int // ceil-scaled duration per job
+	capacity []int // per-slot capacity M_t
+	capRow   []int // row index per slot
+}
+
+// horizonSlack is the extra grid room granted beyond the scaled horizon so
+// that ceil-scaled durations cannot make the policy-feasible instance
+// grid-infeasible (each job's rounding adds strictly less than one slot).
+func horizonSlack(n int) int { return n + 1 }
+
+// Build constructs the model at the given time scale (use
+// Scaling.TimeScale for the paper's choice).
+func Build(inst *Instance, scale int64) (*Model, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if scale < 1 {
+		return nil, fmt.Errorf("ilpsched: time scale %d < 1", scale)
+	}
+	n := len(inst.Jobs)
+	baseSlots := int((inst.MaxMakespan() + scale - 1) / scale)
+	slots := baseSlots + horizonSlack(n)
+	m := &Model{
+		Inst: inst, Scale: scale, Slots: slots,
+		prob:    lp.NewProblem(),
+		varOf:   make([]int, n),
+		minSlot: make([]int, n),
+		maxSlot: make([]int, n),
+		slotDur: make([]int, n),
+	}
+	// Per-slot capacities from the machine history: the minimum free
+	// capacity inside the slot window is the safe (conservative) value.
+	// A capacity row is only materialized when it can actually bind,
+	// i.e. when the free capacity is below the total waiting width —
+	// on a large machine with a short queue most slots need no row,
+	// which keeps the simplex basis small.
+	totalWidth := 0
+	for _, jb := range inst.Jobs {
+		totalWidth += jb.Width
+	}
+	m.capacity = make([]int, slots)
+	m.capRow = make([]int, slots)
+	for t := 0; t < slots; t++ {
+		from := inst.Now + int64(t)*scale
+		m.capacity[t] = inst.Base.MinFree(from, from+scale)
+		if m.capacity[t] < totalWidth {
+			m.capRow[t] = m.prob.AddConstraint(lp.LE, float64(m.capacity[t]))
+		} else {
+			m.capRow[t] = -1 // can never bind
+		}
+	}
+	// Assignment rows and variables.
+	for i, jb := range inst.Jobs {
+		m.slotDur[i] = int((jb.Estimate + scale - 1) / scale)
+		min := 0
+		if jb.Submit > inst.Now {
+			min = int((jb.Submit - inst.Now + scale - 1) / scale)
+		}
+		max := slots - m.slotDur[i]
+		if max < min {
+			return nil, fmt.Errorf("ilpsched: job %d does not fit the grid (slots=%d, dur=%d)",
+				jb.ID, slots, m.slotDur[i])
+		}
+		m.minSlot[i], m.maxSlot[i] = min, max
+		row := m.prob.AddConstraint(lp.EQ, 1)
+		first := -1
+		for t := min; t <= max; t++ {
+			start := inst.Now + int64(t)*scale
+			// Eq. 2 coefficient: (t - s_i + d_i) * w_i, integral.
+			cost := float64((start - jb.Submit + jb.Estimate) * int64(jb.Width))
+			col := m.prob.AddVariable(0, 1, cost, fmt.Sprintf("x_%d_%d", jb.ID, t))
+			if first < 0 {
+				first = col
+			}
+			m.prob.SetCoeff(row, col, 1)
+			for u := t; u < t+m.slotDur[i]; u++ {
+				if m.capRow[u] >= 0 {
+					m.prob.SetCoeff(m.capRow[u], col, float64(jb.Width))
+				}
+			}
+			m.intCols = append(m.intCols, col)
+		}
+		m.varOf[i] = first
+	}
+	return m, nil
+}
+
+// NumVariables returns the number of binary x_it columns.
+func (m *Model) NumVariables() int { return len(m.intCols) }
+
+// NumConstraints returns the number of model rows.
+func (m *Model) NumConstraints() int { return m.prob.NumConstraints() }
+
+// MatrixEntries returns the number of structural nonzeros, the quantity
+// Eq. 6 budgets memory for.
+func (m *Model) MatrixEntries() int { return m.prob.NumNonZeros() }
+
+// col returns the column of job index i starting at slot t.
+func (m *Model) col(i, t int) int { return m.varOf[i] + (t - m.minSlot[i]) }
+
+// gridListSchedule places jobs in the given index order at their earliest
+// grid-feasible slot and returns the corresponding 0/1 vector, or ok=false
+// if some job does not fit (cannot happen with the built-in horizon slack).
+func (m *Model) gridListSchedule(order []int) ([]float64, bool) {
+	capLeft := append([]int(nil), m.capacity...)
+	x := make([]float64, m.prob.NumVariables())
+	for _, i := range order {
+		jb := m.Inst.Jobs[i]
+		placed := false
+		for t := m.minSlot[i]; t <= m.maxSlot[i]; t++ {
+			fits := true
+			for u := t; u < t+m.slotDur[i]; u++ {
+				if capLeft[u] < jb.Width {
+					fits = false
+					break
+				}
+			}
+			if fits {
+				for u := t; u < t+m.slotDur[i]; u++ {
+					capLeft[u] -= jb.Width
+				}
+				x[m.col(i, t)] = 1
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, false
+		}
+	}
+	return x, true
+}
+
+// Heuristic returns the rounding heuristic for branch and bound: jobs are
+// ordered by the fractional mean start slot of the LP relaxation and
+// list-scheduled on the grid.
+func (m *Model) Heuristic() mip.Heuristic {
+	return func(relax []float64) ([]float64, bool) {
+		n := len(m.Inst.Jobs)
+		mean := make([]float64, n)
+		for i := 0; i < n; i++ {
+			var s, tot float64
+			for t := m.minSlot[i]; t <= m.maxSlot[i]; t++ {
+				v := relax[m.col(i, t)]
+				s += v * float64(t)
+				tot += v
+			}
+			if tot > 0 {
+				mean[i] = s / tot
+			}
+		}
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			if mean[order[a]] != mean[order[b]] {
+				return mean[order[a]] < mean[order[b]]
+			}
+			return m.Inst.Jobs[order[a]].ID < m.Inst.Jobs[order[b]].ID
+		})
+		return m.gridListSchedule(order)
+	}
+}
+
+// Brancher returns the SOS-style range brancher for branch and bound: it
+// picks the job whose start-time distribution is most fractional and
+// splits its start window at the fractional mean slot. Both children
+// forbid half of the window, which moves the LP relaxation far more than
+// fixing a single x_it variable and keeps the search tree small — the
+// standard device for time-indexed formulations.
+func (m *Model) Brancher() mip.Brancher {
+	return func(relax []float64) [][]mip.Bound {
+		n := len(m.Inst.Jobs)
+		const tol = 1e-6
+		pick, pickScore := -1, tol
+		var pickMean float64
+		for i := 0; i < n; i++ {
+			var mean, maxv float64
+			for t := m.minSlot[i]; t <= m.maxSlot[i]; t++ {
+				v := relax[m.col(i, t)]
+				mean += v * float64(t)
+				if v > maxv {
+					maxv = v
+				}
+			}
+			if score := 1 - maxv; score > pickScore {
+				pickScore, pick, pickMean = score, i, mean
+			}
+		}
+		if pick < 0 {
+			return nil // integral: fall back (mip will not branch anyway)
+		}
+		theta := int(math.Floor(pickMean))
+		if theta < m.minSlot[pick] {
+			theta = m.minSlot[pick]
+		}
+		if theta >= m.maxSlot[pick] {
+			theta = m.maxSlot[pick] - 1
+		}
+		var left, right []mip.Bound
+		for t := m.minSlot[pick]; t <= m.maxSlot[pick]; t++ {
+			if t <= theta {
+				right = append(right, mip.Bound{Col: m.col(pick, t), Lo: 0, Hi: 0})
+			} else {
+				left = append(left, mip.Bound{Col: m.col(pick, t), Lo: 0, Hi: 0})
+			}
+		}
+		// left child: start <= theta (forbid the late half);
+		// right child: start > theta (forbid the early half).
+		return [][]mip.Bound{left, right}
+	}
+}
+
+// IncumbentFromSchedule converts a (real-time) schedule into a feasible
+// model vector by grid-list-scheduling the jobs in the schedule's start
+// order. This is how the best policy schedule seeds the branch and bound.
+func (m *Model) IncumbentFromSchedule(s *schedule.Schedule) ([]float64, error) {
+	if len(s.Entries) != len(m.Inst.Jobs) {
+		return nil, fmt.Errorf("ilpsched: schedule has %d jobs, model %d", len(s.Entries), len(m.Inst.Jobs))
+	}
+	idx := make(map[int]int, len(m.Inst.Jobs))
+	for i, jb := range m.Inst.Jobs {
+		idx[jb.ID] = i
+	}
+	c := s.Clone()
+	c.SortByStart()
+	order := make([]int, 0, len(c.Entries))
+	for _, e := range c.Entries {
+		i, ok := idx[e.Job.ID]
+		if !ok {
+			return nil, fmt.Errorf("ilpsched: schedule job %d not in instance", e.Job.ID)
+		}
+		order = append(order, i)
+	}
+	x, ok := m.gridListSchedule(order)
+	if !ok {
+		return nil, fmt.Errorf("ilpsched: schedule order does not fit the grid")
+	}
+	return x, nil
+}
+
+// Solution is the result of solving the model.
+type Solution struct {
+	// MIP is the raw branch-and-bound result.
+	MIP *mip.Result
+	// Grid is the schedule exactly as the ILP chose it (starts on the
+	// scaled grid).
+	Grid *schedule.Schedule
+	// Compacted is Grid after the §3.2 repair: jobs re-inserted in start
+	// order as early as possible. This is the schedule the paper
+	// compares against the policies.
+	Compacted *schedule.Schedule
+}
+
+// Solve runs branch and bound on the model. opt.Heuristic and
+// opt.IntegralObjective are installed automatically; pass an Incumbent
+// (e.g. from IncumbentFromSchedule) to seed the search.
+func (m *Model) Solve(opt mip.Options) (*Solution, error) {
+	opt.IntegralObjective = true
+	if opt.Heuristic == nil {
+		opt.Heuristic = m.Heuristic()
+	}
+	if opt.Brancher == nil {
+		opt.Brancher = m.Brancher()
+	}
+	// Cover cuts (opt.RootCutRounds) are available — the capacity rows are
+	// knapsacks over binaries — but are left off by default: on typical
+	// self-tuning-step instances the SOS brancher closes the gap faster
+	// than the root re-solves the cuts cost.
+	res, err := mip.Solve(m.prob, m.intCols, opt)
+	if err != nil {
+		return nil, err
+	}
+	sol := &Solution{MIP: res}
+	if res.Status != mip.Optimal && res.Status != mip.Feasible {
+		return sol, nil
+	}
+	grid := &schedule.Schedule{Policy: "ILP", Now: m.Inst.Now, Machine: m.Inst.Machine}
+	for i, jb := range m.Inst.Jobs {
+		found := false
+		for t := m.minSlot[i]; t <= m.maxSlot[i]; t++ {
+			if res.X[m.col(i, t)] > 0.5 {
+				grid.Entries = append(grid.Entries, schedule.Entry{
+					Job: jb, Start: m.Inst.Now + int64(t)*m.Scale,
+				})
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("ilpsched: job %d unassigned in MIP solution", jb.ID)
+		}
+	}
+	sol.Grid = grid
+	compacted, err := grid.Compact(m.Inst.Base)
+	if err != nil {
+		return nil, fmt.Errorf("ilpsched: compaction failed: %v", err)
+	}
+	sol.Compacted = compacted
+	return sol, nil
+}
+
+// WriteLP emits the model in CPLEX LP file format, the interchange format
+// the original study would have fed to CPLEX.
+func (m *Model) WriteLP(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "\\ time-indexed schedule, %d jobs, scale %ds, %d slots\nMinimize\n obj:",
+		len(m.Inst.Jobs), m.Scale, m.Slots); err != nil {
+		return err
+	}
+	for i := range m.Inst.Jobs {
+		for t := m.minSlot[i]; t <= m.maxSlot[i]; t++ {
+			c := m.prob.Cost(m.col(i, t))
+			fmt.Fprintf(w, " + %g %s", c, m.prob.Name(m.col(i, t)))
+		}
+	}
+	fmt.Fprintf(w, "\nSubject To\n")
+	for i, jb := range m.Inst.Jobs {
+		fmt.Fprintf(w, " assign_%d:", jb.ID)
+		for t := m.minSlot[i]; t <= m.maxSlot[i]; t++ {
+			fmt.Fprintf(w, " + %s", m.prob.Name(m.col(i, t)))
+		}
+		fmt.Fprintf(w, " = 1\n")
+	}
+	for t := 0; t < m.Slots; t++ {
+		if m.capRow[t] < 0 {
+			continue // capacity can never bind: row not materialized
+		}
+		fmt.Fprintf(w, " cap_%d:", t)
+		any := false
+		for i, jb := range m.Inst.Jobs {
+			for s := m.minSlot[i]; s <= m.maxSlot[i]; s++ {
+				if s <= t && t < s+m.slotDur[i] {
+					fmt.Fprintf(w, " + %d %s", jb.Width, m.prob.Name(m.col(i, s)))
+					any = true
+				}
+			}
+		}
+		if !any {
+			fmt.Fprintf(w, " 0 x_%d_%d", m.Inst.Jobs[0].ID, m.minSlot[0])
+		}
+		fmt.Fprintf(w, " <= %d\n", m.capacity[t])
+	}
+	fmt.Fprintf(w, "Binaries\n")
+	for i := range m.Inst.Jobs {
+		for t := m.minSlot[i]; t <= m.maxSlot[i]; t++ {
+			fmt.Fprintf(w, " %s", m.prob.Name(m.col(i, t)))
+		}
+	}
+	_, err := fmt.Fprintf(w, "\nEnd\n")
+	return err
+}
+
+// ObjectiveOfSchedule evaluates the Eq. 2 objective (the weighted *sum*,
+// not the normalized average) of a real-time schedule, for comparing ILP
+// objectives with policy schedules on the same footing.
+func ObjectiveOfSchedule(s *schedule.Schedule) float64 {
+	var sum float64
+	for _, e := range s.Entries {
+		sum += float64(e.ResponseTime()) * float64(e.Job.Width)
+	}
+	return sum
+}

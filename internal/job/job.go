@@ -1,0 +1,168 @@
+// Package job defines the parallel-job model used throughout the
+// reproduction: rigid jobs with a width (number of requested processors),
+// an estimated duration, an actual runtime, and a submission time.
+//
+// The paper describes jobs by three values: the number of requested
+// resources w_i (width), the estimated duration d_i, and the submission
+// time s_i. Planning-based resource management systems require runtime
+// estimates, so all *planning* (schedule construction, the ILP model) uses
+// Estimate; the discrete event simulation additionally carries the actual
+// Runtime so that jobs can finish early, exactly as in a real system.
+package job
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Job is a rigid parallel job.
+//
+// All times are in integer seconds, the smallest time step of the resource
+// management systems the paper considers.
+type Job struct {
+	// ID is a unique, positive identifier (the SWF job number).
+	ID int
+
+	// Submit is the submission time s_i in seconds since the start of
+	// the trace.
+	Submit int64
+
+	// Width is the number of requested processors w_i. Width >= 1.
+	Width int
+
+	// Estimate is the user-supplied estimated duration d_i in seconds.
+	// Planning-based systems schedule with this value. Estimate >= 1.
+	Estimate int64
+
+	// Runtime is the actual duration in seconds. In a well-formed trace
+	// 1 <= Runtime <= Estimate; systems kill jobs that exceed their
+	// estimate. Runtime is only consulted by the simulator when a job
+	// completes.
+	Runtime int64
+
+	// User and Group optionally identify the submitting user/group
+	// (SWF fields); they are carried for workload analysis but have no
+	// scheduling semantics.
+	User, Group int
+}
+
+// Area returns the estimated resource consumption Width * Estimate
+// ("job area"), the weight used by the SLDwA metric.
+func (j *Job) Area() int64 { return int64(j.Width) * j.Estimate }
+
+// ActualArea returns Width * Runtime.
+func (j *Job) ActualArea() int64 { return int64(j.Width) * j.Runtime }
+
+// Validate reports whether the job is internally consistent.
+func (j *Job) Validate() error {
+	switch {
+	case j.ID <= 0:
+		return fmt.Errorf("job %d: non-positive ID", j.ID)
+	case j.Submit < 0:
+		return fmt.Errorf("job %d: negative submit time %d", j.ID, j.Submit)
+	case j.Width < 1:
+		return fmt.Errorf("job %d: width %d < 1", j.ID, j.Width)
+	case j.Estimate < 1:
+		return fmt.Errorf("job %d: estimate %d < 1", j.ID, j.Estimate)
+	case j.Runtime < 1:
+		return fmt.Errorf("job %d: runtime %d < 1", j.ID, j.Runtime)
+	case j.Runtime > j.Estimate:
+		return fmt.Errorf("job %d: runtime %d exceeds estimate %d", j.ID, j.Runtime, j.Estimate)
+	}
+	return nil
+}
+
+func (j *Job) String() string {
+	return fmt.Sprintf("job %d (submit=%d width=%d est=%d run=%d)",
+		j.ID, j.Submit, j.Width, j.Estimate, j.Runtime)
+}
+
+// ErrEmptyTrace is returned by trace validation for zero-length traces.
+var ErrEmptyTrace = errors.New("job: empty trace")
+
+// Trace is a workload: a sequence of jobs ordered by submission time.
+type Trace struct {
+	// Jobs in non-decreasing submission order.
+	Jobs []*Job
+	// Processors is the machine size the trace was recorded on (SWF
+	// MaxProcs). Zero means unknown.
+	Processors int
+	// Note is a free-form description (trace file name, generator
+	// parameters, ...).
+	Note string
+}
+
+// Validate checks every job and the submission ordering.
+func (t *Trace) Validate() error {
+	if len(t.Jobs) == 0 {
+		return ErrEmptyTrace
+	}
+	seen := make(map[int]bool, len(t.Jobs))
+	for i, j := range t.Jobs {
+		if err := j.Validate(); err != nil {
+			return err
+		}
+		if seen[j.ID] {
+			return fmt.Errorf("job: duplicate ID %d", j.ID)
+		}
+		seen[j.ID] = true
+		if i > 0 && j.Submit < t.Jobs[i-1].Submit {
+			return fmt.Errorf("job: trace not sorted by submit time at index %d (job %d)", i, j.ID)
+		}
+		if t.Processors > 0 && j.Width > t.Processors {
+			return fmt.Errorf("job %d: width %d exceeds machine size %d", j.ID, j.Width, t.Processors)
+		}
+	}
+	return nil
+}
+
+// SortBySubmit sorts the trace by (Submit, ID). Generators and parsers call
+// it so that Validate's ordering requirement holds.
+func (t *Trace) SortBySubmit() {
+	sort.Slice(t.Jobs, func(a, b int) bool {
+		if t.Jobs[a].Submit != t.Jobs[b].Submit {
+			return t.Jobs[a].Submit < t.Jobs[b].Submit
+		}
+		return t.Jobs[a].ID < t.Jobs[b].ID
+	})
+}
+
+// TotalArea returns the summed estimated area of all jobs.
+func (t *Trace) TotalArea() int64 {
+	var a int64
+	for _, j := range t.Jobs {
+		a += j.Area()
+	}
+	return a
+}
+
+// AccumulatedRuntime returns the sum of estimated durations, the
+// "accumulated run time" input of the paper's Eq. 6.
+func AccumulatedRuntime(jobs []*Job) int64 {
+	var d int64
+	for _, j := range jobs {
+		d += j.Estimate
+	}
+	return d
+}
+
+// MeanInterarrival returns the mean time between consecutive submissions
+// (0 for traces with fewer than two jobs). The paper quotes 369 s for CTC.
+func (t *Trace) MeanInterarrival() float64 {
+	if len(t.Jobs) < 2 {
+		return 0
+	}
+	span := t.Jobs[len(t.Jobs)-1].Submit - t.Jobs[0].Submit
+	return float64(span) / float64(len(t.Jobs)-1)
+}
+
+// Clone returns a deep copy of the trace.
+func (t *Trace) Clone() *Trace {
+	out := &Trace{Processors: t.Processors, Note: t.Note, Jobs: make([]*Job, len(t.Jobs))}
+	for i, j := range t.Jobs {
+		cp := *j
+		out.Jobs[i] = &cp
+	}
+	return out
+}

@@ -1,0 +1,451 @@
+package lp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ReadLP parses the CPLEX LP file format (the subset ilpsched.WriteLP
+// emits plus the common hand-written forms): an objective section
+// (Minimize/Maximize), Subject To with named or unnamed rows, Bounds
+// (including "free", one- and two-sided forms), Binary/Binaries and
+// General/Generals integer sections, and End. Maximization objectives are
+// negated into the minimization convention. It returns the problem and
+// the integer column indices.
+func ReadLP(r io.Reader) (*Problem, []int, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	toks, err := tokenizeLP(string(data))
+	if err != nil {
+		return nil, nil, err
+	}
+	pr := &lpParser{toks: toks, p: NewProblem(), cols: map[string]int{}}
+	if err := pr.parse(); err != nil {
+		return nil, nil, err
+	}
+	return pr.p, pr.integers(), nil
+}
+
+type lpToken struct {
+	text string
+	line int
+}
+
+// tokenizeLP splits the input into words, numbers, operators and
+// punctuation; backslash comments run to end of line.
+func tokenizeLP(src string) ([]lpToken, error) {
+	var toks []lpToken
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '\\':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '+' || c == '-' || c == ':' || c == '[' || c == ']':
+			toks = append(toks, lpToken{string(c), line})
+			i++
+		case c == '<' || c == '>' || c == '=':
+			j := i + 1
+			if j < len(src) && src[j] == '=' {
+				j++
+			}
+			toks = append(toks, lpToken{src[i:j], line})
+			i = j
+		case isLPNumStart(c):
+			j := i
+			for j < len(src) && (isLPNumStart(src[j]) || src[j] == 'e' || src[j] == 'E' ||
+				((src[j] == '+' || src[j] == '-') && j > i && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				j++
+			}
+			toks = append(toks, lpToken{src[i:j], line})
+			i = j
+		case isLPNameStart(rune(c)):
+			j := i
+			for j < len(src) && isLPNameChar(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, lpToken{src[i:j], line})
+			i = j
+		default:
+			return nil, fmt.Errorf("lp: lpformat line %d: unexpected character %q", line, c)
+		}
+	}
+	return toks, nil
+}
+
+func isLPNumStart(c byte) bool  { return (c >= '0' && c <= '9') || c == '.' }
+func isLPNameStart(c rune) bool { return unicode.IsLetter(c) || c == '_' }
+func isLPNameChar(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || strings.ContainsRune("_.#$%&/,;?@'`{}~!\"", c)
+}
+
+type lpParser struct {
+	toks []lpToken
+	pos  int
+	p    *Problem
+	cols map[string]int
+	// isInt marks integer columns (Binary/General sections).
+	isInt map[int]bool
+}
+
+func (pr *lpParser) integers() []int {
+	var out []int
+	for j := 0; j < pr.p.NumVariables(); j++ {
+		if pr.isInt[j] {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func (pr *lpParser) peek() (lpToken, bool) {
+	if pr.pos >= len(pr.toks) {
+		return lpToken{}, false
+	}
+	return pr.toks[pr.pos], true
+}
+
+func (pr *lpParser) next() (lpToken, bool) {
+	t, ok := pr.peek()
+	if ok {
+		pr.pos++
+	}
+	return t, ok
+}
+
+// section keywords (lowercased, with multi-word variants collapsed).
+func isSectionKeyword(w string) bool {
+	switch strings.ToLower(w) {
+	case "minimize", "minimise", "min", "maximize", "maximise", "max",
+		"subject", "st", "s.t.", "bounds", "bound",
+		"binary", "binaries", "bin", "general", "generals", "gen", "end":
+		return true
+	}
+	return false
+}
+
+func (pr *lpParser) col(name string) int {
+	if j, ok := pr.cols[name]; ok {
+		return j
+	}
+	j := pr.p.AddVariable(0, Inf, 0, name)
+	pr.cols[name] = j
+	return j
+}
+
+func (pr *lpParser) parse() error {
+	pr.isInt = map[int]bool{}
+	maximize := false
+	sawObjective := false
+	for {
+		t, ok := pr.next()
+		if !ok {
+			break
+		}
+		switch strings.ToLower(t.text) {
+		case "minimize", "minimise", "min":
+			sawObjective = true
+			if err := pr.parseObjective(false); err != nil {
+				return err
+			}
+		case "maximize", "maximise", "max":
+			sawObjective = true
+			maximize = true
+			if err := pr.parseObjective(true); err != nil {
+				return err
+			}
+		case "subject", "st", "s.t.":
+			if strings.ToLower(t.text) == "subject" {
+				if to, ok := pr.peek(); ok && strings.EqualFold(to.text, "to") {
+					pr.next()
+				}
+			}
+			if err := pr.parseConstraints(); err != nil {
+				return err
+			}
+		case "bounds", "bound":
+			if err := pr.parseBounds(); err != nil {
+				return err
+			}
+		case "binary", "binaries", "bin":
+			pr.parseIntegerList(true)
+		case "general", "generals", "gen":
+			pr.parseIntegerList(false)
+		case "end":
+			if !sawObjective {
+				return fmt.Errorf("lp: lpformat: no objective section")
+			}
+			_ = maximize
+			return nil
+		default:
+			return fmt.Errorf("lp: lpformat line %d: unexpected token %q", t.line, t.text)
+		}
+	}
+	if !sawObjective {
+		return fmt.Errorf("lp: lpformat: no objective section")
+	}
+	return nil
+}
+
+// parseLinExpr reads [name :] (sign? coef? var)* and returns the terms.
+// It stops before a relation operator or a section keyword.
+func (pr *lpParser) parseLinExpr() (terms map[int]float64, err error) {
+	terms = map[int]float64{}
+	// Optional label "name :".
+	if t, ok := pr.peek(); ok && !isSectionKeyword(t.text) {
+		if pr.pos+1 < len(pr.toks) && pr.toks[pr.pos+1].text == ":" {
+			pr.pos += 2
+		}
+	}
+	sign := 1.0
+	coef := math.NaN() // NaN = no pending coefficient
+	for {
+		t, ok := pr.peek()
+		if !ok {
+			break
+		}
+		switch {
+		case t.text == "+":
+			pr.next()
+		case t.text == "-":
+			sign = -sign
+			pr.next()
+		case t.text == "<" || t.text == "<=" || t.text == ">" || t.text == ">=" || t.text == "=":
+			if !math.IsNaN(coef) {
+				return nil, fmt.Errorf("lp: lpformat line %d: dangling coefficient", t.line)
+			}
+			return terms, nil
+		case isLPNumStart(t.text[0]):
+			v, perr := strconv.ParseFloat(t.text, 64)
+			if perr != nil {
+				return nil, fmt.Errorf("lp: lpformat line %d: %v", t.line, perr)
+			}
+			if !math.IsNaN(coef) {
+				return nil, fmt.Errorf("lp: lpformat line %d: two consecutive numbers", t.line)
+			}
+			coef = v
+			pr.next()
+		case isSectionKeyword(t.text):
+			if !math.IsNaN(coef) {
+				return nil, fmt.Errorf("lp: lpformat line %d: dangling coefficient", t.line)
+			}
+			return terms, nil
+		default:
+			// A variable; possibly the label of the NEXT row ("name :").
+			if pr.pos+1 < len(pr.toks) && pr.toks[pr.pos+1].text == ":" {
+				if !math.IsNaN(coef) {
+					return nil, fmt.Errorf("lp: lpformat line %d: dangling coefficient", t.line)
+				}
+				return terms, nil
+			}
+			c := 1.0
+			if !math.IsNaN(coef) {
+				c = coef
+			}
+			terms[pr.col(t.text)] += sign * c
+			sign, coef = 1.0, math.NaN()
+			pr.next()
+		}
+	}
+	if !math.IsNaN(coef) {
+		return nil, fmt.Errorf("lp: lpformat: dangling coefficient at end of input")
+	}
+	return terms, nil
+}
+
+func (pr *lpParser) parseObjective(maximize bool) error {
+	terms, err := pr.parseLinExpr()
+	if err != nil {
+		return err
+	}
+	for j, c := range terms {
+		if maximize {
+			c = -c
+		}
+		pr.p.SetCost(j, pr.p.Cost(j)+c)
+	}
+	return nil
+}
+
+func (pr *lpParser) parseConstraints() error {
+	for {
+		t, ok := pr.peek()
+		if !ok {
+			return nil
+		}
+		if isSectionKeyword(t.text) {
+			return nil
+		}
+		terms, err := pr.parseLinExpr()
+		if err != nil {
+			return err
+		}
+		rel, ok := pr.next()
+		if !ok {
+			return fmt.Errorf("lp: lpformat: constraint without relation")
+		}
+		var sense Sense
+		switch rel.text {
+		case "<", "<=":
+			sense = LE
+		case ">", ">=":
+			sense = GE
+		case "=":
+			sense = EQ
+		default:
+			return fmt.Errorf("lp: lpformat line %d: expected relation, got %q", rel.line, rel.text)
+		}
+		rt, ok := pr.next()
+		if !ok || !isLPNumStart(rt.text[0]) && rt.text != "-" && rt.text != "+" {
+			return fmt.Errorf("lp: lpformat: constraint without right-hand side")
+		}
+		rsign := 1.0
+		for rt.text == "-" || rt.text == "+" {
+			if rt.text == "-" {
+				rsign = -rsign
+			}
+			rt, ok = pr.next()
+			if !ok {
+				return fmt.Errorf("lp: lpformat: constraint without right-hand side")
+			}
+		}
+		rhs, err := strconv.ParseFloat(rt.text, 64)
+		if err != nil {
+			return fmt.Errorf("lp: lpformat line %d: %v", rt.line, err)
+		}
+		row := pr.p.AddConstraint(sense, rsign*rhs)
+		for j, c := range terms {
+			pr.p.SetCoeff(row, j, c)
+		}
+	}
+}
+
+func (pr *lpParser) parseBounds() error {
+	for {
+		t, ok := pr.peek()
+		if !ok {
+			return nil
+		}
+		if isSectionKeyword(t.text) {
+			return nil
+		}
+		// Forms: "x free" | "num <= x <= num" | "x <= num" | "x >= num"
+		// | "num <= x" | "x = num". Negative numbers carry a sign token.
+		num1, hasNum1, err := pr.tryNumber()
+		if err != nil {
+			return err
+		}
+		if hasNum1 {
+			if rel, _ := pr.next(); rel.text != "<=" && rel.text != "<" {
+				return fmt.Errorf("lp: lpformat line %d: expected <= after bound value", rel.line)
+			}
+			vt, ok := pr.next()
+			if !ok {
+				return fmt.Errorf("lp: lpformat: bound without variable")
+			}
+			j := pr.col(vt.text)
+			lo, _ := pr.p.Bounds(j)
+			_ = lo
+			_, hi := pr.p.Bounds(j)
+			pr.p.SetBounds(j, num1, hi)
+			if rel2, ok := pr.peek(); ok && (rel2.text == "<=" || rel2.text == "<") {
+				pr.next()
+				num2, has2, err := pr.tryNumber()
+				if err != nil || !has2 {
+					return fmt.Errorf("lp: lpformat line %d: expected upper bound", rel2.line)
+				}
+				pr.p.SetBounds(j, num1, num2)
+			}
+			continue
+		}
+		vt, _ := pr.next()
+		j := pr.col(vt.text)
+		nt, ok := pr.peek()
+		if !ok {
+			return fmt.Errorf("lp: lpformat: dangling bound for %q", vt.text)
+		}
+		switch {
+		case strings.EqualFold(nt.text, "free"):
+			pr.next()
+			pr.p.SetBounds(j, math.Inf(-1), Inf)
+		case nt.text == "<=" || nt.text == "<":
+			pr.next()
+			v, has, err := pr.tryNumber()
+			if err != nil || !has {
+				return fmt.Errorf("lp: lpformat line %d: expected number", nt.line)
+			}
+			lo, _ := pr.p.Bounds(j)
+			pr.p.SetBounds(j, lo, v)
+		case nt.text == ">=" || nt.text == ">":
+			pr.next()
+			v, has, err := pr.tryNumber()
+			if err != nil || !has {
+				return fmt.Errorf("lp: lpformat line %d: expected number", nt.line)
+			}
+			_, hi := pr.p.Bounds(j)
+			pr.p.SetBounds(j, v, hi)
+		case nt.text == "=":
+			pr.next()
+			v, has, err := pr.tryNumber()
+			if err != nil || !has {
+				return fmt.Errorf("lp: lpformat line %d: expected number", nt.line)
+			}
+			pr.p.SetBounds(j, v, v)
+		default:
+			return fmt.Errorf("lp: lpformat line %d: malformed bound", nt.line)
+		}
+	}
+}
+
+// tryNumber consumes an optionally signed number if present.
+func (pr *lpParser) tryNumber() (float64, bool, error) {
+	start := pr.pos
+	sign := 1.0
+	t, ok := pr.peek()
+	for ok && (t.text == "+" || t.text == "-") {
+		if t.text == "-" {
+			sign = -sign
+		}
+		pr.next()
+		t, ok = pr.peek()
+	}
+	if !ok || !isLPNumStart(t.text[0]) {
+		pr.pos = start
+		return 0, false, nil
+	}
+	pr.next()
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, false, fmt.Errorf("lp: lpformat line %d: %v", t.line, err)
+	}
+	return sign * v, true, nil
+}
+
+func (pr *lpParser) parseIntegerList(binary bool) {
+	for {
+		t, ok := pr.peek()
+		if !ok || isSectionKeyword(t.text) {
+			return
+		}
+		pr.next()
+		j := pr.col(t.text)
+		pr.isInt[j] = true
+		if binary {
+			pr.p.SetBounds(j, 0, 1)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package lp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestReadLPSimple(t *testing.T) {
+	in := `\ a comment
+Minimize
+ obj: 2 x + 3 y - z
+Subject To
+ c1: x + y <= 10
+ c2: - x + 2 z >= -4
+ c3: y = 3
+Bounds
+ 0 <= x <= 6
+ z <= 5
+ y free
+End
+`
+	p, ints, err := ReadLP(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ints) != 0 {
+		t.Fatalf("unexpected integers %v", ints)
+	}
+	if p.NumVariables() != 3 || p.NumConstraints() != 3 {
+		t.Fatalf("dims %d/%d", p.NumVariables(), p.NumConstraints())
+	}
+	res, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// y = 3 fixed by c3; min 2x + 3y - z with x >= 0 (x=0), z <= 5 (z=5):
+	// objective = 0 + 9 - 5 = 4. Check c2: -0 + 10 >= -4 ok.
+	if res.Status != Optimal || math.Abs(res.Objective-4) > 1e-8 {
+		t.Fatalf("got %v %g, want optimal 4", res.Status, res.Objective)
+	}
+}
+
+func TestReadLPMaximize(t *testing.T) {
+	in := `Maximize
+ x + 2 y
+Subject To
+ x + y <= 4
+Bounds
+ x <= 3
+ y <= 3
+End
+`
+	p, _, err := ReadLP(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Internally minimized as -(x + 2y): optimum x=1, y=3 -> -7.
+	if res.Status != Optimal || math.Abs(res.Objective-(-7)) > 1e-8 {
+		t.Fatalf("got %v %g, want optimal -7", res.Status, res.Objective)
+	}
+}
+
+func TestReadLPBinaries(t *testing.T) {
+	in := `Minimize
+ obj: - 10 a - 13 b - 7 c
+Subject To
+ cap: 3 a + 4 b + 2 c <= 7
+Binaries
+ a b c
+End
+`
+	p, ints, err := ReadLP(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ints) != 3 {
+		t.Fatalf("integers = %v, want 3", ints)
+	}
+	for _, j := range ints {
+		lo, hi := p.Bounds(j)
+		if lo != 0 || hi != 1 {
+			t.Fatalf("binary bounds [%g, %g]", lo, hi)
+		}
+	}
+}
+
+func TestReadLPErrors(t *testing.T) {
+	cases := []string{
+		"Subject To\n x <= 1\nEnd\n",            // no objective
+		"Minimize\n 2 3 x\nEnd\n",               // consecutive numbers
+		"Minimize\n x\nSubject To\n x ?\nEnd\n", // garbage
+		"Minimize\n 5\nEnd\n",                   // dangling coefficient
+	}
+	for i, in := range cases {
+		if _, _, err := ReadLP(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %d accepted:\n%s", i, in)
+		}
+	}
+}
+
+func TestReadLPImplicitCoefficients(t *testing.T) {
+	in := `Minimize
+ x + y
+Subject To
+ r: x - y >= 2
+Bounds
+ -3 <= y <= 3
+End
+`
+	p, _, err := ReadLP(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// min x + y with x >= 0, y in [-3, 3], x - y >= 2: y=-3, x=0 -> -3.
+	// (x - (-3) = 3 >= 2 ok.)
+	if res.Status != Optimal || math.Abs(res.Objective-(-3)) > 1e-8 {
+		t.Fatalf("got %v %g, want optimal -3", res.Status, res.Objective)
+	}
+}

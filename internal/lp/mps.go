@@ -1,0 +1,309 @@
+package lp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteMPS emits the problem in free-format MPS, the interchange format
+// CPLEX-era solvers consume. Columns listed in integer are wrapped in
+// INTORG/INTEND marker pairs. Column names are taken from the problem
+// (sanitized); rows are named R0..R(m-1) and the objective row OBJ.
+func WriteMPS(w io.Writer, p *Problem, name string, integer []int) error {
+	p.coalesce()
+	bw := bufio.NewWriter(w)
+	isInt := make(map[int]bool, len(integer))
+	for _, c := range integer {
+		if c < 0 || c >= p.NumVariables() {
+			return fmt.Errorf("lp: integer column %d out of range", c)
+		}
+		isInt[c] = true
+	}
+	if name == "" {
+		name = "PROBLEM"
+	}
+	fmt.Fprintf(bw, "NAME          %s\n", sanitize(name))
+	fmt.Fprintf(bw, "ROWS\n N  OBJ\n")
+	for i := 0; i < p.NumConstraints(); i++ {
+		var kind byte
+		switch p.sense[i] {
+		case LE:
+			kind = 'L'
+		case GE:
+			kind = 'G'
+		default:
+			kind = 'E'
+		}
+		fmt.Fprintf(bw, " %c  R%d\n", kind, i)
+	}
+	fmt.Fprintf(bw, "COLUMNS\n")
+	inInt := false
+	markers := 0
+	for j := 0; j < p.NumVariables(); j++ {
+		if isInt[j] != inInt {
+			kind := "INTORG"
+			if inInt {
+				kind = "INTEND"
+			}
+			fmt.Fprintf(bw, "    MARKER%d   'MARKER'  '%s'\n", markers, kind)
+			markers++
+			inInt = isInt[j]
+		}
+		cn := p.colName(j)
+		if c := p.cost[j]; c != 0 {
+			fmt.Fprintf(bw, "    %-10s OBJ  %s\n", cn, fnum(c))
+		}
+		for _, e := range p.cols[j] {
+			fmt.Fprintf(bw, "    %-10s R%d  %s\n", cn, e.row, fnum(e.val))
+		}
+		// A column with no entries at all must still appear so the reader
+		// learns it exists: emit a zero objective entry.
+		if p.cost[j] == 0 && len(p.cols[j]) == 0 {
+			fmt.Fprintf(bw, "    %-10s OBJ  0\n", cn)
+		}
+	}
+	if inInt {
+		fmt.Fprintf(bw, "    MARKER%d   'MARKER'  'INTEND'\n", markers)
+	}
+	fmt.Fprintf(bw, "RHS\n")
+	for i := 0; i < p.NumConstraints(); i++ {
+		if p.rhs[i] != 0 {
+			fmt.Fprintf(bw, "    RHS  R%d  %s\n", i, fnum(p.rhs[i]))
+		}
+	}
+	fmt.Fprintf(bw, "BOUNDS\n")
+	for j := 0; j < p.NumVariables(); j++ {
+		lo, hi := p.lo[j], p.hi[j]
+		cn := p.colName(j)
+		switch {
+		case lo == 0 && math.IsInf(hi, 1):
+			// Default bounds: nothing to emit.
+		case lo == hi:
+			fmt.Fprintf(bw, " FX BND  %-10s %s\n", cn, fnum(lo))
+		case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+			fmt.Fprintf(bw, " FR BND  %-10s\n", cn)
+		default:
+			if math.IsInf(lo, -1) {
+				fmt.Fprintf(bw, " MI BND  %-10s\n", cn)
+			} else if lo != 0 {
+				fmt.Fprintf(bw, " LO BND  %-10s %s\n", cn, fnum(lo))
+			}
+			if !math.IsInf(hi, 1) {
+				fmt.Fprintf(bw, " UP BND  %-10s %s\n", cn, fnum(hi))
+			}
+		}
+	}
+	fmt.Fprintf(bw, "ENDATA\n")
+	return bw.Flush()
+}
+
+// colName returns a unique, MPS-safe name for column j.
+func (p *Problem) colName(j int) string {
+	n := sanitize(p.names[j])
+	if n == "" {
+		return fmt.Sprintf("C%d", j)
+	}
+	return fmt.Sprintf("%s_%d", n, j)
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '.', r == '-':
+			return r
+		}
+		return '_'
+	}, s)
+}
+
+func fnum(v float64) string {
+	return strconv.FormatFloat(v, 'g', 17, 64)
+}
+
+// ReadMPS parses a free-format MPS stream (the subset WriteMPS emits plus
+// the common BV/PL bound types and RANGES-free files). It returns the
+// problem and the indices of integer columns.
+func ReadMPS(r io.Reader) (*Problem, []int, error) {
+	p := NewProblem()
+	var integer []int
+	rowIdx := map[string]int{}
+	colIdx := map[string]int{}
+	objRow := ""
+	section := ""
+	inInt := false
+	boundsSeen := map[int]bool{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	lineNo := 0
+	getCol := func(name string) int {
+		if j, ok := colIdx[name]; ok {
+			return j
+		}
+		j := p.AddVariable(0, Inf, 0, name)
+		colIdx[name] = j
+		if inInt {
+			integer = append(integer, j)
+		}
+		return j
+	}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if t := strings.TrimSpace(line); t == "" || strings.HasPrefix(t, "*") {
+			continue
+		}
+		// Section headers start in column 1 (no leading blank).
+		if line[0] != ' ' && line[0] != '\t' {
+			fields := strings.Fields(line)
+			section = strings.ToUpper(fields[0])
+			if section == "ENDATA" {
+				break
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		switch section {
+		case "ROWS":
+			if len(fields) != 2 {
+				return nil, nil, fmt.Errorf("lp: mps line %d: bad ROWS entry", lineNo)
+			}
+			kind, name := strings.ToUpper(fields[0]), fields[1]
+			switch kind {
+			case "N":
+				if objRow == "" {
+					objRow = name
+				}
+			case "L":
+				rowIdx[name] = p.AddConstraint(LE, 0)
+			case "G":
+				rowIdx[name] = p.AddConstraint(GE, 0)
+			case "E":
+				rowIdx[name] = p.AddConstraint(EQ, 0)
+			default:
+				return nil, nil, fmt.Errorf("lp: mps line %d: unknown row kind %q", lineNo, kind)
+			}
+		case "COLUMNS":
+			if len(fields) >= 3 && strings.Contains(line, "'MARKER'") {
+				if strings.Contains(line, "'INTORG'") {
+					inInt = true
+				} else if strings.Contains(line, "'INTEND'") {
+					inInt = false
+				}
+				continue
+			}
+			if len(fields) < 3 || len(fields)%2 == 0 {
+				return nil, nil, fmt.Errorf("lp: mps line %d: bad COLUMNS entry", lineNo)
+			}
+			j := getCol(fields[0])
+			for k := 1; k < len(fields); k += 2 {
+				v, err := strconv.ParseFloat(fields[k+1], 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("lp: mps line %d: %v", lineNo, err)
+				}
+				if fields[k] == objRow {
+					p.cost[j] += v
+					continue
+				}
+				row, ok := rowIdx[fields[k]]
+				if !ok {
+					return nil, nil, fmt.Errorf("lp: mps line %d: unknown row %q", lineNo, fields[k])
+				}
+				p.SetCoeff(row, j, v)
+			}
+		case "RHS":
+			if len(fields) < 3 || len(fields)%2 == 0 {
+				return nil, nil, fmt.Errorf("lp: mps line %d: bad RHS entry", lineNo)
+			}
+			for k := 1; k < len(fields); k += 2 {
+				if fields[k] == objRow {
+					continue // objective offset: unsupported, ignored
+				}
+				row, ok := rowIdx[fields[k]]
+				if !ok {
+					return nil, nil, fmt.Errorf("lp: mps line %d: unknown row %q", lineNo, fields[k])
+				}
+				v, err := strconv.ParseFloat(fields[k+1], 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("lp: mps line %d: %v", lineNo, err)
+				}
+				p.rhs[row] = v
+			}
+		case "BOUNDS":
+			if len(fields) < 3 {
+				return nil, nil, fmt.Errorf("lp: mps line %d: bad BOUNDS entry", lineNo)
+			}
+			kind := strings.ToUpper(fields[0])
+			j, ok := colIdx[fields[2]]
+			if !ok {
+				return nil, nil, fmt.Errorf("lp: mps line %d: unknown column %q", lineNo, fields[2])
+			}
+			var v float64
+			if len(fields) >= 4 {
+				var err error
+				if v, err = strconv.ParseFloat(fields[3], 64); err != nil {
+					return nil, nil, fmt.Errorf("lp: mps line %d: %v", lineNo, err)
+				}
+			}
+			if !boundsSeen[j] && (kind == "UP" || kind == "MI") {
+				// First bound on the column adjusts only one side.
+			}
+			boundsSeen[j] = true
+			switch kind {
+			case "LO":
+				p.lo[j] = v
+			case "UP":
+				p.hi[j] = v
+				// MPS convention: UP with a negative value and no prior LO
+				// makes the lower bound -inf.
+				if v < 0 && p.lo[j] == 0 {
+					p.lo[j] = math.Inf(-1)
+				}
+			case "FX":
+				p.lo[j], p.hi[j] = v, v
+			case "FR":
+				p.lo[j], p.hi[j] = math.Inf(-1), Inf
+			case "MI":
+				p.lo[j] = math.Inf(-1)
+			case "PL":
+				p.hi[j] = Inf
+			case "BV":
+				p.lo[j], p.hi[j] = 0, 1
+				integer = appendUnique(integer, j)
+			case "UI":
+				p.hi[j] = v
+				integer = appendUnique(integer, j)
+			case "LI":
+				p.lo[j] = v
+				integer = appendUnique(integer, j)
+			default:
+				return nil, nil, fmt.Errorf("lp: mps line %d: unknown bound kind %q", lineNo, kind)
+			}
+		case "RANGES":
+			return nil, nil, fmt.Errorf("lp: mps line %d: RANGES not supported", lineNo)
+		case "":
+			return nil, nil, fmt.Errorf("lp: mps line %d: data before any section", lineNo)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if objRow == "" {
+		return nil, nil, fmt.Errorf("lp: mps: no objective (N) row")
+	}
+	return p, integer, nil
+}
+
+func appendUnique(xs []int, v int) []int {
+	for _, x := range xs {
+		if x == v {
+			return xs
+		}
+	}
+	return append(xs, v)
+}

@@ -1,0 +1,186 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Presolved carries the reduced problem plus the mapping needed to lift a
+// solution of the reduction back to the original problem.
+type Presolved struct {
+	// Reduced is the smaller problem (nil when presolve already decided
+	// the instance).
+	Reduced *Problem
+
+	origCols, origRows int
+	colMap             []int     // reduced column -> original column
+	rowMap             []int     // reduced row -> original row
+	fixedVal           []float64 // original column -> value (for removed columns)
+	removedCol         []bool
+}
+
+// Presolve applies reductions with trivial postsolve semantics:
+//
+//   - fixed columns (lo == hi) are substituted into the right-hand sides
+//     and removed;
+//   - empty columns are moved to their cost-optimal bound and removed
+//     (detecting unboundedness);
+//   - empty rows are checked for consistency and dropped (detecting
+//     infeasibility).
+//
+// The returned status is Optimal when the reduced problem still needs to
+// be solved (possibly with zero columns), or Infeasible/Unbounded when
+// presolve alone decides the instance.
+func Presolve(p *Problem) (*Presolved, Status) {
+	p.coalesce()
+	n, m := p.NumVariables(), p.NumConstraints()
+	pr := &Presolved{
+		origCols: n, origRows: m,
+		fixedVal:   make([]float64, n),
+		removedCol: make([]bool, n),
+	}
+	rhs := append([]float64(nil), p.rhs...)
+	entriesLeft := make([]int, m)
+
+	// Pass 1: classify columns.
+	for j := 0; j < n; j++ {
+		lo, hi := p.lo[j], p.hi[j]
+		switch {
+		case lo == hi:
+			pr.removedCol[j] = true
+			pr.fixedVal[j] = lo
+			if lo != 0 {
+				for _, e := range p.cols[j] {
+					rhs[e.row] -= e.val * lo
+				}
+			}
+		case len(p.cols[j]) == 0:
+			// Empty column: settled by its cost sign.
+			c := p.cost[j]
+			var v float64
+			switch {
+			case c > 0:
+				if math.IsInf(lo, -1) {
+					return nil, Unbounded
+				}
+				v = lo
+			case c < 0:
+				if math.IsInf(hi, 1) {
+					return nil, Unbounded
+				}
+				v = hi
+			default:
+				switch {
+				case !math.IsInf(lo, -1):
+					v = lo
+				case !math.IsInf(hi, 1):
+					v = hi
+				}
+			}
+			pr.removedCol[j] = true
+			pr.fixedVal[j] = v
+		default:
+			for _, e := range p.cols[j] {
+				entriesLeft[e.row]++
+			}
+		}
+	}
+	// Pass 2: empty rows.
+	const tol = 1e-9
+	keepRow := make([]bool, m)
+	for i := 0; i < m; i++ {
+		if entriesLeft[i] > 0 {
+			keepRow[i] = true
+			continue
+		}
+		switch p.sense[i] {
+		case LE:
+			if rhs[i] < -tol {
+				return nil, Infeasible
+			}
+		case GE:
+			if rhs[i] > tol {
+				return nil, Infeasible
+			}
+		case EQ:
+			if math.Abs(rhs[i]) > tol {
+				return nil, Infeasible
+			}
+		}
+	}
+	// Build the reduced problem.
+	q := NewProblem()
+	newRow := make([]int, m)
+	for i := 0; i < m; i++ {
+		newRow[i] = -1
+		if keepRow[i] {
+			newRow[i] = q.AddConstraint(p.sense[i], rhs[i])
+			pr.rowMap = append(pr.rowMap, i)
+		}
+	}
+	for j := 0; j < n; j++ {
+		if pr.removedCol[j] {
+			continue
+		}
+		col := q.AddVariable(p.lo[j], p.hi[j], p.cost[j], p.names[j])
+		pr.colMap = append(pr.colMap, j)
+		for _, e := range p.cols[j] {
+			if newRow[e.row] >= 0 {
+				q.SetCoeff(newRow[e.row], col, e.val)
+			}
+		}
+	}
+	pr.Reduced = q
+	return pr, Optimal
+}
+
+// Postsolve lifts a result of the reduced problem back to the original
+// space: removed columns take their presolved values, dropped rows get
+// zero duals, and the objective is recomputed over the original costs.
+func (pr *Presolved) Postsolve(p *Problem, res *Result) (*Result, error) {
+	if res.Status != Optimal {
+		return res, nil
+	}
+	if len(res.X) != len(pr.colMap) {
+		return nil, fmt.Errorf("lp: postsolve dimension mismatch: %d vs %d",
+			len(res.X), len(pr.colMap))
+	}
+	out := &Result{Status: Optimal, Iterations: res.Iterations}
+	out.X = make([]float64, pr.origCols)
+	for j := 0; j < pr.origCols; j++ {
+		if pr.removedCol[j] {
+			out.X[j] = pr.fixedVal[j]
+		}
+	}
+	for rj, oj := range pr.colMap {
+		out.X[oj] = res.X[rj]
+	}
+	out.Duals = make([]float64, pr.origRows)
+	for ri, oi := range pr.rowMap {
+		out.Duals[oi] = res.Duals[ri]
+	}
+	for j := 0; j < pr.origCols; j++ {
+		out.Objective += p.cost[j] * out.X[j]
+	}
+	return out, nil
+}
+
+// SolvePresolved runs presolve, solves the reduction cold, and lifts the
+// result back. Statuses decided by presolve are returned directly.
+func (p *Problem) SolvePresolved(opt Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	pr, st := Presolve(p)
+	if st != Optimal {
+		return &Result{Status: st}, nil
+	}
+	res, err := pr.Reduced.Solve(opt)
+	if err != nil {
+		return nil, err
+	}
+	if res.Status != Optimal {
+		return &Result{Status: res.Status, Iterations: res.Iterations}, nil
+	}
+	return pr.Postsolve(p, res)
+}

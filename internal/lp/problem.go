@@ -1,0 +1,231 @@
+// Package lp is a self-contained linear programming solver: a revised
+// simplex method with bounded variables, a two-phase (artificial variable)
+// primal algorithm and a dual simplex for warm starts. It is the LP engine
+// underneath the branch-and-bound MILP solver (package mip) that stands in
+// for ILOG CPLEX in this reproduction.
+//
+// Problems are stated as
+//
+//	minimize    c^T x
+//	subject to  a_i^T x  {<=, =, >=}  b_i   for every row i
+//	            lo_j <= x_j <= hi_j         for every column j
+//
+// Internally every row gains a slack column so the system becomes
+// A x = b with bounds on all columns; the simplex operates on that
+// computational form.
+package lp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Inf is the bound value representing +infinity.
+var Inf = math.Inf(1)
+
+// Sense is the relation of a constraint row.
+type Sense int
+
+const (
+	LE Sense = iota // a^T x <= b
+	GE              // a^T x >= b
+	EQ              // a^T x == b
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	default:
+		return "=="
+	}
+}
+
+type nz struct {
+	row int
+	val float64
+}
+
+// Problem is a mutable LP instance. Columns and rows may be added in any
+// order; coefficients reference both by index.
+type Problem struct {
+	cost  []float64
+	lo    []float64
+	hi    []float64
+	names []string
+
+	cols  [][]nz
+	sense []Sense
+	rhs   []float64
+
+	// dirty marks columns as possibly containing unsorted or duplicate
+	// entries; coalesce() clears it.
+	dirty bool
+}
+
+// NewProblem returns an empty problem.
+func NewProblem() *Problem { return &Problem{} }
+
+// AddVariable appends a column with the given bounds and objective cost
+// and returns its index. Use lp.Inf / -lp.Inf for free directions.
+func (p *Problem) AddVariable(lo, hi, cost float64, name string) int {
+	p.cost = append(p.cost, cost)
+	p.lo = append(p.lo, lo)
+	p.hi = append(p.hi, hi)
+	p.names = append(p.names, name)
+	p.cols = append(p.cols, nil)
+	return len(p.cost) - 1
+}
+
+// AddConstraint appends an (initially empty) row and returns its index.
+func (p *Problem) AddConstraint(s Sense, rhs float64) int {
+	p.sense = append(p.sense, s)
+	p.rhs = append(p.rhs, rhs)
+	return len(p.rhs) - 1
+}
+
+// SetCoeff adds v to the coefficient of column col in row row (duplicate
+// calls accumulate). It panics on out-of-range indices.
+func (p *Problem) SetCoeff(row, col int, v float64) {
+	if row < 0 || row >= len(p.rhs) {
+		panic(fmt.Sprintf("lp: row %d out of range [0,%d)", row, len(p.rhs)))
+	}
+	if col < 0 || col >= len(p.cols) {
+		panic(fmt.Sprintf("lp: col %d out of range [0,%d)", col, len(p.cols)))
+	}
+	if v == 0 {
+		return
+	}
+	p.cols[col] = append(p.cols[col], nz{row: row, val: v})
+	p.dirty = true
+}
+
+// SetBounds replaces the bounds of column col (used by branch and bound).
+func (p *Problem) SetBounds(col int, lo, hi float64) {
+	p.lo[col] = lo
+	p.hi[col] = hi
+}
+
+// SetCost replaces the objective coefficient of column col.
+func (p *Problem) SetCost(col int, c float64) { p.cost[col] = c }
+
+// Bounds returns the bounds of column col.
+func (p *Problem) Bounds(col int) (lo, hi float64) { return p.lo[col], p.hi[col] }
+
+// Cost returns the objective coefficient of column col.
+func (p *Problem) Cost(col int) float64 { return p.cost[col] }
+
+// Name returns the name of column col.
+func (p *Problem) Name(col int) string { return p.names[col] }
+
+// NumVariables returns the number of structural columns.
+func (p *Problem) NumVariables() int { return len(p.cost) }
+
+// NumConstraints returns the number of rows.
+func (p *Problem) NumConstraints() int { return len(p.rhs) }
+
+// Row returns the sense and right-hand side of row i.
+func (p *Problem) Row(i int) (Sense, float64) { return p.sense[i], p.rhs[i] }
+
+// AccumulateRows adds A*x into act (len NumConstraints). Duplicate
+// coefficient entries are coalesced first.
+func (p *Problem) AccumulateRows(x []float64, act []float64) {
+	p.coalesce()
+	for j, col := range p.cols {
+		if x[j] == 0 {
+			continue
+		}
+		for _, e := range col {
+			act[e.row] += e.val * x[j]
+		}
+	}
+}
+
+// VisitColumn calls f for every nonzero entry of column j (after
+// coalescing duplicates).
+func (p *Problem) VisitColumn(j int, f func(row int, val float64)) {
+	p.coalesce()
+	for _, e := range p.cols[j] {
+		f(e.row, e.val)
+	}
+}
+
+// NumNonZeros returns the number of structural matrix entries (after
+// coalescing duplicates).
+func (p *Problem) NumNonZeros() int {
+	n := 0
+	for _, c := range p.cols {
+		n += len(c)
+	}
+	return n
+}
+
+// Validate checks bounds sanity (lo <= hi everywhere, no NaN anywhere).
+func (p *Problem) Validate() error {
+	for j := range p.cost {
+		if math.IsNaN(p.cost[j]) || math.IsNaN(p.lo[j]) || math.IsNaN(p.hi[j]) {
+			return fmt.Errorf("lp: NaN in column %d", j)
+		}
+		if p.lo[j] > p.hi[j] {
+			return fmt.Errorf("lp: column %d has lo %g > hi %g", j, p.lo[j], p.hi[j])
+		}
+	}
+	for i, b := range p.rhs {
+		if math.IsNaN(b) {
+			return fmt.Errorf("lp: NaN rhs in row %d", i)
+		}
+	}
+	return nil
+}
+
+// coalesce sorts each column by row and merges duplicate entries. It is
+// a no-op when nothing changed since the last call.
+func (p *Problem) coalesce() {
+	if !p.dirty {
+		return
+	}
+	p.dirty = false
+	for j, col := range p.cols {
+		if len(col) < 2 {
+			continue
+		}
+		sort.Slice(col, func(a, b int) bool { return col[a].row < col[b].row })
+		out := col[:0]
+		for _, e := range col {
+			if len(out) > 0 && out[len(out)-1].row == e.row {
+				out[len(out)-1].val += e.val
+			} else {
+				out = append(out, e)
+			}
+		}
+		// Drop entries that cancelled to zero.
+		final := out[:0]
+		for _, e := range out {
+			if e.val != 0 {
+				final = append(final, e)
+			}
+		}
+		p.cols[j] = final
+	}
+}
+
+// Clone returns an independent copy of the problem.
+func (p *Problem) Clone() *Problem {
+	cp := &Problem{
+		cost:  append([]float64(nil), p.cost...),
+		lo:    append([]float64(nil), p.lo...),
+		hi:    append([]float64(nil), p.hi...),
+		names: append([]string(nil), p.names...),
+		sense: append([]Sense(nil), p.sense...),
+		rhs:   append([]float64(nil), p.rhs...),
+		cols:  make([][]nz, len(p.cols)),
+	}
+	for j, c := range p.cols {
+		cp.cols[j] = append([]nz(nil), c...)
+	}
+	cp.dirty = p.dirty
+	return cp
+}

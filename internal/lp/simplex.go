@@ -1,0 +1,1006 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Status is the outcome of a solve.
+type Status int
+
+const (
+	// Optimal: an optimal basic solution was found.
+	Optimal Status = iota
+	// Infeasible: the constraints admit no solution.
+	Infeasible
+	// Unbounded: the objective decreases without bound.
+	Unbounded
+	// IterationLimit: the iteration budget was exhausted.
+	IterationLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return "iteration-limit"
+	}
+}
+
+// Options control a solve.
+type Options struct {
+	// MaxIters bounds the total simplex iterations (default 50000).
+	MaxIters int
+	// Tol is the feasibility/optimality tolerance (default 1e-7).
+	Tol float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIters == 0 {
+		o.MaxIters = 50000
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-7
+	}
+	return o
+}
+
+// Result is the outcome of a solve.
+type Result struct {
+	Status     Status
+	Objective  float64
+	X          []float64 // structural variable values (valid for Optimal)
+	Duals      []float64 // row dual values y (valid for Optimal)
+	Iterations int
+	Basis      *Basis // warm-start information (valid for Optimal)
+}
+
+// Basis is an opaque warm-start snapshot (column statuses and the basis
+// row assignment for structural + slack columns).
+type Basis struct {
+	stat []colStatus
+	rows []int
+}
+
+type colStatus int8
+
+const (
+	atLower colStatus = iota
+	atUpper
+	isBasic
+	freeNB // nonbasic free variable, held at zero
+)
+
+const refactorEvery = 100
+
+type simplex struct {
+	p    *Problem
+	m, n int // rows, structural columns
+	opt  Options
+
+	// Per-column state; columns are [structural | slacks | artificials].
+	cost, lo, hi []float64
+	stat         []colStatus
+
+	artRow  []int
+	artSign []float64
+
+	// acols holds the computational columns (structural, then slacks,
+	// then artificials) as plain slices so that hot loops iterate
+	// directly instead of through closures.
+	acols [][]nz
+
+	basis []int     // basis[i] = column basic in row i
+	binv  []float64 // m×m row-major inverse of the basis matrix
+	xB    []float64
+
+	iters      int
+	sincefact  int
+	stall      int
+	bland      bool
+	lastObj    float64
+	phase1     bool
+	structCost []float64 // original costs, structural+slack (+art zeros)
+}
+
+func newSimplex(p *Problem, opt Options) *simplex {
+	p.coalesce()
+	m, n := p.NumConstraints(), p.NumVariables()
+	s := &simplex{p: p, m: m, n: n, opt: opt}
+	nc := n + m
+	s.cost = make([]float64, nc)
+	s.lo = make([]float64, nc)
+	s.hi = make([]float64, nc)
+	s.stat = make([]colStatus, nc)
+	copy(s.lo, p.lo)
+	copy(s.hi, p.hi)
+	for i := 0; i < m; i++ {
+		switch p.sense[i] {
+		case LE:
+			s.lo[n+i], s.hi[n+i] = 0, Inf
+		case GE:
+			s.lo[n+i], s.hi[n+i] = -Inf, 0
+		case EQ:
+			s.lo[n+i], s.hi[n+i] = 0, 0
+		}
+	}
+	s.structCost = make([]float64, nc)
+	copy(s.structCost, p.cost)
+	copy(s.cost, s.structCost)
+	s.acols = make([][]nz, nc)
+	for j := 0; j < n; j++ {
+		s.acols[j] = p.cols[j]
+	}
+	for i := 0; i < m; i++ {
+		s.acols[n+i] = []nz{{row: i, val: 1}}
+	}
+	s.basis = make([]int, m)
+	s.binv = make([]float64, m*m)
+	s.xB = make([]float64, m)
+	return s
+}
+
+func (s *simplex) ncols() int { return s.n + s.m + len(s.artRow) }
+
+// column returns the nonzero entries of computational column j.
+func (s *simplex) column(j int) []nz { return s.acols[j] }
+
+// nbVal is the value a nonbasic column is held at.
+func (s *simplex) nbVal(j int) float64 {
+	switch s.stat[j] {
+	case atLower:
+		return s.lo[j]
+	case atUpper:
+		return s.hi[j]
+	default:
+		return 0 // freeNB
+	}
+}
+
+// setNonbasicStatus picks the natural nonbasic status for column j.
+func (s *simplex) setNonbasicStatus(j int) {
+	switch {
+	case !math.IsInf(s.lo[j], -1):
+		s.stat[j] = atLower
+	case !math.IsInf(s.hi[j], 1):
+		s.stat[j] = atUpper
+	default:
+		s.stat[j] = freeNB
+	}
+}
+
+// coldBasis installs the all-slack basis.
+func (s *simplex) coldBasis() {
+	for j := 0; j < s.n; j++ {
+		s.setNonbasicStatus(j)
+	}
+	for i := 0; i < s.m; i++ {
+		s.basis[i] = s.n + i
+		s.stat[s.n+i] = isBasic
+	}
+	for i := range s.binv {
+		s.binv[i] = 0
+	}
+	for i := 0; i < s.m; i++ {
+		s.binv[i*s.m+i] = 1
+	}
+	s.computeXB()
+}
+
+// factorize rebuilds binv (and xB) from the basis columns. It reports
+// whether the basis is nonsingular.
+//
+// Simplex bases on these problems are dominated by unit columns (slacks
+// and artificials); only a handful of structural columns are basic. With
+// column order (units U, structurals V) and row order (uncovered R_V,
+// covered R_U) the basis is the block matrix [[A, 0], [C, D]] with D
+// diagonal (±1), so the inverse is assembled from the k×k block
+// A = V restricted to R_V alone:
+//
+//	B^{-1} = [[A^{-1}, 0], [-D^{-1} C A^{-1}, D^{-1}]]
+//
+// which costs O(k³ + nnz·k) instead of the O(m³) of a dense elimination.
+func (s *simplex) factorize() bool {
+	m := s.m
+	if m == 0 {
+		return true
+	}
+	// Classify basis columns: unit (slack/artificial, single ±1 entry)
+	// versus structural.
+	posOfRow := make([]int, m) // covered row -> basis position (or -1)
+	scale := make([]float64, m)
+	for r := range posOfRow {
+		posOfRow[r] = -1
+	}
+	var structPos []int
+	for i, j := range s.basis {
+		col := s.acols[j]
+		if j >= s.n && len(col) == 1 {
+			r := col[0].row
+			if posOfRow[r] != -1 {
+				return false // two unit columns on one row: singular
+			}
+			posOfRow[r] = i
+			scale[r] = col[0].val // +1 for slacks, ±1 for artificials
+			continue
+		}
+		structPos = append(structPos, i)
+	}
+	// Uncovered rows R_V, in ascending order, with a reverse index.
+	k := len(structPos)
+	rv := make([]int, 0, k)
+	rvIdx := make([]int, m)
+	for r := 0; r < m; r++ {
+		rvIdx[r] = -1
+		if posOfRow[r] == -1 {
+			rvIdx[r] = len(rv)
+			rv = append(rv, r)
+		}
+	}
+	if len(rv) != k {
+		return false // column/row count mismatch: singular
+	}
+	// A: structural basic columns restricted to the uncovered rows.
+	a := make([]float64, k*k)
+	for b, pos := range structPos {
+		for _, e := range s.acols[s.basis[pos]] {
+			if ai := rvIdx[e.row]; ai >= 0 {
+				a[ai*k+b] += e.val
+			}
+		}
+	}
+	ainv, ok := invertDense(a, k)
+	if !ok {
+		return false
+	}
+	// Assemble binv.
+	for i := range s.binv {
+		s.binv[i] = 0
+	}
+	// Structural positions: row = A^{-1} spread over the uncovered rows.
+	for b, pos := range structPos {
+		row := s.binv[pos*m : pos*m+m]
+		for ai, r := range rv {
+			row[r] = ainv[b*k+ai]
+		}
+	}
+	// Unit positions: 1/scale on the covered row plus the correction
+	// -1/scale * c^T A^{-1} over the uncovered rows, where c holds the
+	// structural basic coefficients on that covered row.
+	if k > 0 {
+		// Bucket the structural basic coefficients by covered row once.
+		type ce struct {
+			b   int
+			val float64
+		}
+		cRows := make([][]ce, m)
+		for b, pos := range structPos {
+			for _, e := range s.acols[s.basis[pos]] {
+				if rvIdx[e.row] < 0 {
+					cRows[e.row] = append(cRows[e.row], ce{b: b, val: e.val})
+				}
+			}
+		}
+		for r := 0; r < m; r++ {
+			pos := posOfRow[r]
+			if pos < 0 {
+				continue
+			}
+			inv := 1 / scale[r]
+			s.binv[pos*m+r] = inv
+			if len(cRows[r]) == 0 {
+				continue
+			}
+			row := s.binv[pos*m : pos*m+m]
+			for ai, rr := range rv {
+				var z float64
+				for _, e := range cRows[r] {
+					z += e.val * ainv[e.b*k+ai]
+				}
+				row[rr] = -inv * z
+			}
+		}
+	} else {
+		for r := 0; r < m; r++ {
+			pos := posOfRow[r]
+			s.binv[pos*m+r] = 1 / scale[r]
+		}
+	}
+	s.computeXB()
+	s.sincefact = 0
+	return true
+}
+
+// invertDense inverts a dense k×k row-major matrix via Gauss-Jordan with
+// partial pivoting.
+func invertDense(a []float64, k int) ([]float64, bool) {
+	inv := make([]float64, k*k)
+	for i := 0; i < k; i++ {
+		inv[i*k+i] = 1
+	}
+	for col := 0; col < k; col++ {
+		piv, best := -1, 1e-10
+		for r := col; r < k; r++ {
+			if av := math.Abs(a[r*k+col]); av > best {
+				best, piv = av, r
+			}
+		}
+		if piv < 0 {
+			return nil, false
+		}
+		if piv != col {
+			for x := 0; x < k; x++ {
+				a[piv*k+x], a[col*k+x] = a[col*k+x], a[piv*k+x]
+				inv[piv*k+x], inv[col*k+x] = inv[col*k+x], inv[piv*k+x]
+			}
+		}
+		d := 1 / a[col*k+col]
+		for x := 0; x < k; x++ {
+			a[col*k+x] *= d
+			inv[col*k+x] *= d
+		}
+		for r := 0; r < k; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r*k+col]
+			if f == 0 {
+				continue
+			}
+			for x := 0; x < k; x++ {
+				a[r*k+x] -= f * a[col*k+x]
+				inv[r*k+x] -= f * inv[col*k+x]
+			}
+		}
+	}
+	return inv, true
+}
+
+// computeXB recomputes the basic values from scratch.
+func (s *simplex) computeXB() {
+	m := s.m
+	t := make([]float64, m)
+	copy(t, s.p.rhs)
+	for j := 0; j < s.ncols(); j++ {
+		if s.stat[j] == isBasic {
+			continue
+		}
+		xv := s.nbVal(j)
+		if xv == 0 {
+			continue
+		}
+		for _, e := range s.acols[j] {
+			t[e.row] -= e.val * xv
+		}
+	}
+	for i := 0; i < m; i++ {
+		var sum float64
+		row := s.binv[i*m : i*m+m]
+		for r := 0; r < m; r++ {
+			sum += row[r] * t[r]
+		}
+		s.xB[i] = sum
+	}
+}
+
+// ftran returns w = binv * A_j.
+func (s *simplex) ftran(j int, w []float64) {
+	m := s.m
+	for i := range w {
+		w[i] = 0
+	}
+	for _, e := range s.acols[j] {
+		r, v := e.row, e.val
+		for i := 0; i < m; i++ {
+			w[i] += s.binv[i*m+r] * v
+		}
+	}
+}
+
+// duals returns y = c_B^T binv.
+func (s *simplex) duals(y []float64) {
+	m := s.m
+	for i := range y {
+		y[i] = 0
+	}
+	for k := 0; k < m; k++ {
+		cb := s.cost[s.basis[k]]
+		if cb == 0 {
+			continue
+		}
+		row := s.binv[k*m : k*m+m]
+		for i := 0; i < m; i++ {
+			y[i] += cb * row[i]
+		}
+	}
+}
+
+// reduced returns d_j = c_j - y^T A_j.
+func (s *simplex) reduced(j int, y []float64) float64 {
+	d := s.cost[j]
+	for _, e := range s.acols[j] {
+		d -= y[e.row] * e.val
+	}
+	return d
+}
+
+// objValue is the current objective under the active (phase) costs.
+func (s *simplex) objValue() float64 {
+	var obj float64
+	for i := 0; i < s.m; i++ {
+		obj += s.cost[s.basis[i]] * s.xB[i]
+	}
+	for j := 0; j < s.ncols(); j++ {
+		if s.stat[j] != isBasic && s.cost[j] != 0 {
+			obj += s.cost[j] * s.nbVal(j)
+		}
+	}
+	return obj
+}
+
+// pivot replaces basis[r] with column j. w = binv*A_j must be provided;
+// t >= 0 is the step of the entering variable, sigma its direction, and
+// leavingStat the bound the leaving variable lands on (for the primal
+// simplex that is the bound in the direction of movement; for the dual
+// simplex it is the violated bound).
+func (s *simplex) pivot(r, j int, w []float64, t, sigma float64, leavingStat colStatus) {
+	m := s.m
+	enterVal := s.nbVal(j) + sigma*t
+	for i := 0; i < m; i++ {
+		if i != r {
+			s.xB[i] -= sigma * w[i] * t
+		}
+	}
+	leaving := s.basis[r]
+	s.stat[leaving] = leavingStat
+	// A leaving free variable ends nonbasic at zero.
+	if math.IsInf(s.lo[leaving], -1) && math.IsInf(s.hi[leaving], 1) {
+		s.stat[leaving] = freeNB
+	}
+	s.basis[r] = j
+	s.stat[j] = isBasic
+	s.xB[r] = enterVal
+
+	// binv update: row r scaled by 1/w_r, eliminated from other rows.
+	wr := w[r]
+	inv := 1 / wr
+	rrow := s.binv[r*m : r*m+m]
+	for k := range rrow {
+		rrow[k] *= inv
+	}
+	for i := 0; i < m; i++ {
+		if i == r || w[i] == 0 {
+			continue
+		}
+		f := w[i]
+		irow := s.binv[i*m : i*m+m]
+		for k := range irow {
+			irow[k] -= f * rrow[k]
+		}
+	}
+	s.sincefact++
+	if s.sincefact >= refactorEvery {
+		if !s.factorize() {
+			// Should not happen for a basis we just pivoted; keep the
+			// product-form inverse if it does.
+			s.sincefact = 0
+		}
+	}
+}
+
+// primal runs primal simplex iterations under the current costs until
+// optimality, unboundedness or the iteration limit.
+func (s *simplex) primal() Status {
+	m := s.m
+	y := make([]float64, m)
+	w := make([]float64, m)
+	dtol := s.opt.Tol
+	s.stall, s.bland = 0, false
+	s.lastObj = math.Inf(1)
+	for {
+		if s.iters >= s.opt.MaxIters {
+			return IterationLimit
+		}
+		s.iters++
+		s.duals(y)
+		// Entering column selection.
+		enter, bestScore := -1, dtol
+		var enterSigma float64
+		for j := 0; j < s.ncols(); j++ {
+			st := s.stat[j]
+			if st == isBasic {
+				continue
+			}
+			if s.hi[j]-s.lo[j] <= 0 && st != freeNB {
+				continue // fixed column can never improve
+			}
+			d := s.reduced(j, y)
+			var sigma float64
+			switch st {
+			case atLower:
+				if d < -dtol {
+					sigma = 1
+				}
+			case atUpper:
+				if d > dtol {
+					sigma = -1
+				}
+			case freeNB:
+				if d < -dtol {
+					sigma = 1
+				} else if d > dtol {
+					sigma = -1
+				}
+			}
+			if sigma == 0 {
+				continue
+			}
+			if s.bland {
+				enter, enterSigma = j, sigma
+				break
+			}
+			if score := math.Abs(d); score > bestScore {
+				bestScore, enter, enterSigma = score, j, sigma
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+		s.ftran(enter, w)
+
+		// Ratio test: the entering variable moves by sigma*t, t >= 0.
+		tBest := s.hi[enter] - s.lo[enter] // own range (Inf for free)
+		if s.stat[enter] == freeNB {
+			tBest = math.Inf(1)
+		}
+		rBest := -1
+		ptol := 1e-9
+		for i := 0; i < m; i++ {
+			v := enterSigma * w[i]
+			bj := s.basis[i]
+			var lim float64
+			switch {
+			case v > ptol:
+				if math.IsInf(s.lo[bj], -1) {
+					continue
+				}
+				lim = (s.xB[i] - s.lo[bj]) / v
+			case v < -ptol:
+				if math.IsInf(s.hi[bj], 1) {
+					continue
+				}
+				lim = (s.hi[bj] - s.xB[i]) / (-v)
+			default:
+				continue
+			}
+			if lim < 0 {
+				lim = 0
+			}
+			if lim < tBest-1e-10 || (lim < tBest+1e-10 && rBest >= 0 &&
+				math.Abs(w[i]) > math.Abs(w[rBest])) {
+				tBest, rBest = lim, i
+			}
+		}
+		if math.IsInf(tBest, 1) {
+			return Unbounded
+		}
+		if rBest < 0 {
+			// Bound flip: entering travels to its opposite bound.
+			t := tBest
+			for i := 0; i < m; i++ {
+				s.xB[i] -= enterSigma * w[i] * t
+			}
+			if s.stat[enter] == atLower {
+				s.stat[enter] = atUpper
+			} else {
+				s.stat[enter] = atLower
+			}
+		} else {
+			leavingStat := atUpper
+			if enterSigma*w[rBest] > 0 { // basic value decreased to its lower bound
+				leavingStat = atLower
+			}
+			s.pivot(rBest, enter, w, tBest, enterSigma, leavingStat)
+		}
+		// Anti-cycling: switch to Bland's rule when stalled.
+		obj := s.objValue()
+		if obj < s.lastObj-s.opt.Tol {
+			s.lastObj, s.stall = obj, 0
+			s.bland = false
+		} else {
+			s.stall++
+			if s.stall > 2*(s.m+s.ncols()) {
+				s.bland = true
+			}
+		}
+	}
+}
+
+// primalInfeasibility returns the largest bound violation of the basis.
+func (s *simplex) primalInfeasibility() (worst float64, row int) {
+	row = -1
+	for i := 0; i < s.m; i++ {
+		bj := s.basis[i]
+		if v := s.lo[bj] - s.xB[i]; v > worst {
+			worst, row = v, i
+		}
+		if v := s.xB[i] - s.hi[bj]; v > worst {
+			worst, row = v, i
+		}
+	}
+	return worst, row
+}
+
+// totalInfeasibility sums all basic bound violations (the dual's primal
+// progress measure used for stall detection).
+func (s *simplex) totalInfeasibility() float64 {
+	var sum float64
+	for i := 0; i < s.m; i++ {
+		bj := s.basis[i]
+		if v := s.lo[bj] - s.xB[i]; v > 0 {
+			sum += v
+		}
+		if v := s.xB[i] - s.hi[bj]; v > 0 {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// dual runs dual simplex iterations until primal feasibility (returning
+// Optimal if dual feasibility was maintained), infeasibility, or the
+// iteration limit. When the entering variable's required step exceeds its
+// own bound range, a bound flip is performed instead of a pivot (the
+// bound-flipping ratio test for boxed variables). A stall guard bails out
+// with IterationLimit when the total infeasibility stops decreasing, so
+// the caller can fall back to the two-phase primal.
+func (s *simplex) dual() Status {
+	m := s.m
+	y := make([]float64, m)
+	rho := make([]float64, m)
+	w := make([]float64, m)
+	tol := s.opt.Tol
+	stall := 0
+	lastInf := math.Inf(1)
+	for {
+		if s.iters >= s.opt.MaxIters {
+			return IterationLimit
+		}
+		s.iters++
+		if inf := s.totalInfeasibility(); inf < lastInf-tol {
+			lastInf, stall = inf, 0
+		} else {
+			stall++
+			if stall > 2*(s.m+64) {
+				return IterationLimit // cycling/stalling: let primal take over
+			}
+		}
+		viol, r := s.primalInfeasibility()
+		if r < 0 || viol <= tol {
+			return Optimal
+		}
+		bj := s.basis[r]
+		toLower := s.xB[r] < s.lo[bj]
+		var bound float64
+		if toLower {
+			bound = s.lo[bj]
+		} else {
+			bound = s.hi[bj]
+		}
+		copy(rho, s.binv[r*m:r*m+m])
+		s.duals(y)
+
+		// Dual ratio test.
+		enter := -1
+		bestRatio := math.Inf(1)
+		var bestAlpha float64
+		for j := 0; j < s.ncols(); j++ {
+			st := s.stat[j]
+			if st == isBasic {
+				continue
+			}
+			if s.hi[j]-s.lo[j] <= 0 && st != freeNB {
+				continue
+			}
+			var alpha, d float64
+			d = s.cost[j]
+			for _, e := range s.acols[j] {
+				alpha += rho[e.row] * e.val
+				d -= y[e.row] * e.val
+			}
+			if math.Abs(alpha) < 1e-9 {
+				continue
+			}
+			// Eligibility: the entering variable must move in a direction
+			// that brings xB[r] back to its violated bound.
+			// xB[r] changes by -alpha * delta; delta = (xB[r]-bound)/alpha.
+			delta := (s.xB[r] - bound) / alpha
+			switch st {
+			case atLower:
+				if delta < 0 {
+					continue
+				}
+			case atUpper:
+				if delta > 0 {
+					continue
+				}
+			}
+			ratio := math.Abs(d) / math.Abs(alpha)
+			if ratio < bestRatio-1e-12 || (ratio < bestRatio+1e-12 &&
+				(enter < 0 || math.Abs(alpha) > math.Abs(bestAlpha))) {
+				bestRatio, enter, bestAlpha = ratio, j, alpha
+			}
+		}
+		if enter < 0 {
+			return Infeasible
+		}
+		delta := (s.xB[r] - bound) / bestAlpha
+		sigma := 1.0
+		if delta < 0 {
+			sigma = -1
+		}
+		t := math.Abs(delta)
+		// Bound-flipping: if restoring xB[r] needs a step beyond the
+		// entering column's own range, move that column to its other
+		// bound (no basis change) — the violation shrinks and the next
+		// iteration picks another entering candidate.
+		if rng := s.hi[enter] - s.lo[enter]; !math.IsInf(rng, 1) && t > rng+1e-12 &&
+			s.stat[enter] != freeNB {
+			s.ftran(enter, w)
+			for i := 0; i < m; i++ {
+				s.xB[i] -= sigma * w[i] * rng
+			}
+			if s.stat[enter] == atLower {
+				s.stat[enter] = atUpper
+			} else {
+				s.stat[enter] = atLower
+			}
+			continue
+		}
+		s.ftran(enter, w)
+		if math.Abs(w[r]) < 1e-10 {
+			// Numerical breakdown: refactorize and retry once.
+			if !s.factorize() {
+				return IterationLimit
+			}
+			continue
+		}
+		leavingStat := atUpper
+		if toLower {
+			leavingStat = atLower
+		}
+		s.pivot(r, enter, w, t, sigma, leavingStat)
+	}
+}
+
+// installPhase1 adds artificial columns for every violated row and sets
+// phase-1 costs. It returns true if any artificials were needed.
+func (s *simplex) installPhase1() bool {
+	tol := s.opt.Tol
+	needed := false
+	for i := 0; i < s.m; i++ {
+		bj := s.basis[i]
+		v := s.xB[i]
+		if v >= s.lo[bj]-tol && v <= s.hi[bj]+tol {
+			continue
+		}
+		needed = true
+		// Park the (slack) basic column at its nearest bound and let an
+		// artificial absorb the residual.
+		var parked float64
+		if v < s.lo[bj] {
+			parked = s.lo[bj]
+			s.stat[bj] = atLower
+		} else {
+			parked = s.hi[bj]
+			s.stat[bj] = atUpper
+		}
+		resid := v - parked // artificial carries this, with matching sign
+		sign := 1.0
+		if resid < 0 {
+			sign = -1
+		}
+		s.artRow = append(s.artRow, i)
+		s.artSign = append(s.artSign, sign)
+		s.acols = append(s.acols, []nz{{row: i, val: sign}})
+		s.cost = append(s.cost, 0)
+		s.lo = append(s.lo, 0)
+		s.hi = append(s.hi, Inf)
+		s.stat = append(s.stat, isBasic)
+		s.structCost = append(s.structCost, 0)
+		s.basis[i] = s.ncols() - 1
+		s.xB[i] = math.Abs(resid)
+	}
+	if !needed {
+		return false
+	}
+	// Phase-1 costs: artificials 1, everything else 0.
+	for j := 0; j < s.n+s.m; j++ {
+		s.cost[j] = 0
+	}
+	for k := 0; k < len(s.artRow); k++ {
+		s.cost[s.n+s.m+k] = 1
+	}
+	// The basis changed structurally (identity with flipped signs on
+	// artificial rows is still triangular): rebuild binv.
+	if !s.factorize() {
+		panic("lp: phase-1 basis singular") // cannot happen: ±unit diagonal
+	}
+	return true
+}
+
+// finishPhase1 locks artificials at zero and restores the real costs.
+func (s *simplex) finishPhase1() {
+	for k := 0; k < len(s.artRow); k++ {
+		j := s.n + s.m + k
+		s.lo[j], s.hi[j] = 0, 0
+		if s.stat[j] != isBasic {
+			s.stat[j] = atLower
+		}
+	}
+	copy(s.cost, s.structCost)
+}
+
+// extract builds the Result from the final state.
+func (s *simplex) extract(st Status) *Result {
+	res := &Result{Status: st, Iterations: s.iters}
+	if st != Optimal {
+		return res
+	}
+	x := make([]float64, s.n)
+	for j := 0; j < s.n; j++ {
+		if s.stat[j] == isBasic {
+			continue
+		}
+		x[j] = s.nbVal(j)
+	}
+	for i := 0; i < s.m; i++ {
+		if b := s.basis[i]; b < s.n {
+			x[b] = s.xB[i]
+		}
+	}
+	var obj float64
+	for j := 0; j < s.n; j++ {
+		obj += s.p.cost[j] * x[j]
+	}
+	res.Objective = obj
+	res.X = x
+	res.Duals = make([]float64, s.m)
+	s.duals(res.Duals)
+	// Export the basis over structural+slack columns. If an artificial is
+	// still basic (redundant row), record the row's slack instead; a
+	// warm start will re-factorize and fall back on singularity.
+	b := &Basis{stat: make([]colStatus, s.n+s.m), rows: make([]int, s.m)}
+	copy(b.stat, s.stat[:s.n+s.m])
+	for i := 0; i < s.m; i++ {
+		col := s.basis[i]
+		if col >= s.n+s.m {
+			col = s.n + i
+			b.stat[col] = isBasic
+		}
+		b.rows[i] = col
+	}
+	res.Basis = b
+	return res
+}
+
+// Solve optimizes the problem from a cold (all-slack) start.
+func (p *Problem) Solve(opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := newSimplex(p, opt)
+	s.coldBasis()
+	return s.run()
+}
+
+// SolveFrom optimizes the problem warm-starting from basis (typically the
+// parent node's optimal basis in branch and bound, after bound changes).
+// A nil or incompatible basis falls back to a cold start. The dual simplex
+// is tried first when the start is dual feasible.
+func (p *Problem) SolveFrom(basis *Basis, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := newSimplex(p, opt)
+	if basis == nil || len(basis.stat) != s.n+s.m || len(basis.rows) != s.m {
+		s.coldBasis()
+		return s.run()
+	}
+	copy(s.stat, basis.stat)
+	copy(s.basis, basis.rows)
+	// Bounds may have changed: snap nonbasic columns onto existing bounds.
+	for j := 0; j < s.n+s.m; j++ {
+		if s.stat[j] == isBasic {
+			continue
+		}
+		switch s.stat[j] {
+		case atLower:
+			if math.IsInf(s.lo[j], -1) {
+				s.setNonbasicStatus(j)
+			}
+		case atUpper:
+			if math.IsInf(s.hi[j], 1) {
+				s.setNonbasicStatus(j)
+			}
+		}
+	}
+	if !s.factorize() {
+		s.coldBasis()
+		return s.run()
+	}
+	if s.dualFeasible() {
+		st := s.dual()
+		switch st {
+		case Optimal:
+			// Polish with primal (terminates immediately if optimal).
+			st = s.primal()
+			if st == Optimal {
+				return s.extract(st), nil
+			}
+		case Infeasible:
+			return s.extract(Infeasible), nil
+		}
+		// Fall through to a cold primal solve on limit/unbounded oddities.
+	}
+	s2 := newSimplex(p, opt)
+	s2.coldBasis()
+	return s2.run()
+}
+
+// dualFeasible reports whether the current basis prices out dual feasible.
+func (s *simplex) dualFeasible() bool {
+	y := make([]float64, s.m)
+	s.duals(y)
+	tol := s.opt.Tol * 10
+	for j := 0; j < s.ncols(); j++ {
+		st := s.stat[j]
+		if st == isBasic || s.hi[j]-s.lo[j] <= 0 {
+			continue
+		}
+		d := s.reduced(j, y)
+		switch st {
+		case atLower:
+			if d < -tol {
+				return false
+			}
+		case atUpper:
+			if d > tol {
+				return false
+			}
+		case freeNB:
+			if math.Abs(d) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// run executes the two-phase primal method from the current basis.
+func (s *simplex) run() (*Result, error) {
+	if s.installPhase1() {
+		s.phase1 = true
+		st := s.primal()
+		if st == IterationLimit {
+			return s.extract(IterationLimit), nil
+		}
+		if st == Unbounded {
+			return nil, fmt.Errorf("lp: phase-1 unbounded (internal error)")
+		}
+		if s.objValue() > s.opt.Tol*float64(1+s.m) {
+			return s.extract(Infeasible), nil
+		}
+		s.finishPhase1()
+		s.phase1 = false
+	}
+	st := s.primal()
+	return s.extract(st), nil
+}

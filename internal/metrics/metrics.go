@@ -1,0 +1,224 @@
+// Package metrics implements the schedule performance metrics of the
+// paper: average response time (plain and weighted by width, the ILP
+// objective), average waiting time, average slowdown (plain and weighted
+// by job area — SLDwA, the metric Table 1 reports), utilization and
+// makespan, plus the quality/performance-loss comparison of §3.2.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/schedule"
+)
+
+// Direction says whether smaller or larger metric values are better.
+type Direction int
+
+const (
+	Minimize Direction = iota
+	Maximize
+)
+
+func (d Direction) String() string {
+	if d == Maximize {
+		return "maximize"
+	}
+	return "minimize"
+}
+
+// Metric evaluates a full schedule to a single value, "so that the
+// performance of each policy is expressed by a single value".
+type Metric interface {
+	Name() string
+	Direction() Direction
+	// Eval returns the metric value of the schedule. Schedules are
+	// planning artifacts, so all times are estimate-based.
+	Eval(s *schedule.Schedule) float64
+}
+
+// Better reports whether value a beats value b under the metric's
+// direction. NaN never beats anything.
+func Better(m Metric, a, b float64) bool {
+	if math.IsNaN(a) {
+		return false
+	}
+	if math.IsNaN(b) {
+		return true
+	}
+	if m.Direction() == Maximize {
+		return a > b
+	}
+	return a < b
+}
+
+// ART is the average response time in seconds.
+type ART struct{}
+
+func (ART) Name() string         { return "ART" }
+func (ART) Direction() Direction { return Minimize }
+func (ART) Eval(s *schedule.Schedule) float64 {
+	if len(s.Entries) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, e := range s.Entries {
+		sum += float64(e.ResponseTime())
+	}
+	return sum / float64(len(s.Entries))
+}
+
+// ARTwW is the average response time weighted by job width, the paper's
+// ILP objective (Eq. 2): minimize sum_i (t_i - s_i + d_i) * w_i. As a
+// metric it is normalized by the total width so values are comparable
+// across steps; the normalization does not change which schedule wins.
+type ARTwW struct{}
+
+func (ARTwW) Name() string         { return "ARTwW" }
+func (ARTwW) Direction() Direction { return Minimize }
+func (ARTwW) Eval(s *schedule.Schedule) float64 {
+	var sum, wsum float64
+	for _, e := range s.Entries {
+		sum += float64(e.ResponseTime()) * float64(e.Job.Width)
+		wsum += float64(e.Job.Width)
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return sum / wsum
+}
+
+// AWT is the average waiting time in seconds.
+type AWT struct{}
+
+func (AWT) Name() string         { return "AWT" }
+func (AWT) Direction() Direction { return Minimize }
+func (AWT) Eval(s *schedule.Schedule) float64 {
+	if len(s.Entries) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, e := range s.Entries {
+		sum += float64(e.WaitTime())
+	}
+	return sum / float64(len(s.Entries))
+}
+
+// SLD is the average slowdown (response time / estimated duration).
+type SLD struct{}
+
+func (SLD) Name() string         { return "SLD" }
+func (SLD) Direction() Direction { return Minimize }
+func (SLD) Eval(s *schedule.Schedule) float64 {
+	if len(s.Entries) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, e := range s.Entries {
+		sum += e.Slowdown()
+	}
+	return sum / float64(len(s.Entries))
+}
+
+// SLDwA is the average slowdown weighted by job area (width × estimated
+// duration): "We measure a schedule with the average slowdown weighted by
+// job area (SLDwA) metrics." It is the metric of Table 1.
+type SLDwA struct{}
+
+func (SLDwA) Name() string         { return "SLDwA" }
+func (SLDwA) Direction() Direction { return Minimize }
+func (SLDwA) Eval(s *schedule.Schedule) float64 {
+	var sum, asum float64
+	for _, e := range s.Entries {
+		a := float64(e.Job.Area())
+		sum += e.Slowdown() * a
+		asum += a
+	}
+	if asum == 0 {
+		return 0
+	}
+	return sum / asum
+}
+
+// Utilization is the fraction of the machine's processor-seconds consumed
+// by the scheduled jobs between the planning instant and the schedule
+// makespan. Higher is better.
+type Utilization struct{}
+
+func (Utilization) Name() string         { return "UTIL" }
+func (Utilization) Direction() Direction { return Maximize }
+func (Utilization) Eval(s *schedule.Schedule) float64 {
+	span := s.Makespan() - s.Now
+	if span <= 0 || s.Machine == 0 {
+		return 0
+	}
+	var area float64
+	for _, e := range s.Entries {
+		// Only the part of the job inside [Now, Makespan] counts; since
+		// entries start at or after Now, that is the whole estimated area.
+		area += float64(e.Job.Area())
+	}
+	return area / (float64(s.Machine) * float64(span))
+}
+
+// Makespan is the schedule length (latest end − planning instant).
+type Makespan struct{}
+
+func (Makespan) Name() string         { return "CMAX" }
+func (Makespan) Direction() Direction { return Minimize }
+func (Makespan) Eval(s *schedule.Schedule) float64 {
+	return float64(s.Makespan() - s.Now)
+}
+
+// ByName returns the metric with the given name, or an error. Recognized
+// names: ART, ARTwW, AWT, SLD, SLDwA, UTIL, CMAX (case-sensitive).
+func ByName(name string) (Metric, error) {
+	switch name {
+	case "ART":
+		return ART{}, nil
+	case "ARTwW":
+		return ARTwW{}, nil
+	case "AWT":
+		return AWT{}, nil
+	case "SLD":
+		return SLD{}, nil
+	case "SLDwA":
+		return SLDwA{}, nil
+	case "UTIL":
+		return Utilization{}, nil
+	case "CMAX":
+		return Makespan{}, nil
+	}
+	return nil, fmt.Errorf("metrics: unknown metric %q", name)
+}
+
+// All returns every implemented metric.
+func All() []Metric {
+	return []Metric{ART{}, ARTwW{}, AWT{}, SLD{}, SLDwA{}, Utilization{}, Makespan{}}
+}
+
+// Quality implements Eq. 7: quality(p, m) = performance(opt, m) /
+// performance(p, m) for minimization metrics, so quality < 1 means the
+// optimal (ILP) schedule is better and (1 − quality)·100 is the
+// percentage of performance lost by using policy p. For maximization
+// metrics the ratio is inverted so the same convention (quality < 1 ⇔
+// optimal better) holds. A zero policy value with a zero optimal value
+// yields 1 (both perfect); a zero policy value otherwise yields +Inf.
+func Quality(m Metric, optValue, policyValue float64) float64 {
+	a, b := optValue, policyValue
+	if m.Direction() == Maximize {
+		a, b = b, a
+	}
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return a / b
+}
+
+// LossPercent returns (1 − quality)·100, the performance lost by the
+// policy relative to the optimal schedule. Negative values mean the policy
+// beat the (time-scaled) optimal schedule, which the paper observes too.
+func LossPercent(quality float64) float64 { return (1 - quality) * 100 }

@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"math"
+
+	"repro/internal/job"
+)
+
+// Completion is one finished job as observed by a simulator: the job plus
+// its actual start and end times.
+type Completion struct {
+	Job   *job.Job
+	Start int64
+	End   int64
+}
+
+// ResponseTime returns End - Submit.
+func (c Completion) ResponseTime() int64 { return c.End - c.Job.Submit }
+
+// WaitTime returns Start - Submit.
+func (c Completion) WaitTime() int64 { return c.Start - c.Job.Submit }
+
+// Slowdown returns the actual slowdown (response / runtime).
+func (c Completion) Slowdown() float64 {
+	return float64(c.ResponseTime()) / float64(c.Job.Runtime)
+}
+
+// BoundedSlowdown returns the bounded slowdown with threshold tau:
+// max(1, response / max(runtime, tau)). The common threshold is 10 s; it
+// keeps very short jobs from dominating slowdown averages.
+func (c Completion) BoundedSlowdown(tau int64) float64 {
+	den := c.Job.Runtime
+	if den < tau {
+		den = tau
+	}
+	s := float64(c.ResponseTime()) / float64(den)
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// Observed aggregates the post-execution performance of a completed
+// workload, the quantities schedulers are ultimately judged by.
+type Observed struct {
+	Jobs             int
+	MeanResponse     float64
+	MeanWait         float64
+	MeanSlowdown     float64
+	SLDwA            float64 // slowdown weighted by actual job area
+	BoundedSlowdown  float64 // mean bounded slowdown, tau = 10 s
+	MaxWait          int64
+	Makespan         int64 // last end minus first submission
+	Utilization      float64
+	WeightedResponse float64 // ARTwW over actual times
+}
+
+// BoundedSlowdownTau is the bounded-slowdown threshold used by Observe.
+const BoundedSlowdownTau = 10
+
+// Observe computes the observed metrics for the completions on a machine
+// with the given processor count. It returns a zero Observed for an empty
+// slice.
+func Observe(cs []Completion, machine int) Observed {
+	var o Observed
+	o.Jobs = len(cs)
+	if len(cs) == 0 {
+		return o
+	}
+	firstSubmit := int64(math.MaxInt64)
+	var lastEnd int64
+	var sldSum, areaSum, wSum, wrSum float64
+	for _, c := range cs {
+		o.MeanResponse += float64(c.ResponseTime())
+		o.MeanWait += float64(c.WaitTime())
+		o.MeanSlowdown += c.Slowdown()
+		o.BoundedSlowdown += c.BoundedSlowdown(BoundedSlowdownTau)
+		area := float64(c.Job.ActualArea())
+		sldSum += c.Slowdown() * area
+		areaSum += area
+		wSum += float64(c.Job.Width)
+		wrSum += float64(c.ResponseTime()) * float64(c.Job.Width)
+		if c.WaitTime() > o.MaxWait {
+			o.MaxWait = c.WaitTime()
+		}
+		if c.Job.Submit < firstSubmit {
+			firstSubmit = c.Job.Submit
+		}
+		if c.End > lastEnd {
+			lastEnd = c.End
+		}
+	}
+	n := float64(len(cs))
+	o.MeanResponse /= n
+	o.MeanWait /= n
+	o.MeanSlowdown /= n
+	o.BoundedSlowdown /= n
+	if areaSum > 0 {
+		o.SLDwA = sldSum / areaSum
+	}
+	if wSum > 0 {
+		o.WeightedResponse = wrSum / wSum
+	}
+	o.Makespan = lastEnd - firstSubmit
+	if o.Makespan > 0 && machine > 0 {
+		o.Utilization = areaSum / (float64(machine) * float64(o.Makespan))
+	}
+	return o
+}

@@ -1,0 +1,595 @@
+// Package mip is a branch-and-bound solver for mixed integer linear
+// programs on top of the package lp simplex engine. Together they stand in
+// for the ILOG CPLEX library the paper uses: LP relaxations are solved
+// with warm-started dual simplex along dives, nodes are selected
+// best-bound-first with depth plunging, branching picks the most
+// fractional integer column, and a caller-supplied rounding heuristic can
+// turn relaxation solutions into incumbents (the time-indexed scheduling
+// formulation uses list scheduling in fractional-start order).
+package mip
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/lp"
+)
+
+// Status is the outcome of a MIP solve.
+type Status int
+
+const (
+	// Optimal: the incumbent is proven optimal.
+	Optimal Status = iota
+	// Feasible: limits were hit; the incumbent is feasible but not proven
+	// optimal (Result.BestBound gives the proof gap).
+	Feasible
+	// Infeasible: no integer solution exists.
+	Infeasible
+	// NoSolution: limits were hit before any incumbent was found.
+	NoSolution
+	// Unbounded: the relaxation is unbounded.
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case NoSolution:
+		return "no-solution"
+	default:
+		return "unbounded"
+	}
+}
+
+// Heuristic turns an LP-relaxation solution into a feasible integer
+// solution. It returns ok=false if it cannot. The solver verifies the
+// candidate against the problem before accepting it.
+type Heuristic func(relaxation []float64) (solution []float64, ok bool)
+
+// Bound is one bound tightening applied on a branch.
+type Bound struct {
+	Col    int
+	Lo, Hi float64
+}
+
+// Brancher splits a node with the given fractional LP solution into child
+// change-sets (each child is the conjunction of its Bounds). Returning nil
+// falls back to most-fractional variable branching. Every child must
+// genuinely tighten the problem, and the union of children must cover all
+// integer solutions of the node, or the solver loses correctness.
+// Structured problems use this for far stronger divisions than single
+// 0/1 fixings — the time-indexed scheduling model splits a job's start
+// range in half (SOS branching).
+type Brancher func(relaxation []float64) [][]Bound
+
+// Options control the search.
+type Options struct {
+	// MaxNodes bounds the number of branch-and-bound nodes (0 = 1<<30).
+	MaxNodes int
+	// TimeLimit bounds wall-clock time (0 = none).
+	TimeLimit time.Duration
+	// RelativeGap terminates when (incumbent-bound)/max(1,|incumbent|)
+	// drops below it (0 = prove optimality).
+	RelativeGap float64
+	// IntegralObjective asserts every feasible integer solution has an
+	// integral objective value, enabling ceil() bound strengthening (true
+	// for the paper's ARTwW objective with integer times and widths).
+	IntegralObjective bool
+	// Heuristic, if non-nil, runs at every node on the LP solution.
+	Heuristic Heuristic
+	// Brancher, if non-nil, overrides most-fractional variable branching.
+	Brancher Brancher
+	// RootCutRounds enables cover-cut separation at the root node
+	// (cut-and-branch): up to this many rounds of violated minimal cover
+	// inequalities are appended before branching. 0 disables cuts.
+	RootCutRounds int
+	// Incumbent, if non-nil, is a known feasible solution to start from.
+	Incumbent []float64
+	// OnIncumbent, if non-nil, is invoked whenever a better feasible
+	// solution is accepted (including the initial one), with its
+	// objective and a copy of the solution. This enables the anytime use
+	// the paper sketches: run the policy schedule immediately and let the
+	// optimizer stream in improvements while it is active.
+	OnIncumbent func(objective float64, x []float64)
+	// LP are the options for the relaxation solves.
+	LP lp.Options
+	// IntTol is the integrality tolerance (default 1e-6).
+	IntTol float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 1 << 30
+	}
+	if o.IntTol == 0 {
+		o.IntTol = 1e-6
+	}
+	return o
+}
+
+// Result is the outcome of a solve.
+type Result struct {
+	Status    Status
+	Objective float64   // incumbent objective (valid unless NoSolution/Infeasible)
+	X         []float64 // incumbent solution
+	BestBound float64   // proven lower bound on the optimum
+	Nodes     int
+	LPIters   int
+	Elapsed   time.Duration
+	// HeuristicHits counts incumbents contributed by the heuristic.
+	HeuristicHits int
+	// Cuts counts the cover cuts added at the root.
+	Cuts int
+}
+
+// Gap returns the relative optimality gap of the result.
+func (r *Result) Gap() float64 {
+	if r.Status == Optimal {
+		return 0
+	}
+	return (r.Objective - r.BestBound) / math.Max(1, math.Abs(r.Objective))
+}
+
+type node struct {
+	bound   float64 // parent LP objective (lower bound for the subtree)
+	depth   int
+	seq     int
+	changes []Bound   // path from root
+	basis   *lp.Basis // parent basis for warm starting
+
+	// Branching bookkeeping for pseudocost learning: the column and
+	// direction this node's last bound change came from, and the
+	// fractional distance the change moved it.
+	branchCol  int
+	branchUp   bool
+	branchFrac float64
+}
+
+type nodeQueue []*node
+
+func (q nodeQueue) Len() int { return len(q) }
+func (q nodeQueue) Less(i, j int) bool {
+	if q[i].bound != q[j].bound {
+		return q[i].bound < q[j].bound
+	}
+	if q[i].depth != q[j].depth {
+		return q[i].depth > q[j].depth // plunge: deeper first on ties
+	}
+	return q[i].seq < q[j].seq
+}
+func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(*node)) }
+func (q *nodeQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+type solver struct {
+	p       *lp.Problem
+	integer []int
+	isInt   map[int]bool
+	opt     Options
+
+	incumbent    []float64
+	incumbentObj float64
+	haveInc      bool
+
+	// Pseudocosts: average objective degradation per unit of fractional
+	// distance, learned per column and direction from solved children.
+	pcUp, pcDown   map[int]float64
+	pcUpN, pcDownN map[int]int
+
+	nodes   int
+	lpIters int
+	heurHit int
+	cuts    int
+	start   time.Time
+}
+
+// recordPseudocost updates the branching statistics after a child LP.
+func (s *solver) recordPseudocost(nd *node, childObj float64) {
+	if nd.branchCol < 0 || nd.branchFrac <= 1e-9 {
+		return
+	}
+	gain := childObj - nd.bound
+	if gain < 0 {
+		gain = 0
+	}
+	perUnit := gain / nd.branchFrac
+	if nd.branchUp {
+		s.pcUp[nd.branchCol] += perUnit
+		s.pcUpN[nd.branchCol]++
+	} else {
+		s.pcDown[nd.branchCol] += perUnit
+		s.pcDownN[nd.branchCol]++
+	}
+}
+
+// pickBranchColumn selects the branching column: pseudocost scoring when
+// both directions of a column have history, most-fractional otherwise.
+func (s *solver) pickBranchColumn(x []float64) int {
+	bestPC, bestPCScore := -1, 0.0
+	bestFrac, bestFracDist := -1, s.opt.IntTol
+	for _, c := range s.integer {
+		f := x[c] - math.Floor(x[c])
+		dist := math.Min(f, 1-f)
+		if dist <= s.opt.IntTol {
+			continue
+		}
+		if nUp, nDown := s.pcUpN[c], s.pcDownN[c]; nUp > 0 && nDown > 0 {
+			up := s.pcUp[c] / float64(nUp) * (1 - f)
+			down := s.pcDown[c] / float64(nDown) * f
+			// Standard product score with a small floor.
+			score := math.Max(up, 1e-6) * math.Max(down, 1e-6)
+			if score > bestPCScore {
+				bestPCScore, bestPC = score, c
+			}
+		}
+		if dist > bestFracDist {
+			bestFracDist, bestFrac = dist, c
+		}
+	}
+	if bestPC >= 0 {
+		return bestPC
+	}
+	return bestFrac
+}
+
+// Solve minimizes the problem with the given columns restricted to
+// integral values.
+func Solve(p *lp.Problem, integer []int, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	isInt := make(map[int]bool, len(integer))
+	for _, c := range integer {
+		if c < 0 || c >= p.NumVariables() {
+			return nil, fmt.Errorf("mip: integer column %d out of range", c)
+		}
+		isInt[c] = true
+	}
+	s := &solver{p: p, integer: integer, isInt: isInt, opt: opt, start: time.Now(),
+		pcUp: map[int]float64{}, pcDown: map[int]float64{},
+		pcUpN: map[int]int{}, pcDownN: map[int]int{}}
+	s.incumbentObj = math.Inf(1)
+	if opt.Incumbent != nil {
+		if err := s.tryIncumbent(opt.Incumbent); err != nil {
+			return nil, fmt.Errorf("mip: bad initial incumbent: %v", err)
+		}
+	}
+	return s.run()
+}
+
+// evaluate checks candidate feasibility and returns its objective.
+func (s *solver) evaluate(x []float64) (float64, error) {
+	n := s.p.NumVariables()
+	if len(x) != n {
+		return 0, fmt.Errorf("dimension %d, want %d", len(x), n)
+	}
+	const eps = 1e-6
+	for j := 0; j < n; j++ {
+		lo, hi := s.p.Bounds(j)
+		if x[j] < lo-eps || x[j] > hi+eps {
+			return 0, fmt.Errorf("column %d value %g outside [%g,%g]", j, x[j], lo, hi)
+		}
+		if s.isInt[j] && math.Abs(x[j]-math.Round(x[j])) > s.opt.IntTol {
+			return 0, fmt.Errorf("column %d value %g not integral", j, x[j])
+		}
+	}
+	if err := checkRows(s.p, x, eps); err != nil {
+		return 0, err
+	}
+	var obj float64
+	for j := 0; j < n; j++ {
+		obj += s.p.Cost(j) * x[j]
+	}
+	return obj, nil
+}
+
+func (s *solver) tryIncumbent(x []float64) error {
+	obj, err := s.evaluate(x)
+	if err != nil {
+		return err
+	}
+	if obj < s.incumbentObj-1e-9 {
+		s.incumbent = append([]float64(nil), x...)
+		s.incumbentObj = obj
+		s.haveInc = true
+		if s.opt.OnIncumbent != nil {
+			s.opt.OnIncumbent(obj, append([]float64(nil), x...))
+		}
+	}
+	return nil
+}
+
+// fractional returns the most fractional integer column of x, or -1 if x
+// is integral on all integer columns.
+func (s *solver) fractional(x []float64) int {
+	best, bestDist := -1, s.opt.IntTol
+	for _, c := range s.integer {
+		f := x[c] - math.Floor(x[c])
+		dist := math.Min(f, 1-f)
+		if dist > bestDist {
+			bestDist, best = dist, c
+		}
+	}
+	return best
+}
+
+// strengthen applies ceil-rounding to a lower bound when the objective is
+// known integral.
+func (s *solver) strengthen(bound float64) float64 {
+	if s.opt.IntegralObjective {
+		return math.Ceil(bound - 1e-6)
+	}
+	return bound
+}
+
+// gapReached reports whether the incumbent is within the requested gap of
+// the bound.
+func (s *solver) gapReached(bound float64) bool {
+	if !s.haveInc {
+		return false
+	}
+	if s.incumbentObj-bound <= 1e-9 {
+		return true
+	}
+	if s.opt.RelativeGap > 0 {
+		return (s.incumbentObj-bound)/math.Max(1, math.Abs(s.incumbentObj)) <= s.opt.RelativeGap
+	}
+	return false
+}
+
+func (s *solver) timeUp() bool {
+	return s.opt.TimeLimit > 0 && time.Since(s.start) > s.opt.TimeLimit
+}
+
+// applyChanges sets node bounds and returns an undo function.
+func (s *solver) applyChanges(changes []Bound) func() {
+	old := make([]Bound, len(changes))
+	for i, ch := range changes {
+		lo, hi := s.p.Bounds(ch.Col)
+		old[i] = Bound{Col: ch.Col, Lo: lo, Hi: hi}
+		s.p.SetBounds(ch.Col, ch.Lo, ch.Hi)
+	}
+	return func() {
+		for i := len(old) - 1; i >= 0; i-- {
+			s.p.SetBounds(old[i].Col, old[i].Lo, old[i].Hi)
+		}
+	}
+}
+
+func (s *solver) run() (*Result, error) {
+	queue := &nodeQueue{}
+	heap.Push(queue, &node{bound: math.Inf(-1), branchCol: -1})
+	seq := 1
+	limited := false
+
+	for queue.Len() > 0 {
+		if s.nodes >= s.opt.MaxNodes || s.timeUp() {
+			limited = true
+			break
+		}
+		nd := heap.Pop(queue).(*node)
+		// Bound-based pruning against the current incumbent.
+		if s.haveInc && s.strengthen(nd.bound) >= s.incumbentObj-1e-9 {
+			continue
+		}
+		undo := s.applyChanges(nd.changes)
+		res, err := s.p.SolveFrom(nd.basis, s.opt.LP)
+		undo()
+		if err != nil {
+			return nil, err
+		}
+		s.nodes++
+		s.lpIters += res.Iterations
+		switch res.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			if nd.depth == 0 {
+				return s.result(Unbounded), nil
+			}
+			continue // cannot happen below the root with finite branching bounds
+		case lp.IterationLimit:
+			// Treat as unexplorable but keep correctness: without a valid
+			// bound we must not prune, so re-solving cold already happened
+			// inside SolveFrom; give up on proving this subtree.
+			limited = true
+			continue
+		}
+		s.recordPseudocost(nd, res.Objective)
+		bound := s.strengthen(res.Objective)
+		if s.haveInc && bound >= s.incumbentObj-1e-9 {
+			continue
+		}
+		branchCol := s.fractional(res.X)
+		if branchCol < 0 {
+			// Integral LP solution: new incumbent.
+			if err := s.tryIncumbent(res.X); err != nil {
+				return nil, fmt.Errorf("mip: integral LP solution rejected: %v", err)
+			}
+			continue
+		}
+		if nd.depth == 0 && len(nd.changes) == 0 && s.opt.RootCutRounds > 0 {
+			// Cut-and-branch: tighten the root relaxation with cover cuts.
+			tightened, nCuts, err := s.addRootCuts(res, s.opt.RootCutRounds)
+			if err != nil {
+				return nil, err
+			}
+			s.cuts = nCuts
+			if nCuts > 0 {
+				res = tightened
+				bound = s.strengthen(res.Objective)
+				if s.haveInc && bound >= s.incumbentObj-1e-9 {
+					continue
+				}
+				branchCol = s.fractional(res.X)
+				if branchCol < 0 {
+					if err := s.tryIncumbent(res.X); err != nil {
+						return nil, fmt.Errorf("mip: integral cut solution rejected: %v", err)
+					}
+					continue
+				}
+			}
+		}
+		if s.opt.Heuristic != nil {
+			if cand, ok := s.opt.Heuristic(res.X); ok {
+				if obj, err := s.evaluate(cand); err == nil && obj < s.incumbentObj-1e-9 {
+					s.incumbent = append([]float64(nil), cand...)
+					s.incumbentObj = obj
+					s.haveInc = true
+					s.heurHit++
+					if s.opt.OnIncumbent != nil {
+						s.opt.OnIncumbent(obj, append([]float64(nil), cand...))
+					}
+				}
+			}
+		}
+		if s.gapReached(bound) {
+			continue
+		}
+		// Branch: a custom brancher may divide the node; otherwise
+		// branch on the most fractional column.
+		var children [][]Bound
+		if s.opt.Brancher != nil {
+			children = s.opt.Brancher(res.X)
+		}
+		if len(children) == 0 {
+			if pc := s.pickBranchColumn(res.X); pc >= 0 {
+				branchCol = pc
+			}
+			v := res.X[branchCol]
+			f := v - math.Floor(v)
+			lo, hi := boundsAfter(s.p, nd.changes, branchCol)
+			down := &node{
+				bound: res.Objective, depth: nd.depth + 1, seq: seq,
+				changes: append(append([]Bound(nil), nd.changes...),
+					Bound{Col: branchCol, Lo: lo, Hi: math.Floor(v)}),
+				basis:     res.Basis,
+				branchCol: branchCol, branchUp: false, branchFrac: f,
+			}
+			seq++
+			up := &node{
+				bound: res.Objective, depth: nd.depth + 1, seq: seq,
+				changes: append(append([]Bound(nil), nd.changes...),
+					Bound{Col: branchCol, Lo: math.Ceil(v), Hi: hi}),
+				basis:     res.Basis,
+				branchCol: branchCol, branchUp: true, branchFrac: 1 - f,
+			}
+			seq++
+			// Plunge toward the nearer side first (smaller seq wins ties).
+			if f > 0.5 {
+				down.seq, up.seq = up.seq, down.seq
+			}
+			heap.Push(queue, down)
+			heap.Push(queue, up)
+			continue
+		}
+		for _, ch := range children {
+			heap.Push(queue, &node{
+				bound: res.Objective, depth: nd.depth + 1, seq: seq,
+				changes:   append(append([]Bound(nil), nd.changes...), ch...),
+				basis:     res.Basis,
+				branchCol: -1,
+			})
+			seq++
+		}
+	}
+
+	switch {
+	case s.haveInc && !limited && queue.Len() == 0:
+		return s.result(Optimal), nil
+	case s.haveInc && s.opt.RelativeGap > 0 && !limited:
+		// Queue drained under a gap limit: incumbent is within the gap.
+		return s.result(Optimal), nil
+	case s.haveInc:
+		r := s.result(Feasible)
+		// Best bound = min over remaining open nodes (or incumbent).
+		bb := s.incumbentObj
+		for _, nd := range *queue {
+			if b := s.strengthen(nd.bound); b < bb {
+				bb = b
+			}
+		}
+		r.BestBound = bb
+		return r, nil
+	case limited:
+		return s.result(NoSolution), nil
+	default:
+		return s.result(Infeasible), nil
+	}
+}
+
+func (s *solver) result(st Status) *Result {
+	r := &Result{
+		Status:        st,
+		Nodes:         s.nodes,
+		LPIters:       s.lpIters,
+		Elapsed:       time.Since(s.start),
+		HeuristicHits: s.heurHit,
+		Cuts:          s.cuts,
+	}
+	if s.haveInc {
+		r.Objective = s.incumbentObj
+		r.X = append([]float64(nil), s.incumbent...)
+		r.BestBound = s.incumbentObj
+		if st == Feasible {
+			r.BestBound = math.Inf(-1)
+		}
+	} else {
+		r.Objective = math.Inf(1)
+		r.BestBound = math.Inf(-1)
+	}
+	return r
+}
+
+// boundsAfter returns the effective bounds of col after the node's
+// changes (the global problem currently holds root bounds).
+func boundsAfter(p *lp.Problem, changes []Bound, col int) (float64, float64) {
+	lo, hi := p.Bounds(col)
+	for _, ch := range changes {
+		if ch.Col == col {
+			lo, hi = ch.Lo, ch.Hi
+		}
+	}
+	return lo, hi
+}
+
+// checkRows verifies a point against all rows of the problem. It is used
+// to validate externally supplied incumbents.
+func checkRows(p *lp.Problem, x []float64, eps float64) error {
+	m := p.NumConstraints()
+	act := make([]float64, m)
+	p.AccumulateRows(x, act)
+	for i := 0; i < m; i++ {
+		sen, rhs := p.Row(i)
+		switch sen {
+		case lp.LE:
+			if act[i] > rhs+eps {
+				return fmt.Errorf("row %d: %g > %g", i, act[i], rhs)
+			}
+		case lp.GE:
+			if act[i] < rhs-eps {
+				return fmt.Errorf("row %d: %g < %g", i, act[i], rhs)
+			}
+		case lp.EQ:
+			if math.Abs(act[i]-rhs) > eps {
+				return fmt.Errorf("row %d: %g != %g", i, act[i], rhs)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+// Package queueing implements the *queuing-based* resource management
+// alternative the paper contrasts planning against (Hovestadt, Kao,
+// Keller & Streit: "Scheduling in HPC Resource Management Systems:
+// Queuing vs. Planning", the paper's [4]). A queueing system keeps
+// submitted jobs in a queue and only decides what to start *now*; it
+// assigns no future start times, so reservations are impossible — the
+// capability planning-based systems (package sim) add.
+//
+// Two classic disciplines are provided:
+//
+//   - FCFSNoBackfill: strict first come, first serve; the queue head
+//     blocks everything behind it.
+//   - EASY: aggressive backfilling (Lifka's ANL/IBM SP scheduler, the
+//     paper's [8, 12]): the queue head gets a shadow reservation from the
+//     running jobs' estimated ends, and later jobs may jump ahead iff
+//     they do not delay that reservation.
+//
+// Conservative backfilling is the planning-based FCFS of package policy
+// ("backfilling is done implicitly"), so it lives there.
+package queueing
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/job"
+	"repro/internal/metrics"
+)
+
+// Discipline selects the queue policy.
+type Discipline int
+
+const (
+	// FCFSNoBackfill starts jobs strictly in arrival order.
+	FCFSNoBackfill Discipline = iota
+	// EASY is FCFS with aggressive (EASY) backfilling.
+	EASY
+)
+
+func (d Discipline) String() string {
+	if d == EASY {
+		return "EASY"
+	}
+	return "FCFS-noBF"
+}
+
+// Result of a queueing simulation.
+type Result struct {
+	Completed []metrics.Completion
+	// Backfilled counts jobs started ahead of an earlier-submitted job.
+	Backfilled int
+}
+
+// Observe aggregates the observed metrics.
+func (r *Result) Observe(machine int) metrics.Observed {
+	return metrics.Observe(r.Completed, machine)
+}
+
+type qEventKind int
+
+const (
+	qEnd qEventKind = iota
+	qSubmit
+)
+
+type qEvent struct {
+	time int64
+	kind qEventKind
+	seq  int
+	job  *job.Job
+}
+
+type qEventQueue []qEvent
+
+func (q qEventQueue) Len() int { return len(q) }
+func (q qEventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	if q[i].kind != q[j].kind {
+		return q[i].kind < q[j].kind
+	}
+	return q[i].seq < q[j].seq
+}
+func (q qEventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *qEventQueue) Push(x interface{}) { *q = append(*q, x.(qEvent)) }
+func (q *qEventQueue) Pop() interface{} {
+	old := *q
+	e := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return e
+}
+
+type running struct {
+	job          *job.Job
+	estimatedEnd int64
+}
+
+// Simulate runs the trace under the given queueing discipline on a
+// machine with total processors (0 = the trace's count).
+func Simulate(t *job.Trace, d Discipline, total int) (*Result, error) {
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("queueing: %v", err)
+	}
+	if total == 0 {
+		total = t.Processors
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("queueing: machine size unknown")
+	}
+	for _, j := range t.Jobs {
+		if j.Width > total {
+			return nil, fmt.Errorf("queueing: %v wider than machine (%d)", j, total)
+		}
+	}
+	s := &state{total: total, free: total, disc: d, result: &Result{}}
+	for _, j := range t.Jobs {
+		s.push(qEvent{time: j.Submit, kind: qSubmit, job: j})
+	}
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(qEvent)
+		s.clock = e.time
+		switch e.kind {
+		case qSubmit:
+			s.queue = append(s.queue, e.job)
+		case qEnd:
+			r := s.running[e.job.ID]
+			s.result.Completed = append(s.result.Completed, metrics.Completion{
+				Job: e.job, Start: r.estimatedEnd - e.job.Estimate, End: s.clock,
+			})
+			delete(s.running, e.job.ID)
+			s.free += e.job.Width
+		}
+		s.schedule()
+	}
+	if len(s.queue) > 0 || len(s.running) > 0 {
+		return nil, fmt.Errorf("queueing: %d queued and %d running jobs left over",
+			len(s.queue), len(s.running))
+	}
+	return s.result, nil
+}
+
+type state struct {
+	total, free int
+	clock       int64
+	disc        Discipline
+	queue       []*job.Job
+	running     map[int]*running
+	events      qEventQueue
+	seq         int
+	result      *Result
+}
+
+func (s *state) push(e qEvent) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+func (s *state) start(j *job.Job) {
+	if s.running == nil {
+		s.running = map[int]*running{}
+	}
+	s.free -= j.Width
+	s.running[j.ID] = &running{job: j, estimatedEnd: s.clock + j.Estimate}
+	s.push(qEvent{time: s.clock + j.Runtime, kind: qEnd, job: j})
+}
+
+// schedule starts whatever the discipline admits right now.
+func (s *state) schedule() {
+	// Start queue heads while they fit (both disciplines do this).
+	for len(s.queue) > 0 && s.queue[0].Width <= s.free {
+		s.start(s.queue[0])
+		s.queue = s.queue[1:]
+	}
+	if s.disc != EASY || len(s.queue) == 0 {
+		return
+	}
+	// EASY backfilling: the queue head gets a shadow reservation derived
+	// from the running jobs' *estimated* ends; a later job may start now
+	// iff it fits and either finishes before the shadow time or uses only
+	// the extra nodes the head leaves free. The shadow is recomputed
+	// after every backfill start, as the started job joins the running
+	// set and shifts the picture.
+	for {
+		shadow, extra, ok := s.shadowForHead()
+		if !ok {
+			return
+		}
+		started := false
+		for i := 1; i < len(s.queue); i++ {
+			c := s.queue[i]
+			if c.Width > s.free {
+				continue
+			}
+			if s.clock+c.Estimate <= shadow || c.Width <= extra {
+				s.start(c)
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				s.result.Backfilled++
+				started = true
+				break
+			}
+		}
+		if !started {
+			return
+		}
+	}
+}
+
+// shadowForHead computes the earliest time the queue head could start
+// given the running jobs' estimated ends (the "shadow time") and the
+// number of processors left over for backfilling at that instant.
+func (s *state) shadowForHead() (shadow int64, extra int, ok bool) {
+	head := s.queue[0]
+	type rel struct {
+		t int64
+		w int
+	}
+	rels := make([]rel, 0, len(s.running))
+	for _, r := range s.running {
+		rels = append(rels, rel{r.estimatedEnd, r.job.Width})
+	}
+	sort.Slice(rels, func(i, j int) bool { return rels[i].t < rels[j].t })
+	free := s.free
+	shadow = s.clock
+	for _, r := range rels {
+		if free >= head.Width {
+			break
+		}
+		free += r.w
+		shadow = r.t
+	}
+	if free < head.Width {
+		return 0, 0, false // defensive: cannot happen for valid traces
+	}
+	return shadow, free - head.Width, true
+}

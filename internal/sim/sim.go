@@ -1,0 +1,482 @@
+// Package sim is the discrete event simulator of a planning-based
+// resource management system (the paper's CCS) driven by the self-tuning
+// dynP scheduler. At every job submission a self-tuning step replans the
+// complete future resource usage with estimated durations; newly planned
+// jobs whose start time equals the current instant begin executing
+// immediately, so "backfilling is done implicitly". Jobs run for their
+// *actual* runtime; when a job finishes early the plan is rebuilt with the
+// active policy, pulling waiting jobs forward — exactly the behaviour of a
+// planning-based RMS.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/dynp"
+	"repro/internal/job"
+	"repro/internal/machine"
+	"repro/internal/schedule"
+)
+
+// eventKind orders simultaneous events: completions free resources before
+// plan-driven starts consume them, and submissions replan last.
+type eventKind int
+
+const (
+	evEnd eventKind = iota
+	evStart
+	evSubmit
+)
+
+type event struct {
+	time int64
+	kind eventKind
+	seq  int // FIFO tie-break for determinism
+	job  *job.Job
+	ver  int // plan version for evStart; stale starts are ignored
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	if q[i].kind != q[j].kind {
+		return q[i].kind < q[j].kind
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// CompletedJob records one finished job.
+type CompletedJob struct {
+	Job   *job.Job
+	Start int64
+	End   int64 // Start + actual runtime
+}
+
+// ResponseTime returns the actual response time End - Submit.
+func (c CompletedJob) ResponseTime() int64 { return c.End - c.Job.Submit }
+
+// WaitTime returns Start - Submit.
+func (c CompletedJob) WaitTime() int64 { return c.Start - c.Job.Submit }
+
+// Slowdown returns the actual slowdown (response / runtime).
+func (c CompletedJob) Slowdown() float64 {
+	return float64(c.ResponseTime()) / float64(c.Job.Runtime)
+}
+
+// StepContext is passed to the OnStep hook after every self-tuning step.
+// It lets observers (the CPLEX-style comparator of internal/core) see the
+// exact quasi off-line instance of the step without influencing the
+// simulation, as the paper prescribes ("although these schedules are
+// available, they are not used for the actual scheduling").
+type StepContext struct {
+	// Now is the step instant (the submission time).
+	Now int64
+	// Submitted is the job whose arrival triggered the step.
+	Submitted *job.Job
+	// Waiting is a snapshot of the waiting queue including Submitted.
+	Waiting []*job.Job
+	// Base is the machine profile of the running jobs (estimate-based),
+	// i.e. the machine history of the step. Observers may clone it but
+	// must not modify it.
+	Base *machine.Profile
+	// Result is the self-tuning outcome (all policy schedules and the
+	// decider's choice).
+	Result *dynp.StepResult
+}
+
+// Reservation is an advance reservation: Width processors are promised to
+// an external party on [Start, End) and are unavailable to batch jobs.
+// Supporting these is the planning-based RMS capability the paper
+// highlights ("a request for a reservation is submitted ... an answer is
+// expected immediately"); queueing systems cannot offer them.
+type Reservation struct {
+	Start, End int64
+	Width      int
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Machine is the processor count. If zero, the trace's count is used.
+	Machine int
+	// Reservations are advance reservations blocking capacity windows;
+	// every plan is built around them.
+	Reservations []Reservation
+	// ReplanOnCompletion rebuilds the plan with the active policy when a
+	// job finishes (early completions pull work forward). Planning-based
+	// systems do this; disable only for experiments. Default true in New.
+	ReplanOnCompletion bool
+	// SelfTuneOnCompletion additionally runs a full self-tuning step on
+	// completions (the paper tunes only at submissions). Default false.
+	SelfTuneOnCompletion bool
+	// OnStep, if non-nil, observes every self-tuning step.
+	OnStep func(*StepContext)
+	// MaxSteps aborts runaway simulations (0 = no limit).
+	MaxSteps int
+}
+
+// Result summarizes a simulation.
+type Result struct {
+	Completed []CompletedJob
+	// Makespan is the end of the last job minus the first submission.
+	Makespan int64
+	// Steps and Switches are the dynP self-tuning statistics.
+	Steps, Switches int
+	// PolicyUse counts self-tuning decisions per policy name.
+	PolicyUse map[string]int
+	// MaxQueueDepth is the largest waiting-queue length seen at a
+	// self-tuning step, and QueueDepthSum the sum over all steps (so
+	// QueueDepthSum/Steps is the average the paper quotes as ~22 for CTC).
+	MaxQueueDepth int
+	QueueDepthSum int
+}
+
+// MeanQueueDepth returns the average waiting-queue length per
+// self-tuning step.
+func (r *Result) MeanQueueDepth() float64 {
+	if r.Steps == 0 {
+		return 0
+	}
+	return float64(r.QueueDepthSum) / float64(r.Steps)
+}
+
+// MeanResponseTime returns the average actual response time in seconds.
+func (r *Result) MeanResponseTime() float64 {
+	if len(r.Completed) == 0 {
+		return 0
+	}
+	var s float64
+	for _, c := range r.Completed {
+		s += float64(c.ResponseTime())
+	}
+	return s / float64(len(r.Completed))
+}
+
+// MeanWaitTime returns the average actual waiting time in seconds.
+func (r *Result) MeanWaitTime() float64 {
+	if len(r.Completed) == 0 {
+		return 0
+	}
+	var s float64
+	for _, c := range r.Completed {
+		s += float64(c.WaitTime())
+	}
+	return s / float64(len(r.Completed))
+}
+
+// MeanSlowdown returns the average actual slowdown.
+func (r *Result) MeanSlowdown() float64 {
+	if len(r.Completed) == 0 {
+		return 0
+	}
+	var s float64
+	for _, c := range r.Completed {
+		s += c.Slowdown()
+	}
+	return s / float64(len(r.Completed))
+}
+
+// SlowdownWeightedByArea returns the actual SLDwA over the completed jobs.
+func (r *Result) SlowdownWeightedByArea() float64 {
+	var s, a float64
+	for _, c := range r.Completed {
+		area := float64(c.Job.ActualArea())
+		s += c.Slowdown() * area
+		a += area
+	}
+	if a == 0 {
+		return 0
+	}
+	return s / a
+}
+
+// Utilization returns used processor-seconds / (machine * makespan).
+func (r *Result) Utilization(machineSize int) float64 {
+	if r.Makespan <= 0 || machineSize <= 0 {
+		return 0
+	}
+	var a float64
+	for _, c := range r.Completed {
+		a += float64(c.Job.ActualArea())
+	}
+	return a / (float64(machineSize) * float64(r.Makespan))
+}
+
+// Simulator runs a trace against a dynP scheduler.
+type Simulator struct {
+	cfg       Config
+	scheduler *dynp.Scheduler
+	total     int
+
+	clock   int64
+	queue   eventQueue
+	seq     int
+	waiting map[int]*job.Job
+	running map[int]*runningJob
+	plan    map[int]int64 // waiting job ID -> planned start
+	planVer int
+
+	result Result
+}
+
+type runningJob struct {
+	job          *job.Job
+	start        int64
+	estimatedEnd int64
+}
+
+// New creates a simulator for the trace. The scheduler is used for every
+// planning decision. ReplanOnCompletion defaults to true when cfg is the
+// zero value (pass a non-zero cfg to control it explicitly).
+func New(t *job.Trace, s *dynp.Scheduler, cfg Config) (*Simulator, error) {
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %v", err)
+	}
+	if s == nil {
+		return nil, fmt.Errorf("sim: nil scheduler")
+	}
+	total := cfg.Machine
+	if total == 0 {
+		total = t.Processors
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("sim: machine size unknown (set Config.Machine or Trace.Processors)")
+	}
+	for _, j := range t.Jobs {
+		if j.Width > total {
+			return nil, fmt.Errorf("sim: %v wider than machine (%d)", j, total)
+		}
+	}
+	for _, rv := range cfg.Reservations {
+		if rv.Width < 1 || rv.Width > total {
+			return nil, fmt.Errorf("sim: reservation width %d outside [1, %d]", rv.Width, total)
+		}
+		if rv.End <= rv.Start || rv.Start < 0 {
+			return nil, fmt.Errorf("sim: bad reservation window [%d, %d)", rv.Start, rv.End)
+		}
+	}
+	sim := &Simulator{
+		cfg:       cfg,
+		scheduler: s,
+		total:     total,
+		waiting:   map[int]*job.Job{},
+		running:   map[int]*runningJob{},
+		plan:      map[int]int64{},
+	}
+	sim.result.PolicyUse = map[string]int{}
+	for _, j := range t.Jobs {
+		sim.push(event{time: j.Submit, kind: evSubmit, job: j})
+	}
+	return sim, nil
+}
+
+func (s *Simulator) push(e event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, e)
+}
+
+// baseProfile builds the machine history profile from the running jobs at
+// the current clock, with estimated ends (the scheduler never sees actual
+// runtimes).
+func (s *Simulator) baseProfile() (*machine.Profile, error) {
+	rs := make([]machine.Running, 0, len(s.running))
+	for _, r := range s.running {
+		rs = append(rs, machine.Running{JobID: r.job.ID, Width: r.job.Width, End: r.estimatedEnd})
+	}
+	h, err := machine.HistoryFromRunning(s.total, s.clock, rs)
+	if err != nil {
+		return nil, err
+	}
+	p := h.Profile(s.total)
+	for _, rv := range s.cfg.Reservations {
+		if rv.End <= s.clock {
+			continue // already elapsed
+		}
+		start := rv.Start
+		if start < s.clock {
+			start = s.clock
+		}
+		if err := p.Reserve(start, rv.End, rv.Width); err != nil {
+			return nil, fmt.Errorf("sim: reservation [%d,%d)x%d conflicts: %v",
+				rv.Start, rv.End, rv.Width, err)
+		}
+	}
+	return p, nil
+}
+
+func (s *Simulator) waitingSlice() []*job.Job {
+	out := make([]*job.Job, 0, len(s.waiting))
+	for _, j := range s.waiting {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// adoptPlan installs a new full schedule: it records planned starts,
+// enqueues start events, and immediately starts jobs planned for now.
+func (s *Simulator) adoptPlan(sch *schedule.Schedule) {
+	s.planVer++
+	s.plan = make(map[int]int64, len(sch.Entries))
+	for _, e := range sch.Entries {
+		s.plan[e.Job.ID] = e.Start
+		if e.Start > s.clock {
+			s.push(event{time: e.Start, kind: evStart, job: e.Job, ver: s.planVer})
+		}
+	}
+	s.startDueJobs()
+}
+
+// startDueJobs starts every waiting job whose planned start is <= clock.
+func (s *Simulator) startDueJobs() {
+	// Deterministic order: by planned start, then ID.
+	due := make([]*job.Job, 0, 4)
+	for id, start := range s.plan {
+		if start <= s.clock {
+			if j, ok := s.waiting[id]; ok {
+				due = append(due, j)
+			}
+		}
+	}
+	sort.Slice(due, func(i, k int) bool {
+		if s.plan[due[i].ID] != s.plan[due[k].ID] {
+			return s.plan[due[i].ID] < s.plan[due[k].ID]
+		}
+		return due[i].ID < due[k].ID
+	})
+	for _, j := range due {
+		delete(s.waiting, j.ID)
+		delete(s.plan, j.ID)
+		r := &runningJob{job: j, start: s.clock, estimatedEnd: s.clock + j.Estimate}
+		s.running[j.ID] = r
+		s.push(event{time: s.clock + j.Runtime, kind: evEnd, job: j})
+	}
+}
+
+// selfTune runs a self-tuning step and adopts the chosen schedule.
+func (s *Simulator) selfTune(submitted *job.Job) error {
+	base, err := s.baseProfile()
+	if err != nil {
+		return err
+	}
+	waiting := s.waitingSlice()
+	res, err := s.scheduler.Step(s.clock, base, waiting)
+	if err != nil {
+		return err
+	}
+	s.result.Steps++
+	if res.Switched {
+		s.result.Switches++
+	}
+	s.result.PolicyUse[res.Chosen.Name()]++
+	s.result.QueueDepthSum += len(waiting)
+	if len(waiting) > s.result.MaxQueueDepth {
+		s.result.MaxQueueDepth = len(waiting)
+	}
+	if s.cfg.OnStep != nil {
+		s.cfg.OnStep(&StepContext{
+			Now: s.clock, Submitted: submitted, Waiting: waiting,
+			Base: base, Result: res,
+		})
+	}
+	s.adoptPlan(res.Schedule)
+	return nil
+}
+
+// replan rebuilds the plan with the active policy, without self-tuning.
+func (s *Simulator) replan() error {
+	base, err := s.baseProfile()
+	if err != nil {
+		return err
+	}
+	sch, err := s.scheduler.Reschedule(s.clock, base, s.waitingSlice())
+	if err != nil {
+		return err
+	}
+	s.adoptPlan(sch)
+	return nil
+}
+
+// Run executes the whole trace and returns the result.
+func (s *Simulator) Run() (*Result, error) {
+	var firstSubmit, lastEnd int64 = -1, 0
+	steps := 0
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(event)
+		if e.time < s.clock {
+			return nil, fmt.Errorf("sim: time went backwards (%d < %d)", e.time, s.clock)
+		}
+		s.clock = e.time
+		switch e.kind {
+		case evEnd:
+			r, ok := s.running[e.job.ID]
+			if !ok {
+				return nil, fmt.Errorf("sim: completion for job %d which is not running", e.job.ID)
+			}
+			delete(s.running, e.job.ID)
+			s.result.Completed = append(s.result.Completed, CompletedJob{Job: r.job, Start: r.start, End: s.clock})
+			if s.clock > lastEnd {
+				lastEnd = s.clock
+			}
+			if len(s.waiting) > 0 {
+				if s.cfg.SelfTuneOnCompletion {
+					if err := s.selfTune(nil); err != nil {
+						return nil, err
+					}
+				} else if s.cfg.ReplanOnCompletion {
+					if err := s.replan(); err != nil {
+						return nil, err
+					}
+				}
+			}
+		case evStart:
+			if e.ver != s.planVer {
+				continue // superseded plan
+			}
+			s.startDueJobs()
+		case evSubmit:
+			if firstSubmit < 0 {
+				firstSubmit = s.clock
+			}
+			s.waiting[e.job.ID] = e.job
+			if err := s.selfTune(e.job); err != nil {
+				return nil, err
+			}
+		}
+		steps++
+		if s.cfg.MaxSteps > 0 && steps > s.cfg.MaxSteps {
+			return nil, fmt.Errorf("sim: exceeded MaxSteps=%d", s.cfg.MaxSteps)
+		}
+	}
+	if len(s.waiting) > 0 || len(s.running) > 0 {
+		return nil, fmt.Errorf("sim: finished with %d waiting and %d running jobs",
+			len(s.waiting), len(s.running))
+	}
+	if firstSubmit < 0 {
+		firstSubmit = 0
+	}
+	s.result.Makespan = lastEnd - firstSubmit
+	out := s.result
+	return &out, nil
+}
+
+// DefaultConfig returns the paper's configuration: replan on completion,
+// self-tune only at submissions.
+func DefaultConfig() Config {
+	return Config{ReplanOnCompletion: true}
+}

@@ -1,0 +1,154 @@
+// Package swf reads and writes the Standard Workload Format (SWF) of the
+// Parallel Workloads Archive, the format the paper's CTC trace is
+// distributed in. The parser is tolerant: comment/header lines start with
+// ';', missing optional fields are -1, and jobs unusable for scheduling
+// studies (zero processors or non-positive runtime, e.g. cancelled jobs)
+// are skipped and counted.
+package swf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/job"
+)
+
+// The 18 standard SWF fields.
+const (
+	fieldJobNumber = iota
+	fieldSubmit
+	fieldWait
+	fieldRunTime
+	fieldAllocProcs
+	fieldAvgCPU
+	fieldUsedMem
+	fieldReqProcs
+	fieldReqTime
+	fieldReqMem
+	fieldStatus
+	fieldUser
+	fieldGroup
+	fieldExecutable
+	fieldQueue
+	fieldPartition
+	fieldPrecedingJob
+	fieldThinkTime
+	numFields
+)
+
+// ParseResult is the outcome of parsing an SWF stream.
+type ParseResult struct {
+	Trace *job.Trace
+	// Skipped counts records dropped because they cannot be scheduled
+	// (non-positive width or runtime).
+	Skipped int
+	// HeaderFields holds the "; Key: Value" header lines.
+	HeaderFields map[string]string
+}
+
+// Parse reads an SWF stream. Width is the requested processor count when
+// present, otherwise the allocated count; the estimate is the requested
+// time when present, otherwise the actual runtime. Estimates below the
+// runtime are raised to the runtime (planning systems kill jobs exceeding
+// their estimate, so recorded runtimes never legitimately exceed it).
+func Parse(r io.Reader) (*ParseResult, error) {
+	res := &ParseResult{
+		Trace:        &job.Trace{Note: "swf"},
+		HeaderFields: map[string]string{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ";") {
+			key, val, ok := strings.Cut(strings.TrimSpace(line[1:]), ":")
+			if ok {
+				res.HeaderFields[strings.TrimSpace(key)] = strings.TrimSpace(val)
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < numFields {
+			return nil, fmt.Errorf("swf: line %d: %d fields, want %d", lineNo, len(fields), numFields)
+		}
+		vals := make([]int64, numFields)
+		for i := 0; i < numFields; i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("swf: line %d field %d: %v", lineNo, i+1, err)
+			}
+			vals[i] = int64(v)
+		}
+		j := &job.Job{
+			ID:     int(vals[fieldJobNumber]),
+			Submit: vals[fieldSubmit],
+			User:   int(vals[fieldUser]),
+			Group:  int(vals[fieldGroup]),
+		}
+		j.Width = int(vals[fieldReqProcs])
+		if j.Width <= 0 {
+			j.Width = int(vals[fieldAllocProcs])
+		}
+		j.Runtime = vals[fieldRunTime]
+		j.Estimate = vals[fieldReqTime]
+		if j.Estimate <= 0 {
+			j.Estimate = j.Runtime
+		}
+		if j.Estimate < j.Runtime {
+			j.Estimate = j.Runtime
+		}
+		if j.Width <= 0 || j.Runtime <= 0 {
+			res.Skipped++
+			continue
+		}
+		if j.Submit < 0 {
+			j.Submit = 0
+		}
+		res.Trace.Jobs = append(res.Trace.Jobs, j)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("swf: %v", err)
+	}
+	if mp, ok := res.HeaderFields["MaxProcs"]; ok {
+		if n, err := strconv.Atoi(strings.Fields(mp)[0]); err == nil {
+			res.Trace.Processors = n
+		}
+	}
+	res.Trace.SortBySubmit()
+	return res, nil
+}
+
+// Write emits the trace in SWF. Unknown optional fields are written as -1.
+// The header records the machine size and the note.
+func Write(w io.Writer, t *job.Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "; Computer: %s\n", orUnknown(t.Note))
+	if t.Processors > 0 {
+		fmt.Fprintf(bw, "; MaxProcs: %d\n", t.Processors)
+	}
+	fmt.Fprintf(bw, "; MaxJobs: %d\n", len(t.Jobs))
+	for _, j := range t.Jobs {
+		// job submit wait run alloc cpu mem reqproc reqtime reqmem
+		// status user group exe queue partition preceding think
+		if _, err := fmt.Fprintf(bw, "%d %d -1 %d %d -1 -1 %d %d -1 1 %d %d -1 -1 -1 -1 -1\n",
+			j.ID, j.Submit, j.Runtime, j.Width, j.Width, j.Estimate, j.User, j.Group); err != nil {
+			return fmt.Errorf("swf: write: %v", err)
+		}
+	}
+	return bw.Flush()
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return s
+}

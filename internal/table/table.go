@@ -1,0 +1,102 @@
+// Package table renders aligned plain-text tables for the benchmark
+// harness output (Table 1 and the ablation tables).
+package table
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows of cells and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+	// seps marks row indices after which a separator line is drawn.
+	seps map[int]bool
+}
+
+// New creates a table with the given header cells.
+func New(header ...string) *Table {
+	return &Table{header: header, seps: map[int]bool{}}
+}
+
+// Row appends a row; cells are formatted with %v.
+func (t *Table) Row(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Separator draws a horizontal rule after the last added row (or after
+// the header if no rows exist yet).
+func (t *Table) Separator() {
+	t.seps[len(t.rows)] = true
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	rule := func() {
+		total := 0
+		for _, w := range width {
+			total += w
+		}
+		total += 2 * (cols - 1)
+		b.WriteString(strings.Repeat("-", total))
+		b.WriteByte('\n')
+	}
+	if len(t.header) > 0 {
+		writeRow(t.header)
+		rule()
+	}
+	if t.seps[0] {
+		rule()
+	}
+	for i, r := range t.rows {
+		writeRow(r)
+		if t.seps[i+1] {
+			rule()
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,54 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRendering(t *testing.T) {
+	tb := New("a", "bbb")
+	tb.Row(1, 2.5)
+	tb.Row("xx", "y")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "a") || !strings.Contains(lines[0], "bbb") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "-") {
+		t.Fatalf("missing rule: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "2.500") {
+		t.Fatalf("float formatting wrong: %q", lines[2])
+	}
+	// All data lines have identical width.
+	if len(lines[0]) != len(lines[2]) || len(lines[2]) != len(lines[3]) {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestSeparators(t *testing.T) {
+	tb := New("x")
+	tb.Row(1)
+	tb.Separator()
+	tb.Row(2)
+	out := tb.String()
+	if strings.Count(out, "-") < 2 {
+		t.Fatalf("separator missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tb := New("a")
+	tb.Row(1, 2, 3) // more cells than header
+	out := tb.String()
+	if !strings.Contains(out, "3") {
+		t.Fatalf("extra cells dropped:\n%s", out)
+	}
+}

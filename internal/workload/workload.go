@@ -1,0 +1,211 @@
+// Package workload synthesizes CTC-like job traces. The paper evaluates on
+// the CTC trace from the Parallel Workloads Archive; that data file is not
+// shippable here, so this generator produces a statistically similar
+// workload (see DESIGN.md): 430 processors, exponential interarrivals with
+// the paper's mean of 369 s, power-of-two-biased widths, log-normal
+// runtimes capped at the CTC 18-hour limit, and user estimates that
+// over-state runtimes by a log-normal factor (a small fraction of users
+// estimates exactly). Real SWF files can be used instead via package swf.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/job"
+	"repro/internal/stats"
+)
+
+// Config parameterizes the generator.
+type Config struct {
+	// Processors is the machine size (CTC batch partition: 430).
+	Processors int
+	// MeanInterarrival is the mean of the exponential interarrival time
+	// in seconds (369 for CTC per the paper).
+	MeanInterarrival float64
+	// WidthValues/WidthWeights define the discrete width distribution.
+	WidthValues  []int
+	WidthWeights []float64
+	// RunMu/RunSigma are the log-normal runtime parameters; runtimes are
+	// clamped to [1, MaxRuntime].
+	RunMu, RunSigma float64
+	MaxRuntime      int64
+	// ExactEstimateProb is the probability a user estimates exactly;
+	// otherwise the estimate is Runtime times a log-normal factor >= 1
+	// (EstFactorMu/EstFactorSigma), clamped to MaxRuntime and rounded up
+	// to full minutes as batch systems require.
+	ExactEstimateProb           float64
+	EstFactorMu, EstFactorSigma float64
+	// Users is the size of the simulated user community.
+	Users int
+	// DailyAmplitude in [0, 1) modulates the arrival rate over a 24 h
+	// cycle (rate peaks mid-cycle, bottoms at the cycle boundary), the
+	// day/night pattern production workloads show. 0 disables it.
+	DailyAmplitude float64
+}
+
+// daySeconds is the diurnal cycle length.
+const daySeconds = 86400
+
+// rateWeight is the relative arrival rate at clock time t.
+func (c Config) rateWeight(t int64) float64 {
+	if c.DailyAmplitude == 0 {
+		return 1
+	}
+	phase := 2 * math.Pi * float64(t%daySeconds) / daySeconds
+	// Peak at midday (phase pi), trough at midnight (phase 0).
+	return 1 - c.DailyAmplitude*math.Cos(phase)
+}
+
+// CTC returns the default CTC-like configuration.
+func CTC() Config {
+	return Config{
+		Processors:        430,
+		MeanInterarrival:  369,
+		WidthValues:       []int{1, 2, 3, 4, 8, 16, 32, 64, 128, 256},
+		WidthWeights:      []float64{35, 8, 3, 10, 12, 12, 9, 6, 3, 2},
+		RunMu:             7.5, // median runtime ~1800 s
+		RunSigma:          1.9,
+		MaxRuntime:        64800, // CTC 18-hour limit
+		ExactEstimateProb: 0.15,
+		EstFactorMu:       0.9, // median over-estimation factor ~2.5
+		EstFactorSigma:    0.9,
+		Users:             60,
+	}
+}
+
+// ShortBurst returns a configuration dominated by short sequential jobs
+// (a parameter-study burst, the workload that favors SJF).
+func ShortBurst() Config {
+	c := CTC()
+	c.MeanInterarrival = 30
+	c.WidthValues = []int{1, 2, 4}
+	c.WidthWeights = []float64{70, 20, 10}
+	c.RunMu = 5.0 // median ~150 s
+	c.RunSigma = 0.8
+	return c
+}
+
+// LongParallel returns a configuration dominated by long, wide jobs (the
+// workload that favors LJF).
+func LongParallel() Config {
+	c := CTC()
+	c.MeanInterarrival = 1800
+	c.WidthValues = []int{32, 64, 128, 256}
+	c.WidthWeights = []float64{30, 35, 25, 10}
+	c.RunMu = 9.5 // median ~13000 s
+	c.RunSigma = 0.7
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Processors < 1:
+		return fmt.Errorf("workload: processors %d < 1", c.Processors)
+	case c.MeanInterarrival <= 0:
+		return fmt.Errorf("workload: non-positive mean interarrival %v", c.MeanInterarrival)
+	case len(c.WidthValues) == 0 || len(c.WidthValues) != len(c.WidthWeights):
+		return fmt.Errorf("workload: width distribution malformed")
+	case c.MaxRuntime < 1:
+		return fmt.Errorf("workload: max runtime %d < 1", c.MaxRuntime)
+	case c.ExactEstimateProb < 0 || c.ExactEstimateProb > 1:
+		return fmt.Errorf("workload: exact-estimate probability %v outside [0,1]", c.ExactEstimateProb)
+	case c.Users < 1:
+		return fmt.Errorf("workload: users %d < 1", c.Users)
+	case c.DailyAmplitude < 0 || c.DailyAmplitude >= 1:
+		return fmt.Errorf("workload: daily amplitude %v outside [0, 1)", c.DailyAmplitude)
+	}
+	for _, w := range c.WidthValues {
+		if w < 1 || w > c.Processors {
+			return fmt.Errorf("workload: width %d outside [1, %d]", w, c.Processors)
+		}
+	}
+	return nil
+}
+
+// Generate produces n jobs under cfg, deterministically from seed.
+func Generate(cfg Config, n int, seed uint64) (*job.Trace, error) {
+	return generate(cfg, n, 0, 1, stats.NewRand(seed))
+}
+
+// Phase is a workload regime for GeneratePhased.
+type Phase struct {
+	Cfg  Config
+	Jobs int
+}
+
+// GeneratePhased concatenates several workload regimes into one trace,
+// continuing the clock and job numbering across phase boundaries. This is
+// how the "permanently changing job characteristics" the paper motivates
+// dynP with are synthesized.
+func GeneratePhased(phases []Phase, seed uint64) (*job.Trace, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("workload: no phases")
+	}
+	r := stats.NewRand(seed)
+	out := &job.Trace{Note: "synthetic-phased"}
+	var clock int64
+	nextID := 1
+	for i, ph := range phases {
+		t, err := generate(ph.Cfg, ph.Jobs, clock, nextID, r)
+		if err != nil {
+			return nil, fmt.Errorf("workload: phase %d: %v", i, err)
+		}
+		out.Jobs = append(out.Jobs, t.Jobs...)
+		if len(t.Jobs) > 0 {
+			clock = t.Jobs[len(t.Jobs)-1].Submit
+			nextID = t.Jobs[len(t.Jobs)-1].ID + 1
+		}
+		if t.Processors > out.Processors {
+			out.Processors = t.Processors
+		}
+	}
+	return out, nil
+}
+
+func generate(cfg Config, n int, startClock int64, firstID int, r *stats.Rand) (*job.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("workload: negative job count %d", n)
+	}
+	t := &job.Trace{Processors: cfg.Processors, Note: "synthetic-ctc"}
+	clock := startClock
+	for i := 0; i < n; i++ {
+		clock += int64(r.Exp(cfg.MeanInterarrival/cfg.rateWeight(clock))) + 1
+		run := int64(r.LogNormal(cfg.RunMu, cfg.RunSigma))
+		if run < 1 {
+			run = 1
+		}
+		if run > cfg.MaxRuntime {
+			run = cfg.MaxRuntime
+		}
+		est := run
+		if r.Float64() >= cfg.ExactEstimateProb {
+			factor := 1 + r.LogNormal(cfg.EstFactorMu, cfg.EstFactorSigma)
+			est = int64(float64(run) * factor)
+			// Batch users request full minutes.
+			if rem := est % 60; rem != 0 {
+				est += 60 - rem
+			}
+			if est > cfg.MaxRuntime {
+				est = cfg.MaxRuntime
+			}
+			if est < run {
+				est = run
+			}
+		}
+		t.Jobs = append(t.Jobs, &job.Job{
+			ID:       firstID + i,
+			Submit:   clock,
+			Width:    cfg.WidthValues[r.Choice(cfg.WidthWeights)],
+			Estimate: est,
+			Runtime:  run,
+			User:     r.Intn(cfg.Users),
+			Group:    r.Intn(5),
+		})
+	}
+	return t, nil
+}
