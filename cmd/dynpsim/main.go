@@ -5,29 +5,43 @@
 //
 // Usage:
 //
-//	dynpsim -trace ctc.swf -metric SLDwA -decider advanced
+//	dynpsim -swf ctc.swf -metric SLDwA -decider advanced
 //	dynpsim -synthetic 2000 -seed 3 -policies FCFS,SJF,LJF
+//	dynpsim -synthetic 2000 -trace run.jsonl -verbose
+//	dynpsim -synthetic 2000 -cpuprofile cpu.pprof -pprof localhost:6060
+//
+// Observability: -trace writes one JSON object per simulator event
+// (sim.submit, sim.start, sim.end, sim.replan, sim.selftune spans,
+// dynp.decision with per-policy scores, dynp.switch); -verbose prints a
+// per-step line on stderr; -cpuprofile/-memprofile write pprof profiles
+// and -pprof serves net/http/pprof while the simulation runs. None of
+// these influence the simulated schedule.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/dynp"
 	"repro/internal/job"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/swf"
-	"repro/internal/table"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		tracePath  = flag.String("trace", "", "SWF trace file (overrides -synthetic)")
+		swfPath    = flag.String("swf", "", "SWF trace file (overrides -synthetic)")
 		synthetic  = flag.Int("synthetic", 1000, "synthesize this many CTC-like jobs when no trace is given")
 		seed       = flag.Uint64("seed", 1, "seed for synthetic workloads")
 		machineSz  = flag.Int("machine", 0, "override machine size (0 = from trace)")
@@ -35,10 +49,35 @@ func main() {
 		deciderStr = flag.String("decider", "advanced", "decider: simple or advanced")
 		policiesCS = flag.String("policies", "FCFS,SJF,LJF", "comma-separated policy list")
 		noReplan   = flag.Bool("no-replan", false, "do not replan when jobs finish early")
+		traceOut   = flag.String("trace", "", "write a structured JSONL event trace to this file")
+		verbose    = flag.Bool("verbose", false, "print per-step progress lines and counters on stderr")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address while running")
 	)
 	flag.Parse()
 
-	tr, err := loadTrace(*tracePath, *synthetic, *seed)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "dynpsim: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "dynpsim: pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
+	tr, err := loadTrace(*swfPath, *synthetic, *seed)
 	if err != nil {
 		fail(err)
 	}
@@ -47,12 +86,14 @@ func main() {
 		fail(err)
 	}
 	var pols []policy.Policy
+	var polNames []string
 	for _, name := range strings.Split(*policiesCS, ",") {
 		p, err := policy.ByName(strings.TrimSpace(name))
 		if err != nil {
 			fail(err)
 		}
 		pols = append(pols, p)
+		polNames = append(polNames, p.Name())
 	}
 	var dec dynp.Decider
 	switch *deciderStr {
@@ -67,12 +108,52 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	cfg := sim.Config{Machine: *machineSz, ReplanOnCompletion: !*noReplan}
+
+	var (
+		tracer *obs.Tracer
+		flush  func()
+	)
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		bw := bufio.NewWriterSize(f, 1<<16)
+		tracer = obs.NewTracer(bw)
+		flush = func() {
+			if err := tracer.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "dynpsim: trace:", err)
+			}
+			bw.Flush()
+			f.Close()
+		}
+	}
+	reg := obs.NewRegistry()
+
+	cfg := sim.Config{
+		Machine:            *machineSz,
+		ReplanOnCompletion: !*noReplan,
+		Trace:              tracer,
+		Metrics:            reg,
+	}
+	if *verbose {
+		cfg.OnStep = func(sc *sim.StepContext) {
+			status := ""
+			if sc.Result.Switched {
+				status = " (switched)"
+			}
+			fmt.Fprintf(os.Stderr, "[t=%d] step: queue=%d chosen=%s value=%.4f%s\n",
+				sc.Now, len(sc.Waiting), sc.Result.Chosen.Name(), sc.Result.Best().Value, status)
+		}
+	}
 	s, err := sim.New(tr, sched, cfg)
 	if err != nil {
 		fail(err)
 	}
 	res, err := s.Run()
+	if flush != nil {
+		flush()
+	}
 	if err != nil {
 		fail(err)
 	}
@@ -81,23 +162,25 @@ func main() {
 	if procs == 0 {
 		procs = tr.Processors
 	}
-	t := table.New("metric", "value")
-	t.Row("jobs completed", len(res.Completed))
-	t.Row("makespan [s]", res.Makespan)
-	t.Row("mean response time [s]", fmt.Sprintf("%.1f", res.MeanResponseTime()))
-	t.Row("mean wait time [s]", fmt.Sprintf("%.1f", res.MeanWaitTime()))
-	t.Row("mean slowdown", fmt.Sprintf("%.3f", res.MeanSlowdown()))
-	t.Row("SLDwA", fmt.Sprintf("%.3f", res.SlowdownWeightedByArea()))
-	t.Row("utilization", fmt.Sprintf("%.3f", res.Utilization(procs)))
-	t.Row("self-tuning steps", res.Steps)
-	t.Row("policy switches", res.Switches)
-	fmt.Print(t.String())
-
-	use := table.New("policy", "times chosen")
-	for _, p := range pols {
-		use.Row(p.Name(), res.PolicyUse[p.Name()])
+	fmt.Print(res.Report(procs, polNames).String())
+	if *verbose {
+		fmt.Fprint(os.Stderr, reg.String())
 	}
-	fmt.Print(use.String())
+	if *traceOut != "" {
+		fmt.Fprintf(os.Stderr, "dynpsim: wrote event trace %s\n", *traceOut)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fail(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
+		f.Close()
+	}
 }
 
 func loadTrace(path string, synthetic int, seed uint64) (*job.Trace, error) {

@@ -7,35 +7,73 @@
 //
 //	milp -mps model.mps [-nodes 100000] [-timeout 60s] [-gap 0.01]
 //	milp -lp model.lp          # e.g. a file written by optsched -lp
+//	milp -lp model.lp -trace solve.jsonl -verbose -cpuprofile cpu.pprof
+//
+// Observability: -trace writes the solver's structured JSONL events
+// (mip.solve span, mip.incumbent, mip.bound, mip.cuts), -verbose prints
+// solve-progress lines on stderr, and -cpuprofile/-memprofile write
+// pprof profiles.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/lp"
 	"repro/internal/mip"
+	"repro/internal/obs"
 	"repro/internal/table"
 )
 
 func main() {
 	var (
-		mpsPath = flag.String("mps", "", "MPS input file")
-		lpPath  = flag.String("lp", "", "CPLEX LP input file")
-		nodes   = flag.Int("nodes", 1<<20, "branch-and-bound node limit")
-		timeout = flag.Duration("timeout", 5*time.Minute, "time limit")
-		gap     = flag.Float64("gap", 0, "relative MIP gap (0 = prove optimality)")
-		maxIter = flag.Int("iters", 200000, "simplex iteration limit per LP")
-		quiet   = flag.Bool("q", false, "print only status and objective")
+		mpsPath    = flag.String("mps", "", "MPS input file")
+		lpPath     = flag.String("lp", "", "CPLEX LP input file")
+		nodes      = flag.Int("nodes", 1<<20, "branch-and-bound node limit")
+		timeout    = flag.Duration("timeout", 5*time.Minute, "time limit")
+		gap        = flag.Float64("gap", 0, "relative MIP gap (0 = prove optimality)")
+		maxIter    = flag.Int("iters", 200000, "simplex iteration limit per LP")
+		quiet      = flag.Bool("q", false, "print only status and objective")
+		traceOut   = flag.String("trace", "", "write a structured JSONL event trace to this file")
+		verbose    = flag.Bool("verbose", false, "print solve-progress lines and counters on stderr")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 	if (*mpsPath == "") == (*lpPath == "") {
 		fmt.Fprintln(os.Stderr, "milp: exactly one of -mps or -lp is required")
 		os.Exit(2)
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fail(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+			f.Close()
+		}
+	}()
 	path := *mpsPath
 	if path == "" {
 		path = *lpPath
@@ -77,12 +115,48 @@ func main() {
 		return
 	}
 
-	res, err := mip.Solve(p, ints, mip.Options{
+	opts := mip.Options{
 		MaxNodes:    *nodes,
 		TimeLimit:   *timeout,
 		RelativeGap: *gap,
 		LP:          lp.Options{MaxIters: *maxIter},
-	})
+	}
+	var (
+		tracer *obs.Tracer
+		flush  func()
+	)
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		bw := bufio.NewWriterSize(tf, 1<<16)
+		tracer = obs.NewTracer(bw)
+		flush = func() {
+			if err := tracer.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "milp: trace:", err)
+			}
+			bw.Flush()
+			tf.Close()
+		}
+		opts.Trace = tracer
+	}
+	reg := obs.NewRegistry()
+	opts.Metrics = reg
+	if *verbose {
+		opts.Progress = func(pr mip.Progress) {
+			inc := "-"
+			if pr.HasIncumbent {
+				inc = fmt.Sprintf("%.6g", pr.Incumbent)
+			}
+			fmt.Fprintf(os.Stderr, "[%8.2fs] nodes=%d open=%d lp_iters=%d bound=%.6g incumbent=%s\n",
+				pr.Elapsed.Seconds(), pr.Nodes, pr.Open, pr.LPIters, pr.BestBound, inc)
+		}
+	}
+	res, err := mip.Solve(p, ints, opts)
+	if flush != nil {
+		flush()
+	}
 	if err != nil {
 		fail(err)
 	}
@@ -92,8 +166,13 @@ func main() {
 		fmt.Printf("objective: %.10g (best bound %.10g, gap %.2f%%)\n",
 			res.Objective, res.BestBound, 100*res.Gap())
 	}
-	fmt.Printf("nodes: %d, LP iterations: %d, heuristic hits: %d, elapsed %v\n",
-		res.Nodes, res.LPIters, res.HeuristicHits, time.Since(start).Round(time.Millisecond))
+	fmt.Print(res.Report().String())
+	if *verbose {
+		fmt.Fprint(os.Stderr, reg.String())
+	}
+	if *traceOut != "" {
+		fmt.Fprintf(os.Stderr, "milp: wrote event trace %s\n", *traceOut)
+	}
 	if !*quiet && res.X != nil {
 		printSolution(p, res.X)
 	}

@@ -10,12 +10,21 @@
 // Usage:
 //
 //	optsched -jobs 10 -machine 64 -seed 3 -history -scale 0 -lp model.lp
+//	optsched -jobs 12 -trace solve.jsonl -verbose -cpuprofile cpu.pprof
+//
+// Observability: -trace writes the solver's structured JSONL events
+// (mip.solve span, mip.incumbent, mip.bound, mip.cuts), -verbose prints
+// solve-progress lines on stderr, and -cpuprofile/-memprofile write
+// pprof profiles.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/ilpsched"
@@ -23,6 +32,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/mip"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/stats"
 	"repro/internal/table"
@@ -30,17 +40,33 @@ import (
 
 func main() {
 	var (
-		nJobs     = flag.Int("jobs", 8, "number of waiting jobs")
-		mSize     = flag.Int("machine", 64, "machine size")
-		seed      = flag.Uint64("seed", 1, "instance seed")
-		scale     = flag.Int64("scale", 0, "time scale in seconds (0 = Eq. 6)")
-		nodes     = flag.Int("nodes", 20000, "branch-and-bound node limit")
-		timeLimit = flag.Duration("timeout", 30*time.Second, "branch-and-bound time limit")
-		history   = flag.Bool("history", false, "print the machine history (Figure 1)")
-		lpOut     = flag.String("lp", "", "write the model as a CPLEX LP file")
-		metricStr = flag.String("metric", "SLDwA", "comparison metric")
+		nJobs      = flag.Int("jobs", 8, "number of waiting jobs")
+		mSize      = flag.Int("machine", 64, "machine size")
+		seed       = flag.Uint64("seed", 1, "instance seed")
+		scale      = flag.Int64("scale", 0, "time scale in seconds (0 = Eq. 6)")
+		nodes      = flag.Int("nodes", 20000, "branch-and-bound node limit")
+		timeLimit  = flag.Duration("timeout", 30*time.Second, "branch-and-bound time limit")
+		history    = flag.Bool("history", false, "print the machine history (Figure 1)")
+		lpOut      = flag.String("lp", "", "write the model as a CPLEX LP file")
+		metricStr  = flag.String("metric", "SLDwA", "comparison metric")
+		traceOut   = flag.String("trace", "", "write a structured JSONL event trace to this file")
+		verbose    = flag.Bool("verbose", false, "print solve-progress lines and counters on stderr")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	m, err := metrics.ByName(*metricStr)
 	if err != nil {
@@ -126,14 +152,46 @@ func main() {
 		fmt.Printf("wrote LP file %s\n", *lpOut)
 	}
 
-	start := time.Now()
-	sol, err := model.Solve(mip.Options{MaxNodes: *nodes, TimeLimit: *timeLimit})
+	opts := mip.Options{MaxNodes: *nodes, TimeLimit: *timeLimit}
+	var (
+		tracer *obs.Tracer
+		flush  func()
+	)
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		bw := bufio.NewWriterSize(f, 1<<16)
+		tracer = obs.NewTracer(bw)
+		flush = func() {
+			if err := tracer.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "optsched: trace:", err)
+			}
+			bw.Flush()
+			f.Close()
+		}
+		opts.Trace = tracer
+	}
+	reg := obs.NewRegistry()
+	opts.Metrics = reg
+	if *verbose {
+		opts.Progress = printProgress
+	}
+	sol, err := model.Solve(opts)
+	if flush != nil {
+		flush()
+	}
 	if err != nil {
 		fail(err)
 	}
-	elapsed := time.Since(start)
-	fmt.Printf("branch and bound: %v after %d nodes, %d LP iterations, %v\n",
-		sol.MIP.Status, sol.MIP.Nodes, sol.MIP.LPIters, elapsed.Round(time.Millisecond))
+	fmt.Print(sol.MIP.Report().String())
+	if *verbose {
+		fmt.Fprint(os.Stderr, reg.String())
+	}
+	if *traceOut != "" {
+		fmt.Fprintf(os.Stderr, "optsched: wrote event trace %s\n", *traceOut)
+	}
 	if sol.Compacted == nil {
 		fail(fmt.Errorf("no ILP schedule found"))
 	}
@@ -150,6 +208,28 @@ func main() {
 	fmt.Print(t.String())
 	fmt.Printf("best policy: %s; the ILP schedule %s\n", bestName,
 		map[bool]string{true: "wins", false: "loses (time-scaling artifact)"}[metrics.Better(m, ilpVal, bestVal) || ilpVal == bestVal])
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fail(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
+		f.Close()
+	}
+}
+
+// printProgress is the -verbose solve-progress line.
+func printProgress(p mip.Progress) {
+	inc := "-"
+	if p.HasIncumbent {
+		inc = fmt.Sprintf("%.6g", p.Incumbent)
+	}
+	fmt.Fprintf(os.Stderr, "[%8.2fs] nodes=%d open=%d lp_iters=%d bound=%.6g incumbent=%s\n",
+		p.Elapsed.Seconds(), p.Nodes, p.Open, p.LPIters, p.BestBound, inc)
 }
 
 func fail(err error) {

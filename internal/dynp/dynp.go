@@ -22,6 +22,7 @@ import (
 	"repro/internal/job"
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/schedule"
 )
@@ -160,6 +161,11 @@ type Scheduler struct {
 
 	steps    int
 	switches int
+
+	trace     *obs.Tracer
+	cSteps    *obs.Counter
+	cSwitches *obs.Counter
+	cReplans  *obs.Counter
 }
 
 // New constructs a scheduler. policies must be non-empty; the first one is
@@ -210,6 +216,18 @@ func (s *Scheduler) Steps() int { return s.steps }
 // Switches returns how often the active policy changed.
 func (s *Scheduler) Switches() int { return s.switches }
 
+// SetObs attaches an observability sink: trace receives one
+// "dynp.decision" event per self-tuning step carrying the per-policy
+// metric scores that drove the decision, plus a "dynp.switch" event
+// whenever the active policy changes; reg accumulates the
+// dynp.steps/dynp.switches/dynp.replans counters. Either may be nil.
+func (s *Scheduler) SetObs(trace *obs.Tracer, reg *obs.Registry) {
+	s.trace = trace
+	s.cSteps = reg.Counter("dynp.steps")
+	s.cSwitches = reg.Counter("dynp.switches")
+	s.cReplans = reg.Counter("dynp.replans")
+}
+
 // SetParallel makes Step evaluate the candidate policies concurrently,
 // one goroutine per policy. Each policy builds its schedule on its own
 // clone of the base profile, so the evaluations are independent; results
@@ -258,9 +276,27 @@ func (s *Scheduler) Step(now int64, base *machine.Profile, waiting []*job.Job) (
 	res.Schedule = res.Best().Schedule
 	if res.Switched {
 		s.switches++
+		s.cSwitches.Inc()
+		s.trace.Emit("dynp.switch",
+			obs.Int("t", now),
+			obs.Str("from", s.current.Name()),
+			obs.Str("to", chosen.Name()))
+	}
+	if s.trace.Enabled() {
+		fields := make([]obs.Field, 0, len(evals)+4)
+		fields = append(fields,
+			obs.Int("t", now),
+			obs.Int("queue_depth", int64(len(waiting))),
+			obs.Str("chosen", chosen.Name()),
+			obs.Bool("switched", res.Switched))
+		for _, e := range evals {
+			fields = append(fields, obs.Float("score_"+e.Policy.Name(), e.Value))
+		}
+		s.trace.Emit("dynp.decision", fields...)
 	}
 	s.current = chosen
 	s.steps++
+	s.cSteps.Inc()
 	return res, nil
 }
 
@@ -268,5 +304,6 @@ func (s *Scheduler) Step(now int64, base *machine.Profile, waiting []*job.Job) (
 // self-tuning step (used by the simulator when a job finishes early and
 // the plan is compacted, which is not a policy decision point).
 func (s *Scheduler) Reschedule(now int64, base *machine.Profile, waiting []*job.Job) (*schedule.Schedule, error) {
+	s.cReplans.Inc()
 	return policy.Build(s.current, now, base, waiting)
 }

@@ -58,6 +58,13 @@ type Result struct {
 	Duals      []float64 // row dual values y (valid for Optimal)
 	Iterations int
 	Basis      *Basis // warm-start information (valid for Optimal)
+	// Refactorizations counts basis-inverse rebuilds from scratch.
+	Refactorizations int
+	// DegeneratePivots counts pivots with a (near-)zero step length, the
+	// classic stall indicator of the simplex method.
+	DegeneratePivots int
+	// BoundFlips counts nonbasic bound-to-bound moves (no basis change).
+	BoundFlips int
 }
 
 // Basis is an opaque warm-start snapshot (column statuses and the basis
@@ -100,6 +107,9 @@ type simplex struct {
 	xB    []float64
 
 	iters      int
+	refacts    int
+	degen      int
+	flips      int
 	sincefact  int
 	stall      int
 	bland      bool
@@ -313,6 +323,7 @@ func (s *simplex) factorize() bool {
 	}
 	s.computeXB()
 	s.sincefact = 0
+	s.refacts++
 	return true
 }
 
@@ -450,6 +461,9 @@ func (s *simplex) objValue() float64 {
 // simplex it is the violated bound).
 func (s *simplex) pivot(r, j int, w []float64, t, sigma float64, leavingStat colStatus) {
 	m := s.m
+	if t <= 1e-10 {
+		s.degen++
+	}
 	enterVal := s.nbVal(j) + sigma*t
 	for i := 0; i < m; i++ {
 		if i != r {
@@ -591,6 +605,7 @@ func (s *simplex) primal() Status {
 		}
 		if rBest < 0 {
 			// Bound flip: entering travels to its opposite bound.
+			s.flips++
 			t := tBest
 			for i := 0; i < m; i++ {
 				s.xB[i] -= enterSigma * w[i] * t
@@ -751,6 +766,7 @@ func (s *simplex) dual() Status {
 		// iteration picks another entering candidate.
 		if rng := s.hi[enter] - s.lo[enter]; !math.IsInf(rng, 1) && t > rng+1e-12 &&
 			s.stat[enter] != freeNB {
+			s.flips++
 			s.ftran(enter, w)
 			for i := 0; i < m; i++ {
 				s.xB[i] -= sigma * w[i] * rng
@@ -848,7 +864,8 @@ func (s *simplex) finishPhase1() {
 
 // extract builds the Result from the final state.
 func (s *simplex) extract(st Status) *Result {
-	res := &Result{Status: st, Iterations: s.iters}
+	res := &Result{Status: st, Iterations: s.iters,
+		Refactorizations: s.refacts, DegeneratePivots: s.degen, BoundFlips: s.flips}
 	if st != Optimal {
 		return res
 	}
@@ -950,7 +967,11 @@ func (p *Problem) SolveFrom(basis *Basis, opt Options) (*Result, error) {
 		}
 		// Fall through to a cold primal solve on limit/unbounded oddities.
 	}
+	// Fall back to a cold two-phase primal solve; carry the telemetry of
+	// the abandoned warm attempt so the counters stay truthful (the
+	// iteration budget is intentionally per-attempt, as before).
 	s2 := newSimplex(p, opt)
+	s2.refacts, s2.degen, s2.flips = s.refacts, s.degen, s.flips
 	s2.coldBasis()
 	return s2.run()
 }

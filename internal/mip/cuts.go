@@ -147,6 +147,8 @@ func (s *solver) addRootCuts(root *lp.Result, maxRounds int) (*lp.Result, int, e
 		if err != nil {
 			return nil, added, err
 		}
+		s.lpSolves++
+		s.cLPSolves.Inc()
 		if next.Status != lp.Optimal {
 			// Cuts are valid inequalities; a non-optimal status here means
 			// iteration trouble, not infeasibility of the MIP. Keep the
@@ -154,6 +156,9 @@ func (s *solver) addRootCuts(root *lp.Result, maxRounds int) (*lp.Result, int, e
 			return res, added, nil
 		}
 		s.lpIters += next.Iterations
+		s.cLPIters.Add(int64(next.Iterations))
+		s.refacts += next.Refactorizations
+		s.degen += next.DegeneratePivots
 		if next.Objective <= res.Objective+1e-9 && math.Abs(next.Objective-res.Objective) < 1e-9 {
 			res = next
 			break // no bound movement: stop cutting

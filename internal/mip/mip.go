@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/lp"
+	"repro/internal/obs"
 )
 
 // Status is the outcome of a MIP solve.
@@ -103,6 +104,22 @@ type Options struct {
 	LP lp.Options
 	// IntTol is the integrality tolerance (default 1e-6).
 	IntTol float64
+	// Trace, if non-nil, receives structured solve events: a "mip.solve"
+	// span wrapping the search, "mip.incumbent" on every accepted
+	// incumbent, "mip.bound" on best-bound improvements and "mip.cuts"
+	// after root separation. A nil tracer costs one pointer comparison.
+	Trace *obs.Tracer
+	// Metrics, if non-nil, accumulates solver counters (mip.nodes,
+	// mip.pruned, mip.lp_solves, mip.lp_iters, mip.incumbents,
+	// mip.heuristic_hits, mip.deadline_hits, mip.cuts,
+	// mip.refactorizations, mip.degenerate_pivots).
+	Metrics *obs.Registry
+	// Progress, if non-nil, is called with a search snapshot every
+	// ProgressEvery explored nodes and after every accepted incumbent.
+	Progress func(Progress)
+	// ProgressEvery is the node interval between Progress calls
+	// (default 500).
+	ProgressEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -112,7 +129,48 @@ func (o Options) withDefaults() Options {
 	if o.IntTol == 0 {
 		o.IntTol = 1e-6
 	}
+	if o.ProgressEvery == 0 {
+		o.ProgressEvery = 500
+	}
 	return o
+}
+
+// Progress is a snapshot of the branch-and-bound search handed to the
+// Options.Progress callback.
+type Progress struct {
+	// Nodes is the number of nodes explored (LP relaxations solved in the
+	// tree) so far; Open is the current open-node queue length.
+	Nodes, Open int
+	// LPIters is the cumulative simplex iteration count.
+	LPIters int
+	// BestBound is the strengthened global lower bound.
+	BestBound float64
+	// Incumbent is the best feasible objective found (valid only when
+	// HasIncumbent).
+	Incumbent    float64
+	HasIncumbent bool
+	// Elapsed is the wall-clock time since the solve started.
+	Elapsed time.Duration
+}
+
+// IncumbentRecord logs one accepted incumbent of a solve.
+type IncumbentRecord struct {
+	// At is the wall-clock offset from the solve start.
+	At time.Duration
+	// Objective is the incumbent's objective value.
+	Objective float64
+	// Node is the explored-node count at acceptance time.
+	Node int
+	// Source is "initial" (Options.Incumbent), "lp" (integral relaxation)
+	// or "heuristic".
+	Source string
+}
+
+// BoundRecord logs one improvement of the global best bound.
+type BoundRecord struct {
+	At    time.Duration
+	Bound float64
+	Node  int
 }
 
 // Result is the outcome of a solve.
@@ -128,6 +186,22 @@ type Result struct {
 	HeuristicHits int
 	// Cuts counts the cover cuts added at the root.
 	Cuts int
+	// Pruned counts nodes discarded by bound without solving their LP.
+	Pruned int
+	// LPSolves counts LP relaxations solved (tree nodes plus root
+	// re-solves during cut separation).
+	LPSolves int
+	// Refactorizations and DegeneratePivots aggregate the simplex
+	// telemetry over all relaxation solves.
+	Refactorizations int
+	DegeneratePivots int
+	// DeadlineHit reports that the solve stopped on its TimeLimit.
+	DeadlineHit bool
+	// Incumbents is the incumbent timeline (objective improvements with
+	// timestamps), oldest first.
+	Incumbents []IncumbentRecord
+	// Bounds is the best-bound trajectory, oldest first.
+	Bounds []BoundRecord
 }
 
 // Gap returns the relative optimality gap of the result.
@@ -165,9 +239,9 @@ func (q nodeQueue) Less(i, j int) bool {
 	}
 	return q[i].seq < q[j].seq
 }
-func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(*node)) }
-func (q *nodeQueue) Pop() interface{} {
+func (q nodeQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x any)   { *q = append(*q, x.(*node)) }
+func (q *nodeQueue) Pop() any {
 	old := *q
 	n := len(old)
 	e := old[n-1]
@@ -190,12 +264,36 @@ type solver struct {
 	pcUp, pcDown   map[int]float64
 	pcUpN, pcDownN map[int]int
 
-	nodes   int
-	lpIters int
-	heurHit int
-	cuts    int
-	start   time.Time
+	nodes    int
+	lpIters  int
+	lpSolves int
+	heurHit  int
+	cuts     int
+	pruned   int
+	refacts  int
+	degen    int
+	start    time.Time
+
+	// Observability state.
+	trace       *obs.Tracer
+	incLog      []IncumbentRecord
+	boundLog    []BoundRecord
+	lastBound   float64
+	sinceCheck  int
+	deadlineHit bool
+	queue       *nodeQueue
+
+	// Cached registry counters (nil when Options.Metrics is nil; all
+	// Counter methods are nil-safe).
+	cNodes, cPruned, cLPSolves, cLPIters *obs.Counter
+	cIncumbents, cHeurHits, cDeadline    *obs.Counter
+	cCuts, cRefacts, cDegen              *obs.Counter
 }
+
+// timeCheckEvery gates the wall-clock deadline test: time.Since is a
+// syscall-ish hot-path cost, so it only runs every this many main-loop
+// iterations.
+const timeCheckEvery = 64
 
 // recordPseudocost updates the branching statistics after a child LP.
 func (s *solver) recordPseudocost(nd *node, childObj float64) {
@@ -264,12 +362,41 @@ func Solve(p *lp.Problem, integer []int, opt Options) (*Result, error) {
 		pcUp: map[int]float64{}, pcDown: map[int]float64{},
 		pcUpN: map[int]int{}, pcDownN: map[int]int{}}
 	s.incumbentObj = math.Inf(1)
+	s.lastBound = math.Inf(-1)
+	s.trace = opt.Trace
+	if reg := opt.Metrics; reg != nil {
+		s.cNodes = reg.Counter("mip.nodes")
+		s.cPruned = reg.Counter("mip.pruned")
+		s.cLPSolves = reg.Counter("mip.lp_solves")
+		s.cLPIters = reg.Counter("mip.lp_iters")
+		s.cIncumbents = reg.Counter("mip.incumbents")
+		s.cHeurHits = reg.Counter("mip.heuristic_hits")
+		s.cDeadline = reg.Counter("mip.deadline_hits")
+		s.cCuts = reg.Counter("mip.cuts")
+		s.cRefacts = reg.Counter("mip.refactorizations")
+		s.cDegen = reg.Counter("mip.degenerate_pivots")
+	}
+	span := s.trace.StartSpan("mip.solve",
+		obs.Int("cols", int64(p.NumVariables())),
+		obs.Int("rows", int64(p.NumConstraints())),
+		obs.Int("ints", int64(len(integer))))
 	if opt.Incumbent != nil {
-		if err := s.tryIncumbent(opt.Incumbent); err != nil {
+		if err := s.tryIncumbent(opt.Incumbent, "initial"); err != nil {
+			span.End(obs.Str("status", "error"))
 			return nil, fmt.Errorf("mip: bad initial incumbent: %v", err)
 		}
 	}
-	return s.run()
+	res, err := s.run()
+	if err != nil {
+		span.End(obs.Str("status", "error"))
+		return nil, err
+	}
+	span.End(obs.Str("status", res.Status.String()),
+		obs.Int("nodes", int64(res.Nodes)),
+		obs.Int("lp_iters", int64(res.LPIters)),
+		obs.Float("objective", res.Objective),
+		obs.Float("best_bound", res.BestBound))
+	return res, nil
 }
 
 // evaluate checks candidate feasibility and returns its objective.
@@ -298,20 +425,65 @@ func (s *solver) evaluate(x []float64) (float64, error) {
 	return obj, nil
 }
 
-func (s *solver) tryIncumbent(x []float64) error {
+func (s *solver) tryIncumbent(x []float64, source string) error {
 	obj, err := s.evaluate(x)
 	if err != nil {
 		return err
 	}
 	if obj < s.incumbentObj-1e-9 {
-		s.incumbent = append([]float64(nil), x...)
-		s.incumbentObj = obj
-		s.haveInc = true
-		if s.opt.OnIncumbent != nil {
-			s.opt.OnIncumbent(obj, append([]float64(nil), x...))
-		}
+		s.acceptIncumbent(x, obj, source)
 	}
 	return nil
+}
+
+// acceptIncumbent installs a verified improving solution and reports it
+// to every observer (incumbent log, trace, counters, callbacks).
+func (s *solver) acceptIncumbent(x []float64, obj float64, source string) {
+	s.incumbent = append([]float64(nil), x...)
+	s.incumbentObj = obj
+	s.haveInc = true
+	at := time.Since(s.start)
+	s.incLog = append(s.incLog, IncumbentRecord{At: at, Objective: obj, Node: s.nodes, Source: source})
+	s.cIncumbents.Inc()
+	s.trace.Emit("mip.incumbent",
+		obs.Float("objective", obj),
+		obs.Int("node", int64(s.nodes)),
+		obs.Str("source", source),
+		obs.Float("elapsed_ms", float64(at)/float64(time.Millisecond)))
+	if s.opt.OnIncumbent != nil {
+		s.opt.OnIncumbent(obj, append([]float64(nil), x...))
+	}
+	s.progress()
+}
+
+// progress invokes the user progress callback with a search snapshot.
+func (s *solver) progress() {
+	if s.opt.Progress == nil {
+		return
+	}
+	open := 0
+	if s.queue != nil {
+		open = s.queue.Len()
+	}
+	s.opt.Progress(Progress{
+		Nodes: s.nodes, Open: open, LPIters: s.lpIters,
+		BestBound: s.lastBound, Incumbent: s.incumbentObj, HasIncumbent: s.haveInc,
+		Elapsed: time.Since(s.start),
+	})
+}
+
+// observeBound records a global best-bound improvement. At a pop of the
+// best-bound-first queue the popped node's bound is the global minimum
+// over all open nodes, so the trajectory is monotone.
+func (s *solver) observeBound(bound float64) {
+	if !(bound > s.lastBound) || math.IsInf(bound, -1) {
+		return
+	}
+	s.lastBound = bound
+	s.boundLog = append(s.boundLog, BoundRecord{At: time.Since(s.start), Bound: bound, Node: s.nodes})
+	s.trace.Emit("mip.bound",
+		obs.Float("bound", bound),
+		obs.Int("node", int64(s.nodes)))
 }
 
 // fractional returns the most fractional integer column of x, or -1 if x
@@ -373,18 +545,35 @@ func (s *solver) applyChanges(changes []Bound) func() {
 
 func (s *solver) run() (*Result, error) {
 	queue := &nodeQueue{}
+	s.queue = queue
 	heap.Push(queue, &node{bound: math.Inf(-1), branchCol: -1})
 	seq := 1
 	limited := false
+	s.sinceCheck = timeCheckEvery // check the deadline on the first iteration
 
 	for queue.Len() > 0 {
-		if s.nodes >= s.opt.MaxNodes || s.timeUp() {
+		if s.nodes >= s.opt.MaxNodes {
 			limited = true
 			break
 		}
+		// Deadline test, counter-gated: time.Since at every node dominates
+		// small-LP solves, so it only fires every timeCheckEvery pops.
+		if s.sinceCheck++; s.sinceCheck >= timeCheckEvery {
+			s.sinceCheck = 0
+			if s.timeUp() {
+				s.deadlineHit = true
+				s.cDeadline.Inc()
+				s.trace.Emit("mip.deadline", obs.Int("node", int64(s.nodes)))
+				limited = true
+				break
+			}
+		}
 		nd := heap.Pop(queue).(*node)
+		s.observeBound(s.strengthen(nd.bound))
 		// Bound-based pruning against the current incumbent.
 		if s.haveInc && s.strengthen(nd.bound) >= s.incumbentObj-1e-9 {
+			s.pruned++
+			s.cPruned.Inc()
 			continue
 		}
 		undo := s.applyChanges(nd.changes)
@@ -394,7 +583,18 @@ func (s *solver) run() (*Result, error) {
 			return nil, err
 		}
 		s.nodes++
+		s.lpSolves++
 		s.lpIters += res.Iterations
+		s.refacts += res.Refactorizations
+		s.degen += res.DegeneratePivots
+		s.cNodes.Inc()
+		s.cLPSolves.Inc()
+		s.cLPIters.Add(int64(res.Iterations))
+		s.cRefacts.Add(int64(res.Refactorizations))
+		s.cDegen.Add(int64(res.DegeneratePivots))
+		if s.nodes%s.opt.ProgressEvery == 0 {
+			s.progress()
+		}
 		switch res.Status {
 		case lp.Infeasible:
 			continue
@@ -418,7 +618,7 @@ func (s *solver) run() (*Result, error) {
 		branchCol := s.fractional(res.X)
 		if branchCol < 0 {
 			// Integral LP solution: new incumbent.
-			if err := s.tryIncumbent(res.X); err != nil {
+			if err := s.tryIncumbent(res.X, "lp"); err != nil {
 				return nil, fmt.Errorf("mip: integral LP solution rejected: %v", err)
 			}
 			continue
@@ -430,7 +630,10 @@ func (s *solver) run() (*Result, error) {
 				return nil, err
 			}
 			s.cuts = nCuts
+			s.cCuts.Add(int64(nCuts))
 			if nCuts > 0 {
+				s.trace.Emit("mip.cuts", obs.Int("count", int64(nCuts)),
+					obs.Float("bound", s.strengthen(tightened.Objective)))
 				res = tightened
 				bound = s.strengthen(res.Objective)
 				if s.haveInc && bound >= s.incumbentObj-1e-9 {
@@ -438,7 +641,7 @@ func (s *solver) run() (*Result, error) {
 				}
 				branchCol = s.fractional(res.X)
 				if branchCol < 0 {
-					if err := s.tryIncumbent(res.X); err != nil {
+					if err := s.tryIncumbent(res.X, "lp"); err != nil {
 						return nil, fmt.Errorf("mip: integral cut solution rejected: %v", err)
 					}
 					continue
@@ -448,13 +651,9 @@ func (s *solver) run() (*Result, error) {
 		if s.opt.Heuristic != nil {
 			if cand, ok := s.opt.Heuristic(res.X); ok {
 				if obj, err := s.evaluate(cand); err == nil && obj < s.incumbentObj-1e-9 {
-					s.incumbent = append([]float64(nil), cand...)
-					s.incumbentObj = obj
-					s.haveInc = true
 					s.heurHit++
-					if s.opt.OnIncumbent != nil {
-						s.opt.OnIncumbent(obj, append([]float64(nil), cand...))
-					}
+					s.cHeurHits.Inc()
+					s.acceptIncumbent(cand, obj, "heuristic")
 				}
 			}
 		}
@@ -535,12 +734,19 @@ func (s *solver) run() (*Result, error) {
 
 func (s *solver) result(st Status) *Result {
 	r := &Result{
-		Status:        st,
-		Nodes:         s.nodes,
-		LPIters:       s.lpIters,
-		Elapsed:       time.Since(s.start),
-		HeuristicHits: s.heurHit,
-		Cuts:          s.cuts,
+		Status:           st,
+		Nodes:            s.nodes,
+		LPIters:          s.lpIters,
+		LPSolves:         s.lpSolves,
+		Elapsed:          time.Since(s.start),
+		HeuristicHits:    s.heurHit,
+		Cuts:             s.cuts,
+		Pruned:           s.pruned,
+		Refactorizations: s.refacts,
+		DegeneratePivots: s.degen,
+		DeadlineHit:      s.deadlineHit,
+		Incumbents:       s.incLog,
+		Bounds:           s.boundLog,
 	}
 	if s.haveInc {
 		r.Objective = s.incumbentObj

@@ -1,0 +1,75 @@
+package mip
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/table"
+)
+
+// SolveReport is a human-readable summary of a branch-and-bound solve,
+// rendered by the CLIs as an aligned table at exit.
+type SolveReport struct {
+	Status           Status
+	Objective        float64
+	BestBound        float64
+	Gap              float64
+	Nodes            int
+	Pruned           int
+	LPSolves         int
+	LPIters          int
+	Refactorizations int
+	DegeneratePivots int
+	Incumbents       int
+	HeuristicHits    int
+	Cuts             int
+	DeadlineHit      bool
+	Elapsed          time.Duration
+}
+
+// Report summarizes the result.
+func (r *Result) Report() *SolveReport {
+	return &SolveReport{
+		Status:           r.Status,
+		Objective:        r.Objective,
+		BestBound:        r.BestBound,
+		Gap:              r.Gap(),
+		Nodes:            r.Nodes,
+		Pruned:           r.Pruned,
+		LPSolves:         r.LPSolves,
+		LPIters:          r.LPIters,
+		Refactorizations: r.Refactorizations,
+		DegeneratePivots: r.DegeneratePivots,
+		Incumbents:       len(r.Incumbents),
+		HeuristicHits:    r.HeuristicHits,
+		Cuts:             r.Cuts,
+		DeadlineHit:      r.DeadlineHit,
+		Elapsed:          r.Elapsed,
+	}
+}
+
+// String renders the report as a two-column table.
+func (sr *SolveReport) String() string {
+	t := table.New("solve", "value")
+	t.Row("status", sr.Status.String())
+	if !math.IsInf(sr.Objective, 0) {
+		t.Row("objective", fmt.Sprintf("%.6g", sr.Objective))
+	}
+	if !math.IsInf(sr.BestBound, 0) {
+		t.Row("best bound", fmt.Sprintf("%.6g", sr.BestBound))
+		t.Row("gap [%]", fmt.Sprintf("%.2f", 100*sr.Gap))
+	}
+	t.Row("nodes explored", sr.Nodes)
+	t.Row("nodes pruned", sr.Pruned)
+	t.Row("LP solves", sr.LPSolves)
+	t.Row("LP iterations", sr.LPIters)
+	t.Row("refactorizations", sr.Refactorizations)
+	t.Row("degenerate pivots", sr.DegeneratePivots)
+	t.Row("incumbents", sr.Incumbents)
+	t.Row("heuristic hits", sr.HeuristicHits)
+	t.Row("root cuts", sr.Cuts)
+	t.Row("deadline hit", sr.DeadlineHit)
+	t.Row("elapsed", sr.Elapsed.Round(time.Millisecond).String())
+	return t.String()
+}

@@ -1,0 +1,261 @@
+// Package obs is the observability layer of the reproduction: a
+// dependency-free structured JSONL event emitter with nestable spans
+// (Tracer), plus atomic counters and fixed-bucket histograms behind a
+// Registry. Everything is nil-safe: a nil *Tracer, *Registry, *Counter,
+// *Histogram or *Span is a valid no-op receiver, so instrumented hot
+// paths cost a single pointer comparison when observability is disabled.
+//
+// Trace format: one JSON object per line. Reserved keys are
+//
+//	t      seconds since the tracer was created (float)
+//	seq    monotone event sequence number
+//	ev     event type, e.g. "mip.incumbent" or "sim.replan"
+//	span   span id (events emitted inside a span, and span begin/end)
+//	parent enclosing span id (span begin events only)
+//	phase  "begin" or "end" (span boundary events only)
+//	dur_ms span wall-clock duration (span end events only)
+//
+// all other keys are caller-supplied fields. Field values are typed
+// (Int/Float/Str/Bool constructors) so that emitting does not box values
+// into interfaces.
+package obs
+
+import (
+	"io"
+	"math"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Field is one typed key/value pair of an event.
+type Field struct {
+	Key  string
+	kind fieldKind
+	i    int64
+	f    float64
+	s    string
+}
+
+type fieldKind uint8
+
+const (
+	kindInt fieldKind = iota
+	kindFloat
+	kindStr
+	kindBool
+)
+
+// Int returns an integer-valued field.
+func Int(key string, v int64) Field { return Field{Key: key, kind: kindInt, i: v} }
+
+// Float returns a float-valued field.
+func Float(key string, v float64) Field { return Field{Key: key, kind: kindFloat, f: v} }
+
+// Str returns a string-valued field.
+func Str(key, v string) Field { return Field{Key: key, kind: kindStr, s: v} }
+
+// Bool returns a boolean-valued field.
+func Bool(key string, v bool) Field {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Field{Key: key, kind: kindBool, i: i}
+}
+
+// Tracer emits structured JSONL events. A nil Tracer is a no-op.
+type Tracer struct {
+	mu       sync.Mutex
+	w        io.Writer
+	buf      []byte
+	start    time.Time
+	now      func() time.Time
+	seq      int64
+	nextSpan int64
+	stack    []int64 // open span ids; top is the current parent
+	err      error
+}
+
+// NewTracer creates a tracer writing JSONL events to w. The caller owns
+// w (wrap files in a bufio.Writer and flush at exit for throughput).
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, start: time.Now(), now: time.Now}
+}
+
+// SetClock overrides the tracer's time source (tests).
+func (t *Tracer) SetClock(start time.Time, now func() time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.start, t.now = start, now
+	t.mu.Unlock()
+}
+
+// Enabled reports whether events are actually recorded. Instrumented
+// code may use it to skip expensive field preparation.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Err returns the first write error encountered, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Emit writes one point event with the given fields. Inside an open
+// span the event carries the span id.
+func (t *Tracer) Emit(event string, fields ...Field) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	span := int64(-1)
+	if n := len(t.stack); n > 0 {
+		span = t.stack[n-1]
+	}
+	t.write(event, span, -1, "", 0, fields)
+	t.mu.Unlock()
+}
+
+// Span is an open trace span. A nil Span is a no-op.
+type Span struct {
+	t     *Tracer
+	id    int64
+	name  string
+	start time.Time
+}
+
+// StartSpan emits a begin event and opens a nested span: events emitted
+// until the matching End carry this span's id.
+func (t *Tracer) StartSpan(name string, fields ...Field) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	parent := int64(-1)
+	if n := len(t.stack); n > 0 {
+		parent = t.stack[n-1]
+	}
+	t.nextSpan++
+	id := t.nextSpan
+	t.stack = append(t.stack, id)
+	now := t.now()
+	t.write(name, id, parent, "begin", 0, fields)
+	t.mu.Unlock()
+	return &Span{t: t, id: id, name: name, start: now}
+}
+
+// End closes the span, emitting an end event with its duration and any
+// extra fields. Out-of-order ends are tolerated (the span is removed
+// from wherever it sits on the stack).
+func (sp *Span) End(fields ...Field) {
+	if sp == nil || sp.t == nil {
+		return
+	}
+	t := sp.t
+	t.mu.Lock()
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if t.stack[i] == sp.id {
+			t.stack = append(t.stack[:i], t.stack[i+1:]...)
+			break
+		}
+	}
+	dur := t.now().Sub(sp.start)
+	t.write(sp.name, sp.id, -1, "end", dur, fields)
+	t.mu.Unlock()
+	sp.t = nil // double End is a no-op
+}
+
+// write appends one encoded line; the caller holds t.mu.
+func (t *Tracer) write(event string, span, parent int64, phase string, dur time.Duration, fields []Field) {
+	if t.err != nil {
+		return
+	}
+	b := t.buf[:0]
+	b = append(b, `{"t":`...)
+	b = strconv.AppendFloat(b, t.now().Sub(t.start).Seconds(), 'f', 6, 64)
+	b = append(b, `,"seq":`...)
+	b = strconv.AppendInt(b, t.seq, 10)
+	t.seq++
+	b = append(b, `,"ev":`...)
+	b = appendJSONString(b, event)
+	if span >= 0 {
+		b = append(b, `,"span":`...)
+		b = strconv.AppendInt(b, span, 10)
+	}
+	if parent >= 0 {
+		b = append(b, `,"parent":`...)
+		b = strconv.AppendInt(b, parent, 10)
+	}
+	if phase != "" {
+		b = append(b, `,"phase":`...)
+		b = appendJSONString(b, phase)
+		if phase == "end" {
+			b = append(b, `,"dur_ms":`...)
+			b = strconv.AppendFloat(b, float64(dur)/float64(time.Millisecond), 'f', 3, 64)
+		}
+	}
+	for _, f := range fields {
+		b = append(b, ',')
+		b = appendJSONString(b, f.Key)
+		b = append(b, ':')
+		switch f.kind {
+		case kindInt:
+			b = strconv.AppendInt(b, f.i, 10)
+		case kindFloat:
+			b = appendJSONFloat(b, f.f)
+		case kindStr:
+			b = appendJSONString(b, f.s)
+		case kindBool:
+			if f.i != 0 {
+				b = append(b, "true"...)
+			} else {
+				b = append(b, "false"...)
+			}
+		}
+	}
+	b = append(b, '}', '\n')
+	t.buf = b
+	if _, err := t.w.Write(b); err != nil {
+		t.err = err
+	}
+}
+
+// appendJSONFloat encodes f as a JSON number (NaN/Inf become null, which
+// plain JSON cannot represent).
+func appendJSONFloat(b []byte, f float64) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return append(b, "null"...)
+	}
+	return strconv.AppendFloat(b, f, 'g', -1, 64)
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString encodes s as a quoted JSON string.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c >= 0x20:
+			b = append(b, c)
+		case c == '\n':
+			b = append(b, '\\', 'n')
+		case c == '\t':
+			b = append(b, '\\', 't')
+		case c == '\r':
+			b = append(b, '\\', 'r')
+		default:
+			b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		}
+	}
+	return append(b, '"')
+}

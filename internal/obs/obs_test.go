@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// decodeLines parses every JSONL line of buf with encoding/json, proving
+// the hand-rolled encoder emits valid JSON.
+func decodeLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("invalid JSON line %q: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestTracerJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Emit("test.point",
+		Int("i", 42),
+		Float("f", 1.5),
+		Str("s", `quo"te\and	tab`),
+		Bool("b", true),
+		Float("nan", math.NaN()))
+	events := decodeLines(t, &buf)
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1", len(events))
+	}
+	e := events[0]
+	if e["ev"] != "test.point" {
+		t.Errorf("ev = %v", e["ev"])
+	}
+	if e["i"] != float64(42) || e["f"] != 1.5 || e["b"] != true {
+		t.Errorf("fields = %v", e)
+	}
+	if e["s"] != `quo"te\and	tab` {
+		t.Errorf("string field mangled: %q", e["s"])
+	}
+	if e["nan"] != nil {
+		t.Errorf("NaN should encode as null, got %v", e["nan"])
+	}
+	if _, ok := e["seq"]; !ok {
+		t.Error("missing seq")
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	outer := tr.StartSpan("outer")
+	inner := tr.StartSpan("inner", Int("k", 1))
+	tr.Emit("point")
+	inner.End()
+	inner.End() // double End must be a no-op
+	outer.End(Str("status", "done"))
+	tr.Emit("after")
+
+	events := decodeLines(t, &buf)
+	if len(events) != 6 {
+		t.Fatalf("got %d events, want 6", len(events))
+	}
+	// outer begin: no parent.
+	if events[0]["phase"] != "begin" || events[0]["ev"] != "outer" {
+		t.Errorf("events[0] = %v", events[0])
+	}
+	if _, hasParent := events[0]["parent"]; hasParent {
+		t.Errorf("outer span must have no parent: %v", events[0])
+	}
+	outerID := events[0]["span"]
+	// inner begin: parent = outer.
+	if events[1]["ev"] != "inner" || events[1]["parent"] != outerID {
+		t.Errorf("inner begin not nested under outer: %v", events[1])
+	}
+	innerID := events[1]["span"]
+	// point event inherits the innermost open span.
+	if events[2]["span"] != innerID {
+		t.Errorf("point not attributed to inner span: %v", events[2])
+	}
+	// inner end carries a duration.
+	if events[3]["phase"] != "end" || events[3]["span"] != innerID {
+		t.Errorf("events[3] = %v", events[3])
+	}
+	if _, ok := events[3]["dur_ms"]; !ok {
+		t.Errorf("span end missing dur_ms: %v", events[3])
+	}
+	// outer end carries the extra field.
+	if events[4]["span"] != outerID || events[4]["status"] != "done" {
+		t.Errorf("events[4] = %v", events[4])
+	}
+	// after both ends, events carry no span.
+	if _, hasSpan := events[5]["span"]; hasSpan {
+		t.Errorf("event after all spans closed still has span: %v", events[5])
+	}
+}
+
+func TestSpanDuration(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	base := time.Unix(100, 0)
+	clock := base
+	tr.SetClock(base, func() time.Time { return clock })
+	sp := tr.StartSpan("work")
+	clock = clock.Add(250 * time.Millisecond)
+	sp.End()
+	events := decodeLines(t, &buf)
+	if got := events[1]["dur_ms"]; got != 250.0 {
+		t.Errorf("dur_ms = %v, want 250", got)
+	}
+	if got := events[1]["t"]; got != 0.25 {
+		t.Errorf("t = %v, want 0.25", got)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("depth", []float64{1, 4, 16})
+	for _, v := range []float64{0, 1, 2, 4, 5, 16, 100} {
+		h.Observe(v)
+	}
+	bs := h.Buckets()
+	if len(bs) != 4 {
+		t.Fatalf("got %d buckets, want 4", len(bs))
+	}
+	// Upper edges inclusive: [<=1]=2 (0,1), [<=4]=2 (2,4), [<=16]=2 (5,16), [+Inf]=1 (100).
+	want := []int64{2, 2, 2, 1}
+	for i, b := range bs {
+		if b.Count != want[i] {
+			t.Errorf("bucket %d (<= %g): count %d, want %d", i, b.UpperBound, b.Count, want[i])
+		}
+	}
+	if !math.IsInf(bs[3].UpperBound, 1) {
+		t.Errorf("last bucket bound = %g, want +Inf", bs[3].UpperBound)
+	}
+	if h.Count() != 7 {
+		t.Errorf("Count = %d, want 7", h.Count())
+	}
+	if h.Sum() != 128 {
+		t.Errorf("Sum = %g, want 128", h.Sum())
+	}
+	if got, want := h.Mean(), 128.0/7; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean = %g, want %g", got, want)
+	}
+}
+
+func TestRegistryCountersAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 4 {
+		t.Errorf("counter = %d, want 4", c.Value())
+	}
+	if r.Counter("a") != c {
+		t.Error("Counter not idempotent per name")
+	}
+	r.Histogram("b", []float64{10}).Observe(5)
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "a" || snap[1].Name != "b" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap[0].Value != 4 || snap[1].Value != 1 {
+		t.Errorf("snapshot values = %+v", snap)
+	}
+	if out := r.String(); !strings.Contains(out, "a") || !strings.Contains(out, "4") {
+		t.Errorf("String() = %q", out)
+	}
+}
+
+func TestCounterConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	h := r.Histogram("h", []float64{50})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 || h.Sum() != 8000 {
+		t.Errorf("histogram count=%d sum=%g, want 8000", h.Count(), h.Sum())
+	}
+}
+
+// TestNilSafety drives every instrument through nil receivers: the
+// disabled configuration must be inert, not crash.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	tr.Emit("ev", Int("x", 1))
+	sp := tr.StartSpan("span")
+	sp.End()
+	(*Span)(nil).End()
+	if err := tr.Err(); err != nil {
+		t.Error(err)
+	}
+	tr.SetClock(time.Time{}, nil)
+
+	var r *Registry
+	c := r.Counter("x")
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	h := r.Histogram("y", []float64{1})
+	h.Observe(3)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Buckets() != nil {
+		t.Error("nil histogram not inert")
+	}
+	if r.Snapshot() != nil || r.String() != "" {
+		t.Error("nil registry snapshot not empty")
+	}
+}
+
+// TestNoopAllocations proves the disabled instruments allocate nothing
+// on the hot path — the contract that lets solver and simulator inner
+// loops stay instrumented unconditionally.
+func TestNoopAllocations(t *testing.T) {
+	var tr *Tracer
+	var c *Counter
+	var h *Histogram
+	if n := testing.AllocsPerRun(1000, func() {
+		tr.Emit("ev", Int("a", 1), Float("b", 2.5), Str("c", "x"))
+		c.Inc()
+		h.Observe(1)
+	}); n != 0 {
+		t.Errorf("no-op instrumentation allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		sp := tr.StartSpan("s", Int("a", 1))
+		sp.End()
+	}); n != 0 {
+		t.Errorf("no-op span allocates %v per op, want 0", n)
+	}
+}

@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. A nil Counter
+// is a no-op.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.n.Add(d)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Histogram is a fixed-bucket histogram: bounds are the inclusive upper
+// edges of each bucket, with an implicit +Inf overflow bucket. A nil
+// Histogram is a no-op.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples (0 for a nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Mean returns the average sample, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if n := h.Count(); n > 0 {
+		return h.Sum() / float64(n)
+	}
+	return 0
+}
+
+// Bucket is one histogram bucket in a snapshot.
+type Bucket struct {
+	// UpperBound is the inclusive upper edge (+Inf for the overflow bucket).
+	UpperBound float64
+	Count      int64
+}
+
+// Buckets returns a snapshot of the bucket counts.
+func (h *Histogram) Buckets() []Bucket {
+	if h == nil {
+		return nil
+	}
+	out := make([]Bucket, len(h.counts))
+	for i := range h.counts {
+		ub := math.Inf(1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		out[i] = Bucket{UpperBound: ub, Count: h.counts[i].Load()}
+	}
+	return out
+}
+
+// Registry holds named counters and histograms. A nil Registry hands out
+// nil (no-op) instruments, so callers never need to branch.
+type Registry struct {
+	mu    sync.Mutex
+	cs    map[string]*Counter
+	hs    map[string]*Histogram
+	order []string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{cs: map[string]*Counter{}, hs: map[string]*Histogram{}}
+}
+
+// Counter returns the counter with the given name, creating it on first
+// use. Returns nil (a no-op counter) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.cs[name]
+	if !ok {
+		c = &Counter{}
+		r.cs[name] = c
+		r.order = append(r.order, name)
+	}
+	return c
+}
+
+// Histogram returns the histogram with the given name, creating it with
+// the given bucket bounds on first use (later bounds are ignored).
+// Returns nil (a no-op histogram) on a nil registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hs[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hs[name] = h
+		r.order = append(r.order, name)
+	}
+	return h
+}
+
+// Metric is one instrument in a registry snapshot.
+type Metric struct {
+	Name    string
+	Kind    string // "counter" or "histogram"
+	Value   int64  // counter value, or histogram sample count
+	Sum     float64
+	Mean    float64
+	Buckets []Bucket // histograms only
+}
+
+// Snapshot returns all instruments in registration order.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Metric, 0, len(r.order))
+	for _, name := range r.order {
+		if c, ok := r.cs[name]; ok {
+			out = append(out, Metric{Name: name, Kind: "counter", Value: c.Value()})
+			continue
+		}
+		h := r.hs[name]
+		out = append(out, Metric{Name: name, Kind: "histogram",
+			Value: h.Count(), Sum: h.Sum(), Mean: h.Mean(), Buckets: h.Buckets()})
+	}
+	return out
+}
+
+// String renders the registry as an aligned two-column table.
+func (r *Registry) String() string {
+	ms := r.Snapshot()
+	if len(ms) == 0 {
+		return ""
+	}
+	rows := make([][2]string, len(ms))
+	width := 0
+	for i, m := range ms {
+		rows[i][0] = m.Name
+		if m.Kind == "counter" {
+			rows[i][1] = fmt.Sprintf("%d", m.Value)
+		} else {
+			rows[i][1] = fmt.Sprintf("n=%d mean=%.3f sum=%.3f", m.Value, m.Mean, m.Sum)
+		}
+		if len(m.Name) > width {
+			width = len(m.Name)
+		}
+	}
+	var b strings.Builder
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-*s  %s\n", width, row[0], row[1])
+	}
+	return b.String()
+}

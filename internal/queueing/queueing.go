@@ -83,9 +83,9 @@ func (q qEventQueue) Less(i, j int) bool {
 	}
 	return q[i].seq < q[j].seq
 }
-func (q qEventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *qEventQueue) Push(x interface{}) { *q = append(*q, x.(qEvent)) }
-func (q *qEventQueue) Pop() interface{} {
+func (q qEventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *qEventQueue) Push(x any)   { *q = append(*q, x.(qEvent)) }
+func (q *qEventQueue) Pop() any {
 	old := *q
 	e := old[len(old)-1]
 	*q = old[:len(old)-1]

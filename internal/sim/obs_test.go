@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// TestSimulatorTraceEvents runs a CTC-like workload with tracing on and
+// checks the JSONL stream carries the full event vocabulary, and that
+// observing the run does not change its outcome.
+func TestSimulatorTraceEvents(t *testing.T) {
+	tr, err := workload.Generate(workload.CTC(), 120, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	reg := obs.NewRegistry()
+	s, err := New(tr, standard(), Config{
+		ReplanOnCompletion: true,
+		Trace:              obs.NewTracer(&buf),
+		Metrics:            reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	types := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var e map[string]any
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", line, err)
+		}
+		types[e["ev"].(string)]++
+	}
+	for _, want := range []string{
+		"sim.submit", "sim.start", "sim.end", "sim.replan",
+		"sim.selftune", "dynp.decision",
+	} {
+		if types[want] == 0 {
+			t.Errorf("no %s events in trace (types: %v)", want, types)
+		}
+	}
+	if types["sim.submit"] != len(tr.Jobs) {
+		t.Errorf("sim.submit count %d != %d jobs", types["sim.submit"], len(tr.Jobs))
+	}
+	if types["sim.end"] != len(res.Completed) {
+		t.Errorf("sim.end count %d != %d completions", types["sim.end"], len(res.Completed))
+	}
+	if res.Switches > 0 && types["dynp.switch"] != res.Switches {
+		t.Errorf("dynp.switch count %d != %d switches", types["dynp.switch"], res.Switches)
+	}
+	if res.Replans == 0 {
+		t.Error("Result.Replans = 0 on a replanning run")
+	}
+	if got := reg.Counter("sim.replans").Value(); got != int64(res.Replans) {
+		t.Errorf("sim.replans counter = %d, want %d", got, res.Replans)
+	}
+	if got := reg.Counter("dynp.steps").Value(); got != int64(res.Steps) {
+		t.Errorf("dynp.steps counter = %d, want %d", got, res.Steps)
+	}
+	if got := reg.Histogram("sim.queue_depth", nil).Count(); got != int64(res.Steps) {
+		t.Errorf("queue-depth histogram samples = %d, want %d", got, res.Steps)
+	}
+
+	// The same workload without observers must produce the identical run.
+	tr2, err := workload.Generate(workload.CTC(), 120, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(tr2, standard(), Config{ReplanOnCompletion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := s2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != res2.Makespan || res.Steps != res2.Steps ||
+		res.Switches != res2.Switches || res.Replans != res2.Replans ||
+		!reflect.DeepEqual(res.PolicyUse, res2.PolicyUse) {
+		t.Errorf("tracing changed the simulation: %+v vs %+v", res, res2)
+	}
+	if res.SlowdownWeightedByArea() != res2.SlowdownWeightedByArea() {
+		t.Errorf("SLDwA differs with tracing: %g vs %g",
+			res.SlowdownWeightedByArea(), res2.SlowdownWeightedByArea())
+	}
+}
+
+func TestRunReportRendering(t *testing.T) {
+	tr, err := workload.Generate(workload.CTC(), 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(tr, standard(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := res.Report(tr.Processors, []string{"FCFS", "SJF", "LJF"})
+	if rr.Jobs != len(res.Completed) || rr.Steps != res.Steps {
+		t.Errorf("report fields wrong: %+v", rr)
+	}
+	out := rr.String()
+	for _, want := range []string{"jobs completed", "SLDwA", "self-tuning steps", "replans on completion", "FCFS", "SJF", "LJF"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/table"
+)
+
+// PolicyCount is one policy's self-tuning usage count.
+type PolicyCount struct {
+	Policy string
+	Count  int
+}
+
+// RunReport is a human-readable summary of a simulation run, rendered by
+// cmd/dynpsim as aligned tables at exit.
+type RunReport struct {
+	Jobs           int
+	Makespan       int64
+	MeanResponse   float64
+	MeanWait       float64
+	MeanSlowdown   float64
+	SLDwA          float64
+	Utilization    float64
+	Steps          int
+	Switches       int
+	Replans        int
+	MaxQueueDepth  int
+	MeanQueueDepth float64
+	// PolicyUse lists the self-tuning decisions per policy in the given
+	// order (policies the decider never chose appear with count 0).
+	PolicyUse []PolicyCount
+}
+
+// Report summarizes the result. machineSize is the processor count used
+// for utilization; policyOrder fixes the PolicyUse ordering (policies
+// absent from the result appear with a zero count).
+func (r *Result) Report(machineSize int, policyOrder []string) *RunReport {
+	rr := &RunReport{
+		Jobs:           len(r.Completed),
+		Makespan:       r.Makespan,
+		MeanResponse:   r.MeanResponseTime(),
+		MeanWait:       r.MeanWaitTime(),
+		MeanSlowdown:   r.MeanSlowdown(),
+		SLDwA:          r.SlowdownWeightedByArea(),
+		Utilization:    r.Utilization(machineSize),
+		Steps:          r.Steps,
+		Switches:       r.Switches,
+		Replans:        r.Replans,
+		MaxQueueDepth:  r.MaxQueueDepth,
+		MeanQueueDepth: r.MeanQueueDepth(),
+	}
+	for _, name := range policyOrder {
+		rr.PolicyUse = append(rr.PolicyUse, PolicyCount{Policy: name, Count: r.PolicyUse[name]})
+	}
+	return rr
+}
+
+// String renders the report as two aligned tables (run metrics, then the
+// per-policy self-tuning decisions).
+func (rr *RunReport) String() string {
+	t := table.New("metric", "value")
+	t.Row("jobs completed", rr.Jobs)
+	t.Row("makespan [s]", rr.Makespan)
+	t.Row("mean response time [s]", fmt.Sprintf("%.1f", rr.MeanResponse))
+	t.Row("mean wait time [s]", fmt.Sprintf("%.1f", rr.MeanWait))
+	t.Row("mean slowdown", fmt.Sprintf("%.3f", rr.MeanSlowdown))
+	t.Row("SLDwA", fmt.Sprintf("%.3f", rr.SLDwA))
+	t.Row("utilization", fmt.Sprintf("%.3f", rr.Utilization))
+	t.Row("self-tuning steps", rr.Steps)
+	t.Row("policy switches", rr.Switches)
+	t.Row("replans on completion", rr.Replans)
+	t.Row("max queue depth", rr.MaxQueueDepth)
+	t.Row("mean queue depth", fmt.Sprintf("%.1f", rr.MeanQueueDepth))
+	out := t.String()
+	if len(rr.PolicyUse) > 0 {
+		use := table.New("policy", "times chosen")
+		for _, pc := range rr.PolicyUse {
+			use.Row(pc.Policy, pc.Count)
+		}
+		out += use.String()
+	}
+	return out
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/dynp"
 	"repro/internal/job"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/schedule"
 )
 
@@ -50,9 +51,9 @@ func (q eventQueue) Less(i, j int) bool {
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() interface{} {
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
 	old := *q
 	n := len(old)
 	e := old[n-1]
@@ -127,6 +128,14 @@ type Config struct {
 	OnStep func(*StepContext)
 	// MaxSteps aborts runaway simulations (0 = no limit).
 	MaxSteps int
+	// Trace, if non-nil, receives structured simulator events
+	// (sim.submit, sim.start, sim.end, sim.replan, sim.selftune spans)
+	// and is also attached to the scheduler (dynp.decision, dynp.switch).
+	// Tracing never influences the simulation itself.
+	Trace *obs.Tracer
+	// Metrics, if non-nil, accumulates simulator counters and the
+	// queue-depth histograms; it is also attached to the scheduler.
+	Metrics *obs.Registry
 }
 
 // Result summarizes a simulation.
@@ -136,6 +145,9 @@ type Result struct {
 	Makespan int64
 	// Steps and Switches are the dynP self-tuning statistics.
 	Steps, Switches int
+	// Replans counts plan rebuilds triggered by job completions (without
+	// a self-tuning step).
+	Replans int
 	// PolicyUse counts self-tuning decisions per policy name.
 	PolicyUse map[string]int
 	// MaxQueueDepth is the largest waiting-queue length seen at a
@@ -231,6 +243,15 @@ type Simulator struct {
 	planVer int
 
 	result Result
+
+	// Observability sinks (all nil-safe no-ops when disabled).
+	trace       *obs.Tracer
+	cSubmits    *obs.Counter
+	cStarts     *obs.Counter
+	cEnds       *obs.Counter
+	cReplans    *obs.Counter
+	hQueueDepth *obs.Histogram // waiting-queue length per self-tuning step
+	hEventDepth *obs.Histogram // event-loop (heap) depth per event
 }
 
 type runningJob struct {
@@ -278,6 +299,19 @@ func New(t *job.Trace, s *dynp.Scheduler, cfg Config) (*Simulator, error) {
 		plan:      map[int]int64{},
 	}
 	sim.result.PolicyUse = map[string]int{}
+	sim.trace = cfg.Trace
+	if reg := cfg.Metrics; reg != nil {
+		depthBounds := []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}
+		sim.cSubmits = reg.Counter("sim.submits")
+		sim.cStarts = reg.Counter("sim.starts")
+		sim.cEnds = reg.Counter("sim.completions")
+		sim.cReplans = reg.Counter("sim.replans")
+		sim.hQueueDepth = reg.Histogram("sim.queue_depth", depthBounds)
+		sim.hEventDepth = reg.Histogram("sim.event_loop_depth", depthBounds)
+	}
+	if cfg.Trace != nil || cfg.Metrics != nil {
+		s.SetObs(cfg.Trace, cfg.Metrics)
+	}
 	for _, j := range t.Jobs {
 		sim.push(event{time: j.Submit, kind: evSubmit, job: j})
 	}
@@ -365,6 +399,12 @@ func (s *Simulator) startDueJobs() {
 		r := &runningJob{job: j, start: s.clock, estimatedEnd: s.clock + j.Estimate}
 		s.running[j.ID] = r
 		s.push(event{time: s.clock + j.Runtime, kind: evEnd, job: j})
+		s.cStarts.Inc()
+		s.trace.Emit("sim.start",
+			obs.Int("t", s.clock),
+			obs.Int("job", int64(j.ID)),
+			obs.Int("width", int64(j.Width)),
+			obs.Int("wait", s.clock-j.Submit))
 	}
 }
 
@@ -375,10 +415,16 @@ func (s *Simulator) selfTune(submitted *job.Job) error {
 		return err
 	}
 	waiting := s.waitingSlice()
+	s.hQueueDepth.Observe(float64(len(waiting)))
+	span := s.trace.StartSpan("sim.selftune",
+		obs.Int("t", s.clock),
+		obs.Int("queue_depth", int64(len(waiting))))
 	res, err := s.scheduler.Step(s.clock, base, waiting)
 	if err != nil {
+		span.End(obs.Str("status", "error"))
 		return err
 	}
+	span.End(obs.Str("chosen", res.Chosen.Name()), obs.Bool("switched", res.Switched))
 	s.result.Steps++
 	if res.Switched {
 		s.result.Switches++
@@ -404,6 +450,12 @@ func (s *Simulator) replan() error {
 	if err != nil {
 		return err
 	}
+	s.result.Replans++
+	s.cReplans.Inc()
+	s.trace.Emit("sim.replan",
+		obs.Int("t", s.clock),
+		obs.Int("queue_depth", int64(len(s.waiting))),
+		obs.Str("policy", s.scheduler.Current().Name()))
 	sch, err := s.scheduler.Reschedule(s.clock, base, s.waitingSlice())
 	if err != nil {
 		return err
@@ -417,6 +469,7 @@ func (s *Simulator) Run() (*Result, error) {
 	var firstSubmit, lastEnd int64 = -1, 0
 	steps := 0
 	for s.queue.Len() > 0 {
+		s.hEventDepth.Observe(float64(s.queue.Len()))
 		e := heap.Pop(&s.queue).(event)
 		if e.time < s.clock {
 			return nil, fmt.Errorf("sim: time went backwards (%d < %d)", e.time, s.clock)
@@ -429,7 +482,14 @@ func (s *Simulator) Run() (*Result, error) {
 				return nil, fmt.Errorf("sim: completion for job %d which is not running", e.job.ID)
 			}
 			delete(s.running, e.job.ID)
-			s.result.Completed = append(s.result.Completed, CompletedJob{Job: r.job, Start: r.start, End: s.clock})
+			done := CompletedJob{Job: r.job, Start: r.start, End: s.clock}
+			s.result.Completed = append(s.result.Completed, done)
+			s.cEnds.Inc()
+			s.trace.Emit("sim.end",
+				obs.Int("t", s.clock),
+				obs.Int("job", int64(r.job.ID)),
+				obs.Int("response", done.ResponseTime()),
+				obs.Int("wait", done.WaitTime()))
 			if s.clock > lastEnd {
 				lastEnd = s.clock
 			}
@@ -454,6 +514,12 @@ func (s *Simulator) Run() (*Result, error) {
 				firstSubmit = s.clock
 			}
 			s.waiting[e.job.ID] = e.job
+			s.cSubmits.Inc()
+			s.trace.Emit("sim.submit",
+				obs.Int("t", s.clock),
+				obs.Int("job", int64(e.job.ID)),
+				obs.Int("width", int64(e.job.Width)),
+				obs.Int("estimate", e.job.Estimate))
 			if err := s.selfTune(e.job); err != nil {
 				return nil, err
 			}

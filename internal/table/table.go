@@ -21,7 +21,7 @@ func New(header ...string) *Table {
 }
 
 // Row appends a row; cells are formatted with %v.
-func (t *Table) Row(cells ...interface{}) {
+func (t *Table) Row(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
