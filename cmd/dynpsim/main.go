@@ -6,9 +6,16 @@
 // Usage:
 //
 //	dynpsim -swf ctc.swf -metric SLDwA -decider advanced
+//	dynpsim -swf damaged.swf -lenient
 //	dynpsim -synthetic 2000 -seed 3 -policies FCFS,SJF,LJF
 //	dynpsim -synthetic 2000 -trace run.jsonl -verbose
+//	dynpsim -synthetic 500 -ilp -solve-budget 5s -solve-retries 2 -fallback
 //	dynpsim -synthetic 2000 -cpuprofile cpu.pprof -pprof localhost:6060
+//
+// With -ilp every self-tuning step is solved through the fault-tolerant
+// retry ladder (internal/solvepipe) and the compacted optimal schedule
+// drives the machine; -solve-budget, -solve-retries, -max-model-vars and
+// -fallback bound that pipeline. -lenient tolerates corrupt SWF records.
 //
 // Observability: -trace writes one JSON object per simulator event
 // (sim.submit, sim.start, sim.end, sim.replan, sim.selftune spans,
@@ -28,13 +35,17 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/dynp"
+	"repro/internal/ilpsched"
 	"repro/internal/job"
 	"repro/internal/metrics"
+	"repro/internal/mip"
 	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/sim"
+	"repro/internal/solvepipe"
 	"repro/internal/swf"
 	"repro/internal/workload"
 )
@@ -49,6 +60,12 @@ func main() {
 		deciderStr = flag.String("decider", "advanced", "decider: simple or advanced")
 		policiesCS = flag.String("policies", "FCFS,SJF,LJF", "comma-separated policy list")
 		noReplan   = flag.Bool("no-replan", false, "do not replan when jobs finish early")
+		lenient    = flag.Bool("lenient", false, "tolerate corrupt SWF records (count and skip them)")
+		ilpDriven  = flag.Bool("ilp", false, "adopt ILP schedules via the fault-tolerant solve pipeline")
+		budget     = flag.Duration("solve-budget", 10*time.Second, "per-attempt solve budget of the retry ladder (with -ilp)")
+		retries    = flag.Int("solve-retries", 2, "extra retry-ladder attempts under a coarser grid (with -ilp)")
+		maxVars    = flag.Int("max-model-vars", 0, "refuse to build ILP models above this many variables (0 = unguarded)")
+		fallback   = flag.Bool("fallback", true, "degrade a failed solve to the basic-policy schedule instead of aborting (with -ilp)")
 		traceOut   = flag.String("trace", "", "write a structured JSONL event trace to this file")
 		verbose    = flag.Bool("verbose", false, "print per-step progress lines and counters on stderr")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -77,7 +94,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dynpsim: pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
-	tr, err := loadTrace(*swfPath, *synthetic, *seed)
+	tr, err := loadTrace(*swfPath, *synthetic, *seed, *lenient)
 	if err != nil {
 		fail(err)
 	}
@@ -136,6 +153,17 @@ func main() {
 		Trace:              tracer,
 		Metrics:            reg,
 	}
+	if *ilpDriven {
+		cfg.ILP = &sim.ILPConfig{
+			Pipe: solvepipe.Config{
+				Budget:  *budget,
+				Retries: *retries,
+				Limit:   ilpsched.SizeLimit{MaxVariables: *maxVars},
+				MIP:     mip.Options{MaxNodes: 200000},
+			},
+			Fallback: *fallback,
+		}
+	}
 	if *verbose {
 		cfg.OnStep = func(sc *sim.StepContext) {
 			status := ""
@@ -183,7 +211,7 @@ func main() {
 	}
 }
 
-func loadTrace(path string, synthetic int, seed uint64) (*job.Trace, error) {
+func loadTrace(path string, synthetic int, seed uint64, lenient bool) (*job.Trace, error) {
 	if path == "" {
 		return workload.Generate(workload.CTC(), synthetic, seed)
 	}
@@ -192,12 +220,16 @@ func loadTrace(path string, synthetic int, seed uint64) (*job.Trace, error) {
 		return nil, err
 	}
 	defer f.Close()
-	res, err := swf.Parse(f)
+	res, err := swf.ParseWith(f, swf.Options{Lenient: lenient})
 	if err != nil {
 		return nil, err
 	}
 	if res.Skipped > 0 {
 		fmt.Fprintf(os.Stderr, "dynpsim: skipped %d unusable records\n", res.Skipped)
+	}
+	if res.Malformed > 0 {
+		fmt.Fprintf(os.Stderr, "dynpsim: dropped %d malformed records (first bad lines: %v)\n",
+			res.Malformed, res.BadLines)
 	}
 	return res.Trace, nil
 }

@@ -11,6 +11,14 @@
 //
 //	optsched -jobs 10 -machine 64 -seed 3 -history -scale 0 -lp model.lp
 //	optsched -jobs 12 -trace solve.jsonl -verbose -cpuprofile cpu.pprof
+//	optsched -jobs 20 -solve-budget 5s -solve-retries 2 -max-model-vars 50000
+//
+// The solve runs through the fault-tolerant retry ladder
+// (internal/solvepipe): a timed-out, oversized, or grid-infeasible
+// attempt is retried under a coarser Eq. 6 time scale with an enlarged
+// budget, up to -solve-retries times. With -fallback (the default) an
+// exhausted ladder degrades to reporting the policy schedules instead
+// of erroring.
 //
 // Observability: -trace writes the solver's structured JSONL events
 // (mip.solve span, mip.incumbent, mip.bound, mip.cuts), -verbose prints
@@ -20,6 +28,8 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +44,7 @@ import (
 	"repro/internal/mip"
 	"repro/internal/obs"
 	"repro/internal/policy"
+	"repro/internal/solvepipe"
 	"repro/internal/stats"
 	"repro/internal/table"
 )
@@ -46,6 +57,10 @@ func main() {
 		scale      = flag.Int64("scale", 0, "time scale in seconds (0 = Eq. 6)")
 		nodes      = flag.Int("nodes", 20000, "branch-and-bound node limit")
 		timeLimit  = flag.Duration("timeout", 30*time.Second, "branch-and-bound time limit")
+		budget     = flag.Duration("solve-budget", 0, "per-attempt budget of the retry ladder (0 = -timeout)")
+		retries    = flag.Int("solve-retries", 0, "extra retry-ladder attempts under a coarser grid")
+		maxVars    = flag.Int("max-model-vars", 0, "refuse to build models above this many variables (0 = unguarded)")
+		fallback   = flag.Bool("fallback", true, "report the best policy schedule when the ladder fails instead of erroring")
 		history    = flag.Bool("history", false, "print the machine history (Figure 1)")
 		lpOut      = flag.String("lp", "", "write the model as a CPLEX LP file")
 		metricStr  = flag.String("metric", "SLDwA", "comparison metric")
@@ -134,22 +149,29 @@ func main() {
 	fmt.Printf("instance: %d jobs, makespan bound %d s, acc. runtime %d s, time scale %d s\n",
 		len(jobs), inst.MaxMakespan(), inst.AccumulatedRuntime(), sc)
 
-	model, err := ilpsched.Build(inst, sc)
-	if err != nil {
+	sizeLimit := ilpsched.SizeLimit{MaxVariables: *maxVars}
+	model, err := ilpsched.BuildGuarded(inst, sc, sizeLimit)
+	if err != nil && !errors.Is(err, ilpsched.ErrModelTooLarge) {
 		fail(err)
 	}
-	fmt.Printf("model: %d binary variables, %d rows, %d matrix entries\n",
-		model.NumVariables(), model.NumConstraints(), model.MatrixEntries())
-	if *lpOut != "" {
-		f, err := os.Create(*lpOut)
-		if err != nil {
-			fail(err)
+	if err != nil {
+		// The guard refused the first-rung model; the ladder below will
+		// escalate to a coarser grid.
+		fmt.Printf("model: %v\n", err)
+	} else {
+		fmt.Printf("model: %d binary variables, %d rows, %d matrix entries\n",
+			model.NumVariables(), model.NumConstraints(), model.MatrixEntries())
+		if *lpOut != "" {
+			f, err := os.Create(*lpOut)
+			if err != nil {
+				fail(err)
+			}
+			if err := model.WriteLP(f); err != nil {
+				fail(err)
+			}
+			f.Close()
+			fmt.Printf("wrote LP file %s\n", *lpOut)
 		}
-		if err := model.WriteLP(f); err != nil {
-			fail(err)
-		}
-		f.Close()
-		fmt.Printf("wrote LP file %s\n", *lpOut)
 	}
 
 	opts := mip.Options{MaxNodes: *nodes, TimeLimit: *timeLimit}
@@ -178,12 +200,46 @@ func main() {
 	if *verbose {
 		opts.Progress = printProgress
 	}
-	sol, err := model.Solve(opts)
+	perAttempt := *budget
+	if perAttempt <= 0 {
+		perAttempt = *timeLimit
+	}
+	out := solvepipe.Solve(context.Background(), solvepipe.Config{
+		Budget:     perAttempt,
+		Retries:    *retries,
+		FixedScale: sc,
+		Limit:      sizeLimit,
+		MIP:        opts,
+		Trace:      tracer,
+		Metrics:    reg,
+	}, inst)
 	if flush != nil {
 		flush()
 	}
-	if err != nil {
-		fail(err)
+	if len(out.Attempts) > 1 || out.Failed() {
+		at := table.New("rung", "scale[s]", "budget", "failure", "elapsed")
+		for i, a := range out.Attempts {
+			at.Row(i, a.Scale, a.Budget.String(), a.Failure.String(),
+				a.Elapsed.Round(time.Millisecond).String())
+		}
+		fmt.Print(at.String())
+	}
+	if out.Failed() {
+		if !*fallback {
+			fail(out.Err)
+		}
+		fmt.Printf("solve pipeline exhausted (%v); falling back to best policy %s\n",
+			out.Err, bestName)
+		t := table.New("schedule", *metricStr)
+		for _, pr := range pols {
+			t.Row(pr.name, fmt.Sprintf("%.4f", pr.value))
+		}
+		fmt.Print(t.String())
+		return
+	}
+	sol := out.Solution
+	if out.Scale != sc {
+		fmt.Printf("retry ladder settled on time scale %d s\n", out.Scale)
 	}
 	fmt.Print(sol.MIP.Report().String())
 	if *verbose {

@@ -170,7 +170,7 @@ func (c *Comparator) CompareStep(sc *sim.StepContext) (*Comparison, error) {
 	start := time.Now()
 	model, err := ilpsched.Build(inst, scale)
 	if err != nil {
-		return nil, fmt.Errorf("core: step at %d: %v", sc.Now, err)
+		return nil, fmt.Errorf("core: step at %d: %w", sc.Now, err)
 	}
 	cmp.Variables = model.NumVariables()
 	cmp.MatrixEntries = model.MatrixEntries()
@@ -183,7 +183,10 @@ func (c *Comparator) CompareStep(sc *sim.StepContext) (*Comparison, error) {
 	sol, err := model.Solve(opt)
 	cmp.ComputeTime = time.Since(start)
 	if err != nil {
-		return nil, fmt.Errorf("core: step at %d: %v", sc.Now, err)
+		// A *ilpsched.NoScheduleError (node/time limits exhausted without an
+		// incumbent, or proven infeasibility) counts as a failed comparison;
+		// %w keeps the typed error matchable for callers that care.
+		return nil, fmt.Errorf("core: step at %d: %w", sc.Now, err)
 	}
 	cmp.Status = sol.MIP.Status
 	cmp.Nodes = sol.MIP.Nodes

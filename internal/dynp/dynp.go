@@ -235,41 +235,66 @@ func (s *Scheduler) SetObs(trace *obs.Tracer, reg *obs.Registry) {
 // collected positionally.
 func (s *Scheduler) SetParallel(on bool) { s.parallel = on }
 
+// buildEval builds and evaluates one policy's schedule with panic
+// containment: a panicking policy implementation must not kill the whole
+// simulation (in the parallel path a goroutine panic would otherwise
+// crash the process). A recovered panic is reported like a build error.
+func (s *Scheduler) buildEval(now int64, base *machine.Profile, waiting []*job.Job, p policy.Policy) (ev Evaluation, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("dynp: %s: panic: %v", p.Name(), r)
+			s.trace.Emit("dynp.panic",
+				obs.Int("t", now),
+				obs.Str("policy", p.Name()),
+				obs.Str("value", fmt.Sprint(r)))
+		}
+	}()
+	sch, berr := policy.Build(p, now, base, waiting)
+	if berr != nil {
+		return Evaluation{}, fmt.Errorf("dynp: %s: %v", p.Name(), berr)
+	}
+	return Evaluation{Policy: p, Schedule: sch, Value: s.metric.Eval(sch)}, nil
+}
+
 // Step performs one self-tuning step at time now: it computes full
 // schedules for every policy on top of base (the profile of running
 // jobs), evaluates them with the scheduler's metric, lets the decider
 // choose, and switches the active policy. base is not modified.
+//
+// A policy whose Build panics is dropped from the step (the panic is
+// recovered and traced as "dynp.panic"); Step errors only when no policy
+// produced a schedule.
 func (s *Scheduler) Step(now int64, base *machine.Profile, waiting []*job.Job) (*StepResult, error) {
-	evals := make([]Evaluation, len(s.policies))
+	all := make([]Evaluation, len(s.policies))
+	errs := make([]error, len(s.policies))
 	if s.parallel && len(s.policies) > 1 {
 		var wg sync.WaitGroup
-		errs := make([]error, len(s.policies))
 		for i, p := range s.policies {
 			wg.Add(1)
 			go func(i int, p policy.Policy) {
 				defer wg.Done()
-				sch, err := policy.Build(p, now, base, waiting)
-				if err != nil {
-					errs[i] = fmt.Errorf("dynp: %s: %v", p.Name(), err)
-					return
-				}
-				evals[i] = Evaluation{Policy: p, Schedule: sch, Value: s.metric.Eval(sch)}
+				all[i], errs[i] = s.buildEval(now, base, waiting, p)
 			}(i, p)
 		}
 		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
-		}
 	} else {
 		for i, p := range s.policies {
-			sch, err := policy.Build(p, now, base, waiting)
-			if err != nil {
-				return nil, fmt.Errorf("dynp: %s: %v", p.Name(), err)
-			}
-			evals[i] = Evaluation{Policy: p, Schedule: sch, Value: s.metric.Eval(sch)}
+			all[i], errs[i] = s.buildEval(now, base, waiting, p)
 		}
+	}
+	evals := all[:0]
+	var firstErr error
+	for i := range all {
+		if errs[i] != nil {
+			if firstErr == nil {
+				firstErr = errs[i]
+			}
+			continue
+		}
+		evals = append(evals, all[i])
+	}
+	if len(evals) == 0 {
+		return nil, fmt.Errorf("dynp: no policy produced a schedule: %w", firstErr)
 	}
 	chosen := s.decider.Decide(s.metric, s.current, evals)
 	res := &StepResult{Chosen: chosen, Evals: evals, Switched: chosen.Name() != s.current.Name()}

@@ -1,0 +1,181 @@
+// Package faultinject is a deterministic fault-injection harness for
+// the solve pipeline: it wraps a solvepipe.SolveFunc with middleware
+// that injects timeout, panic, infeasible and slow-solve faults on a
+// seeded schedule, emulating the exact failure shapes the real solver
+// produces so that the pipeline's genuine classification and recovery
+// paths run — not test doubles of them.
+//
+// Injection decisions depend only on the (1-based) call index and the
+// seed, never on wall-clock time, so a faulted run is reproducible
+// call-for-call and a test can assert that degradation happened on
+// exactly the faulted steps.
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ilpsched"
+	"repro/internal/mip"
+	"repro/internal/solvepipe"
+	"repro/internal/stats"
+)
+
+// Kind is the type of an injected fault.
+type Kind int
+
+const (
+	// Timeout emulates a rung whose budget ran out before any incumbent
+	// was found: a *ilpsched.NoScheduleError with a deadline-hit result.
+	Timeout Kind = iota
+	// Panic panics inside the solve call; solvepipe must recover it.
+	Panic
+	// Infeasible emulates a proven-infeasible grid instance.
+	Infeasible
+	// SlowSolve sleeps the injector's Delay (honoring the context) and
+	// then delegates to the real solve. It is a latency fault, not a
+	// failure: the solve still succeeds unless the budget or context
+	// cuts it off.
+	SlowSolve
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Timeout:
+		return "timeout"
+	case Panic:
+		return "panic"
+	case Infeasible:
+		return "infeasible"
+	default:
+		return "slow-solve"
+	}
+}
+
+// Record is one injected fault: which call received which kind.
+type Record struct {
+	Call int // 1-based solve-call index
+	Kind Kind
+}
+
+// Plan decides, per solve call, whether to inject a fault.
+type Plan interface {
+	// Next is called once per solve call with the 1-based call index and
+	// returns the fault to inject, or ok=false for a clean call.
+	Next(call int) (kind Kind, ok bool)
+}
+
+// Probability injects with probability P per call, choosing uniformly
+// among Kinds, driven by a seeded deterministic generator.
+type Probability struct {
+	rng   *stats.Rand
+	p     float64
+	kinds []Kind
+}
+
+// NewProbability returns a seeded probability plan. An empty kinds list
+// defaults to {Timeout, Panic, Infeasible}.
+func NewProbability(seed uint64, p float64, kinds ...Kind) *Probability {
+	if len(kinds) == 0 {
+		kinds = []Kind{Timeout, Panic, Infeasible}
+	}
+	return &Probability{rng: stats.NewRand(seed), p: p, kinds: kinds}
+}
+
+func (pl *Probability) Next(int) (Kind, bool) {
+	if pl.rng.Float64() >= pl.p {
+		return 0, false
+	}
+	return pl.kinds[pl.rng.Intn(len(pl.kinds))], true
+}
+
+// NthCall injects Kind on every N-th call (calls N, 2N, 3N, ...).
+type NthCall struct {
+	N    int
+	Kind Kind
+}
+
+func (pl NthCall) Next(call int) (Kind, bool) {
+	if pl.N < 1 || call%pl.N != 0 {
+		return 0, false
+	}
+	return pl.Kind, true
+}
+
+// Injector wraps solve calls with fault injection per a Plan. It is
+// safe for concurrent use; the call index orders injection decisions.
+type Injector struct {
+	// Delay is the sleep of SlowSolve faults (default 10ms).
+	Delay time.Duration
+
+	mu       sync.Mutex
+	plan     Plan
+	calls    int
+	injected []Record
+}
+
+// New returns an injector following the plan.
+func New(plan Plan) *Injector { return &Injector{plan: plan} }
+
+// Hook is the solvepipe.Config.Hook middleware: it decides injection
+// before delegating, so a clean call costs one mutex round trip.
+func (in *Injector) Hook(next solvepipe.SolveFunc) solvepipe.SolveFunc {
+	return func(ctx context.Context, m *ilpsched.Model, opt mip.Options) (*ilpsched.Solution, error) {
+		in.mu.Lock()
+		in.calls++
+		call := in.calls
+		kind, ok := in.plan.Next(call)
+		if ok {
+			in.injected = append(in.injected, Record{Call: call, Kind: kind})
+		}
+		delay := in.Delay
+		in.mu.Unlock()
+		if !ok {
+			return next(ctx, m, opt)
+		}
+		switch kind {
+		case Timeout:
+			return nil, &ilpsched.NoScheduleError{
+				Status: mip.NoSolution,
+				Result: &mip.Result{Status: mip.NoSolution, DeadlineHit: true},
+			}
+		case Panic:
+			panic(fmt.Sprintf("faultinject: injected panic (call %d)", call))
+		case Infeasible:
+			return nil, &ilpsched.NoScheduleError{
+				Status: mip.Infeasible,
+				Result: &mip.Result{Status: mip.Infeasible},
+			}
+		default: // SlowSolve
+			if delay <= 0 {
+				delay = 10 * time.Millisecond
+			}
+			t := time.NewTimer(delay)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				return nil, &mip.CanceledError{Cause: context.Cause(ctx)}
+			}
+			return next(ctx, m, opt)
+		}
+	}
+}
+
+// Calls returns the number of solve calls seen so far.
+func (in *Injector) Calls() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.calls
+}
+
+// Injected returns a copy of the fault records so far, in call order.
+func (in *Injector) Injected() []Record {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Record, len(in.injected))
+	copy(out, in.injected)
+	return out
+}

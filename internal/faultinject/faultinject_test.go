@@ -1,0 +1,160 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/ilpsched"
+	"repro/internal/mip"
+	"repro/internal/solvepipe"
+)
+
+// okSolve is a stub downstream SolveFunc returning a fixed solution.
+func okSolve(calls *int) solvepipe.SolveFunc {
+	return func(context.Context, *ilpsched.Model, mip.Options) (*ilpsched.Solution, error) {
+		*calls++
+		return &ilpsched.Solution{MIP: &mip.Result{Status: mip.Optimal}}, nil
+	}
+}
+
+func TestProbabilityDeterminism(t *testing.T) {
+	a := NewProbability(42, 0.3)
+	b := NewProbability(42, 0.3)
+	for i := 1; i <= 500; i++ {
+		ka, oka := a.Next(i)
+		kb, okb := b.Next(i)
+		if ka != kb || oka != okb {
+			t.Fatalf("call %d: same seed diverged: (%v,%v) vs (%v,%v)", i, ka, oka, kb, okb)
+		}
+	}
+}
+
+func TestProbabilityRate(t *testing.T) {
+	pl := NewProbability(7, 0.2)
+	hits := 0
+	for i := 1; i <= 2000; i++ {
+		if _, ok := pl.Next(i); ok {
+			hits++
+		}
+	}
+	// 2000 Bernoulli(0.2) trials: ~400 expected, 5 sigma ~ 89.
+	if hits < 300 || hits > 500 {
+		t.Fatalf("injected %d/2000, want ~400", hits)
+	}
+}
+
+func TestProbabilityKindMix(t *testing.T) {
+	pl := NewProbability(11, 1.0) // always inject: exercise the kind choice
+	seen := map[Kind]int{}
+	for i := 1; i <= 300; i++ {
+		k, ok := pl.Next(i)
+		if !ok {
+			t.Fatalf("call %d: p=1 did not inject", i)
+		}
+		seen[k]++
+	}
+	for _, k := range []Kind{Timeout, Panic, Infeasible} {
+		if seen[k] == 0 {
+			t.Fatalf("kind %v never chosen in 300 draws: %v", k, seen)
+		}
+	}
+}
+
+func TestNthCall(t *testing.T) {
+	pl := NthCall{N: 3, Kind: Panic}
+	for i := 1; i <= 12; i++ {
+		_, ok := pl.Next(i)
+		if want := i%3 == 0; ok != want {
+			t.Fatalf("call %d: injected=%v, want %v", i, ok, want)
+		}
+	}
+}
+
+func TestInjectedFaultShapes(t *testing.T) {
+	ctx := context.Background()
+	t.Run("timeout", func(t *testing.T) {
+		in := New(NthCall{N: 1, Kind: Timeout})
+		calls := 0
+		_, err := in.Hook(okSolve(&calls))(ctx, nil, mip.Options{})
+		if !errors.Is(err, ilpsched.ErrNoSchedule) {
+			t.Fatalf("err = %v, want ErrNoSchedule match", err)
+		}
+		var nse *ilpsched.NoScheduleError
+		if !errors.As(err, &nse) || !nse.DeadlineHit() {
+			t.Fatalf("err %v, want deadline-hit *NoScheduleError", err)
+		}
+		if calls != 0 {
+			t.Fatal("downstream solve ran despite injection")
+		}
+	})
+	t.Run("infeasible", func(t *testing.T) {
+		in := New(NthCall{N: 1, Kind: Infeasible})
+		calls := 0
+		_, err := in.Hook(okSolve(&calls))(ctx, nil, mip.Options{})
+		if !errors.Is(err, ilpsched.ErrInfeasible) {
+			t.Fatalf("err = %v, want ErrInfeasible match", err)
+		}
+		if calls != 0 {
+			t.Fatal("downstream solve ran despite injection")
+		}
+	})
+	t.Run("panic", func(t *testing.T) {
+		in := New(NthCall{N: 1, Kind: Panic})
+		defer func() {
+			if recover() == nil {
+				t.Fatal("injected panic did not propagate")
+			}
+		}()
+		in.Hook(okSolve(new(int)))(ctx, nil, mip.Options{})
+	})
+	t.Run("slow-solve", func(t *testing.T) {
+		in := New(NthCall{N: 1, Kind: SlowSolve})
+		in.Delay = 5 * time.Millisecond
+		calls := 0
+		start := time.Now()
+		sol, err := in.Hook(okSolve(&calls))(ctx, nil, mip.Options{})
+		if err != nil || sol == nil || calls != 1 {
+			t.Fatalf("slow solve did not delegate: sol=%v err=%v calls=%d", sol, err, calls)
+		}
+		if time.Since(start) < 5*time.Millisecond {
+			t.Fatal("slow solve did not delay")
+		}
+	})
+	t.Run("slow-solve-canceled", func(t *testing.T) {
+		in := New(NthCall{N: 1, Kind: SlowSolve})
+		in.Delay = time.Minute
+		cctx, cancel := context.WithTimeout(ctx, time.Millisecond)
+		defer cancel()
+		calls := 0
+		_, err := in.Hook(okSolve(&calls))(cctx, nil, mip.Options{})
+		if !errors.Is(err, mip.ErrCanceled) {
+			t.Fatalf("err = %v, want mip.ErrCanceled match", err)
+		}
+		if calls != 0 {
+			t.Fatal("downstream solve ran after cancellation")
+		}
+	})
+}
+
+func TestInjectorProvenance(t *testing.T) {
+	in := New(NthCall{N: 2, Kind: Timeout})
+	fn := in.Hook(okSolve(new(int)))
+	for i := 1; i <= 6; i++ {
+		fn(context.Background(), nil, mip.Options{})
+	}
+	if in.Calls() != 6 {
+		t.Fatalf("Calls = %d, want 6", in.Calls())
+	}
+	recs := in.Injected()
+	want := []Record{{Call: 2, Kind: Timeout}, {Call: 4, Kind: Timeout}, {Call: 6, Kind: Timeout}}
+	if len(recs) != len(want) {
+		t.Fatalf("Injected = %v, want %v", recs, want)
+	}
+	for i := range want {
+		if recs[i] != want[i] {
+			t.Fatalf("Injected = %v, want %v", recs, want)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package ilpsched
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/mip"
+)
+
+// Every failure path returns a typed, matchable error and leaves the
+// model in a re-solvable state (no partial mutations).
+
+func TestHorizonTooTightTyped(t *testing.T) {
+	// A job whose estimate exceeds the horizon fails validation.
+	i := inst(4, 0, 1000, jb(1, 0, 2, 2000))
+	if _, err := Build(i, 10); !errors.Is(err, ErrHorizonTooTight) {
+		t.Fatalf("Build = %v, want ErrHorizonTooTight", err)
+	}
+	// A future-submitted job (which Validate's finish check skips) whose
+	// release slot leaves no room for its scaled duration fails in Build
+	// with the same sentinel.
+	late := inst(4, 0, 1000, jb(1, 995, 2, 1200))
+	if _, err := Build(late, 500); !errors.Is(err, ErrHorizonTooTight) {
+		t.Fatalf("Build(late) = %v, want ErrHorizonTooTight", err)
+	}
+}
+
+func TestModelTooLargeTyped(t *testing.T) {
+	i := inst(4, 0, 1000, jb(1, 0, 2, 100), jb(2, 0, 4, 60))
+	vars, entries := EstimateSize(i, 10)
+	if vars <= 0 || entries <= 0 {
+		t.Fatalf("EstimateSize = (%d, %d), want positive", vars, entries)
+	}
+	_, err := BuildGuarded(i, 10, SizeLimit{MaxVariables: vars - 1})
+	if !errors.Is(err, ErrModelTooLarge) {
+		t.Fatalf("BuildGuarded = %v, want ErrModelTooLarge", err)
+	}
+	var tooLarge *ModelTooLargeError
+	if !errors.As(err, &tooLarge) {
+		t.Fatalf("BuildGuarded error %T, want *ModelTooLargeError", err)
+	}
+	if tooLarge.Variables != vars || tooLarge.MatrixEntries != entries || tooLarge.Scale != 10 {
+		t.Fatalf("guard recorded %+v, want vars=%d entries=%d scale=10", tooLarge, vars, entries)
+	}
+	if _, err := BuildGuarded(i, 10, SizeLimit{MaxMatrixEntries: entries - 1}); !errors.Is(err, ErrModelTooLarge) {
+		t.Fatalf("entry-bound guard = %v, want ErrModelTooLarge", err)
+	}
+	// Generous or zero limits admit the build.
+	if _, err := BuildGuarded(i, 10, SizeLimit{MaxVariables: vars, MaxMatrixEntries: entries}); err != nil {
+		t.Fatalf("exact-limit build: %v", err)
+	}
+	if _, err := BuildGuarded(i, 10, SizeLimit{}); err != nil {
+		t.Fatalf("unguarded build: %v", err)
+	}
+}
+
+// EstimateSize must agree with the built model (the guard would be
+// useless if the estimate undercounted).
+func TestEstimateSizeMatchesBuild(t *testing.T) {
+	i := inst(8, 0, 1500, jb(1, 0, 2, 100), jb(2, 40, 4, 300), jb(3, 100, 8, 60))
+	for _, scale := range []int64{1, 7, 15, 60} {
+		vars, entries := EstimateSize(i, scale)
+		m, err := Build(i, scale)
+		if err != nil {
+			t.Fatalf("scale %d: %v", scale, err)
+		}
+		if vars != m.NumVariables() {
+			t.Errorf("scale %d: estimated %d vars, built %d", scale, vars, m.NumVariables())
+		}
+		if entries < m.MatrixEntries() {
+			t.Errorf("scale %d: estimated %d entries < built %d", scale, entries, m.MatrixEntries())
+		}
+	}
+}
+
+func TestInfeasibleInstanceTyped(t *testing.T) {
+	// Two width-3 jobs on a 4-processor machine can never overlap, so
+	// they need 2x100 s of grid, but the horizon grants only ~150 s
+	// (plus rounding slack): the ILP is proven infeasible.
+	i := inst(4, 0, 150, jb(1, 0, 3, 100), jb(2, 0, 3, 100))
+	m, err := Build(i, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Solve(mip.Options{MaxNodes: 1000})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("Solve = %v, want ErrInfeasible", err)
+	}
+	if !errors.Is(err, ErrNoSchedule) {
+		t.Fatalf("ErrInfeasible does not match ErrNoSchedule: %v", err)
+	}
+	var nse *NoScheduleError
+	if !errors.As(err, &nse) || nse.Status != mip.Infeasible {
+		t.Fatalf("error %v, want *NoScheduleError{Infeasible}", err)
+	}
+}
+
+func TestCancelMidSolveTyped(t *testing.T) {
+	i := inst(4, 0, 1000,
+		jb(1, 0, 2, 100), jb(2, 0, 3, 200), jb(3, 0, 1, 150), jb(4, 0, 4, 80))
+	m, err := Build(i, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = m.SolveCtx(ctx, mip.Options{MaxNodes: 5000})
+	if !errors.Is(err, mip.ErrCanceled) {
+		t.Fatalf("SolveCtx = %v, want mip.ErrCanceled", err)
+	}
+	var ce *mip.CanceledError
+	if !errors.As(err, &ce) || !errors.Is(ce.Cause, context.Canceled) {
+		t.Fatalf("error %v, want *mip.CanceledError wrapping context.Canceled", err)
+	}
+	// No partial state: the same model re-solves cleanly.
+	sol, err := m.Solve(mip.Options{MaxNodes: 5000})
+	if err != nil {
+		t.Fatalf("re-solve after cancel: %v", err)
+	}
+	if sol.MIP.Status != mip.Optimal {
+		t.Fatalf("re-solve status %v, want optimal", sol.MIP.Status)
+	}
+	if sol.Compacted == nil {
+		t.Fatal("re-solve produced no compacted schedule")
+	}
+	if err := sol.Compacted.Validate(i.Base); err != nil {
+		t.Fatalf("re-solved schedule invalid: %v", err)
+	}
+}

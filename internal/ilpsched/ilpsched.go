@@ -16,6 +16,8 @@
 package ilpsched
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -27,6 +29,67 @@ import (
 	"repro/internal/mip"
 	"repro/internal/schedule"
 )
+
+// Sentinel errors of the build/solve pipeline, matched with errors.Is.
+// The typed errors below carry the diagnostic detail.
+var (
+	// ErrModelTooLarge: the pre-build size guard rejected the grid.
+	ErrModelTooLarge = errors.New("ilpsched: model exceeds the size guard")
+	// ErrHorizonTooTight: a job cannot complete before the horizon (the
+	// instance is infeasible on any grid of this horizon).
+	ErrHorizonTooTight = errors.New("ilpsched: horizon too tight")
+	// ErrNoSchedule: branch and bound finished without a feasible
+	// schedule (covers both proven infeasibility and exhausted limits).
+	ErrNoSchedule = errors.New("ilpsched: no schedule found")
+	// ErrInfeasible: the grid instance is proven infeasible (a strict
+	// subset of ErrNoSchedule).
+	ErrInfeasible = errors.New("ilpsched: grid instance infeasible")
+)
+
+// ModelTooLargeError reports the estimated model size that tripped the
+// guard. errors.Is(err, ErrModelTooLarge) matches it.
+type ModelTooLargeError struct {
+	Scale         int64
+	Variables     int // estimated binary columns
+	MatrixEntries int // estimated structural nonzeros
+	MaxVariables  int // the limit that tripped (0 = not this one)
+	MaxEntries    int
+}
+
+func (e *ModelTooLargeError) Error() string {
+	return fmt.Sprintf("ilpsched: model too large at scale %d: ~%d variables, ~%d matrix entries (limits %d vars, %d entries)",
+		e.Scale, e.Variables, e.MatrixEntries, e.MaxVariables, e.MaxEntries)
+}
+
+// Is makes errors.Is(err, ErrModelTooLarge) match.
+func (e *ModelTooLargeError) Is(target error) bool { return target == ErrModelTooLarge }
+
+// NoScheduleError reports a branch-and-bound run that ended without a
+// feasible schedule. errors.Is matches ErrNoSchedule always and
+// ErrInfeasible when the status is a proven infeasibility. Result carries
+// the full solver telemetry (nil for injected faults in tests).
+type NoScheduleError struct {
+	Status mip.Status
+	Result *mip.Result
+}
+
+func (e *NoScheduleError) Error() string {
+	if e.Result != nil && e.Result.DeadlineHit {
+		return fmt.Sprintf("ilpsched: no schedule found (%v, deadline hit)", e.Status)
+	}
+	return fmt.Sprintf("ilpsched: no schedule found (%v)", e.Status)
+}
+
+// Is makes errors.Is match ErrNoSchedule (always) and ErrInfeasible
+// (proven infeasibility only).
+func (e *NoScheduleError) Is(target error) bool {
+	return target == ErrNoSchedule || (target == ErrInfeasible && e.Status == mip.Infeasible)
+}
+
+// DeadlineHit reports whether the run stopped on its time budget.
+func (e *NoScheduleError) DeadlineHit() bool {
+	return e.Result != nil && e.Result.DeadlineHit
+}
 
 // Instance is one quasi off-line scheduling problem: the waiting jobs of a
 // self-tuning step plus the machine history at that instant.
@@ -68,7 +131,7 @@ func (inst *Instance) Validate() error {
 			return fmt.Errorf("ilpsched: %v wider than machine", j)
 		}
 		if inst.Now+j.Estimate > inst.Horizon && j.Submit <= inst.Now {
-			return fmt.Errorf("ilpsched: job %d cannot finish before the horizon", j.ID)
+			return fmt.Errorf("%w: job %d cannot finish before %d", ErrHorizonTooTight, j.ID, inst.Horizon)
 		}
 	}
 	return nil
@@ -161,6 +224,70 @@ type Model struct {
 // grid-infeasible (each job's rounding adds strictly less than one slot).
 func horizonSlack(n int) int { return n + 1 }
 
+// SizeLimit is the pre-build model-size guard: building is refused with a
+// *ModelTooLargeError when the estimated size exceeds either bound (0
+// disables that bound). Eq. 6 keeps typical instances within memory, but
+// a pathological step (huge queue, tight grid) could still build a model
+// that exhausts memory mid-allocation — the guard converts that crash
+// into a typed, retryable error.
+type SizeLimit struct {
+	MaxVariables     int
+	MaxMatrixEntries int
+}
+
+// EstimateSize predicts the model size of Build(inst, scale) without
+// allocating it: the number of binary x_it columns and an upper bound on
+// the structural nonzeros (each column hits one assignment row plus at
+// most slotDur capacity rows; capacity rows that can never bind are not
+// materialized, so the entry estimate is conservative). The instant
+// closed-form walk is O(jobs).
+func EstimateSize(inst *Instance, scale int64) (vars, entries int) {
+	if scale < 1 {
+		return 0, 0
+	}
+	n := len(inst.Jobs)
+	baseSlots := int((inst.MaxMakespan() + scale - 1) / scale)
+	slots := baseSlots + horizonSlack(n)
+	for _, jb := range inst.Jobs {
+		dur := int((jb.Estimate + scale - 1) / scale)
+		min := 0
+		if jb.Submit > inst.Now {
+			min = int((jb.Submit - inst.Now + scale - 1) / scale)
+		}
+		max := slots - dur
+		if max < min {
+			continue // Build will fail with ErrHorizonTooTight anyway
+		}
+		nv := max - min + 1
+		vars += nv
+		entries += nv * (1 + dur)
+	}
+	return vars, entries
+}
+
+// BuildGuarded is Build behind the SizeLimit guard: the size is estimated
+// first and a *ModelTooLargeError returned instead of attempting an
+// allocation that cannot fit. A zero SizeLimit behaves exactly like Build.
+func BuildGuarded(inst *Instance, scale int64, lim SizeLimit) (*Model, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if scale < 1 {
+		return nil, fmt.Errorf("ilpsched: time scale %d < 1", scale)
+	}
+	if lim.MaxVariables > 0 || lim.MaxMatrixEntries > 0 {
+		vars, entries := EstimateSize(inst, scale)
+		if (lim.MaxVariables > 0 && vars > lim.MaxVariables) ||
+			(lim.MaxMatrixEntries > 0 && entries > lim.MaxMatrixEntries) {
+			return nil, &ModelTooLargeError{
+				Scale: scale, Variables: vars, MatrixEntries: entries,
+				MaxVariables: lim.MaxVariables, MaxEntries: lim.MaxMatrixEntries,
+			}
+		}
+	}
+	return Build(inst, scale)
+}
+
 // Build constructs the model at the given time scale (use
 // Scaling.TimeScale for the paper's choice).
 func Build(inst *Instance, scale int64) (*Model, error) {
@@ -211,8 +338,8 @@ func Build(inst *Instance, scale int64) (*Model, error) {
 		}
 		max := slots - m.slotDur[i]
 		if max < min {
-			return nil, fmt.Errorf("ilpsched: job %d does not fit the grid (slots=%d, dur=%d)",
-				jb.ID, slots, m.slotDur[i])
+			return nil, fmt.Errorf("%w: job %d does not fit the grid (slots=%d, dur=%d)",
+				ErrHorizonTooTight, jb.ID, slots, m.slotDur[i])
 		}
 		m.minSlot[i], m.maxSlot[i] = min, max
 		row := m.prob.AddConstraint(lp.EQ, 1)
@@ -408,8 +535,17 @@ type Solution struct {
 
 // Solve runs branch and bound on the model. opt.Heuristic and
 // opt.IntegralObjective are installed automatically; pass an Incumbent
-// (e.g. from IncumbentFromSchedule) to seed the search.
+// (e.g. from IncumbentFromSchedule) to seed the search. A run that ends
+// without a feasible schedule returns a *NoScheduleError (matched by
+// ErrNoSchedule, and by ErrInfeasible when infeasibility is proven).
 func (m *Model) Solve(opt mip.Options) (*Solution, error) {
+	return m.SolveCtx(context.Background(), opt)
+}
+
+// SolveCtx is Solve with cooperative cancellation: a done context aborts
+// the branch and bound mid-search with a *mip.CanceledError and leaves
+// the model untouched (bounds restored), so the model can be re-solved.
+func (m *Model) SolveCtx(ctx context.Context, opt mip.Options) (*Solution, error) {
 	opt.IntegralObjective = true
 	if opt.Heuristic == nil {
 		opt.Heuristic = m.Heuristic()
@@ -421,13 +557,13 @@ func (m *Model) Solve(opt mip.Options) (*Solution, error) {
 	// knapsacks over binaries — but are left off by default: on typical
 	// self-tuning-step instances the SOS brancher closes the gap faster
 	// than the root re-solves the cuts cost.
-	res, err := mip.Solve(m.prob, m.intCols, opt)
+	res, err := mip.SolveCtx(ctx, m.prob, m.intCols, opt)
 	if err != nil {
 		return nil, err
 	}
 	sol := &Solution{MIP: res}
 	if res.Status != mip.Optimal && res.Status != mip.Feasible {
-		return sol, nil
+		return nil, &NoScheduleError{Status: res.Status, Result: res}
 	}
 	grid := &schedule.Schedule{Policy: "ILP", Now: m.Inst.Now, Machine: m.Inst.Machine}
 	for i, jb := range m.Inst.Jobs {

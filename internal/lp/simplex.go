@@ -1,9 +1,29 @@
 package lp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrCanceled is the sentinel matched (via errors.Is) by every
+// *CanceledError a context-aware solve returns.
+var ErrCanceled = errors.New("lp: solve canceled")
+
+// CanceledError reports that a solve was aborted because its context was
+// done. Cause is context.Cause of the context at abort time, so callers
+// can distinguish deadlines from explicit cancellation with errors.Is.
+type CanceledError struct{ Cause error }
+
+func (e *CanceledError) Error() string {
+	return "lp: solve canceled: " + e.Cause.Error()
+}
+
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
+// Is makes errors.Is(err, ErrCanceled) match.
+func (e *CanceledError) Is(target error) bool { return target == ErrCanceled }
 
 // Status is the outcome of a solve.
 type Status int
@@ -116,6 +136,35 @@ type simplex struct {
 	lastObj    float64
 	phase1     bool
 	structCost []float64 // original costs, structural+slack (+art zeros)
+
+	// Cooperative cancellation: ctx is polled every cancelCheckEvery
+	// iterations; canceled latches the first observed ctx error.
+	ctx      context.Context
+	canceled bool
+}
+
+// cancelCheckEvery gates the context poll in the pivot loops: ctx.Err()
+// takes a lock on derived contexts, so it only runs every this many
+// simplex iterations (the same device as the mip node-loop deadline gate).
+const cancelCheckEvery = 64
+
+// ctxDone polls the solve context (counter-gated by the callers). The
+// first observed cancellation is latched so the pivot loops can unwind
+// through their normal Status return path.
+func (s *simplex) ctxDone() bool {
+	if s.ctx == nil {
+		return false
+	}
+	if s.ctx.Err() != nil {
+		s.canceled = true
+		return true
+	}
+	return false
+}
+
+// cancelErr builds the typed error for a latched cancellation.
+func (s *simplex) cancelErr() error {
+	return &CanceledError{Cause: context.Cause(s.ctx)}
 }
 
 func newSimplex(p *Problem, opt Options) *simplex {
@@ -520,6 +569,9 @@ func (s *simplex) primal() Status {
 		if s.iters >= s.opt.MaxIters {
 			return IterationLimit
 		}
+		if s.iters%cancelCheckEvery == 0 && s.ctxDone() {
+			return IterationLimit
+		}
 		s.iters++
 		s.duals(y)
 		// Entering column selection.
@@ -684,6 +736,9 @@ func (s *simplex) dual() Status {
 	lastInf := math.Inf(1)
 	for {
 		if s.iters >= s.opt.MaxIters {
+			return IterationLimit
+		}
+		if s.iters%cancelCheckEvery == 0 && s.ctxDone() {
 			return IterationLimit
 		}
 		s.iters++
@@ -908,11 +963,19 @@ func (s *simplex) extract(st Status) *Result {
 
 // Solve optimizes the problem from a cold (all-slack) start.
 func (p *Problem) Solve(opt Options) (*Result, error) {
+	return p.SolveCtx(context.Background(), opt)
+}
+
+// SolveCtx is Solve with cooperative cancellation: the pivot loops poll
+// ctx every cancelCheckEvery iterations and abort with a *CanceledError
+// when it is done. The problem is left unchanged by an aborted solve.
+func (p *Problem) SolveCtx(ctx context.Context, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	s := newSimplex(p, opt)
+	s.ctx = ctx
 	s.coldBasis()
 	return s.run()
 }
@@ -922,11 +985,17 @@ func (p *Problem) Solve(opt Options) (*Result, error) {
 // A nil or incompatible basis falls back to a cold start. The dual simplex
 // is tried first when the start is dual feasible.
 func (p *Problem) SolveFrom(basis *Basis, opt Options) (*Result, error) {
+	return p.SolveFromCtx(context.Background(), basis, opt)
+}
+
+// SolveFromCtx is SolveFrom with cooperative cancellation (see SolveCtx).
+func (p *Problem) SolveFromCtx(ctx context.Context, basis *Basis, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	s := newSimplex(p, opt)
+	s.ctx = ctx
 	if basis == nil || len(basis.stat) != s.n+s.m || len(basis.rows) != s.m {
 		s.coldBasis()
 		return s.run()
@@ -955,10 +1024,16 @@ func (p *Problem) SolveFrom(basis *Basis, opt Options) (*Result, error) {
 	}
 	if s.dualFeasible() {
 		st := s.dual()
+		if s.canceled {
+			return nil, s.cancelErr()
+		}
 		switch st {
 		case Optimal:
 			// Polish with primal (terminates immediately if optimal).
 			st = s.primal()
+			if s.canceled {
+				return nil, s.cancelErr()
+			}
 			if st == Optimal {
 				return s.extract(st), nil
 			}
@@ -971,6 +1046,7 @@ func (p *Problem) SolveFrom(basis *Basis, opt Options) (*Result, error) {
 	// the abandoned warm attempt so the counters stay truthful (the
 	// iteration budget is intentionally per-attempt, as before).
 	s2 := newSimplex(p, opt)
+	s2.ctx = s.ctx
 	s2.refacts, s2.degen, s2.flips = s.refacts, s.degen, s.flips
 	s2.coldBasis()
 	return s2.run()
@@ -1010,6 +1086,9 @@ func (s *simplex) run() (*Result, error) {
 	if s.installPhase1() {
 		s.phase1 = true
 		st := s.primal()
+		if s.canceled {
+			return nil, s.cancelErr()
+		}
 		if st == IterationLimit {
 			return s.extract(IterationLimit), nil
 		}
@@ -1023,5 +1102,8 @@ func (s *simplex) run() (*Result, error) {
 		s.phase1 = false
 	}
 	st := s.primal()
+	if s.canceled {
+		return nil, s.cancelErr()
+	}
 	return s.extract(st), nil
 }

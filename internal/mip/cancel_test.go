@@ -1,0 +1,113 @@
+package mip
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/lp"
+	"repro/internal/stats"
+)
+
+// randomKnapsack builds a seeded n-item knapsack (the mip_test helper
+// shapes, sized to keep the search busy for cancellation tests).
+func randomKnapsack(seed uint64, n int) (*lp.Problem, []int) {
+	r := stats.NewRand(seed)
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	var total float64
+	for j := range values {
+		values[j] = 1 + 99*r.Float64()
+		weights[j] = 1 + 49*r.Float64()
+		total += weights[j]
+	}
+	return knapsack(values, weights, total/3)
+}
+
+func TestSolveCtxAlreadyCanceled(t *testing.T) {
+	p, ints := randomKnapsack(7, 30)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SolveCtx(ctx, p, ints, Options{})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("SolveCtx = %v, want ErrCanceled", err)
+	}
+	var ce *CanceledError
+	if !errors.As(err, &ce) || !errors.Is(ce.Cause, context.Canceled) {
+		t.Fatalf("error %v, want *CanceledError wrapping context.Canceled", err)
+	}
+	// No partial state: the same problem re-solves to optimality.
+	res, err := Solve(p, ints, Options{})
+	if err != nil {
+		t.Fatalf("re-solve: %v", err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("re-solve status %v, want optimal", res.Status)
+	}
+}
+
+func TestSolveCtxDeadlineMidSearch(t *testing.T) {
+	p, ints := randomKnapsack(11, 60)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	// A deliberately slow heuristic keeps each node busy long enough
+	// that the context deadline reliably fires mid-search.
+	slow := Heuristic(func([]float64) ([]float64, bool) {
+		time.Sleep(2 * time.Millisecond)
+		return nil, false
+	})
+	start := time.Now()
+	_, err := SolveCtx(ctx, p, ints, Options{Heuristic: slow})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("SolveCtx = %v, want ErrCanceled", err)
+	}
+	var ce *CanceledError
+	if !errors.As(err, &ce) || !errors.Is(ce.Cause, context.DeadlineExceeded) {
+		t.Fatalf("error %v, want *CanceledError wrapping DeadlineExceeded", err)
+	}
+	// The hard abort must react at checkpoint granularity, not after the
+	// whole search (which takes far longer on this instance).
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("cancellation took %v", el)
+	}
+}
+
+// The soft TimeLimit keeps the incumbent (anytime semantics) while a
+// hard context abort discards everything — the two stop mechanisms must
+// not be conflated.
+func TestSoftTimeLimitKeepsIncumbent(t *testing.T) {
+	p, ints := randomKnapsack(13, 60)
+	res, err := Solve(p, ints, Options{TimeLimit: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("Solve with TimeLimit: %v", err)
+	}
+	if res.Status != Optimal && res.Status != Feasible {
+		t.Fatalf("status %v, want optimal or feasible", res.Status)
+	}
+	if res.Status == Feasible && !res.DeadlineHit {
+		t.Fatal("Feasible result without DeadlineHit")
+	}
+}
+
+func TestLPSolveCtxCanceled(t *testing.T) {
+	p, _ := randomKnapsack(17, 40)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := p.SolveCtx(ctx, lp.Options{})
+	if !errors.Is(err, lp.ErrCanceled) {
+		t.Fatalf("lp SolveCtx = %v, want lp.ErrCanceled", err)
+	}
+	var ce *lp.CanceledError
+	if !errors.As(err, &ce) || !errors.Is(ce.Cause, context.Canceled) {
+		t.Fatalf("error %v, want *lp.CanceledError wrapping context.Canceled", err)
+	}
+	// No partial state in the LP either.
+	res, err := p.Solve(lp.Options{})
+	if err != nil {
+		t.Fatalf("re-solve: %v", err)
+	}
+	if res.Status != lp.Optimal {
+		t.Fatalf("re-solve status %v, want optimal", res.Status)
+	}
+}

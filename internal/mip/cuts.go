@@ -1,6 +1,7 @@
 package mip
 
 import (
+	"errors"
 	"math"
 	"sort"
 
@@ -143,8 +144,14 @@ func (s *solver) addRootCuts(root *lp.Result, maxRounds int) (*lp.Result, int, e
 			break
 		}
 		added += newCuts
-		next, err := s.p.Solve(s.opt.LP)
+		next, err := s.p.SolveCtx(s.lpCtx, s.opt.LP)
 		if err != nil {
+			if errors.Is(err, lp.ErrCanceled) && s.ctx.Err() == nil {
+				// TimeLimit deadline during separation: the appended cuts
+				// stay (they are valid inequalities); keep the previous
+				// relaxation and let the node loop take the deadline path.
+				return res, added, nil
+			}
 			return nil, added, err
 		}
 		s.lpSolves++

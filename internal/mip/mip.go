@@ -10,6 +10,8 @@ package mip
 
 import (
 	"container/heap"
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -17,6 +19,26 @@ import (
 	"repro/internal/lp"
 	"repro/internal/obs"
 )
+
+// ErrCanceled is the sentinel matched (via errors.Is) by every
+// *CanceledError a context-aware solve returns.
+var ErrCanceled = errors.New("mip: solve canceled")
+
+// CanceledError reports that a solve was aborted because the caller's
+// context was done. It is a hard abort: partial results (incumbents,
+// bounds) are discarded, unlike Options.TimeLimit which is a soft budget
+// that returns the best incumbent with Result.DeadlineHit set. Cause is
+// context.Cause of the context at abort time.
+type CanceledError struct{ Cause error }
+
+func (e *CanceledError) Error() string {
+	return "mip: solve canceled: " + e.Cause.Error()
+}
+
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
+// Is makes errors.Is(err, ErrCanceled) match.
+func (e *CanceledError) Is(target error) bool { return target == ErrCanceled }
 
 // Status is the outcome of a MIP solve.
 type Status int
@@ -274,6 +296,12 @@ type solver struct {
 	degen    int
 	start    time.Time
 
+	// ctx is the caller's context (hard abort); lpCtx additionally
+	// carries the TimeLimit as a deadline so relaxation solves stop
+	// mid-pivot instead of overshooting the budget on expensive nodes.
+	ctx   context.Context
+	lpCtx context.Context
+
 	// Observability state.
 	trace       *obs.Tracer
 	incLog      []IncumbentRecord
@@ -347,9 +375,23 @@ func (s *solver) pickBranchColumn(x []float64) int {
 // Solve minimizes the problem with the given columns restricted to
 // integral values.
 func Solve(p *lp.Problem, integer []int, opt Options) (*Result, error) {
+	return SolveCtx(context.Background(), p, integer, opt)
+}
+
+// SolveCtx is Solve with cooperative cancellation. The context is polled
+// at the counter-gated node checkpoint and inside every LP relaxation, so
+// a cancellation aborts mid-branch-and-bound within a few pivots. A done
+// context returns a *CanceledError and discards partial results; use
+// Options.TimeLimit for a soft budget that keeps the incumbent. The
+// problem's bounds are restored before returning, so an aborted solve
+// leaves no partial state.
+func SolveCtx(ctx context.Context, p *lp.Problem, integer []int, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	isInt := make(map[int]bool, len(integer))
 	for _, c := range integer {
@@ -361,6 +403,17 @@ func Solve(p *lp.Problem, integer []int, opt Options) (*Result, error) {
 	s := &solver{p: p, integer: integer, isInt: isInt, opt: opt, start: time.Now(),
 		pcUp: map[int]float64{}, pcDown: map[int]float64{},
 		pcUpN: map[int]int{}, pcDownN: map[int]int{}}
+	s.ctx, s.lpCtx = ctx, ctx
+	if opt.TimeLimit > 0 {
+		// Soft deadline for the LP relaxations: an expensive node used to
+		// overshoot a short TimeLimit by seconds because the wall clock was
+		// only consulted every timeCheckEvery node pops. The deadline
+		// context stops the simplex mid-pivot; the node loop converts that
+		// into the ordinary deadline-hit path, keeping the incumbent.
+		lpCtx, cancel := context.WithDeadline(ctx, s.start.Add(opt.TimeLimit))
+		defer cancel()
+		s.lpCtx = lpCtx
+	}
 	s.incumbentObj = math.Inf(1)
 	s.lastBound = math.Inf(-1)
 	s.trace = opt.Trace
@@ -560,6 +613,9 @@ func (s *solver) run() (*Result, error) {
 		// small-LP solves, so it only fires every timeCheckEvery pops.
 		if s.sinceCheck++; s.sinceCheck >= timeCheckEvery {
 			s.sinceCheck = 0
+			if s.ctx.Err() != nil {
+				return nil, &CanceledError{Cause: context.Cause(s.ctx)}
+			}
 			if s.timeUp() {
 				s.deadlineHit = true
 				s.cDeadline.Inc()
@@ -577,9 +633,24 @@ func (s *solver) run() (*Result, error) {
 			continue
 		}
 		undo := s.applyChanges(nd.changes)
-		res, err := s.p.SolveFrom(nd.basis, s.opt.LP)
+		res, err := s.p.SolveFromCtx(s.lpCtx, nd.basis, s.opt.LP)
 		undo()
 		if err != nil {
+			if errors.Is(err, lp.ErrCanceled) {
+				if s.ctx.Err() != nil {
+					// The caller's context aborted the relaxation: hard stop.
+					return nil, &CanceledError{Cause: context.Cause(s.ctx)}
+				}
+				// Our own TimeLimit deadline interrupted the LP: behave like
+				// the node-loop deadline check. Re-queue the node so the
+				// best-bound proof over the open nodes stays valid.
+				heap.Push(queue, nd)
+				s.deadlineHit = true
+				s.cDeadline.Inc()
+				s.trace.Emit("mip.deadline", obs.Int("node", int64(s.nodes)))
+				limited = true
+				break
+			}
 			return nil, err
 		}
 		s.nodes++

@@ -30,6 +30,13 @@ type RunReport struct {
 	// PolicyUse lists the self-tuning decisions per policy in the given
 	// order (policies the decider never chose appear with count 0).
 	PolicyUse []PolicyCount
+	// ILPSteps/ILPFallbacks/ILPRetries summarize the solve pipeline of
+	// an ILP-driven run (all zero otherwise), and Failures carries the
+	// per-step provenance of the degraded steps.
+	ILPSteps     int
+	ILPFallbacks int
+	ILPRetries   int
+	Failures     []StepFailure
 }
 
 // Report summarizes the result. machineSize is the processor count used
@@ -50,6 +57,10 @@ func (r *Result) Report(machineSize int, policyOrder []string) *RunReport {
 		MaxQueueDepth:  r.MaxQueueDepth,
 		MeanQueueDepth: r.MeanQueueDepth(),
 	}
+	rr.ILPSteps = r.ILPSteps
+	rr.ILPFallbacks = r.ILPFallbacks
+	rr.ILPRetries = r.ILPRetries
+	rr.Failures = append(rr.Failures, r.Failures...)
 	for _, name := range policyOrder {
 		rr.PolicyUse = append(rr.PolicyUse, PolicyCount{Policy: name, Count: r.PolicyUse[name]})
 	}
@@ -72,6 +83,11 @@ func (rr *RunReport) String() string {
 	t.Row("replans on completion", rr.Replans)
 	t.Row("max queue depth", rr.MaxQueueDepth)
 	t.Row("mean queue depth", fmt.Sprintf("%.1f", rr.MeanQueueDepth))
+	if rr.ILPSteps > 0 {
+		t.Row("ILP-driven steps", rr.ILPSteps)
+		t.Row("ILP retries", rr.ILPRetries)
+		t.Row("ILP fallbacks", rr.ILPFallbacks)
+	}
 	out := t.String()
 	if len(rr.PolicyUse) > 0 {
 		use := table.New("policy", "times chosen")
@@ -79,6 +95,13 @@ func (rr *RunReport) String() string {
 			use.Row(pc.Policy, pc.Count)
 		}
 		out += use.String()
+	}
+	if len(rr.Failures) > 0 {
+		ft := table.New("step time", "failure", "attempts", "error")
+		for _, f := range rr.Failures {
+			ft.Row(f.Time, f.Kind.String(), f.Attempts, f.Err)
+		}
+		out += ft.String()
 	}
 	return out
 }

@@ -11,14 +11,17 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/dynp"
+	"repro/internal/ilpsched"
 	"repro/internal/job"
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/schedule"
+	"repro/internal/solvepipe"
 )
 
 // eventKind orders simultaneous events: completions free resources before
@@ -98,6 +101,51 @@ type StepContext struct {
 	// Result is the self-tuning outcome (all policy schedules and the
 	// decider's choice).
 	Result *dynp.StepResult
+	// ILP, non-nil only in ILP-driven runs (Config.ILP), carries the
+	// step's solve-pipeline outcome and whether the step degraded to the
+	// basic-policy schedule.
+	ILP *ILPStepInfo
+}
+
+// ILPStepInfo is the solve-pipeline provenance of one ILP-driven step.
+type ILPStepInfo struct {
+	// Outcome is the full retry-ladder record of the step's solve.
+	Outcome *solvepipe.Outcome
+	// Fallback reports that the pipeline produced no schedule and the
+	// step adopted the chosen basic-policy schedule instead.
+	Fallback bool
+}
+
+// StepFailure is the per-step failure provenance of an ILP-driven run:
+// one record per step that fell back to the basic-policy schedule.
+type StepFailure struct {
+	// Time is the step instant.
+	Time int64
+	// Kind classifies the terminal failure of the retry ladder.
+	Kind solvepipe.FailureKind
+	// Attempts is the number of ladder rungs tried.
+	Attempts int
+	// Err is the terminal error text.
+	Err string
+}
+
+// ILPConfig makes the simulation adopt solve-pipeline schedules: every
+// self-tuning step extracts the quasi off-line instance and solves the
+// time-indexed ILP through the internal/solvepipe retry ladder; the
+// compacted optimal schedule replaces the basic-policy schedule. (The
+// paper computes these schedules observationally; this mode is the
+// "what if CPLEX actually drove the machine" experiment, which is only
+// viable with the fault tolerance this configuration provides.)
+type ILPConfig struct {
+	// Pipe parameterizes the retry ladder. Pipe.Trace/Pipe.Metrics
+	// default to the simulation's sinks; Pipe.Seed defaults per step to
+	// the chosen basic-policy schedule.
+	Pipe solvepipe.Config
+	// Fallback degrades a step whose ladder is exhausted to the chosen
+	// basic-policy schedule (recorded in Result.Failures and the
+	// "solve.fallback" trace event). When false such a step aborts the
+	// simulation — only sensible in experiments that must not degrade.
+	Fallback bool
 }
 
 // Reservation is an advance reservation: Width processors are promised to
@@ -126,6 +174,10 @@ type Config struct {
 	SelfTuneOnCompletion bool
 	// OnStep, if non-nil, observes every self-tuning step.
 	OnStep func(*StepContext)
+	// ILP, if non-nil, drives every self-tuning step through the
+	// fault-tolerant solve pipeline (see ILPConfig). Nil preserves the
+	// paper's behaviour: the basic-policy schedule is always adopted.
+	ILP *ILPConfig
 	// MaxSteps aborts runaway simulations (0 = no limit).
 	MaxSteps int
 	// Trace, if non-nil, receives structured simulator events
@@ -155,6 +207,12 @@ type Result struct {
 	// QueueDepthSum/Steps is the average the paper quotes as ~22 for CTC).
 	MaxQueueDepth int
 	QueueDepthSum int
+	// ILPSteps counts the steps driven through the solve pipeline
+	// (ILP-driven runs only); ILPFallbacks of them degraded to the
+	// basic-policy schedule and ILPRetries sums the retry rungs taken.
+	ILPSteps, ILPFallbacks, ILPRetries int
+	// Failures holds the per-step failure provenance of the fallbacks.
+	Failures []StepFailure
 }
 
 // MeanQueueDepth returns the average waiting-queue length per
@@ -234,6 +292,7 @@ type Simulator struct {
 	scheduler *dynp.Scheduler
 	total     int
 
+	ctx     context.Context
 	clock   int64
 	queue   eventQueue
 	seq     int
@@ -250,6 +309,7 @@ type Simulator struct {
 	cStarts     *obs.Counter
 	cEnds       *obs.Counter
 	cReplans    *obs.Counter
+	cFallbacks  *obs.Counter   // mip.fallbacks: ILP steps degraded to policy
 	hQueueDepth *obs.Histogram // waiting-queue length per self-tuning step
 	hEventDepth *obs.Histogram // event-loop (heap) depth per event
 }
@@ -306,6 +366,7 @@ func New(t *job.Trace, s *dynp.Scheduler, cfg Config) (*Simulator, error) {
 		sim.cStarts = reg.Counter("sim.starts")
 		sim.cEnds = reg.Counter("sim.completions")
 		sim.cReplans = reg.Counter("sim.replans")
+		sim.cFallbacks = reg.Counter("mip.fallbacks")
 		sim.hQueueDepth = reg.Histogram("sim.queue_depth", depthBounds)
 		sim.hEventDepth = reg.Histogram("sim.event_loop_depth", depthBounds)
 	}
@@ -434,14 +495,90 @@ func (s *Simulator) selfTune(submitted *job.Job) error {
 	if len(waiting) > s.result.MaxQueueDepth {
 		s.result.MaxQueueDepth = len(waiting)
 	}
+	adopt := res.Schedule
+	var ilp *ILPStepInfo
+	if s.cfg.ILP != nil {
+		adopt, ilp, err = s.ilpSchedule(res, waiting, base)
+		if err != nil {
+			return err
+		}
+	}
 	if s.cfg.OnStep != nil {
 		s.cfg.OnStep(&StepContext{
 			Now: s.clock, Submitted: submitted, Waiting: waiting,
-			Base: base, Result: res,
+			Base: base, Result: res, ILP: ilp,
 		})
 	}
-	s.adoptPlan(res.Schedule)
+	s.adoptPlan(adopt)
 	return nil
+}
+
+// ilpSchedule runs one step's quasi off-line instance through the solve
+// pipeline and returns the schedule to adopt. On ladder exhaustion it
+// degrades to the chosen basic-policy schedule (Config.ILP.Fallback) or
+// aborts; a canceled context always aborts.
+func (s *Simulator) ilpSchedule(res *dynp.StepResult, waiting []*job.Job, base *machine.Profile) (*schedule.Schedule, *ILPStepInfo, error) {
+	var horizon int64
+	for _, e := range res.Evals {
+		if mk := e.Schedule.Makespan(); mk > horizon {
+			horizon = mk
+		}
+	}
+	if horizon <= s.clock {
+		return res.Schedule, nil, nil // every waiting job starts now
+	}
+	inst := &ilpsched.Instance{
+		Now:     s.clock,
+		Machine: base.Total(),
+		Base:    base,
+		Jobs:    waiting,
+		Horizon: horizon,
+	}
+	pipe := s.cfg.ILP.Pipe
+	if pipe.Trace == nil {
+		pipe.Trace = s.trace
+	}
+	if pipe.Metrics == nil {
+		pipe.Metrics = s.cfg.Metrics
+	}
+	if pipe.Seed == nil {
+		pipe.Seed = res.Schedule
+	}
+	out := solvepipe.Solve(s.ctx, pipe, inst)
+	s.result.ILPSteps++
+	s.result.ILPRetries += out.Retries()
+	info := &ILPStepInfo{Outcome: out}
+	failKind, failErr := out.LastFailure(), out.Err
+	if !out.Failed() {
+		sch := out.Solution.Compacted
+		if verr := sch.Validate(base); verr == nil {
+			return sch, info, nil
+		} else {
+			// A solver bug, not an instance property: degrade like any
+			// other failure so one bad step cannot kill the run.
+			failKind = solvepipe.FailError
+			failErr = fmt.Errorf("sim: step at %d: infeasible ILP schedule: %v", s.clock, verr)
+		}
+	}
+	if failKind == solvepipe.FailCanceled {
+		return nil, nil, fmt.Errorf("sim: step at %d: %w", s.clock, failErr)
+	}
+	if !s.cfg.ILP.Fallback {
+		return nil, nil, fmt.Errorf("sim: step at %d: solve pipeline failed: %w", s.clock, failErr)
+	}
+	info.Fallback = true
+	s.result.ILPFallbacks++
+	s.cFallbacks.Inc()
+	s.result.Failures = append(s.result.Failures, StepFailure{
+		Time: s.clock, Kind: failKind, Attempts: len(out.Attempts),
+		Err: failErr.Error(),
+	})
+	s.trace.Emit("solve.fallback",
+		obs.Int("t", s.clock),
+		obs.Str("cause", failKind.String()),
+		obs.Int("attempts", int64(len(out.Attempts))),
+		obs.Str("policy", res.Chosen.Name()))
+	return res.Schedule, info, nil
 }
 
 // replan rebuilds the plan with the active policy, without self-tuning.
@@ -466,9 +603,24 @@ func (s *Simulator) replan() error {
 
 // Run executes the whole trace and returns the result.
 func (s *Simulator) Run() (*Result, error) {
+	return s.RunCtx(context.Background())
+}
+
+// cancelCheckEvery is the event interval between context checks in the
+// run loop (the per-step solves check far more often via the pipeline).
+const cancelCheckEvery = 64
+
+// RunCtx is Run with cooperative cancellation: a done context stops the
+// event loop at the next counter-gated checkpoint and hard-aborts any
+// in-flight per-step solve.
+func (s *Simulator) RunCtx(ctx context.Context) (*Result, error) {
+	s.ctx = ctx
 	var firstSubmit, lastEnd int64 = -1, 0
 	steps := 0
 	for s.queue.Len() > 0 {
+		if steps%cancelCheckEvery == 0 && ctx.Err() != nil {
+			return nil, fmt.Errorf("sim: run canceled: %w", context.Cause(ctx))
+		}
 		s.hEventDepth.Observe(float64(s.queue.Len()))
 		e := heap.Pop(&s.queue).(event)
 		if e.time < s.clock {

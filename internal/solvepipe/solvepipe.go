@@ -1,0 +1,312 @@
+// Package solvepipe is the fault-tolerant solve pipeline of the
+// reproduction: it wraps the per-step ILP solve (build + branch and
+// bound) in a retry ladder that trades schedule fidelity for
+// survivability, the way the paper trades grid resolution for memory
+// (Eq. 6).
+//
+// Each rung of the ladder re-solves the quasi off-line instance under a
+// coarser time-scaling factor and a larger (exponentially backed-off)
+// wall-clock budget. A rung can fail by budget exhaustion without an
+// incumbent, by the pre-build model-size guard, by proven grid
+// infeasibility, or by a recovered solver panic — all of which are
+// retryable. A done caller context is a hard stop and is never retried.
+// When every rung fails, the Outcome carries the full per-attempt
+// provenance so the caller (internal/sim) can degrade gracefully to the
+// best basic-policy schedule instead of dying mid-simulation.
+package solvepipe
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/ilpsched"
+	"repro/internal/mip"
+	"repro/internal/obs"
+	"repro/internal/schedule"
+)
+
+// FailureKind classifies why a solve attempt produced no usable schedule.
+type FailureKind int
+
+const (
+	// FailNone marks a successful attempt.
+	FailNone FailureKind = iota
+	// FailTimeout: the attempt's budget (wall clock or node limit) ran out
+	// before any feasible schedule was found.
+	FailTimeout
+	// FailTooLarge: the model-size guard refused to build the model.
+	FailTooLarge
+	// FailInfeasible: the grid instance was proven infeasible (including
+	// a horizon too tight for the scaled durations).
+	FailInfeasible
+	// FailPanic: the solver panicked; the panic was recovered and
+	// converted into a *PanicError.
+	FailPanic
+	// FailCanceled: the caller's context was done. Never retried.
+	FailCanceled
+	// FailError: any other error (malformed instance, I/O). Never retried.
+	FailError
+)
+
+func (k FailureKind) String() string {
+	switch k {
+	case FailNone:
+		return "none"
+	case FailTimeout:
+		return "timeout"
+	case FailTooLarge:
+		return "too-large"
+	case FailInfeasible:
+		return "infeasible"
+	case FailPanic:
+		return "panic"
+	case FailCanceled:
+		return "canceled"
+	default:
+		return "error"
+	}
+}
+
+// Retryable reports whether the ladder may try another rung after this
+// failure. Coarsening the grid shrinks the model (helps too-large),
+// relaxes the slot rounding (can cure grid infeasibility) and reduces
+// the search space (helps timeouts); panics get a fresh solver state.
+func (k FailureKind) Retryable() bool {
+	switch k {
+	case FailTimeout, FailTooLarge, FailInfeasible, FailPanic:
+		return true
+	}
+	return false
+}
+
+// PanicError is a solver panic recovered by the pipeline.
+type PanicError struct {
+	Value any    // the recovered panic value
+	Stack []byte // stack of the panicking goroutine
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("solvepipe: solver panicked: %v", e.Value)
+}
+
+// Attempt records one rung of the retry ladder.
+type Attempt struct {
+	// Scale is the Eq. 6 time-scaling factor of the rung.
+	Scale int64
+	// Budget is the wall-clock budget granted to the rung.
+	Budget time.Duration
+	// Failure classifies the rung's outcome (FailNone on success).
+	Failure FailureKind
+	// Err is the rung's error (nil on success).
+	Err error
+	// Elapsed is the rung's measured wall-clock time.
+	Elapsed time.Duration
+}
+
+// Outcome is the result of a full pipeline run.
+type Outcome struct {
+	// Solution is the winning solution, nil when the ladder was
+	// exhausted or the context was canceled.
+	Solution *ilpsched.Solution
+	// Scale is the time-scaling factor of the winning attempt.
+	Scale int64
+	// Attempts holds every rung tried, in order, including the winner.
+	Attempts []Attempt
+	// Err is the last rung's error when Solution is nil.
+	Err error
+}
+
+// Failed reports whether the pipeline produced no schedule.
+func (o *Outcome) Failed() bool { return o == nil || o.Solution == nil }
+
+// Retries returns the number of rungs beyond the first.
+func (o *Outcome) Retries() int {
+	if o == nil || len(o.Attempts) == 0 {
+		return 0
+	}
+	return len(o.Attempts) - 1
+}
+
+// LastFailure returns the failure kind of the final attempt (FailNone
+// when the pipeline succeeded on its last rung).
+func (o *Outcome) LastFailure() FailureKind {
+	if o == nil || len(o.Attempts) == 0 {
+		return FailNone
+	}
+	return o.Attempts[len(o.Attempts)-1].Failure
+}
+
+// SolveFunc solves a built model under the given options. The pipeline's
+// base SolveFunc calls (*ilpsched.Model).SolveCtx; Config.Hook may wrap
+// it with middleware (fault injection in tests).
+type SolveFunc func(ctx context.Context, m *ilpsched.Model, opt mip.Options) (*ilpsched.Solution, error)
+
+// Config parameterizes the pipeline.
+type Config struct {
+	// Budget is the wall-clock budget of the first attempt (soft stop:
+	// the solver keeps its incumbent). Default 15s.
+	Budget time.Duration
+	// Retries is the number of extra rungs after the first attempt.
+	Retries int
+	// BackoffFactor multiplies the budget on every retry (default 2).
+	BackoffFactor float64
+	// ScaleFactor multiplies the time-scaling factor on every retry
+	// (default 2), re-rounded to Scaling.RoundTo.
+	ScaleFactor float64
+	// Scaling chooses the first rung's scale per Eq. 6 (zero value:
+	// ilpsched.DefaultScaling). FixedScale > 0 overrides it.
+	Scaling    ilpsched.Scaling
+	FixedScale int64
+	// Limit is the pre-build model-size guard (zero = unguarded).
+	Limit ilpsched.SizeLimit
+	// MIP are the base branch-and-bound options. TimeLimit is overridden
+	// by the rung budget; Incumbent is overridden when Seed is set.
+	MIP mip.Options
+	// Seed, if non-nil, warm-starts every rung's search with this
+	// feasible schedule (e.g. the best basic-policy schedule).
+	Seed *schedule.Schedule
+	// Hook, if non-nil, wraps the base SolveFunc with middleware. This
+	// is the fault-injection seam used by internal/faultinject; it also
+	// admits caching or logging middleware.
+	Hook func(SolveFunc) SolveFunc
+	// Trace, if non-nil, receives "solve.attempt" and "solve.retry"
+	// events. Metrics, if non-nil, accumulates the "mip.retries" counter.
+	Trace   *obs.Tracer
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Budget <= 0 {
+		c.Budget = 15 * time.Second
+	}
+	if c.BackoffFactor < 1 {
+		c.BackoffFactor = 2
+	}
+	if c.ScaleFactor <= 1 {
+		c.ScaleFactor = 2
+	}
+	if c.Scaling == (ilpsched.Scaling{}) {
+		c.Scaling = ilpsched.DefaultScaling()
+	}
+	return c
+}
+
+// Classify maps a solve error to its FailureKind. Exported for callers
+// that record provenance from errors outside the pipeline.
+func Classify(ctx context.Context, err error) FailureKind {
+	if err == nil {
+		return FailNone
+	}
+	var pe *PanicError
+	switch {
+	case errors.As(err, &pe):
+		return FailPanic
+	case errors.Is(err, mip.ErrCanceled) || ctx.Err() != nil:
+		return FailCanceled
+	case errors.Is(err, ilpsched.ErrModelTooLarge):
+		return FailTooLarge
+	case errors.Is(err, ilpsched.ErrInfeasible),
+		errors.Is(err, ilpsched.ErrHorizonTooTight):
+		return FailInfeasible
+	case errors.Is(err, ilpsched.ErrNoSchedule):
+		// Limits ran out before any incumbent: a budget-class failure.
+		return FailTimeout
+	default:
+		return FailError
+	}
+}
+
+// Solve runs the retry ladder on the instance. It never panics: solver
+// panics are recovered into *PanicError and classified like any other
+// rung failure. The returned Outcome is non-nil even on total failure.
+func Solve(ctx context.Context, cfg Config, inst *ilpsched.Instance) *Outcome {
+	cfg = cfg.withDefaults()
+	scale := cfg.FixedScale
+	if scale <= 0 {
+		scale = cfg.Scaling.TimeScale(inst)
+	}
+	budget := cfg.Budget
+	out := &Outcome{}
+	for rung := 0; ; rung++ {
+		att := Attempt{Scale: scale, Budget: budget}
+		start := time.Now()
+		sol, err := solveOnce(ctx, cfg, inst, scale, budget)
+		att.Elapsed = time.Since(start)
+		att.Err = err
+		att.Failure = Classify(ctx, err)
+		out.Attempts = append(out.Attempts, att)
+		cfg.Trace.Emit("solve.attempt",
+			obs.Int("rung", int64(rung)),
+			obs.Int("scale", scale),
+			obs.Int("budget_ms", budget.Milliseconds()),
+			obs.Str("failure", att.Failure.String()))
+		if err == nil {
+			out.Solution, out.Scale = sol, scale
+			return out
+		}
+		if !att.Failure.Retryable() || rung >= cfg.Retries {
+			out.Err = err
+			return out
+		}
+		scale = nextScale(scale, cfg.ScaleFactor, cfg.Scaling.RoundTo)
+		budget = time.Duration(float64(budget) * cfg.BackoffFactor)
+		cfg.Metrics.Counter("mip.retries").Inc()
+		cfg.Trace.Emit("solve.retry",
+			obs.Int("rung", int64(rung+1)),
+			obs.Int("scale", scale),
+			obs.Int("budget_ms", budget.Milliseconds()),
+			obs.Str("cause", att.Failure.String()))
+	}
+}
+
+// solveOnce runs one rung: guarded build, optional incumbent seeding,
+// then the (possibly hook-wrapped) solve under the rung budget, with
+// panic containment around the whole rung.
+func solveOnce(ctx context.Context, cfg Config, inst *ilpsched.Instance, scale int64, budget time.Duration) (sol *ilpsched.Solution, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sol, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	m, err := ilpsched.BuildGuarded(inst, scale, cfg.Limit)
+	if err != nil {
+		return nil, err
+	}
+	opt := cfg.MIP
+	opt.TimeLimit = budget
+	if cfg.Seed != nil {
+		if inc, serr := m.IncumbentFromSchedule(cfg.Seed); serr == nil {
+			opt.Incumbent = inc
+		}
+	}
+	fn := SolveFunc(func(ctx context.Context, m *ilpsched.Model, opt mip.Options) (*ilpsched.Solution, error) {
+		return m.SolveCtx(ctx, opt)
+	})
+	if cfg.Hook != nil {
+		fn = cfg.Hook(fn)
+	}
+	return fn(ctx, m, opt)
+}
+
+// nextScale coarsens the grid for the next rung: multiply by factor,
+// round up to the RoundTo granularity, and guarantee strict growth so
+// the ladder always makes progress.
+func nextScale(scale int64, factor float64, roundTo int64) int64 {
+	next := int64(float64(scale) * factor)
+	if roundTo > 1 {
+		if rem := next % roundTo; rem != 0 {
+			next += roundTo - rem
+		}
+	}
+	if next <= scale {
+		step := roundTo
+		if step < 1 {
+			step = 1
+		}
+		next = scale + step
+	}
+	return next
+}

@@ -1,0 +1,253 @@
+package solvepipe_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/ilpsched"
+	"repro/internal/job"
+	"repro/internal/machine"
+	"repro/internal/mip"
+	"repro/internal/obs"
+	"repro/internal/solvepipe"
+)
+
+func jb(id int, submit int64, width int, est int64) *job.Job {
+	return &job.Job{ID: id, Submit: submit, Width: width, Estimate: est, Runtime: est}
+}
+
+func inst(m int, horizon int64, jobs ...*job.Job) *ilpsched.Instance {
+	return &ilpsched.Instance{
+		Now: 0, Machine: m, Base: machine.New(m, 0),
+		Jobs: jobs, Horizon: horizon,
+	}
+}
+
+func smallInst() *ilpsched.Instance {
+	return inst(4, 1000, jb(1, 0, 2, 100), jb(2, 0, 3, 200), jb(3, 0, 1, 150))
+}
+
+// failFirst injects the kind on the first n calls, then stays clean.
+type failFirst struct {
+	kind faultinject.Kind
+	n    int
+}
+
+func (p failFirst) Next(call int) (faultinject.Kind, bool) {
+	if call <= p.n {
+		return p.kind, true
+	}
+	return 0, false
+}
+
+func cfg() solvepipe.Config {
+	return solvepipe.Config{
+		Budget:     time.Second,
+		FixedScale: 10,
+		MIP:        mip.Options{MaxNodes: 5000},
+	}
+}
+
+func TestFirstRungSuccess(t *testing.T) {
+	out := solvepipe.Solve(context.Background(), cfg(), smallInst())
+	if out.Failed() {
+		t.Fatalf("pipeline failed: %v", out.Err)
+	}
+	if out.Retries() != 0 || len(out.Attempts) != 1 {
+		t.Fatalf("attempts %d retries %d, want 1/0", len(out.Attempts), out.Retries())
+	}
+	if out.Attempts[0].Failure != solvepipe.FailNone {
+		t.Fatalf("attempt failure %v, want none", out.Attempts[0].Failure)
+	}
+	if out.Scale != 10 {
+		t.Fatalf("winning scale %d, want 10", out.Scale)
+	}
+	if out.Solution.Compacted == nil {
+		t.Fatal("no compacted schedule")
+	}
+}
+
+func TestRetryAfterInjectedTimeout(t *testing.T) {
+	inj := faultinject.New(failFirst{kind: faultinject.Timeout, n: 1})
+	c := cfg()
+	c.Retries = 2
+	c.Hook = inj.Hook
+	out := solvepipe.Solve(context.Background(), c, smallInst())
+	if out.Failed() {
+		t.Fatalf("pipeline failed: %v", out.Err)
+	}
+	if out.Retries() != 1 {
+		t.Fatalf("retries %d, want 1", out.Retries())
+	}
+	a := out.Attempts
+	if a[0].Failure != solvepipe.FailTimeout || a[1].Failure != solvepipe.FailNone {
+		t.Fatalf("attempt failures %v/%v, want timeout/none", a[0].Failure, a[1].Failure)
+	}
+	if a[1].Scale <= a[0].Scale {
+		t.Fatalf("scale did not escalate: %d -> %d", a[0].Scale, a[1].Scale)
+	}
+	if a[1].Budget <= a[0].Budget {
+		t.Fatalf("budget did not back off: %v -> %v", a[0].Budget, a[1].Budget)
+	}
+}
+
+func TestPanicRecoveredAndRetried(t *testing.T) {
+	inj := faultinject.New(failFirst{kind: faultinject.Panic, n: 1})
+	c := cfg()
+	c.Retries = 1
+	c.Hook = inj.Hook
+	out := solvepipe.Solve(context.Background(), c, smallInst())
+	if out.Failed() {
+		t.Fatalf("pipeline failed: %v", out.Err)
+	}
+	if out.Attempts[0].Failure != solvepipe.FailPanic {
+		t.Fatalf("attempt failure %v, want panic", out.Attempts[0].Failure)
+	}
+	var pe *solvepipe.PanicError
+	if !errors.As(out.Attempts[0].Err, &pe) {
+		t.Fatalf("attempt error %T, want *PanicError", out.Attempts[0].Err)
+	}
+	if !strings.Contains(pe.Error(), "injected panic") {
+		t.Fatalf("panic error %q does not carry the panic value", pe.Error())
+	}
+}
+
+func TestLadderExhaustionEmitsObs(t *testing.T) {
+	inj := faultinject.New(failFirst{kind: faultinject.Timeout, n: 100})
+	var buf bytes.Buffer
+	reg := obs.NewRegistry()
+	c := cfg()
+	c.Retries = 2
+	c.Hook = inj.Hook
+	c.Trace = obs.NewTracer(&buf)
+	c.Metrics = reg
+	out := solvepipe.Solve(context.Background(), c, smallInst())
+	if !out.Failed() {
+		t.Fatal("pipeline succeeded under total fault injection")
+	}
+	if len(out.Attempts) != 3 || out.Retries() != 2 {
+		t.Fatalf("attempts %d retries %d, want 3/2", len(out.Attempts), out.Retries())
+	}
+	if out.LastFailure() != solvepipe.FailTimeout {
+		t.Fatalf("last failure %v, want timeout", out.LastFailure())
+	}
+	if !errors.Is(out.Err, ilpsched.ErrNoSchedule) {
+		t.Fatalf("terminal error %v, want ErrNoSchedule match", out.Err)
+	}
+	if got := reg.Counter("mip.retries").Value(); got != 2 {
+		t.Fatalf("mip.retries = %d, want 2", got)
+	}
+	trace := buf.String()
+	if n := strings.Count(trace, `"ev":"solve.attempt"`); n != 3 {
+		t.Fatalf("%d solve.attempt events, want 3", n)
+	}
+	if n := strings.Count(trace, `"ev":"solve.retry"`); n != 2 {
+		t.Fatalf("%d solve.retry events, want 2", n)
+	}
+}
+
+func TestTooLargeEscalatesToCoarserGrid(t *testing.T) {
+	i := smallInst()
+	fineVars, _ := ilpsched.EstimateSize(i, 10)
+	coarseVars, _ := ilpsched.EstimateSize(i, 70)
+	if coarseVars >= fineVars {
+		t.Fatalf("test premise broken: coarser grid not smaller (%d vs %d)", coarseVars, fineVars)
+	}
+	c := cfg()
+	c.Retries = 3
+	c.Limit = ilpsched.SizeLimit{MaxVariables: coarseVars}
+	// RoundTo drives the escalation granularity: 10 -> 70 -> ...
+	c.Scaling.RoundTo = 70
+	out := solvepipe.Solve(context.Background(), c, i)
+	if out.Failed() {
+		t.Fatalf("pipeline failed: %v", out.Err)
+	}
+	if out.Attempts[0].Failure != solvepipe.FailTooLarge {
+		t.Fatalf("first failure %v, want too-large", out.Attempts[0].Failure)
+	}
+	if !errors.Is(out.Attempts[0].Err, ilpsched.ErrModelTooLarge) {
+		t.Fatalf("first error %v, want ErrModelTooLarge", out.Attempts[0].Err)
+	}
+	if out.Scale <= 10 {
+		t.Fatalf("winning scale %d, want coarser than 10", out.Scale)
+	}
+}
+
+func TestInfeasibleRetryCoarsensGrid(t *testing.T) {
+	// Two width-3 jobs on 4 processors cannot overlap, and at scale 10
+	// the ~150 s horizon grid cannot serialize them: proven infeasible.
+	i := inst(4, 150, jb(1, 0, 3, 100), jb(2, 0, 3, 100))
+	c := cfg()
+	c.Retries = 0
+	out := solvepipe.Solve(context.Background(), c, i)
+	if !out.Failed() {
+		t.Fatal("pipeline succeeded on an infeasible grid with no retries")
+	}
+	if out.LastFailure() != solvepipe.FailInfeasible {
+		t.Fatalf("last failure %v, want infeasible", out.LastFailure())
+	}
+	if !errors.Is(out.Err, ilpsched.ErrInfeasible) {
+		t.Fatalf("terminal error %v, want ErrInfeasible match", out.Err)
+	}
+	// One retry escalates to a 60 s grid whose rounding slack admits the
+	// serialized placement: grid infeasibility is cured by coarsening,
+	// which is exactly why FailInfeasible is retryable.
+	c.Retries = 1
+	out = solvepipe.Solve(context.Background(), c, i)
+	if out.Failed() {
+		t.Fatalf("coarsened retry failed: %v", out.Err)
+	}
+	if out.Attempts[0].Failure != solvepipe.FailInfeasible || out.Retries() != 1 {
+		t.Fatalf("attempts %+v, want infeasible then success", out.Attempts)
+	}
+	if out.Scale <= 10 {
+		t.Fatalf("winning scale %d, want coarser than 10", out.Scale)
+	}
+}
+
+func TestCanceledContextNotRetried(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := cfg()
+	c.Retries = 5
+	out := solvepipe.Solve(ctx, c, smallInst())
+	if !out.Failed() {
+		t.Fatal("pipeline succeeded under a canceled context")
+	}
+	if len(out.Attempts) != 1 {
+		t.Fatalf("attempts %d, want 1 (cancellation must not retry)", len(out.Attempts))
+	}
+	if out.LastFailure() != solvepipe.FailCanceled {
+		t.Fatalf("failure %v, want canceled", out.LastFailure())
+	}
+	if !errors.Is(out.Err, mip.ErrCanceled) {
+		t.Fatalf("terminal error %v, want mip.ErrCanceled match", out.Err)
+	}
+}
+
+// The pipeline seeds every rung with the given schedule, so a budget of
+// effectively zero still returns the seed (anytime semantics survive
+// the ladder).
+func TestSeededRungSurvivesTinyBudget(t *testing.T) {
+	i := smallInst()
+	m, err := ilpsched.Build(i, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := m.Solve(mip.Options{MaxNodes: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg()
+	c.Budget = time.Nanosecond
+	c.Seed = sol.Compacted
+	out := solvepipe.Solve(context.Background(), c, i)
+	if out.Failed() {
+		t.Fatalf("seeded pipeline failed: %v", out.Err)
+	}
+}

@@ -45,16 +45,47 @@ type ParseResult struct {
 	// Skipped counts records dropped because they cannot be scheduled
 	// (non-positive width or runtime).
 	Skipped int
+	// Malformed counts records dropped by lenient mode because they were
+	// truncated or unparseable (always 0 in strict mode, which errors).
+	Malformed int
+	// BadLines holds the line numbers of the malformed records, capped
+	// at maxBadLines so a corrupt gigabyte trace cannot balloon memory.
+	BadLines []int
 	// HeaderFields holds the "; Key: Value" header lines.
 	HeaderFields map[string]string
 }
 
-// Parse reads an SWF stream. Width is the requested processor count when
-// present, otherwise the allocated count; the estimate is the requested
-// time when present, otherwise the actual runtime. Estimates below the
-// runtime are raised to the runtime (planning systems kill jobs exceeding
-// their estimate, so recorded runtimes never legitimately exceed it).
+// maxBadLines caps ParseResult.BadLines; Malformed keeps the full count.
+const maxBadLines = 100
+
+// Options parameterize ParseWith.
+type Options struct {
+	// Lenient tolerates corrupt records instead of failing the parse:
+	// truncated lines with at least the five scheduling-relevant leading
+	// fields (job, submit, wait, runtime, processors) are padded with -1
+	// sentinels, and lines shorter than that or with unparseable numbers
+	// are counted in Malformed and skipped. Archive traces accumulate
+	// such damage (truncated downloads, editor mangling); a 40-day CTC
+	// replay should not die on one bad line.
+	Lenient bool
+}
+
+// minFields is the shortest record lenient mode accepts: through the
+// allocated-processor field, enough to reconstruct a schedulable job.
+const minFields = fieldAllocProcs + 1
+
+// Parse reads an SWF stream strictly: any malformed record is an error.
+// Width is the requested processor count when present, otherwise the
+// allocated count; the estimate is the requested time when present,
+// otherwise the actual runtime. Estimates below the runtime are raised
+// to the runtime (planning systems kill jobs exceeding their estimate,
+// so recorded runtimes never legitimately exceed it).
 func Parse(r io.Reader) (*ParseResult, error) {
+	return ParseWith(r, Options{})
+}
+
+// ParseWith is Parse under the given options.
+func ParseWith(r io.Reader, opt Options) (*ParseResult, error) {
 	res := &ParseResult{
 		Trace:        &job.Trace{Note: "swf"},
 		HeaderFields: map[string]string{},
@@ -77,15 +108,35 @@ func Parse(r io.Reader) (*ParseResult, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) < numFields {
-			return nil, fmt.Errorf("swf: line %d: %d fields, want %d", lineNo, len(fields), numFields)
+			if !opt.Lenient {
+				return nil, fmt.Errorf("swf: line %d: %d fields, want %d", lineNo, len(fields), numFields)
+			}
+			if len(fields) < minFields {
+				res.recordBad(lineNo)
+				continue
+			}
+			// Truncated record: pad the missing trailing fields with the
+			// SWF "unknown" sentinel.
+			for len(fields) < numFields {
+				fields = append(fields, "-1")
+			}
 		}
 		vals := make([]int64, numFields)
+		bad := false
 		for i := 0; i < numFields; i++ {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
-				return nil, fmt.Errorf("swf: line %d field %d: %v", lineNo, i+1, err)
+				if !opt.Lenient {
+					return nil, fmt.Errorf("swf: line %d field %d: %v", lineNo, i+1, err)
+				}
+				res.recordBad(lineNo)
+				bad = true
+				break
 			}
 			vals[i] = int64(v)
+		}
+		if bad {
+			continue
 		}
 		j := &job.Job{
 			ID:     int(vals[fieldJobNumber]),
@@ -124,6 +175,13 @@ func Parse(r io.Reader) (*ParseResult, error) {
 	}
 	res.Trace.SortBySubmit()
 	return res, nil
+}
+
+func (res *ParseResult) recordBad(lineNo int) {
+	res.Malformed++
+	if len(res.BadLines) < maxBadLines {
+		res.BadLines = append(res.BadLines, lineNo)
+	}
 }
 
 // Write emits the trace in SWF. Unknown optional fields are written as -1.

@@ -2,6 +2,7 @@ package swf
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -192,5 +193,96 @@ func TestParseNeverPanics(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// Lenient mode on the corrupt-fixture corpus: truncated records with at
+// least the scheduling-relevant leading fields are padded, shorter or
+// unparseable ones are counted and skipped, and strict mode still errors
+// on every fixture.
+func TestParseLenientCorruptCorpus(t *testing.T) {
+	cases := []struct {
+		file      string
+		jobs      int // schedulable jobs recovered in lenient mode
+		malformed int
+		badLines  []int
+		skipped   int
+	}{
+		// Records 1 and 5 are clean; 2 (5 fields) and 3 (9 fields) are
+		// padded; 4 (3 fields) is malformed.
+		{"testdata/corrupt_truncated.swf", 4, 1, []int{10}, 0},
+		// Records 1, 3 and 5 parse; 2 (bad number) and the garbage line
+		// are malformed; 4 is a cancelled job (skipped, not malformed).
+		{"testdata/corrupt_garbage.swf", 3, 2, []int{6, 8}, 1},
+	}
+	for _, tc := range cases {
+		raw, err := os.ReadFile(tc.file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Parse(bytes.NewReader(raw)); err == nil {
+			t.Errorf("%s: strict Parse accepted a corrupt trace", tc.file)
+		}
+		res, err := ParseWith(bytes.NewReader(raw), Options{Lenient: true})
+		if err != nil {
+			t.Fatalf("%s: lenient parse: %v", tc.file, err)
+		}
+		if got := len(res.Trace.Jobs); got != tc.jobs {
+			t.Errorf("%s: %d jobs, want %d", tc.file, got, tc.jobs)
+		}
+		if res.Malformed != tc.malformed {
+			t.Errorf("%s: Malformed = %d, want %d", tc.file, res.Malformed, tc.malformed)
+		}
+		if len(res.BadLines) != len(tc.badLines) {
+			t.Errorf("%s: BadLines = %v, want %v", tc.file, res.BadLines, tc.badLines)
+		} else {
+			for i, ln := range tc.badLines {
+				if res.BadLines[i] != ln {
+					t.Errorf("%s: BadLines = %v, want %v", tc.file, res.BadLines, tc.badLines)
+					break
+				}
+			}
+		}
+		if res.Skipped != tc.skipped {
+			t.Errorf("%s: Skipped = %d, want %d", tc.file, res.Skipped, tc.skipped)
+		}
+		if err := res.Trace.Validate(); err != nil {
+			t.Errorf("%s: recovered trace invalid: %v", tc.file, err)
+		}
+	}
+}
+
+// A truncated record recovered by lenient mode reconstructs the job from
+// the leading fields with sentinel fallbacks (width from alloc procs,
+// estimate from runtime).
+func TestParseLenientPaddedRecord(t *testing.T) {
+	res, err := ParseWith(strings.NewReader("7 30 -1 200 8\n"), Options{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace.Jobs) != 1 || res.Malformed != 0 {
+		t.Fatalf("jobs=%d malformed=%d, want 1/0", len(res.Trace.Jobs), res.Malformed)
+	}
+	j := res.Trace.Jobs[0]
+	if j.ID != 7 || j.Submit != 30 || j.Runtime != 200 || j.Width != 8 || j.Estimate != 200 {
+		t.Fatalf("unexpected job %+v", j)
+	}
+}
+
+// BadLines is capped but Malformed keeps counting.
+func TestParseLenientBadLineCap(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < maxBadLines+25; i++ {
+		sb.WriteString("garbage\n")
+	}
+	res, err := ParseWith(strings.NewReader(sb.String()), Options{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Malformed != maxBadLines+25 {
+		t.Fatalf("Malformed = %d, want %d", res.Malformed, maxBadLines+25)
+	}
+	if len(res.BadLines) != maxBadLines {
+		t.Fatalf("len(BadLines) = %d, want %d", len(res.BadLines), maxBadLines)
 	}
 }
