@@ -1,0 +1,33 @@
+package repro
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/benchkit"
+)
+
+// BenchmarkParallelBnB measures one bounded branch-and-bound solve of the
+// E5 blow-up instance per worker count. The bodies live in
+// internal/benchkit so cmd/benchjson measures the identical workload.
+// Speedup over the 1-worker case is bounded by GOMAXPROCS; on a
+// single-CPU host all sub-benchmarks collapse to the same wall clock.
+func BenchmarkParallelBnB(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		w := w
+		name := map[int]string{1: "workers=1", 2: "workers=2", 4: "workers=4"}[w]
+		b.Run(name, func(b *testing.B) {
+			if w > 1 && runtime.GOMAXPROCS(0) == 1 {
+				b.Logf("GOMAXPROCS=1: parallel speedup not observable on this host")
+			}
+			benchkit.BenchParallelBnB(w)(b)
+		})
+	}
+}
+
+// BenchmarkWarmStart measures the serial warm-start path on the 6-job E5
+// instance; allocs/op tracks the simplex scratch pool and the ilpsched
+// build arena.
+func BenchmarkWarmStart(b *testing.B) {
+	benchkit.BenchWarmStart()(b)
+}

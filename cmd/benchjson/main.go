@@ -1,0 +1,130 @@
+// Command benchjson runs the repo's solver benchmarks in-process and
+// writes a machine-readable trajectory file (default BENCH_3.json): the
+// E3 self-tuning-step and E5 blow-up workloads plus the ParallelBnB and
+// WarmStart micro-benchmarks, with ns/op, allocs/op and the parallel
+// speedup relative to Workers=1. The benchmark bodies live in
+// internal/benchkit and are the same ones `go test -bench` runs, so the
+// JSON numbers and the -bench numbers are directly comparable.
+//
+// Usage:
+//
+//	benchjson [-o BENCH_3.json] [-quick]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/benchkit"
+)
+
+type benchResult struct {
+	Name       string  `json:"name"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	AllocsOp   int64   `json:"allocs_per_op"`
+	BytesOp    int64   `json:"bytes_per_op"`
+	// SpeedupVsWorkers1 is wall-clock ns/op of the 1-worker run divided
+	// by this run's; only set on the ParallelBnB variants.
+	SpeedupVsWorkers1 float64 `json:"speedup_vs_workers1,omitempty"`
+}
+
+type trajectory struct {
+	Generated  string `json:"generated"`
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// Note records measurement caveats (e.g. single-CPU hosts cannot
+	// exhibit parallel speedup no matter the worker count).
+	Note       string        `json:"note,omitempty"`
+	Benchmarks []benchResult `json:"benchmarks"`
+	WarmStart  warmStats     `json:"warmstart_solve"`
+}
+
+type warmStats struct {
+	WarmStartHits int `json:"warmstart_hits"`
+	LPSolves      int `json:"lp_solves"`
+	EtaUpdates    int `json:"eta_updates"`
+}
+
+func run(name string, body func(b *testing.B)) benchResult {
+	fmt.Fprintf(os.Stderr, "benchjson: running %s...\n", name)
+	r := testing.Benchmark(body)
+	return benchResult{
+		Name:       name,
+		Iterations: r.N,
+		NsPerOp:    float64(r.NsPerOp()),
+		AllocsOp:   r.AllocsPerOp(),
+		BytesOp:    r.AllocedBytesPerOp(),
+	}
+}
+
+func main() {
+	out := flag.String("o", "BENCH_3.json", "output path for the benchmark trajectory JSON")
+	quick := flag.Bool("quick", false, "skip the E3 self-tuning-step benchmarks (solver micro-benchmarks only)")
+	flag.Parse()
+
+	var results []benchResult
+	if !*quick {
+		results = append(results,
+			run("SelfTuningStep25Jobs", benchkit.BenchSelfTuningStep(false)),
+			run("SelfTuningStep25Jobs/parallel", benchkit.BenchSelfTuningStep(true)),
+		)
+	}
+
+	workerCounts := []int{1, 2, 4}
+	var base float64
+	for _, w := range workerCounts {
+		br := run(fmt.Sprintf("ParallelBnB/workers=%d", w), benchkit.BenchParallelBnB(w))
+		if w == 1 {
+			base = br.NsPerOp
+		}
+		if base > 0 {
+			br.SpeedupVsWorkers1 = base / br.NsPerOp
+		}
+		results = append(results, br)
+	}
+	results = append(results, run("WarmStart", benchkit.BenchWarmStart()))
+
+	warmHits, lpSolves, etaUp, err := benchkit.WarmStartStats()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: warm-start stats: %v\n", err)
+		os.Exit(1)
+	}
+
+	traj := trajectory{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Benchmarks: results,
+		WarmStart:  warmStats{WarmStartHits: warmHits, LPSolves: lpSolves, EtaUpdates: etaUp},
+	}
+	if traj.GoMaxProcs == 1 {
+		traj.Note = "GOMAXPROCS=1: the branch-and-bound worker pool cannot run nodes " +
+			"concurrently on this host, so ParallelBnB speedup_vs_workers1 stays ~1.0 " +
+			"by construction; rerun on a multi-core host to observe scaling."
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&traj); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(results))
+}

@@ -62,6 +62,7 @@ func main() {
 		noReplan   = flag.Bool("no-replan", false, "do not replan when jobs finish early")
 		lenient    = flag.Bool("lenient", false, "tolerate corrupt SWF records (count and skip them)")
 		ilpDriven  = flag.Bool("ilp", false, "adopt ILP schedules via the fault-tolerant solve pipeline")
+		workers    = flag.Int("workers", 0, "parallel solve workers: MIP worker pool and concurrent policy evaluation (0 = GOMAXPROCS, 1 = serial)")
 		budget     = flag.Duration("solve-budget", 10*time.Second, "per-attempt solve budget of the retry ladder (with -ilp)")
 		retries    = flag.Int("solve-retries", 2, "extra retry-ladder attempts under a coarser grid (with -ilp)")
 		maxVars    = flag.Int("max-model-vars", 0, "refuse to build ILP models above this many variables (0 = unguarded)")
@@ -150,6 +151,7 @@ func main() {
 	cfg := sim.Config{
 		Machine:            *machineSz,
 		ReplanOnCompletion: !*noReplan,
+		ParallelSteps:      *workers != 1,
 		Trace:              tracer,
 		Metrics:            reg,
 	}
@@ -159,7 +161,7 @@ func main() {
 				Budget:  *budget,
 				Retries: *retries,
 				Limit:   ilpsched.SizeLimit{MaxVariables: *maxVars},
-				MIP:     mip.Options{MaxNodes: 200000},
+				MIP:     mip.Options{MaxNodes: 200000, Workers: *workers},
 			},
 			Fallback: *fallback,
 		}

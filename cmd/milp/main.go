@@ -39,6 +39,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 5*time.Minute, "time limit")
 		gap        = flag.Float64("gap", 0, "relative MIP gap (0 = prove optimality)")
 		maxIter    = flag.Int("iters", 200000, "simplex iteration limit per LP")
+		workers    = flag.Int("workers", 0, "parallel branch-and-bound workers (0 = GOMAXPROCS)")
 		quiet      = flag.Bool("q", false, "print only status and objective")
 		traceOut   = flag.String("trace", "", "write a structured JSONL event trace to this file")
 		verbose    = flag.Bool("verbose", false, "print solve-progress lines and counters on stderr")
@@ -119,6 +120,7 @@ func main() {
 		MaxNodes:    *nodes,
 		TimeLimit:   *timeout,
 		RelativeGap: *gap,
+		Workers:     *workers,
 		LP:          lp.Options{MaxIters: *maxIter},
 	}
 	var (

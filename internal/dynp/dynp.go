@@ -17,6 +17,7 @@ package dynp
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/job"
@@ -166,6 +167,7 @@ type Scheduler struct {
 	cSteps    *obs.Counter
 	cSwitches *obs.Counter
 	cReplans  *obs.Counter
+	cParSteps *obs.Counter
 }
 
 // New constructs a scheduler. policies must be non-empty; the first one is
@@ -226,6 +228,7 @@ func (s *Scheduler) SetObs(trace *obs.Tracer, reg *obs.Registry) {
 	s.cSteps = reg.Counter("dynp.steps")
 	s.cSwitches = reg.Counter("dynp.switches")
 	s.cReplans = reg.Counter("dynp.replans")
+	s.cParSteps = reg.Counter("dynp.parallel.steps")
 }
 
 // SetParallel makes Step evaluate the candidate policies concurrently,
@@ -268,11 +271,17 @@ func (s *Scheduler) Step(now int64, base *machine.Profile, waiting []*job.Job) (
 	all := make([]Evaluation, len(s.policies))
 	errs := make([]error, len(s.policies))
 	if s.parallel && len(s.policies) > 1 {
+		s.cParSteps.Inc()
+		// One goroutine per policy, bounded to GOMAXPROCS so a large
+		// policy set does not oversubscribe the machine while ILP solves
+		// (which have their own worker pools) run in the same process.
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 		var wg sync.WaitGroup
 		for i, p := range s.policies {
 			wg.Add(1)
+			sem <- struct{}{}
 			go func(i int, p policy.Policy) {
-				defer wg.Done()
+				defer func() { <-sem; wg.Done() }()
 				all[i], errs[i] = s.buildEval(now, base, waiting, p)
 			}(i, p)
 		}

@@ -1,0 +1,67 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ilpsched"
+	"repro/internal/job"
+	"repro/internal/machine"
+	"repro/internal/mip"
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+// Regression pin for TestILPAgreesWithExact: on this seed the exact
+// optimum finishes later than every policy schedule, so the ILP horizon
+// must be extended to the exact makespan for the solvers to agree.
+func TestILPAgreesWithExactLateOptimumSeed(t *testing.T) {
+	seed := uint64(13442482239383397668)
+	r := stats.NewRand(seed)
+	mSize := r.Intn(4) + 2
+	base := machine.New(mSize, 0)
+	if r.Intn(2) == 0 {
+		base.Reserve(0, int64(r.Intn(30)+1), r.Intn(mSize)+1)
+	}
+	n := r.Intn(4) + 1
+	jobs := make([]*job.Job, n)
+	for k := range jobs {
+		jobs[k] = jb(k+1, 0, r.Intn(mSize)+1, int64(r.Intn(30)+5))
+	}
+	exactSch, exactObj, err := Solve(0, base, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var horizon int64
+	for _, p := range policy.Standard() {
+		s, err := policy.Build(p, 0, base, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mk := s.Makespan(); mk > horizon {
+			horizon = mk
+		}
+	}
+	if exactSch.Makespan() <= horizon {
+		t.Fatalf("seed no longer exhibits a late optimum (exact makespan %d, horizon %d)",
+			exactSch.Makespan(), horizon)
+	}
+	if mk := exactSch.Makespan(); mk > horizon {
+		horizon = mk
+	}
+	inst := &ilpsched.Instance{Now: 0, Machine: mSize, Base: base, Jobs: jobs, Horizon: horizon}
+	m, err := ilpsched.Build(inst, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := m.Solve(mip.Options{MaxNodes: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.MIP.Status != mip.Optimal {
+		t.Fatalf("ilp status %v", sol.MIP.Status)
+	}
+	if math.Abs(sol.MIP.Objective-exactObj) > 1e-6 {
+		t.Fatalf("ilp %g, exact %g", sol.MIP.Objective, exactObj)
+	}
+}

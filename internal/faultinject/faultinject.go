@@ -157,7 +157,7 @@ func (in *Injector) Hook(next solvepipe.SolveFunc) solvepipe.SolveFunc {
 			select {
 			case <-t.C:
 			case <-ctx.Done():
-				return nil, &mip.CanceledError{Cause: context.Cause(ctx)}
+				return nil, mip.NewCanceledError(context.Cause(ctx))
 			}
 			return next(ctx, m, opt)
 		}

@@ -329,7 +329,20 @@ func Build(inst *Instance, scale int64) (*Model, error) {
 			m.capRow[t] = -1 // can never bind
 		}
 	}
-	// Assignment rows and variables.
+	// Prefix counts of materialized capacity rows, so the exact entry
+	// count of a column covering slots [t, t+dur) is O(1).
+	capCnt := make([]int, slots+1)
+	for t := 0; t < slots; t++ {
+		capCnt[t+1] = capCnt[t]
+		if m.capRow[t] >= 0 {
+			capCnt[t+1]++
+		}
+	}
+	// First pass: slot windows, validation, and the exact column/entry
+	// totals, so the whole coefficient matrix is allocated in one arena
+	// instead of one append chain per x_it column (a dynpsim run rebuilds
+	// this model every self-tuning step).
+	totalCols, totalEntries := 0, 0
 	for i, jb := range inst.Jobs {
 		m.slotDur[i] = int((jb.Estimate + scale - 1) / scale)
 		min := 0
@@ -342,6 +355,16 @@ func Build(inst *Instance, scale int64) (*Model, error) {
 				ErrHorizonTooTight, jb.ID, slots, m.slotDur[i])
 		}
 		m.minSlot[i], m.maxSlot[i] = min, max
+		totalCols += max - min + 1
+		for t := min; t <= max; t++ {
+			totalEntries += 1 + capCnt[t+m.slotDur[i]] - capCnt[t]
+		}
+	}
+	m.prob.Grow(totalCols, len(inst.Jobs), totalEntries)
+	m.intCols = make([]int, 0, totalCols)
+	// Second pass: assignment rows and variables.
+	for i, jb := range inst.Jobs {
+		min, max := m.minSlot[i], m.maxSlot[i]
 		row := m.prob.AddConstraint(lp.EQ, 1)
 		first := -1
 		for t := min; t <= max; t++ {
@@ -352,6 +375,7 @@ func Build(inst *Instance, scale int64) (*Model, error) {
 			if first < 0 {
 				first = col
 			}
+			m.prob.ReserveColumn(col, 1+capCnt[t+m.slotDur[i]]-capCnt[t])
 			m.prob.SetCoeff(row, col, 1)
 			for u := t; u < t+m.slotDur[i]; u++ {
 				if m.capRow[u] >= 0 {

@@ -18,6 +18,7 @@ package lp
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -64,6 +65,13 @@ type Problem struct {
 	// dirty marks columns as possibly containing unsorted or duplicate
 	// entries; coalesce() clears it.
 	dirty bool
+
+	// arena is a single backing store for column entries, carved into
+	// per-column slices by ReserveColumn so that bulk model builds (the
+	// time-indexed scheduling formulation) perform one allocation for all
+	// coefficients instead of one append chain per column.
+	arena    []nz
+	arenaOff int
 }
 
 // NewProblem returns an empty problem.
@@ -180,6 +188,49 @@ func (p *Problem) Validate() error {
 	}
 	return nil
 }
+
+// Grow preallocates capacity for cols more columns, rows more rows and an
+// entry arena holding entries matrix coefficients (see ReserveColumn).
+// It is purely an optimization hint for bulk builders; zero values are
+// ignored.
+func (p *Problem) Grow(cols, rows, entries int) {
+	if cols > 0 {
+		p.cost = slices.Grow(p.cost, cols)
+		p.lo = slices.Grow(p.lo, cols)
+		p.hi = slices.Grow(p.hi, cols)
+		p.names = slices.Grow(p.names, cols)
+		p.cols = slices.Grow(p.cols, cols)
+	}
+	if rows > 0 {
+		p.sense = slices.Grow(p.sense, rows)
+		p.rhs = slices.Grow(p.rhs, rows)
+	}
+	if entries > 0 {
+		p.arena = make([]nz, entries)
+		p.arenaOff = 0
+	}
+}
+
+// ReserveColumn points the (currently empty) column col at an exclusive
+// slice of the Grow arena with capacity for n entries, so its subsequent
+// SetCoeff appends stay inside the arena. The three-index slice caps each
+// reservation, so an underestimated n safely falls back to ordinary
+// append reallocation instead of clobbering a neighbor. A no-op when the
+// column is nonempty, n is not positive, or the arena is exhausted.
+func (p *Problem) ReserveColumn(col, n int) {
+	if len(p.cols[col]) != 0 || n <= 0 || p.arenaOff+n > len(p.arena) {
+		return
+	}
+	p.cols[col] = p.arena[p.arenaOff : p.arenaOff : p.arenaOff+n]
+	p.arenaOff += n
+}
+
+// Freeze coalesces any pending coefficient edits now, leaving the problem
+// safe for concurrent read-only use (the parallel branch-and-bound
+// evaluates candidates against the shared root problem while workers
+// solve on clones; without Freeze the first concurrent reader would race
+// on the lazy coalesce).
+func (p *Problem) Freeze() { p.coalesce() }
 
 // coalesce sorts each column by row and merges duplicate entries. It is
 // a no-op when nothing changed since the last call.

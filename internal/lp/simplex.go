@@ -5,6 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+
+	"repro/internal/solvererr"
 )
 
 // ErrCanceled is the sentinel matched (via errors.Is) by every
@@ -12,18 +15,16 @@ import (
 var ErrCanceled = errors.New("lp: solve canceled")
 
 // CanceledError reports that a solve was aborted because its context was
-// done. Cause is context.Cause of the context at abort time, so callers
-// can distinguish deadlines from explicit cancellation with errors.Is.
-type CanceledError struct{ Cause error }
+// done. Cause (promoted from the shared implementation) is context.Cause
+// of the context at abort time, so callers can distinguish deadlines from
+// explicit cancellation with errors.Is; errors.Is(err, ErrCanceled)
+// matches every instance.
+type CanceledError struct{ solvererr.Canceled }
 
-func (e *CanceledError) Error() string {
-	return "lp: solve canceled: " + e.Cause.Error()
+// newCanceled wraps cause in the package's typed cancellation error.
+func newCanceled(cause error) *CanceledError {
+	return &CanceledError{solvererr.Canceled{Op: "lp", Sentinel: ErrCanceled, Cause: cause}}
 }
-
-func (e *CanceledError) Unwrap() error { return e.Cause }
-
-// Is makes errors.Is(err, ErrCanceled) match.
-func (e *CanceledError) Is(target error) bool { return target == ErrCanceled }
 
 // Status is the outcome of a solve.
 type Status int
@@ -39,18 +40,9 @@ const (
 	IterationLimit
 )
 
-func (s Status) String() string {
-	switch s {
-	case Optimal:
-		return "optimal"
-	case Infeasible:
-		return "infeasible"
-	case Unbounded:
-		return "unbounded"
-	default:
-		return "iteration-limit"
-	}
-}
+var statusNames = []string{"optimal", "infeasible", "unbounded", "iteration-limit"}
+
+func (s Status) String() string { return solvererr.StatusName(int(s), statusNames) }
 
 // Options control a solve.
 type Options struct {
@@ -85,6 +77,14 @@ type Result struct {
 	DegeneratePivots int
 	// BoundFlips counts nonbasic bound-to-bound moves (no basis change).
 	BoundFlips int
+	// EtaUpdates counts product-form basis-inverse updates applied between
+	// periodic refactorizations — the per-pivot O(m²) eta path that avoids
+	// re-running the O(k³) block factorization on every basis change.
+	EtaUpdates int
+	// WarmStarted reports that the result came from a warm-started path
+	// (the supplied basis was reused, either by the dual simplex or by the
+	// primal repair), not from the cold all-slack fallback.
+	WarmStarted bool
 }
 
 // Basis is an opaque warm-start snapshot (column statuses and the basis
@@ -104,6 +104,87 @@ const (
 )
 
 const refactorEvery = 100
+
+// factorCoef is one structural basic coefficient bucketed by covered row
+// during factorize().
+type factorCoef struct {
+	b   int
+	val float64
+}
+
+// scratch is the reusable per-solve allocation set of a simplex. A
+// branch-and-bound run performs thousands of short LP solves; without
+// reuse every one of them allocates the m×m inverse, the column-state
+// vectors and the pivot work arrays from scratch. The pool hands each
+// solve (including concurrent ones from the parallel branch-and-bound
+// workers) an exclusive scratch; release() returns it after the Result —
+// which never aliases scratch memory — has been extracted.
+type scratch struct {
+	cost, lo, hi, structCost []float64
+	stat                     []colStatus
+	acols                    [][]nz
+	slack                    []nz // one {row, +1} entry per slack column
+	basis                    []int
+	binv, xB                 []float64
+	y, w, rho, tmp           []float64
+	artRow                   []int
+	artSign                  []float64
+
+	// factorize() temporaries.
+	posOfRow, structPos, rv, rvIdx []int
+	fscale, fa, fainv              []float64
+	cRows                          [][]factorCoef
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// growF returns buf resized to n, reallocating only when the capacity is
+// too small. Contents are unspecified; callers overwrite what they read.
+func growF(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func growI(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func growStat(buf []colStatus, n int) []colStatus {
+	if cap(buf) < n {
+		return make([]colStatus, n)
+	}
+	return buf[:n]
+}
+
+func growNZ(buf []nz, n int) []nz {
+	if cap(buf) < n {
+		return make([]nz, n)
+	}
+	return buf[:n]
+}
+
+func growCols(buf [][]nz, n int) [][]nz {
+	if cap(buf) < n {
+		return make([][]nz, n)
+	}
+	return buf[:n]
+}
+
+func growCRows(buf [][]factorCoef, n int) [][]factorCoef {
+	if cap(buf) < n {
+		buf = make([][]factorCoef, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = buf[i][:0]
+	}
+	return buf
+}
 
 type simplex struct {
 	p    *Problem
@@ -126,16 +207,25 @@ type simplex struct {
 	binv  []float64 // m×m row-major inverse of the basis matrix
 	xB    []float64
 
+	// Pivot-loop work arrays (duals, ftran result, dual row), plus the
+	// computeXB temporary; all scratch-backed.
+	y, w, rho, tmp []float64
+
 	iters      int
 	refacts    int
 	degen      int
 	flips      int
+	etaUp      int // product-form binv updates since solve start
 	sincefact  int
 	stall      int
 	bland      bool
 	lastObj    float64
 	phase1     bool
 	structCost []float64 // original costs, structural+slack (+art zeros)
+
+	// sc is the pooled allocation set backing the slices above; release()
+	// returns it (nil after release).
+	sc *scratch
 
 	// Cooperative cancellation: ctx is polled every cancelCheckEvery
 	// iterations; canceled latches the first observed ctx error.
@@ -164,18 +254,19 @@ func (s *simplex) ctxDone() bool {
 
 // cancelErr builds the typed error for a latched cancellation.
 func (s *simplex) cancelErr() error {
-	return &CanceledError{Cause: context.Cause(s.ctx)}
+	return newCanceled(context.Cause(s.ctx))
 }
 
 func newSimplex(p *Problem, opt Options) *simplex {
 	p.coalesce()
 	m, n := p.NumConstraints(), p.NumVariables()
-	s := &simplex{p: p, m: m, n: n, opt: opt}
+	sc := scratchPool.Get().(*scratch)
+	s := &simplex{p: p, m: m, n: n, opt: opt, sc: sc}
 	nc := n + m
-	s.cost = make([]float64, nc)
-	s.lo = make([]float64, nc)
-	s.hi = make([]float64, nc)
-	s.stat = make([]colStatus, nc)
+	s.cost = growF(sc.cost, nc)
+	s.lo = growF(sc.lo, nc)
+	s.hi = growF(sc.hi, nc)
+	s.stat = growStat(sc.stat, nc)
 	copy(s.lo, p.lo)
 	copy(s.hi, p.hi)
 	for i := 0; i < m; i++ {
@@ -188,20 +279,52 @@ func newSimplex(p *Problem, opt Options) *simplex {
 			s.lo[n+i], s.hi[n+i] = 0, 0
 		}
 	}
-	s.structCost = make([]float64, nc)
+	s.structCost = growF(sc.structCost, nc)
 	copy(s.structCost, p.cost)
+	for j := n; j < nc; j++ {
+		s.structCost[j] = 0
+	}
 	copy(s.cost, s.structCost)
-	s.acols = make([][]nz, nc)
+	s.acols = growCols(sc.acols, nc)
 	for j := 0; j < n; j++ {
 		s.acols[j] = p.cols[j]
 	}
+	sc.slack = growNZ(sc.slack, m)
 	for i := 0; i < m; i++ {
-		s.acols[n+i] = []nz{{row: i, val: 1}}
+		sc.slack[i] = nz{row: i, val: 1}
+		s.acols[n+i] = sc.slack[i : i+1 : i+1]
 	}
-	s.basis = make([]int, m)
-	s.binv = make([]float64, m*m)
-	s.xB = make([]float64, m)
+	s.basis = growI(sc.basis, m)
+	s.binv = growF(sc.binv, m*m)
+	s.xB = growF(sc.xB, m)
+	s.y = growF(sc.y, m)
+	s.w = growF(sc.w, m)
+	s.rho = growF(sc.rho, m)
+	s.tmp = growF(sc.tmp, m)
+	s.artRow = sc.artRow[:0]
+	s.artSign = sc.artSign[:0]
 	return s
+}
+
+// release returns the solve's scratch allocations to the pool. It must
+// run after the Result has been extracted; Results never alias scratch
+// memory (X, Duals and Basis are freshly allocated by extract).
+func (s *simplex) release() {
+	sc := s.sc
+	if sc == nil {
+		return
+	}
+	s.sc = nil
+	sc.cost, sc.lo, sc.hi, sc.structCost = s.cost, s.lo, s.hi, s.structCost
+	sc.stat = s.stat
+	sc.acols = s.acols
+	for j := range sc.acols {
+		sc.acols[j] = nil // do not pin released problems' column storage
+	}
+	sc.basis, sc.binv, sc.xB = s.basis, s.binv, s.xB
+	sc.y, sc.w, sc.rho, sc.tmp = s.y, s.w, s.rho, s.tmp
+	sc.artRow, sc.artSign = s.artRow, s.artSign
+	scratchPool.Put(sc)
 }
 
 func (s *simplex) ncols() int { return s.n + s.m + len(s.artRow) }
@@ -270,13 +393,16 @@ func (s *simplex) factorize() bool {
 		return true
 	}
 	// Classify basis columns: unit (slack/artificial, single ±1 entry)
-	// versus structural.
-	posOfRow := make([]int, m) // covered row -> basis position (or -1)
-	scale := make([]float64, m)
+	// versus structural. All temporaries are scratch-backed: factorize
+	// runs on every warm start and every refactorEvery pivots, so its
+	// allocations used to dominate a branch-and-bound profile.
+	posOfRow := growI(s.sc.posOfRow, m) // covered row -> basis position (or -1)
+	scale := growF(s.sc.fscale, m)
+	s.sc.posOfRow, s.sc.fscale = posOfRow, scale
 	for r := range posOfRow {
 		posOfRow[r] = -1
 	}
-	var structPos []int
+	structPos := s.sc.structPos[:0]
 	for i, j := range s.basis {
 		col := s.acols[j]
 		if j >= s.n && len(col) == 1 {
@@ -290,10 +416,12 @@ func (s *simplex) factorize() bool {
 		}
 		structPos = append(structPos, i)
 	}
+	s.sc.structPos = structPos
 	// Uncovered rows R_V, in ascending order, with a reverse index.
 	k := len(structPos)
-	rv := make([]int, 0, k)
-	rvIdx := make([]int, m)
+	rv := s.sc.rv[:0]
+	rvIdx := growI(s.sc.rvIdx, m)
+	s.sc.rvIdx = rvIdx
 	for r := 0; r < m; r++ {
 		rvIdx[r] = -1
 		if posOfRow[r] == -1 {
@@ -301,11 +429,16 @@ func (s *simplex) factorize() bool {
 			rv = append(rv, r)
 		}
 	}
+	s.sc.rv = rv
 	if len(rv) != k {
 		return false // column/row count mismatch: singular
 	}
 	// A: structural basic columns restricted to the uncovered rows.
-	a := make([]float64, k*k)
+	a := growF(s.sc.fa, k*k)
+	s.sc.fa = a
+	for i := range a {
+		a[i] = 0
+	}
 	for b, pos := range structPos {
 		for _, e := range s.acols[s.basis[pos]] {
 			if ai := rvIdx[e.row]; ai >= 0 {
@@ -313,8 +446,9 @@ func (s *simplex) factorize() bool {
 			}
 		}
 	}
-	ainv, ok := invertDense(a, k)
-	if !ok {
+	ainv := growF(s.sc.fainv, k*k)
+	s.sc.fainv = ainv
+	if !invertDense(a, ainv, k) {
 		return false
 	}
 	// Assemble binv.
@@ -333,18 +467,15 @@ func (s *simplex) factorize() bool {
 	// structural basic coefficients on that covered row.
 	if k > 0 {
 		// Bucket the structural basic coefficients by covered row once.
-		type ce struct {
-			b   int
-			val float64
-		}
-		cRows := make([][]ce, m)
+		cRows := growCRows(s.sc.cRows, m)
 		for b, pos := range structPos {
 			for _, e := range s.acols[s.basis[pos]] {
 				if rvIdx[e.row] < 0 {
-					cRows[e.row] = append(cRows[e.row], ce{b: b, val: e.val})
+					cRows[e.row] = append(cRows[e.row], factorCoef{b: b, val: e.val})
 				}
 			}
 		}
+		s.sc.cRows = cRows
 		for r := 0; r < m; r++ {
 			pos := posOfRow[r]
 			if pos < 0 {
@@ -377,9 +508,12 @@ func (s *simplex) factorize() bool {
 }
 
 // invertDense inverts a dense k×k row-major matrix via Gauss-Jordan with
-// partial pivoting.
-func invertDense(a []float64, k int) ([]float64, bool) {
-	inv := make([]float64, k*k)
+// partial pivoting, writing the inverse into inv (len >= k*k, caller
+// supplied so the hot path can reuse a scratch buffer).
+func invertDense(a, inv []float64, k int) bool {
+	for i := 0; i < k*k; i++ {
+		inv[i] = 0
+	}
 	for i := 0; i < k; i++ {
 		inv[i*k+i] = 1
 	}
@@ -391,7 +525,7 @@ func invertDense(a []float64, k int) ([]float64, bool) {
 			}
 		}
 		if piv < 0 {
-			return nil, false
+			return false
 		}
 		if piv != col {
 			for x := 0; x < k; x++ {
@@ -418,13 +552,13 @@ func invertDense(a []float64, k int) ([]float64, bool) {
 			}
 		}
 	}
-	return inv, true
+	return true
 }
 
 // computeXB recomputes the basic values from scratch.
 func (s *simplex) computeXB() {
 	m := s.m
-	t := make([]float64, m)
+	t := s.tmp
 	copy(t, s.p.rhs)
 	for j := 0; j < s.ncols(); j++ {
 		if s.stat[j] == isBasic {
@@ -546,6 +680,7 @@ func (s *simplex) pivot(r, j int, w []float64, t, sigma float64, leavingStat col
 			irow[k] -= f * rrow[k]
 		}
 	}
+	s.etaUp++ // product-form update applied instead of a refactorization
 	s.sincefact++
 	if s.sincefact >= refactorEvery {
 		if !s.factorize() {
@@ -560,8 +695,7 @@ func (s *simplex) pivot(r, j int, w []float64, t, sigma float64, leavingStat col
 // optimality, unboundedness or the iteration limit.
 func (s *simplex) primal() Status {
 	m := s.m
-	y := make([]float64, m)
-	w := make([]float64, m)
+	y, w := s.y, s.w
 	dtol := s.opt.Tol
 	s.stall, s.bland = 0, false
 	s.lastObj = math.Inf(1)
@@ -728,9 +862,7 @@ func (s *simplex) totalInfeasibility() float64 {
 // the caller can fall back to the two-phase primal.
 func (s *simplex) dual() Status {
 	m := s.m
-	y := make([]float64, m)
-	rho := make([]float64, m)
-	w := make([]float64, m)
+	y, rho, w := s.y, s.rho, s.w
 	tol := s.opt.Tol
 	stall := 0
 	lastInf := math.Inf(1)
@@ -920,7 +1052,8 @@ func (s *simplex) finishPhase1() {
 // extract builds the Result from the final state.
 func (s *simplex) extract(st Status) *Result {
 	res := &Result{Status: st, Iterations: s.iters,
-		Refactorizations: s.refacts, DegeneratePivots: s.degen, BoundFlips: s.flips}
+		Refactorizations: s.refacts, DegeneratePivots: s.degen, BoundFlips: s.flips,
+		EtaUpdates: s.etaUp}
 	if st != Optimal {
 		return res
 	}
@@ -975,6 +1108,7 @@ func (p *Problem) SolveCtx(ctx context.Context, opt Options) (*Result, error) {
 		return nil, err
 	}
 	s := newSimplex(p, opt)
+	defer s.release()
 	s.ctx = ctx
 	s.coldBasis()
 	return s.run()
@@ -995,6 +1129,7 @@ func (p *Problem) SolveFromCtx(ctx context.Context, basis *Basis, opt Options) (
 		return nil, err
 	}
 	s := newSimplex(p, opt)
+	defer s.release()
 	s.ctx = ctx
 	if basis == nil || len(basis.stat) != s.n+s.m || len(basis.rows) != s.m {
 		s.coldBasis()
@@ -1035,26 +1170,47 @@ func (p *Problem) SolveFromCtx(ctx context.Context, basis *Basis, opt Options) (
 				return nil, s.cancelErr()
 			}
 			if st == Optimal {
-				return s.extract(st), nil
+				res := s.extract(st)
+				res.WarmStarted = true
+				return res, nil
 			}
 		case Infeasible:
-			return s.extract(Infeasible), nil
+			res := s.extract(Infeasible)
+			res.WarmStarted = true
+			return res, nil
 		}
-		// Fall through to a cold primal solve on limit/unbounded oddities.
+		// Fall through to the warm primal repair on limit/unbounded oddities.
+	} else {
+		// Dual-infeasible warm basis (the common case after an objective or
+		// coefficient change): repair it in place with the two-phase primal.
+		// installPhase1 adds artificials only for the violated rows, so this
+		// still reuses most of the parent basis instead of restarting from
+		// all slacks.
+		res, err := s.run()
+		if err != nil {
+			if s.canceled {
+				return nil, err
+			}
+		} else if res.Status == Optimal || res.Status == Infeasible {
+			res.WarmStarted = true
+			return res, nil
+		}
+		// Limit/unbounded oddity from the repaired basis: go cold below.
 	}
 	// Fall back to a cold two-phase primal solve; carry the telemetry of
 	// the abandoned warm attempt so the counters stay truthful (the
 	// iteration budget is intentionally per-attempt, as before).
 	s2 := newSimplex(p, opt)
+	defer s2.release()
 	s2.ctx = s.ctx
-	s2.refacts, s2.degen, s2.flips = s.refacts, s.degen, s.flips
+	s2.refacts, s2.degen, s2.flips, s2.etaUp = s.refacts, s.degen, s.flips, s.etaUp
 	s2.coldBasis()
 	return s2.run()
 }
 
 // dualFeasible reports whether the current basis prices out dual feasible.
 func (s *simplex) dualFeasible() bool {
-	y := make([]float64, s.m)
+	y := s.y
 	s.duals(y)
 	tol := s.opt.Tol * 10
 	for j := 0; j < s.ncols(); j++ {

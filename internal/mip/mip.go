@@ -14,10 +14,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/lp"
 	"repro/internal/obs"
+	"repro/internal/solvererr"
 )
 
 // ErrCanceled is the sentinel matched (via errors.Is) by every
@@ -27,18 +30,18 @@ var ErrCanceled = errors.New("mip: solve canceled")
 // CanceledError reports that a solve was aborted because the caller's
 // context was done. It is a hard abort: partial results (incumbents,
 // bounds) are discarded, unlike Options.TimeLimit which is a soft budget
-// that returns the best incumbent with Result.DeadlineHit set. Cause is
-// context.Cause of the context at abort time.
-type CanceledError struct{ Cause error }
+// that returns the best incumbent with Result.DeadlineHit set. Cause
+// (promoted from the shared implementation) is context.Cause of the
+// context at abort time; errors.Is(err, ErrCanceled) matches every
+// instance.
+type CanceledError struct{ solvererr.Canceled }
 
-func (e *CanceledError) Error() string {
-	return "mip: solve canceled: " + e.Cause.Error()
+// NewCanceledError wraps cause in the package's typed cancellation error.
+// It exists for middleware that mimics a canceled solve without running
+// one (the fault-injection hooks); the solver builds its own instances.
+func NewCanceledError(cause error) *CanceledError {
+	return &CanceledError{solvererr.Canceled{Op: "mip", Sentinel: ErrCanceled, Cause: cause}}
 }
-
-func (e *CanceledError) Unwrap() error { return e.Cause }
-
-// Is makes errors.Is(err, ErrCanceled) match.
-func (e *CanceledError) Is(target error) bool { return target == ErrCanceled }
 
 // Status is the outcome of a MIP solve.
 type Status int
@@ -57,20 +60,9 @@ const (
 	Unbounded
 )
 
-func (s Status) String() string {
-	switch s {
-	case Optimal:
-		return "optimal"
-	case Feasible:
-		return "feasible"
-	case Infeasible:
-		return "infeasible"
-	case NoSolution:
-		return "no-solution"
-	default:
-		return "unbounded"
-	}
-}
+var statusNames = []string{"optimal", "feasible", "infeasible", "no-solution", "unbounded"}
+
+func (s Status) String() string { return solvererr.StatusName(int(s), statusNames) }
 
 // Heuristic turns an LP-relaxation solution into a feasible integer
 // solution. It returns ok=false if it cannot. The solver verifies the
@@ -96,7 +88,21 @@ type Brancher func(relaxation []float64) [][]Bound
 // Options control the search.
 type Options struct {
 	// MaxNodes bounds the number of branch-and-bound nodes (0 = 1<<30).
+	// With Workers > 1 the limit is approximate: nodes already in flight
+	// when it trips still finish, so the count can overshoot by up to
+	// Workers-1.
 	MaxNodes int
+	// Workers is the number of concurrent branch-and-bound workers pulling
+	// nodes off the shared best-bound queue (0 defaults to
+	// runtime.GOMAXPROCS(0)). Workers=1 runs the serial solver, which
+	// reproduces the historical node order exactly. With more workers the
+	// exploration order (and therefore node counts and which of several
+	// equally-good incumbents wins) may vary run to run, but the returned
+	// objective and best-bound proof remain valid. When Workers > 1 the
+	// Heuristic and Brancher callbacks may be invoked concurrently from
+	// multiple goroutines and must be safe for that; Progress and
+	// OnIncumbent are serialized but may run on worker goroutines.
+	Workers int
 	// TimeLimit bounds wall-clock time (0 = none).
 	TimeLimit time.Duration
 	// RelativeGap terminates when (incumbent-bound)/max(1,|incumbent|)
@@ -147,6 +153,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.MaxNodes == 0 {
 		o.MaxNodes = 1 << 30
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	if o.IntTol == 0 {
 		o.IntTol = 1e-6
@@ -217,6 +226,12 @@ type Result struct {
 	// telemetry over all relaxation solves.
 	Refactorizations int
 	DegeneratePivots int
+	// WarmStartHits counts relaxation solves served from a warm-started
+	// basis (dual simplex or primal repair) instead of a cold restart.
+	WarmStartHits int
+	// EtaUpdates aggregates the product-form basis updates performed by
+	// the relaxation solves between refactorizations.
+	EtaUpdates int
 	// DeadlineHit reports that the solve stopped on its TimeLimit.
 	DeadlineHit bool
 	// Incumbents is the incumbent timeline (objective improvements with
@@ -283,8 +298,10 @@ type solver struct {
 
 	// Pseudocosts: average objective degradation per unit of fractional
 	// distance, learned per column and direction from solved children.
-	pcUp, pcDown   map[int]float64
-	pcUpN, pcDownN map[int]int
+	// The table is lock-striped so parallel workers update it without a
+	// global bottleneck; the serial path uses the same table (same values,
+	// same branching decisions as the historical map implementation).
+	pc *pcTable
 
 	nodes    int
 	lpIters  int
@@ -294,6 +311,8 @@ type solver struct {
 	pruned   int
 	refacts  int
 	degen    int
+	warmHits int
+	etaUp    int
 	start    time.Time
 
 	// ctx is the caller's context (hard abort); lpCtx additionally
@@ -316,6 +335,68 @@ type solver struct {
 	cNodes, cPruned, cLPSolves, cLPIters *obs.Counter
 	cIncumbents, cHeurHits, cDeadline    *obs.Counter
 	cCuts, cRefacts, cDegen              *obs.Counter
+	cWorkers, cWarmHits, cEtaUp          *obs.Counter
+}
+
+// pcStripes is the stripe count of the pseudocost table; a power of two
+// so the stripe pick is a mask.
+const pcStripes = 16
+
+// pcTable holds the pseudocost statistics behind per-stripe locks so the
+// parallel branch-and-bound workers can record and score branching
+// history concurrently. Columns map to stripes by low bits; within a
+// stripe the maps are the same up/down sum-and-count pairs the serial
+// solver always kept.
+type pcTable struct {
+	stripes [pcStripes]pcStripe
+}
+
+type pcStripe struct {
+	mu         sync.Mutex
+	up, down   map[int]float64
+	upN, downN map[int]int
+}
+
+func newPCTable() *pcTable {
+	t := &pcTable{}
+	for i := range t.stripes {
+		st := &t.stripes[i]
+		st.up, st.down = map[int]float64{}, map[int]float64{}
+		st.upN, st.downN = map[int]int{}, map[int]int{}
+	}
+	return t
+}
+
+func (t *pcTable) stripe(col int) *pcStripe { return &t.stripes[col&(pcStripes-1)] }
+
+// record adds one observed per-unit objective gain for a branch direction.
+func (t *pcTable) record(col int, up bool, perUnit float64) {
+	st := t.stripe(col)
+	st.mu.Lock()
+	if up {
+		st.up[col] += perUnit
+		st.upN[col]++
+	} else {
+		st.down[col] += perUnit
+		st.downN[col]++
+	}
+	st.mu.Unlock()
+}
+
+// score returns the product pseudocost score of branching on col at
+// fraction f, and whether both directions have history.
+func (t *pcTable) score(col int, f float64) (float64, bool) {
+	st := t.stripe(col)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	nUp, nDown := st.upN[col], st.downN[col]
+	if nUp == 0 || nDown == 0 {
+		return 0, false
+	}
+	up := st.up[col] / float64(nUp) * (1 - f)
+	down := st.down[col] / float64(nDown) * f
+	// Standard product score with a small floor.
+	return math.Max(up, 1e-6) * math.Max(down, 1e-6), true
 }
 
 // timeCheckEvery gates the wall-clock deadline test: time.Since is a
@@ -332,14 +413,7 @@ func (s *solver) recordPseudocost(nd *node, childObj float64) {
 	if gain < 0 {
 		gain = 0
 	}
-	perUnit := gain / nd.branchFrac
-	if nd.branchUp {
-		s.pcUp[nd.branchCol] += perUnit
-		s.pcUpN[nd.branchCol]++
-	} else {
-		s.pcDown[nd.branchCol] += perUnit
-		s.pcDownN[nd.branchCol]++
-	}
+	s.pc.record(nd.branchCol, nd.branchUp, gain/nd.branchFrac)
 }
 
 // pickBranchColumn selects the branching column: pseudocost scoring when
@@ -353,11 +427,7 @@ func (s *solver) pickBranchColumn(x []float64) int {
 		if dist <= s.opt.IntTol {
 			continue
 		}
-		if nUp, nDown := s.pcUpN[c], s.pcDownN[c]; nUp > 0 && nDown > 0 {
-			up := s.pcUp[c] / float64(nUp) * (1 - f)
-			down := s.pcDown[c] / float64(nDown) * f
-			// Standard product score with a small floor.
-			score := math.Max(up, 1e-6) * math.Max(down, 1e-6)
+		if score, ok := s.pc.score(c, f); ok {
 			if score > bestPCScore {
 				bestPCScore, bestPC = score, c
 			}
@@ -401,8 +471,7 @@ func SolveCtx(ctx context.Context, p *lp.Problem, integer []int, opt Options) (*
 		isInt[c] = true
 	}
 	s := &solver{p: p, integer: integer, isInt: isInt, opt: opt, start: time.Now(),
-		pcUp: map[int]float64{}, pcDown: map[int]float64{},
-		pcUpN: map[int]int{}, pcDownN: map[int]int{}}
+		pc: newPCTable()}
 	s.ctx, s.lpCtx = ctx, ctx
 	if opt.TimeLimit > 0 {
 		// Soft deadline for the LP relaxations: an expensive node used to
@@ -428,6 +497,9 @@ func SolveCtx(ctx context.Context, p *lp.Problem, integer []int, opt Options) (*
 		s.cCuts = reg.Counter("mip.cuts")
 		s.cRefacts = reg.Counter("mip.refactorizations")
 		s.cDegen = reg.Counter("mip.degenerate_pivots")
+		s.cWorkers = reg.Counter("mip.workers.active")
+		s.cWarmHits = reg.Counter("lp.warmstart.hits")
+		s.cEtaUp = reg.Counter("lp.eta.updates")
 	}
 	span := s.trace.StartSpan("mip.solve",
 		obs.Int("cols", int64(p.NumVariables())),
@@ -439,7 +511,13 @@ func SolveCtx(ctx context.Context, p *lp.Problem, integer []int, opt Options) (*
 			return nil, fmt.Errorf("mip: bad initial incumbent: %v", err)
 		}
 	}
-	res, err := s.run()
+	var res *Result
+	var err error
+	if opt.Workers > 1 {
+		res, err = s.runParallel()
+	} else {
+		res, err = s.run()
+	}
 	if err != nil {
 		span.End(obs.Str("status", "error"))
 		return nil, err
@@ -581,17 +659,19 @@ func (s *solver) timeUp() bool {
 	return s.opt.TimeLimit > 0 && time.Since(s.start) > s.opt.TimeLimit
 }
 
-// applyChanges sets node bounds and returns an undo function.
-func (s *solver) applyChanges(changes []Bound) func() {
+// applyChanges sets node bounds on p and returns an undo function. It is
+// a free function over an explicit problem because the parallel workers
+// apply node paths to their own problem clones, not the shared root.
+func applyChanges(p *lp.Problem, changes []Bound) func() {
 	old := make([]Bound, len(changes))
 	for i, ch := range changes {
-		lo, hi := s.p.Bounds(ch.Col)
+		lo, hi := p.Bounds(ch.Col)
 		old[i] = Bound{Col: ch.Col, Lo: lo, Hi: hi}
-		s.p.SetBounds(ch.Col, ch.Lo, ch.Hi)
+		p.SetBounds(ch.Col, ch.Lo, ch.Hi)
 	}
 	return func() {
 		for i := len(old) - 1; i >= 0; i-- {
-			s.p.SetBounds(old[i].Col, old[i].Lo, old[i].Hi)
+			p.SetBounds(old[i].Col, old[i].Lo, old[i].Hi)
 		}
 	}
 }
@@ -614,7 +694,7 @@ func (s *solver) run() (*Result, error) {
 		if s.sinceCheck++; s.sinceCheck >= timeCheckEvery {
 			s.sinceCheck = 0
 			if s.ctx.Err() != nil {
-				return nil, &CanceledError{Cause: context.Cause(s.ctx)}
+				return nil, NewCanceledError(context.Cause(s.ctx))
 			}
 			if s.timeUp() {
 				s.deadlineHit = true
@@ -632,14 +712,14 @@ func (s *solver) run() (*Result, error) {
 			s.cPruned.Inc()
 			continue
 		}
-		undo := s.applyChanges(nd.changes)
+		undo := applyChanges(s.p, nd.changes)
 		res, err := s.p.SolveFromCtx(s.lpCtx, nd.basis, s.opt.LP)
 		undo()
 		if err != nil {
 			if errors.Is(err, lp.ErrCanceled) {
 				if s.ctx.Err() != nil {
 					// The caller's context aborted the relaxation: hard stop.
-					return nil, &CanceledError{Cause: context.Cause(s.ctx)}
+					return nil, NewCanceledError(context.Cause(s.ctx))
 				}
 				// Our own TimeLimit deadline interrupted the LP: behave like
 				// the node-loop deadline check. Re-queue the node so the
@@ -654,15 +734,7 @@ func (s *solver) run() (*Result, error) {
 			return nil, err
 		}
 		s.nodes++
-		s.lpSolves++
-		s.lpIters += res.Iterations
-		s.refacts += res.Refactorizations
-		s.degen += res.DegeneratePivots
-		s.cNodes.Inc()
-		s.cLPSolves.Inc()
-		s.cLPIters.Add(int64(res.Iterations))
-		s.cRefacts.Add(int64(res.Refactorizations))
-		s.cDegen.Add(int64(res.DegeneratePivots))
+		s.countLP(res)
 		if s.nodes%s.opt.ProgressEvery == 0 {
 			s.progress()
 		}
@@ -803,6 +875,26 @@ func (s *solver) run() (*Result, error) {
 	}
 }
 
+// countLP merges one relaxation result into the solver telemetry and the
+// registry counters. Parallel workers call it under the pool lock.
+func (s *solver) countLP(res *lp.Result) {
+	s.lpSolves++
+	s.lpIters += res.Iterations
+	s.refacts += res.Refactorizations
+	s.degen += res.DegeneratePivots
+	s.etaUp += res.EtaUpdates
+	s.cNodes.Inc()
+	s.cLPSolves.Inc()
+	s.cLPIters.Add(int64(res.Iterations))
+	s.cRefacts.Add(int64(res.Refactorizations))
+	s.cDegen.Add(int64(res.DegeneratePivots))
+	s.cEtaUp.Add(int64(res.EtaUpdates))
+	if res.WarmStarted {
+		s.warmHits++
+		s.cWarmHits.Inc()
+	}
+}
+
 func (s *solver) result(st Status) *Result {
 	r := &Result{
 		Status:           st,
@@ -815,6 +907,8 @@ func (s *solver) result(st Status) *Result {
 		Pruned:           s.pruned,
 		Refactorizations: s.refacts,
 		DegeneratePivots: s.degen,
+		WarmStartHits:    s.warmHits,
+		EtaUpdates:       s.etaUp,
 		DeadlineHit:      s.deadlineHit,
 		Incumbents:       s.incLog,
 		Bounds:           s.boundLog,

@@ -150,6 +150,52 @@ func TestILPRunWithInjectedFaults(t *testing.T) {
 	}
 }
 
+// The parallel branch and bound under injected faults must degrade
+// exactly like the serial solver: the worker pool changes the node
+// exploration order, not the retry-ladder or fallback semantics. Same
+// seeded fault pattern as the serial test, same oracle equality.
+func TestILPRunWithInjectedFaultsParallelSolver(t *testing.T) {
+	const n = 24
+	clean, err := mustSim(t, wholeMachineTrace(n, 4), ilpConfig(nil), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj := faultinject.New(faultinject.NewProbability(25, 0.20))
+	ilp := ilpConfig(inj.Hook)
+	ilp.Pipe.MIP.Workers = 4
+	reg := obs.NewRegistry()
+	faulted, err := mustSim(t, wholeMachineTrace(n, 4), ilp, &Config{Metrics: reg}, nil)
+	if err != nil {
+		t.Fatalf("faulted parallel run died: %v", err)
+	}
+
+	if len(faulted.Completed) != n {
+		t.Fatalf("faulted parallel run completed %d/%d jobs", len(faulted.Completed), n)
+	}
+	injected := inj.Injected()
+	if len(injected) == 0 {
+		t.Fatal("seed injected no faults; pick another seed")
+	}
+	if faulted.ILPFallbacks != len(injected) {
+		t.Fatalf("%d fallbacks, %d injected faults", faulted.ILPFallbacks, len(injected))
+	}
+	if len(faulted.Failures) != len(injected) {
+		t.Fatalf("%d failure records, %d injected faults", len(faulted.Failures), len(injected))
+	}
+	// Non-faulted steps solved with the 4-worker pool still serialize the
+	// whole-machine jobs, so the SLDwA matches the serial fault-free run.
+	if c, f := clean.SlowdownWeightedByArea(), faulted.SlowdownWeightedByArea(); c != f {
+		t.Errorf("SLDwA diverged: clean serial %v, faulted parallel %v", c, f)
+	}
+	if clean.Makespan != faulted.Makespan {
+		t.Errorf("makespan diverged: clean %d, faulted parallel %d", clean.Makespan, faulted.Makespan)
+	}
+	if got := reg.Counter("mip.fallbacks").Value(); got != int64(len(injected)) {
+		t.Errorf("mip.fallbacks = %d, want %d", got, len(injected))
+	}
+}
+
 // mustSim builds and runs a simulation with the standard scheduler.
 func mustSim(t *testing.T, tr *job.Trace, ilp *ILPConfig, base *Config, _ any) (*Result, error) {
 	t.Helper()

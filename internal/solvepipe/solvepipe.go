@@ -277,6 +277,15 @@ func solveOnce(ctx context.Context, cfg Config, inst *ilpsched.Instance, scale i
 	}
 	opt := cfg.MIP
 	opt.TimeLimit = budget
+	// Solver-internal observability (mip.nodes, mip.workers.active,
+	// lp.warmstart.hits, ...) flows into the pipeline's sinks unless the
+	// caller wired dedicated ones into the MIP options.
+	if opt.Trace == nil {
+		opt.Trace = cfg.Trace
+	}
+	if opt.Metrics == nil {
+		opt.Metrics = cfg.Metrics
+	}
 	if cfg.Seed != nil {
 		if inc, serr := m.IncumbentFromSchedule(cfg.Seed); serr == nil {
 			opt.Incumbent = inc

@@ -1,0 +1,44 @@
+// Package solvererr holds the error plumbing shared by the lp and mip
+// solver packages. Both expose the same cancellation contract — a typed
+// *CanceledError matched by a package-local ErrCanceled sentinel via
+// errors.Is — and both map a small Status enum onto fixed name tables.
+// The implementations used to be copy-pasted; this package is the single
+// spot they share, while each solver keeps its own distinct error type
+// (so errors.As(*lp.CanceledError) never matches a mip cancellation and
+// vice versa) and its own sentinel.
+package solvererr
+
+// Canceled is the common implementation behind lp.CanceledError and
+// mip.CanceledError: it formats "<op>: solve canceled: <cause>", unwraps
+// to the cause, and makes errors.Is match the owning package's sentinel.
+// The solver packages embed it in their exported error types, keeping
+// the types distinct for errors.As while sharing the behavior.
+type Canceled struct {
+	// Op is the owning package's error prefix ("lp", "mip").
+	Op string
+	// Sentinel is the owning package's ErrCanceled value.
+	Sentinel error
+	// Cause is context.Cause of the context at abort time, so callers can
+	// distinguish deadlines from explicit cancellation with errors.Is.
+	Cause error
+}
+
+func (e *Canceled) Error() string {
+	return e.Op + ": solve canceled: " + e.Cause.Error()
+}
+
+// Unwrap exposes the abort cause to errors.Is/errors.As chains.
+func (e *Canceled) Unwrap() error { return e.Cause }
+
+// Is makes errors.Is(err, <owning package>.ErrCanceled) match.
+func (e *Canceled) Is(target error) bool { return target == e.Sentinel }
+
+// StatusName maps a status ordinal onto its name table; out-of-range
+// values (including the enums' catch-all default) fall to the last name,
+// matching the switch-default the solver packages used to hand-write.
+func StatusName(s int, names []string) string {
+	if s >= 0 && s < len(names) {
+		return names[s]
+	}
+	return names[len(names)-1]
+}
