@@ -1,0 +1,24 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/benchkit"
+)
+
+// BenchmarkPresolveStepSolve measures one full pass over the sampled
+// E1-style CTC steps — build + solve to optimality — with the presolve
+// pass off and on. The bodies live in internal/benchkit so cmd/benchjson
+// measures the identical workload.
+func BenchmarkPresolveStepSolve(b *testing.B) {
+	b.Run("presolve=off", benchkit.BenchPresolveStepSolve(false))
+	b.Run("presolve=on", benchkit.BenchPresolveStepSolve(true))
+}
+
+// BenchmarkSimCrossStepReuse measures a complete ILP-driven CTC
+// simulation per iteration, with cross-step reuse (solution cache +
+// previous-schedule incumbent) off and on.
+func BenchmarkSimCrossStepReuse(b *testing.B) {
+	b.Run("reuse=off", benchkit.BenchSimCrossStepReuse(false))
+	b.Run("reuse=on", benchkit.BenchSimCrossStepReuse(true))
+}

@@ -1,14 +1,16 @@
 // Command benchjson runs the repo's solver benchmarks in-process and
-// writes a machine-readable trajectory file (default BENCH_3.json): the
-// E3 self-tuning-step and E5 blow-up workloads plus the ParallelBnB and
-// WarmStart micro-benchmarks, with ns/op, allocs/op and the parallel
-// speedup relative to Workers=1. The benchmark bodies live in
-// internal/benchkit and are the same ones `go test -bench` runs, so the
-// JSON numbers and the -bench numbers are directly comparable.
+// writes a machine-readable trajectory file (default BENCH_4.json): the
+// E3 self-tuning-step and E5 blow-up workloads, the ParallelBnB and
+// WarmStart micro-benchmarks, the presolve on/off solves of sampled
+// E1-style CTC steps (with the aggregate model-size reduction), and the
+// end-to-end ILP-driven simulation with cross-step reuse off and on.
+// The benchmark bodies live in internal/benchkit and are the same ones
+// `go test -bench` runs, so the JSON numbers and the -bench numbers are
+// directly comparable.
 //
 // Usage:
 //
-//	benchjson [-o BENCH_3.json] [-quick]
+//	benchjson [-o BENCH_4.json] [-quick]
 package main
 
 import (
@@ -32,6 +34,9 @@ type benchResult struct {
 	// SpeedupVsWorkers1 is wall-clock ns/op of the 1-worker run divided
 	// by this run's; only set on the ParallelBnB variants.
 	SpeedupVsWorkers1 float64 `json:"speedup_vs_workers1,omitempty"`
+	// SpeedupVsBaseline is ns/op of the feature-off run divided by this
+	// run's; set on the presolve=on and reuse=on variants.
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
 }
 
 type trajectory struct {
@@ -44,6 +49,31 @@ type trajectory struct {
 	Note       string        `json:"note,omitempty"`
 	Benchmarks []benchResult `json:"benchmarks"`
 	WarmStart  warmStats     `json:"warmstart_solve"`
+	// Presolve is the aggregate model-size reduction over the sampled
+	// E1-style CTC steps.
+	Presolve *presolveStats `json:"presolve_reduction,omitempty"`
+	// Reuse is the cross-step reuse provenance of one instrumented
+	// ILP-driven CTC simulation.
+	Reuse *reuseStats `json:"cross_step_reuse,omitempty"`
+}
+
+type presolveStats struct {
+	Steps             int     `json:"sampled_steps"`
+	VarsBefore        int     `json:"vars_before"`
+	VarsAfter         int     `json:"vars_after"`
+	VarsRemovedPct    float64 `json:"vars_removed_pct"`
+	EntriesBefore     int     `json:"entries_before"`
+	EntriesAfter      int     `json:"entries_after"`
+	EntriesRemovedPct float64 `json:"entries_removed_pct"`
+	RowsBefore        int     `json:"rows_before"`
+	RowsAfter         int     `json:"rows_after"`
+}
+
+type reuseStats struct {
+	ILPSteps        int `json:"ilp_steps"`
+	CacheHits       int `json:"cache_hits"`
+	IncumbentReuses int `json:"incumbent_reuses"`
+	Fallbacks       int `json:"fallbacks"`
 }
 
 type warmStats struct {
@@ -65,7 +95,7 @@ func run(name string, body func(b *testing.B)) benchResult {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_3.json", "output path for the benchmark trajectory JSON")
+	out := flag.String("o", "BENCH_4.json", "output path for the benchmark trajectory JSON")
 	quick := flag.Bool("quick", false, "skip the E3 self-tuning-step benchmarks (solver micro-benchmarks only)")
 	flag.Parse()
 
@@ -76,6 +106,20 @@ func main() {
 			run("SelfTuningStep25Jobs/parallel", benchkit.BenchSelfTuningStep(true)),
 		)
 	}
+
+	off := run("PresolveStepSolve/presolve=off", benchkit.BenchPresolveStepSolve(false))
+	on := run("PresolveStepSolve/presolve=on", benchkit.BenchPresolveStepSolve(true))
+	if off.NsPerOp > 0 {
+		on.SpeedupVsBaseline = off.NsPerOp / on.NsPerOp
+	}
+	results = append(results, off, on)
+
+	reuseOff := run("SimCrossStepReuse/reuse=off", benchkit.BenchSimCrossStepReuse(false))
+	reuseOn := run("SimCrossStepReuse/reuse=on", benchkit.BenchSimCrossStepReuse(true))
+	if reuseOff.NsPerOp > 0 {
+		reuseOn.SpeedupVsBaseline = reuseOff.NsPerOp / reuseOn.NsPerOp
+	}
+	results = append(results, reuseOff, reuseOn)
 
 	workerCounts := []int{1, 2, 4}
 	var base float64
@@ -97,6 +141,17 @@ func main() {
 		os.Exit(1)
 	}
 
+	red, err := benchkit.PresolveReductionStats()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: presolve reduction: %v\n", err)
+		os.Exit(1)
+	}
+	ilpSteps, hits, reuses, fallbacks, err := benchkit.CrossStepReuseStats()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reuse stats: %v\n", err)
+		os.Exit(1)
+	}
+
 	traj := trajectory{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
@@ -104,6 +159,21 @@ func main() {
 		NumCPU:     runtime.NumCPU(),
 		Benchmarks: results,
 		WarmStart:  warmStats{WarmStartHits: warmHits, LPSolves: lpSolves, EtaUpdates: etaUp},
+		Presolve: &presolveStats{
+			Steps:             red.Steps,
+			VarsBefore:        red.VarsBefore,
+			VarsAfter:         red.VarsAfter,
+			VarsRemovedPct:    red.VarsRemovedPct(),
+			EntriesBefore:     red.EntriesBefore,
+			EntriesAfter:      red.EntriesAfter,
+			EntriesRemovedPct: red.EntriesRemovedPct(),
+			RowsBefore:        red.RowsBefore,
+			RowsAfter:         red.RowsAfter,
+		},
+		Reuse: &reuseStats{
+			ILPSteps: ilpSteps, CacheHits: hits,
+			IncumbentReuses: reuses, Fallbacks: fallbacks,
+		},
 	}
 	if traj.GoMaxProcs == 1 {
 		traj.Note = "GOMAXPROCS=1: the branch-and-bound worker pool cannot run nodes " +

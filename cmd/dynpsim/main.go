@@ -15,7 +15,12 @@
 // With -ilp every self-tuning step is solved through the fault-tolerant
 // retry ladder (internal/solvepipe) and the compacted optimal schedule
 // drives the machine; -solve-budget, -solve-retries, -max-model-vars and
-// -fallback bound that pipeline. -lenient tolerates corrupt SWF records.
+// -fallback bound that pipeline. Each step's model is reduced by the
+// presolve pass (-presolve, on by default), steps whose relative
+// instance repeats are answered from the cross-step solution cache
+// (-step-cache, on by default), and the previous step's schedule seeds
+// the branch and bound as an incumbent. -lenient tolerates corrupt SWF
+// records.
 //
 // Observability: -trace writes one JSON object per simulator event
 // (sim.submit, sim.start, sim.end, sim.replan, sim.selftune spans,
@@ -65,8 +70,10 @@ func main() {
 		workers    = flag.Int("workers", 0, "parallel solve workers: MIP worker pool and concurrent policy evaluation (0 = GOMAXPROCS, 1 = serial)")
 		budget     = flag.Duration("solve-budget", 10*time.Second, "per-attempt solve budget of the retry ladder (with -ilp)")
 		retries    = flag.Int("solve-retries", 2, "extra retry-ladder attempts under a coarser grid (with -ilp)")
-		maxVars    = flag.Int("max-model-vars", 0, "refuse to build ILP models above this many variables (0 = unguarded)")
+		maxVars    = flag.Int("max-model-vars", 0, "refuse to build ILP models above this many variables (0 = unguarded; with -presolve the guard sees the reduced size)")
 		fallback   = flag.Bool("fallback", true, "degrade a failed solve to the basic-policy schedule instead of aborting (with -ilp)")
+		presolve   = flag.Bool("presolve", true, "reduce each step's ILP with the presolve pass before solving (with -ilp)")
+		stepCache  = flag.Bool("step-cache", true, "answer steps whose relative instance repeats from the cross-step solution cache (with -ilp)")
 		traceOut   = flag.String("trace", "", "write a structured JSONL event trace to this file")
 		verbose    = flag.Bool("verbose", false, "print per-step progress lines and counters on stderr")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -158,12 +165,14 @@ func main() {
 	if *ilpDriven {
 		cfg.ILP = &sim.ILPConfig{
 			Pipe: solvepipe.Config{
-				Budget:  *budget,
-				Retries: *retries,
-				Limit:   ilpsched.SizeLimit{MaxVariables: *maxVars},
-				MIP:     mip.Options{MaxNodes: 200000, Workers: *workers},
+				Budget:      *budget,
+				Retries:     *retries,
+				Limit:       ilpsched.SizeLimit{MaxVariables: *maxVars},
+				MIP:         mip.Options{MaxNodes: 200000, Workers: *workers},
+				PresolveOff: !*presolve,
 			},
-			Fallback: *fallback,
+			Fallback:     *fallback,
+			StepCacheOff: !*stepCache,
 		}
 	}
 	if *verbose {

@@ -1,7 +1,10 @@
 // Command milp is a standalone LP/MILP solver over MPS and CPLEX LP
 // files — the from-scratch CPLEX stand-in of this repository exposed as a
-// tool. It reads the problem, minimizes it, and prints the status,
-// objective and nonzero solution values.
+// tool. It reads the problem, reduces it with the lp presolve pass
+// (fixed/empty columns, empty/singleton rows; disable with
+// -presolve=false), minimizes the reduction, lifts the solution back to
+// the original coordinates, and prints the status, objective and nonzero
+// solution values.
 //
 // Usage:
 //
@@ -40,6 +43,7 @@ func main() {
 		gap        = flag.Float64("gap", 0, "relative MIP gap (0 = prove optimality)")
 		maxIter    = flag.Int("iters", 200000, "simplex iteration limit per LP")
 		workers    = flag.Int("workers", 0, "parallel branch-and-bound workers (0 = GOMAXPROCS)")
+		presolve   = flag.Bool("presolve", true, "reduce the problem (fixed/empty columns, empty/singleton rows) before solving and lift the solution back")
 		quiet      = flag.Bool("q", false, "print only status and objective")
 		traceOut   = flag.String("trace", "", "write a structured JSONL event trace to this file")
 		verbose    = flag.Bool("verbose", false, "print solve-progress lines and counters on stderr")
@@ -99,11 +103,50 @@ func main() {
 	fmt.Fprintf(os.Stderr, "milp: %d columns (%d integer), %d rows, %d nonzeros\n",
 		p.NumVariables(), len(ints), p.NumConstraints(), p.NumNonZeros())
 
+	// The problem the solver sees: with -presolve (the default) the
+	// reduction of p, whose solution Postsolve lifts back afterwards.
+	solveP, solveInts := p, ints
+	var pr *lp.Presolved
+	if *presolve {
+		red, status := lp.Presolve(p)
+		if status != lp.Optimal {
+			fmt.Printf("status:    %v (decided by presolve)\n", status)
+			if status == lp.Infeasible {
+				os.Exit(1)
+			}
+			return
+		}
+		// An integer column fixed to a fractional value by an equality
+		// singleton means the original MIP has no integer solution there.
+		for _, j := range ints {
+			if v, ok := red.FixedValue(j); ok && math.Abs(v-math.Round(v)) > 1e-9 {
+				fmt.Printf("status:    %v (presolve fixed integer column %s to %g)\n",
+					lp.Infeasible, p.Name(j), v)
+				os.Exit(1)
+			}
+		}
+		solveInts = nil
+		for _, rj := range red.MapCols(ints) {
+			if rj >= 0 {
+				solveInts = append(solveInts, rj)
+			}
+		}
+		solveP, pr = red.Reduced, red
+		fmt.Fprintf(os.Stderr, "milp: presolve removed %d columns, %d rows in %d rounds -> %d columns, %d rows\n",
+			red.Stats.ColsFixed, red.Stats.RowsRemoved, red.Stats.Rounds,
+			solveP.NumVariables(), solveP.NumConstraints())
+	}
+
 	start := time.Now()
 	if len(ints) == 0 {
-		res, err := p.Solve(lp.Options{MaxIters: *maxIter})
+		res, err := solveP.Solve(lp.Options{MaxIters: *maxIter})
 		if err != nil {
 			fail(err)
+		}
+		if pr != nil && res.Status == lp.Optimal {
+			if res, err = pr.Postsolve(p, res); err != nil {
+				fail(err)
+			}
 		}
 		fmt.Printf("status:    %v\n", res.Status)
 		if res.Status == lp.Optimal {
@@ -155,12 +198,26 @@ func main() {
 				pr.Elapsed.Seconds(), pr.Nodes, pr.Open, pr.LPIters, pr.BestBound, inc)
 		}
 	}
-	res, err := mip.Solve(p, ints, opts)
+	res, err := mip.Solve(solveP, solveInts, opts)
 	if flush != nil {
 		flush()
 	}
 	if err != nil {
 		fail(err)
+	}
+	if pr != nil && res.X != nil {
+		// Lift the incumbent to original coordinates; the recomputed
+		// objective absorbs the cost of the fixed columns, and the proven
+		// bound shifts by the same constant.
+		lifted, perr := pr.Postsolve(p, &lp.Result{
+			Status: lp.Optimal, X: res.X,
+			Duals: make([]float64, solveP.NumConstraints()),
+		})
+		if perr != nil {
+			fail(perr)
+		}
+		res.BestBound += lifted.Objective - res.Objective
+		res.Objective, res.X = lifted.Objective, lifted.X
 	}
 	fmt.Printf("status:    %v\n", res.Status)
 	switch res.Status {

@@ -18,7 +18,10 @@
 // attempt is retried under a coarser Eq. 6 time scale with an enlarged
 // budget, up to -solve-retries times. With -fallback (the default) an
 // exhausted ladder degrades to reporting the policy schedules instead
-// of erroring.
+// of erroring. With -presolve (the default) each rung's model is reduced
+// before the solver sees it — the best policy schedule bounds the grid
+// and seeds the branch and bound — and -max-model-vars guards the
+// *reduced* size.
 //
 // Observability: -trace writes the solver's structured JSONL events
 // (mip.solve span, mip.incumbent, mip.bound, mip.cuts), -verbose prints
@@ -44,6 +47,7 @@ import (
 	"repro/internal/mip"
 	"repro/internal/obs"
 	"repro/internal/policy"
+	"repro/internal/schedule"
 	"repro/internal/solvepipe"
 	"repro/internal/stats"
 	"repro/internal/table"
@@ -60,8 +64,9 @@ func main() {
 		timeLimit  = flag.Duration("timeout", 30*time.Second, "branch-and-bound time limit")
 		budget     = flag.Duration("solve-budget", 0, "per-attempt budget of the retry ladder (0 = -timeout)")
 		retries    = flag.Int("solve-retries", 0, "extra retry-ladder attempts under a coarser grid")
-		maxVars    = flag.Int("max-model-vars", 0, "refuse to build models above this many variables (0 = unguarded)")
+		maxVars    = flag.Int("max-model-vars", 0, "refuse to build models above this many variables (0 = unguarded; with -presolve the guard sees the reduced size)")
 		fallback   = flag.Bool("fallback", true, "report the best policy schedule when the ladder fails instead of erroring")
+		presolve   = flag.Bool("presolve", true, "reduce the model with the presolve pass before solving")
 		history    = flag.Bool("history", false, "print the machine history (Figure 1)")
 		lpOut      = flag.String("lp", "", "write the model as a CPLEX LP file")
 		metricStr  = flag.String("metric", "SLDwA", "comparison metric")
@@ -127,6 +132,7 @@ func main() {
 	var pols []polRes
 	var bestVal float64
 	var bestName string
+	var bestSched *schedule.Schedule
 	for i, p := range policy.Standard() {
 		s, err := policy.Build(p, 0, base, jobs)
 		if err != nil {
@@ -138,7 +144,7 @@ func main() {
 		v := m.Eval(s)
 		pols = append(pols, polRes{p.Name(), v})
 		if i == 0 || metrics.Better(m, v, bestVal) {
-			bestVal, bestName = v, p.Name()
+			bestVal, bestName, bestSched = v, p.Name(), s
 		}
 	}
 
@@ -206,13 +212,15 @@ func main() {
 		perAttempt = *timeLimit
 	}
 	out := solvepipe.Solve(context.Background(), solvepipe.Config{
-		Budget:     perAttempt,
-		Retries:    *retries,
-		FixedScale: sc,
-		Limit:      sizeLimit,
-		MIP:        opts,
-		Trace:      tracer,
-		Metrics:    reg,
+		Budget:      perAttempt,
+		Retries:     *retries,
+		FixedScale:  sc,
+		Limit:       sizeLimit,
+		MIP:         opts,
+		Seed:        bestSched,
+		PresolveOff: !*presolve,
+		Trace:       tracer,
+		Metrics:     reg,
 	}, inst)
 	if flush != nil {
 		flush()
@@ -241,6 +249,10 @@ func main() {
 	sol := out.Solution
 	if out.Scale != sc {
 		fmt.Printf("retry ladder settled on time scale %d s\n", out.Scale)
+	}
+	if ps := out.Presolve; ps != nil {
+		fmt.Printf("presolve: %d -> %d variables, %d -> %d rows, %d jobs fixed outright\n",
+			ps.VarsBefore, ps.VarsAfter, ps.RowsBefore, ps.RowsAfter, ps.JobsFixed)
 	}
 	fmt.Print(sol.MIP.Report().String())
 	if *verbose {

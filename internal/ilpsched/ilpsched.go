@@ -201,11 +201,28 @@ func (s Scaling) TimeScale(inst *Instance) int64 {
 	return scale
 }
 
-// Model is the scaled time-indexed integer program of an instance.
+// Model is the scaled time-indexed integer program of an instance. A
+// model built by Build carries every waiting job; a model built by
+// BuildPresolved may carry only a subset (the presolve pass pins jobs
+// whose start window collapses to a single slot and removes them from
+// the program entirely — see presolve.go).
 type Model struct {
 	Inst  *Instance
 	Scale int64 // seconds per grid slot
 	Slots int   // number of start slots
+
+	// jobs are the modeled jobs (== Inst.Jobs unless presolved); all
+	// per-job arrays below are indexed by position in this slice.
+	jobs []*job.Job
+	// fixed are the presolve-pinned jobs with their grid start times;
+	// offset is their Eq. 2 objective contribution, which the MIP
+	// objective of the reduced program no longer sees.
+	fixed  []schedule.Entry
+	offset float64
+	// groups are the presolve dominance groups (modeled-job indices in
+	// canonical order); IncumbentFromSchedule reorders seed schedules
+	// within each group so they respect the symmetry-trimmed windows.
+	groups [][]int
 
 	prob    *lp.Problem
 	intCols []int
@@ -300,30 +317,77 @@ func Build(inst *Instance, scale int64) (*Model, error) {
 	n := len(inst.Jobs)
 	baseSlots := int((inst.MaxMakespan() + scale - 1) / scale)
 	slots := baseSlots + horizonSlack(n)
-	m := &Model{
-		Inst: inst, Scale: scale, Slots: slots,
-		prob:    lp.NewProblem(),
-		varOf:   make([]int, n),
-		minSlot: make([]int, n),
-		maxSlot: make([]int, n),
-		slotDur: make([]int, n),
+	spec := buildSpec{
+		inst: inst, scale: scale, slots: slots,
+		jobs: inst.Jobs,
+		min:  make([]int, n), max: make([]int, n), dur: make([]int, n),
+		capacity: make([]int, slots),
 	}
-	// Per-slot capacities from the machine history: the minimum free
-	// capacity inside the slot window is the safe (conservative) value.
-	// A capacity row is only materialized when it can actually bind,
-	// i.e. when the free capacity is below the total waiting width —
-	// on a large machine with a short queue most slots need no row,
-	// which keeps the simplex basis small.
-	totalWidth := 0
-	for _, jb := range inst.Jobs {
-		totalWidth += jb.Width
-	}
-	m.capacity = make([]int, slots)
-	m.capRow = make([]int, slots)
 	for t := 0; t < slots; t++ {
 		from := inst.Now + int64(t)*scale
-		m.capacity[t] = inst.Base.MinFree(from, from+scale)
-		if m.capacity[t] < totalWidth {
+		spec.capacity[t] = inst.Base.MinFree(from, from+scale)
+	}
+	for i, jb := range inst.Jobs {
+		spec.dur[i] = int((jb.Estimate + scale - 1) / scale)
+		min := 0
+		if jb.Submit > inst.Now {
+			min = int((jb.Submit - inst.Now + scale - 1) / scale)
+		}
+		max := slots - spec.dur[i]
+		if max < min {
+			return nil, fmt.Errorf("%w: job %d does not fit the grid (slots=%d, dur=%d)",
+				ErrHorizonTooTight, jb.ID, slots, spec.dur[i])
+		}
+		spec.min[i], spec.max[i] = min, max
+	}
+	return materialize(spec), nil
+}
+
+// buildSpec is the input of the shared model materializer: the modeled
+// jobs with their (possibly presolve-trimmed) start-slot windows, the
+// per-slot capacities (already reduced by presolve-fixed jobs), and the
+// presolve carry-over (fixed entries, objective offset, dominance
+// groups). Build and BuildPresolved both funnel through materialize so
+// the two model layouts stay bit-identical where they overlap.
+type buildSpec struct {
+	inst  *Instance
+	scale int64
+	slots int
+	jobs  []*job.Job
+	min   []int
+	max   []int
+	dur   []int
+	// capacity is the per-slot free capacity M_t (minimum free capacity
+	// inside the slot window — the safe, conservative value).
+	capacity []int
+	// coverRows materializes a capacity row only when the windows of the
+	// modeled jobs can actually cover the slot with more width than it
+	// has (the presolved rule); false uses the legacy total-width rule.
+	coverRows bool
+	fixed     []schedule.Entry
+	offset    float64
+	groups    [][]int
+}
+
+// materialize allocates the lp.Problem of a spec. A capacity row is only
+// materialized when it can actually bind — on a large machine with a
+// short queue most slots need no row, which keeps the simplex basis
+// small.
+func materialize(spec buildSpec) *Model {
+	n := len(spec.jobs)
+	m := &Model{
+		Inst: spec.inst, Scale: spec.scale, Slots: spec.slots,
+		jobs: spec.jobs, fixed: spec.fixed, offset: spec.offset,
+		groups:  spec.groups,
+		prob:    lp.NewProblem(),
+		varOf:   make([]int, n),
+		minSlot: spec.min, maxSlot: spec.max, slotDur: spec.dur,
+		capacity: spec.capacity,
+		capRow:   make([]int, spec.slots),
+	}
+	bindable := rowBindable(spec)
+	for t := 0; t < spec.slots; t++ {
+		if bindable[t] {
 			m.capRow[t] = m.prob.AddConstraint(lp.LE, float64(m.capacity[t]))
 		} else {
 			m.capRow[t] = -1 // can never bind
@@ -331,53 +395,42 @@ func Build(inst *Instance, scale int64) (*Model, error) {
 	}
 	// Prefix counts of materialized capacity rows, so the exact entry
 	// count of a column covering slots [t, t+dur) is O(1).
-	capCnt := make([]int, slots+1)
-	for t := 0; t < slots; t++ {
+	capCnt := make([]int, spec.slots+1)
+	for t := 0; t < spec.slots; t++ {
 		capCnt[t+1] = capCnt[t]
 		if m.capRow[t] >= 0 {
 			capCnt[t+1]++
 		}
 	}
-	// First pass: slot windows, validation, and the exact column/entry
-	// totals, so the whole coefficient matrix is allocated in one arena
-	// instead of one append chain per x_it column (a dynpsim run rebuilds
-	// this model every self-tuning step).
+	// First pass: the exact column/entry totals, so the whole coefficient
+	// matrix is allocated in one arena instead of one append chain per
+	// x_it column (a dynpsim run rebuilds this model every self-tuning
+	// step).
 	totalCols, totalEntries := 0, 0
-	for i, jb := range inst.Jobs {
-		m.slotDur[i] = int((jb.Estimate + scale - 1) / scale)
-		min := 0
-		if jb.Submit > inst.Now {
-			min = int((jb.Submit - inst.Now + scale - 1) / scale)
-		}
-		max := slots - m.slotDur[i]
-		if max < min {
-			return nil, fmt.Errorf("%w: job %d does not fit the grid (slots=%d, dur=%d)",
-				ErrHorizonTooTight, jb.ID, slots, m.slotDur[i])
-		}
-		m.minSlot[i], m.maxSlot[i] = min, max
-		totalCols += max - min + 1
-		for t := min; t <= max; t++ {
-			totalEntries += 1 + capCnt[t+m.slotDur[i]] - capCnt[t]
+	for i := range spec.jobs {
+		totalCols += spec.max[i] - spec.min[i] + 1
+		for t := spec.min[i]; t <= spec.max[i]; t++ {
+			totalEntries += 1 + capCnt[t+spec.dur[i]] - capCnt[t]
 		}
 	}
-	m.prob.Grow(totalCols, len(inst.Jobs), totalEntries)
+	m.prob.Grow(totalCols, n, totalEntries)
 	m.intCols = make([]int, 0, totalCols)
 	// Second pass: assignment rows and variables.
-	for i, jb := range inst.Jobs {
-		min, max := m.minSlot[i], m.maxSlot[i]
+	for i, jb := range spec.jobs {
+		min, max := spec.min[i], spec.max[i]
 		row := m.prob.AddConstraint(lp.EQ, 1)
 		first := -1
 		for t := min; t <= max; t++ {
-			start := inst.Now + int64(t)*scale
+			start := spec.inst.Now + int64(t)*spec.scale
 			// Eq. 2 coefficient: (t - s_i + d_i) * w_i, integral.
 			cost := float64((start - jb.Submit + jb.Estimate) * int64(jb.Width))
 			col := m.prob.AddVariable(0, 1, cost, fmt.Sprintf("x_%d_%d", jb.ID, t))
 			if first < 0 {
 				first = col
 			}
-			m.prob.ReserveColumn(col, 1+capCnt[t+m.slotDur[i]]-capCnt[t])
+			m.prob.ReserveColumn(col, 1+capCnt[t+spec.dur[i]]-capCnt[t])
 			m.prob.SetCoeff(row, col, 1)
-			for u := t; u < t+m.slotDur[i]; u++ {
+			for u := t; u < t+spec.dur[i]; u++ {
 				if m.capRow[u] >= 0 {
 					m.prob.SetCoeff(m.capRow[u], col, float64(jb.Width))
 				}
@@ -386,7 +439,44 @@ func Build(inst *Instance, scale int64) (*Model, error) {
 		}
 		m.varOf[i] = first
 	}
-	return m, nil
+	return m
+}
+
+// rowBindable reports per slot whether its capacity row can ever bind.
+// The legacy rule compares the capacity against the total modeled width;
+// the presolved (coverRows) rule compares against only the width whose
+// trimmed windows can actually cover the slot, which removes many more
+// rows once presolve has tightened the windows.
+func rowBindable(spec buildSpec) []bool {
+	out := make([]bool, spec.slots)
+	if !spec.coverRows {
+		totalWidth := 0
+		for _, jb := range spec.jobs {
+			totalWidth += jb.Width
+		}
+		for t := 0; t < spec.slots; t++ {
+			out[t] = spec.capacity[t] < totalWidth
+		}
+		return out
+	}
+	// Diff array of the covering width: job i can occupy any slot in
+	// [min_i, max_i + dur_i).
+	diff := make([]int, spec.slots+1)
+	for i, jb := range spec.jobs {
+		from := spec.min[i]
+		to := spec.max[i] + spec.dur[i]
+		if to > spec.slots {
+			to = spec.slots
+		}
+		diff[from] += jb.Width
+		diff[to] -= jb.Width
+	}
+	cover := 0
+	for t := 0; t < spec.slots; t++ {
+		cover += diff[t]
+		out[t] = cover > spec.capacity[t]
+	}
+	return out
 }
 
 // NumVariables returns the number of binary x_it columns.
@@ -399,6 +489,32 @@ func (m *Model) NumConstraints() int { return m.prob.NumConstraints() }
 // Eq. 6 budgets memory for.
 func (m *Model) MatrixEntries() int { return m.prob.NumNonZeros() }
 
+// ModeledJobs returns the number of jobs the integer program still
+// carries (fewer than len(Inst.Jobs) after presolve fixing).
+func (m *Model) ModeledJobs() int { return len(m.jobs) }
+
+// FixedJobs returns the presolve-pinned jobs with their grid starts.
+func (m *Model) FixedJobs() []schedule.Entry {
+	return append([]schedule.Entry(nil), m.fixed...)
+}
+
+// Offset returns the Eq. 2 objective contribution of the presolve-fixed
+// jobs; the MIP objective of a presolved model excludes it.
+func (m *Model) Offset() float64 { return m.offset }
+
+// ObjectiveOfVector evaluates the model objective of a 0/1 start vector
+// plus the presolve offset, i.e. the full Eq. 2 value the vector
+// represents. Used to rank candidate incumbents before seeding.
+func (m *Model) ObjectiveOfVector(x []float64) float64 {
+	sum := m.offset
+	for j, v := range x {
+		if v > 0.5 {
+			sum += m.prob.Cost(j)
+		}
+	}
+	return sum
+}
+
 // col returns the column of job index i starting at slot t.
 func (m *Model) col(i, t int) int { return m.varOf[i] + (t - m.minSlot[i]) }
 
@@ -409,7 +525,7 @@ func (m *Model) gridListSchedule(order []int) ([]float64, bool) {
 	capLeft := append([]int(nil), m.capacity...)
 	x := make([]float64, m.prob.NumVariables())
 	for _, i := range order {
-		jb := m.Inst.Jobs[i]
+		jb := m.jobs[i]
 		placed := false
 		for t := m.minSlot[i]; t <= m.maxSlot[i]; t++ {
 			fits := true
@@ -440,7 +556,7 @@ func (m *Model) gridListSchedule(order []int) ([]float64, bool) {
 // list-scheduled on the grid.
 func (m *Model) Heuristic() mip.Heuristic {
 	return func(relax []float64) ([]float64, bool) {
-		n := len(m.Inst.Jobs)
+		n := len(m.jobs)
 		mean := make([]float64, n)
 		for i := 0; i < n; i++ {
 			var s, tot float64
@@ -461,7 +577,7 @@ func (m *Model) Heuristic() mip.Heuristic {
 			if mean[order[a]] != mean[order[b]] {
 				return mean[order[a]] < mean[order[b]]
 			}
-			return m.Inst.Jobs[order[a]].ID < m.Inst.Jobs[order[b]].ID
+			return m.jobs[order[a]].ID < m.jobs[order[b]].ID
 		})
 		return m.gridListSchedule(order)
 	}
@@ -475,7 +591,7 @@ func (m *Model) Heuristic() mip.Heuristic {
 // standard device for time-indexed formulations.
 func (m *Model) Brancher() mip.Brancher {
 	return func(relax []float64) [][]mip.Bound {
-		n := len(m.Inst.Jobs)
+		n := len(m.jobs)
 		const tol = 1e-6
 		pick, pickScore := -1, tol
 		var pickMean float64
@@ -519,24 +635,36 @@ func (m *Model) Brancher() mip.Brancher {
 // IncumbentFromSchedule converts a (real-time) schedule into a feasible
 // model vector by grid-list-scheduling the jobs in the schedule's start
 // order. This is how the best policy schedule seeds the branch and bound.
+// On a presolved model the schedule may still cover every waiting job —
+// entries of presolve-fixed jobs are ignored — and the order is
+// canonicalized within each dominance group so that the symmetry-trimmed
+// windows do not reject an otherwise feasible seed.
 func (m *Model) IncumbentFromSchedule(s *schedule.Schedule) ([]float64, error) {
-	if len(s.Entries) != len(m.Inst.Jobs) {
-		return nil, fmt.Errorf("ilpsched: schedule has %d jobs, model %d", len(s.Entries), len(m.Inst.Jobs))
-	}
-	idx := make(map[int]int, len(m.Inst.Jobs))
-	for i, jb := range m.Inst.Jobs {
+	idx := make(map[int]int, len(m.jobs))
+	for i, jb := range m.jobs {
 		idx[jb.ID] = i
+	}
+	fixedIDs := make(map[int]bool, len(m.fixed))
+	for _, e := range m.fixed {
+		fixedIDs[e.Job.ID] = true
 	}
 	c := s.Clone()
 	c.SortByStart()
-	order := make([]int, 0, len(c.Entries))
+	order := make([]int, 0, len(m.jobs))
 	for _, e := range c.Entries {
-		i, ok := idx[e.Job.ID]
-		if !ok {
-			return nil, fmt.Errorf("ilpsched: schedule job %d not in instance", e.Job.ID)
+		if i, ok := idx[e.Job.ID]; ok {
+			order = append(order, i)
+			continue
 		}
-		order = append(order, i)
+		if fixedIDs[e.Job.ID] {
+			continue // pinned by presolve: not part of the program
+		}
+		return nil, fmt.Errorf("ilpsched: schedule job %d not in instance", e.Job.ID)
 	}
+	if len(order) != len(m.jobs) {
+		return nil, fmt.Errorf("ilpsched: schedule has %d modeled jobs, model %d", len(order), len(m.jobs))
+	}
+	m.canonicalizeGroups(order)
 	x, ok := m.gridListSchedule(order)
 	if !ok {
 		return nil, fmt.Errorf("ilpsched: schedule order does not fit the grid")
@@ -544,12 +672,48 @@ func (m *Model) IncumbentFromSchedule(s *schedule.Schedule) ([]float64, error) {
 	return x, nil
 }
 
+// canonicalizeGroups rewrites the positions occupied by each dominance
+// group's members (in order of appearance) to the group's canonical job
+// order. Identical-shape jobs are interchangeable — same width, same
+// scaled duration, same window — so this permutation changes neither
+// feasibility nor the Eq. 2 total, but it makes the order respect the
+// per-position windows the presolve symmetry trimming imposed.
+func (m *Model) canonicalizeGroups(order []int) {
+	if len(m.groups) == 0 {
+		return
+	}
+	groupOf := make(map[int]int, len(order))
+	for g, members := range m.groups {
+		for _, i := range members {
+			groupOf[i] = g
+		}
+	}
+	// positions[g] collects where group g's members sit in order.
+	positions := make([][]int, len(m.groups))
+	for pos, i := range order {
+		if g, ok := groupOf[i]; ok {
+			positions[g] = append(positions[g], pos)
+		}
+	}
+	for g, ps := range positions {
+		for k, pos := range ps {
+			order[pos] = m.groups[g][k]
+		}
+	}
+}
+
 // Solution is the result of solving the model.
 type Solution struct {
-	// MIP is the raw branch-and-bound result.
+	// MIP is the raw branch-and-bound result. On a presolved model its
+	// Objective excludes the fixed jobs' contribution; Objective below
+	// is the full Eq. 2 value.
 	MIP *mip.Result
+	// Objective is the Eq. 2 objective of Grid including presolve-fixed
+	// jobs (MIP objective plus the presolve offset). Comparable across
+	// presolved and unreduced solves of the same instance.
+	Objective float64
 	// Grid is the schedule exactly as the ILP chose it (starts on the
-	// scaled grid).
+	// scaled grid), including presolve-fixed jobs.
 	Grid *schedule.Schedule
 	// Compacted is Grid after the §3.2 repair: jobs re-inserted in start
 	// order as early as possible. This is the schedule the paper
@@ -570,6 +734,12 @@ func (m *Model) Solve(opt mip.Options) (*Solution, error) {
 // the branch and bound mid-search with a *mip.CanceledError and leaves
 // the model untouched (bounds restored), so the model can be re-solved.
 func (m *Model) SolveCtx(ctx context.Context, opt mip.Options) (*Solution, error) {
+	if len(m.jobs) == 0 {
+		// Presolve pinned every job: nothing left to search. Synthesize an
+		// optimal result so downstream consumers (reports, telemetry) see
+		// a normal zero-node solve.
+		return m.finishSolution(&mip.Result{Status: mip.Optimal})
+	}
 	opt.IntegralObjective = true
 	if opt.Heuristic == nil {
 		opt.Heuristic = m.Heuristic()
@@ -585,12 +755,20 @@ func (m *Model) SolveCtx(ctx context.Context, opt mip.Options) (*Solution, error
 	if err != nil {
 		return nil, err
 	}
-	sol := &Solution{MIP: res}
 	if res.Status != mip.Optimal && res.Status != mip.Feasible {
 		return nil, &NoScheduleError{Status: res.Status, Result: res}
 	}
+	return m.finishSolution(res)
+}
+
+// finishSolution lifts a MIP result into the full-instance solution:
+// extract the modeled jobs' grid starts, append the presolve-fixed
+// entries, and run the §3.2 compaction over all of them.
+func (m *Model) finishSolution(res *mip.Result) (*Solution, error) {
+	sol := &Solution{MIP: res, Objective: res.Objective + m.offset}
 	grid := &schedule.Schedule{Policy: "ILP", Now: m.Inst.Now, Machine: m.Inst.Machine}
-	for i, jb := range m.Inst.Jobs {
+	grid.Entries = append(grid.Entries, m.fixed...)
+	for i, jb := range m.jobs {
 		found := false
 		for t := m.minSlot[i]; t <= m.maxSlot[i]; t++ {
 			if res.X[m.col(i, t)] > 0.5 {
@@ -618,17 +796,17 @@ func (m *Model) SolveCtx(ctx context.Context, opt mip.Options) (*Solution, error
 // the original study would have fed to CPLEX.
 func (m *Model) WriteLP(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "\\ time-indexed schedule, %d jobs, scale %ds, %d slots\nMinimize\n obj:",
-		len(m.Inst.Jobs), m.Scale, m.Slots); err != nil {
+		len(m.jobs), m.Scale, m.Slots); err != nil {
 		return err
 	}
-	for i := range m.Inst.Jobs {
+	for i := range m.jobs {
 		for t := m.minSlot[i]; t <= m.maxSlot[i]; t++ {
 			c := m.prob.Cost(m.col(i, t))
 			fmt.Fprintf(w, " + %g %s", c, m.prob.Name(m.col(i, t)))
 		}
 	}
 	fmt.Fprintf(w, "\nSubject To\n")
-	for i, jb := range m.Inst.Jobs {
+	for i, jb := range m.jobs {
 		fmt.Fprintf(w, " assign_%d:", jb.ID)
 		for t := m.minSlot[i]; t <= m.maxSlot[i]; t++ {
 			fmt.Fprintf(w, " + %s", m.prob.Name(m.col(i, t)))
@@ -641,7 +819,7 @@ func (m *Model) WriteLP(w io.Writer) error {
 		}
 		fmt.Fprintf(w, " cap_%d:", t)
 		any := false
-		for i, jb := range m.Inst.Jobs {
+		for i, jb := range m.jobs {
 			for s := m.minSlot[i]; s <= m.maxSlot[i]; s++ {
 				if s <= t && t < s+m.slotDur[i] {
 					fmt.Fprintf(w, " + %d %s", jb.Width, m.prob.Name(m.col(i, s)))
@@ -650,12 +828,12 @@ func (m *Model) WriteLP(w io.Writer) error {
 			}
 		}
 		if !any {
-			fmt.Fprintf(w, " 0 x_%d_%d", m.Inst.Jobs[0].ID, m.minSlot[0])
+			fmt.Fprintf(w, " 0 x_%d_%d", m.jobs[0].ID, m.minSlot[0])
 		}
 		fmt.Fprintf(w, " <= %d\n", m.capacity[t])
 	}
 	fmt.Fprintf(w, "Binaries\n")
-	for i := range m.Inst.Jobs {
+	for i := range m.jobs {
 		for t := m.minSlot[i]; t <= m.maxSlot[i]; t++ {
 			fmt.Fprintf(w, " %s", m.prob.Name(m.col(i, t)))
 		}

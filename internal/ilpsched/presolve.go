@@ -1,0 +1,619 @@
+// Presolve for the time-indexed program: a reduction pass run between
+// Build and Solve that shrinks the x_it grid before the LP ever sees it.
+// Four reductions run to a fixpoint, each one provably keeping at least
+// one optimal solution of the unreduced grid model:
+//
+//   - feasibility trimming: slot t is kept for job i only if the base
+//     profile (minus presolve-fixed jobs) has width_i free nodes over the
+//     whole window [t, t+dur_i). This relaxes away the other waiting jobs,
+//     so it can only remove starts that no feasible solution uses.
+//   - single-slot fixing: a job whose window collapses to one slot is
+//     pinned there, removed from the program, its width subtracted from
+//     the capacity profile and its Eq. 2 cost moved to an objective
+//     offset. A negative capacity proves grid infeasibility.
+//   - cost-bound trimming: a grid-feasible list schedule (of the caller's
+//     seed orders and the canonical submit order) is a valid upper bound
+//     UB on the grid optimum. Since cost(i,t) grows by scale*w_i per
+//     slot, any solution that starts job i after
+//     min_i + (UB - sum_j minCost_j) / (scale*w_i) costs more than UB
+//     even if every other job starts at its earliest slot — those slots
+//     are dropped. (A naive "trim to the heuristic makespan" is NOT
+//     sound: the grid optimum can finish later than every policy
+//     schedule — see the TestILPAgreesWithExact regression note in
+//     CHANGES.md. The cost bound keeps every optimal solution and the
+//     bounding solution itself.)
+//   - dominance trimming: jobs with identical shape (width, scaled
+//     duration, window) are interchangeable — swapping two of them
+//     changes neither feasibility nor the Eq. 2 total — so some optimal
+//     solution has their starts sorted in canonical (Submit, ID) order.
+//     With at most Q = floor(maxcap/width) of them running concurrently,
+//     the k-th member (0-based) of a g-member group cannot start before
+//     min + floor(k/Q)*dur nor after max - floor((g-1-k)/Q)*dur in that
+//     sorted solution. The surviving groups are recorded on the model so
+//     IncumbentFromSchedule can canonicalize seed orders to match.
+//
+// The reduced model is materialized through the same arena builder as
+// Build (see ilpsched.go), with capacity rows kept only where the
+// trimmed windows can actually overload a slot.
+package ilpsched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/job"
+	"repro/internal/schedule"
+)
+
+// PresolveOptions parameterizes BuildPresolved.
+type PresolveOptions struct {
+	// Seeds are candidate upper-bound schedules — typically the basic
+	// policy schedules the simulator computed anyway, or the previous
+	// step's compacted ILP schedule. Each seed's start order is
+	// grid-list-scheduled inside the current windows and the best grid
+	// objective becomes the cost bound for late-slot trimming. Seeds
+	// never affect correctness, only reduction strength: a seed that
+	// does not cover the instance or does not fit the grid is skipped,
+	// and the canonical submit-order schedule is always tried.
+	Seeds []*schedule.Schedule
+}
+
+// PresolveStats reports the reduction achieved by the presolve analysis.
+// Entry counts are the same conservative estimate EstimateSize uses
+// (one assignment entry plus dur capacity entries per variable), so the
+// before/after pair is an apples-to-apples comparison.
+type PresolveStats struct {
+	VarsBefore, VarsAfter       int // binary x_it columns
+	EntriesBefore, EntriesAfter int // structural nonzeros (estimate)
+	RowsBefore, RowsAfter       int // materialized model rows
+	JobsFixed                   int // jobs pinned and removed
+	SlotsCut                    int // grid slots dropped from the tail
+	Rounds                      int // fixpoint rounds run
+}
+
+// VarsRemoved returns the number of eliminated x_it columns.
+func (s PresolveStats) VarsRemoved() int { return s.VarsBefore - s.VarsAfter }
+
+// RowsRemoved returns the number of eliminated model rows.
+func (s PresolveStats) RowsRemoved() int { return s.RowsBefore - s.RowsAfter }
+
+// analysis is the mutable presolve state over the original job indices.
+type analysis struct {
+	inst  *Instance
+	scale int64
+	slots int
+	jobs  []*job.Job // == inst.Jobs
+	dur   []int
+	min   []int // per-job window, trimmed in place
+	max   []int
+	// capacity is the per-slot free capacity minus the width of every
+	// presolve-fixed job.
+	capacity  []int
+	fixedSlot []int // -1 = still modeled
+	fixed     []schedule.Entry
+	offset    float64
+	// groupsOrig are the dominance groups in canonical order, as
+	// original job indices (filtered to modeled indices at spec time).
+	groupsOrig [][]int
+	stats      PresolveStats
+	spec       buildSpec
+}
+
+// analyze runs the full presolve fixpoint on the instance and returns
+// the finished analysis, or an error wrapping ErrHorizonTooTight /
+// ErrInfeasible when the grid instance provably has no schedule.
+func analyze(inst *Instance, scale int64, opt PresolveOptions) (*analysis, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if scale < 1 {
+		return nil, fmt.Errorf("ilpsched: time scale %d < 1", scale)
+	}
+	n := len(inst.Jobs)
+	baseSlots := int((inst.MaxMakespan() + scale - 1) / scale)
+	slots := baseSlots + horizonSlack(n)
+	a := &analysis{
+		inst: inst, scale: scale, slots: slots, jobs: inst.Jobs,
+		dur: make([]int, n), min: make([]int, n), max: make([]int, n),
+		capacity:  make([]int, slots),
+		fixedSlot: make([]int, n),
+	}
+	for t := 0; t < slots; t++ {
+		from := inst.Now + int64(t)*scale
+		a.capacity[t] = inst.Base.MinFree(from, from+scale)
+	}
+	totalWidth := 0
+	for i, jb := range inst.Jobs {
+		a.fixedSlot[i] = -1
+		a.dur[i] = int((jb.Estimate + scale - 1) / scale)
+		min := 0
+		if jb.Submit > inst.Now {
+			min = int((jb.Submit - inst.Now + scale - 1) / scale)
+		}
+		max := slots - a.dur[i]
+		if max < min {
+			return nil, fmt.Errorf("%w: job %d does not fit the grid (slots=%d, dur=%d)",
+				ErrHorizonTooTight, jb.ID, slots, a.dur[i])
+		}
+		a.min[i], a.max[i] = min, max
+		totalWidth += jb.Width
+	}
+	// "Before" size: what Build would materialize on this instance.
+	a.stats.RowsBefore = n
+	for t := 0; t < slots; t++ {
+		if a.capacity[t] < totalWidth {
+			a.stats.RowsBefore++
+		}
+	}
+	for i := range inst.Jobs {
+		nv := a.max[i] - a.min[i] + 1
+		a.stats.VarsBefore += nv
+		a.stats.EntriesBefore += nv * (1 + a.dur[i])
+	}
+
+	if err := a.reduceToFixpoint(); err != nil {
+		return nil, err
+	}
+	a.costBoundTrim(opt.Seeds)
+	if err := a.reduceToFixpoint(); err != nil {
+		return nil, err
+	}
+	if err := a.dominanceTrim(); err != nil {
+		return nil, err
+	}
+	if err := a.reduceToFixpoint(); err != nil {
+		return nil, err
+	}
+	a.finish()
+	return a, nil
+}
+
+// reduceToFixpoint alternates feasibility trimming and single-slot
+// fixing until neither changes anything.
+func (a *analysis) reduceToFixpoint() error {
+	for {
+		a.stats.Rounds++
+		changed := false
+		for i := range a.jobs {
+			if a.fixedSlot[i] >= 0 {
+				continue
+			}
+			ch, err := a.feasTrim(i)
+			if err != nil {
+				return err
+			}
+			changed = changed || ch
+		}
+		for i := range a.jobs {
+			if a.fixedSlot[i] < 0 && a.min[i] == a.max[i] {
+				if err := a.fix(i, a.min[i]); err != nil {
+					return err
+				}
+				changed = true
+			}
+		}
+		if !changed {
+			return nil
+		}
+	}
+}
+
+// feasTrim tightens job i's window edges to slots where the capacity
+// profile can hold the job at all (ignoring the other waiting jobs — a
+// relaxation, so only provably useless starts are removed). Interior
+// capacity holes are left to the LP rows. Returns whether the window
+// moved; an empty window proves grid infeasibility.
+func (a *analysis) feasTrim(i int) (bool, error) {
+	w, dur := a.jobs[i].Width, a.dur[i]
+	lo, hi := a.min[i], a.max[i]
+	// Front edge: jump past the latest blocking slot of each bad window.
+	for lo <= hi {
+		bad := -1
+		for u := lo; u < lo+dur; u++ {
+			if a.capacity[u] < w {
+				bad = u // keep scanning: the last bad slot jumps furthest
+			}
+		}
+		if bad < 0 {
+			break
+		}
+		lo = bad + 1
+	}
+	if lo > hi {
+		return false, fmt.Errorf("%w: job %d has no feasible start slot", ErrInfeasible, a.jobs[i].ID)
+	}
+	// Back edge: mirror image.
+	for hi >= lo {
+		bad := -1
+		for u := hi; u < hi+dur; u++ {
+			if a.capacity[u] < w {
+				bad = u
+				break // the first bad slot jumps furthest downward
+			}
+		}
+		if bad < 0 {
+			break
+		}
+		hi = bad - dur
+	}
+	changed := lo != a.min[i] || hi != a.max[i]
+	a.min[i], a.max[i] = lo, hi
+	return changed, nil
+}
+
+// fix pins job i at the given grid slot: the job leaves the program, its
+// width leaves the capacity profile and its cost moves to the offset.
+func (a *analysis) fix(i, slot int) error {
+	jb := a.jobs[i]
+	for u := slot; u < slot+a.dur[i]; u++ {
+		a.capacity[u] -= jb.Width
+		if a.capacity[u] < 0 {
+			return fmt.Errorf("%w: fixed jobs overload slot %d", ErrInfeasible, u)
+		}
+	}
+	a.fixedSlot[i] = slot
+	a.fixed = append(a.fixed, schedule.Entry{Job: jb, Start: a.inst.Now + int64(slot)*a.scale})
+	a.offset += float64(a.gridCost(i, slot))
+	a.stats.JobsFixed++
+	return nil
+}
+
+// gridCost is the integral Eq. 2 coefficient of job i starting at slot t
+// (identical to the cost Build writes into the column).
+func (a *analysis) gridCost(i, t int) int64 {
+	jb := a.jobs[i]
+	start := a.inst.Now + int64(t)*a.scale
+	return (start - jb.Submit + jb.Estimate) * int64(jb.Width)
+}
+
+// unfixedIdx returns the still-modeled original job indices.
+func (a *analysis) unfixedIdx() []int {
+	out := make([]int, 0, len(a.jobs))
+	for i := range a.jobs {
+		if a.fixedSlot[i] < 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// costBoundTrim computes a grid-feasible upper bound UB on the optimum
+// of the remaining program and drops every start slot whose cost alone
+// pushes the objective past UB. With minCost_i = cost(i, min_i) and
+// slack = UB - sum_i minCost_i, slot t survives for job i iff
+// (t - min_i) * scale * w_i <= slack; the UB solution itself satisfies
+// this (its per-job excursions sum to exactly slack), so the reduced
+// program stays feasible whenever the original is.
+func (a *analysis) costBoundTrim(seeds []*schedule.Schedule) {
+	unfixed := a.unfixedIdx()
+	if len(unfixed) == 0 {
+		return
+	}
+	best := int64(-1)
+	try := func(order []int) {
+		if obj, ok := a.listObjective(order); ok && (best < 0 || obj < best) {
+			best = obj
+		}
+	}
+	canonical := append([]int(nil), unfixed...)
+	sort.Slice(canonical, func(x, y int) bool {
+		ji, jj := a.jobs[canonical[x]], a.jobs[canonical[y]]
+		if ji.Submit != jj.Submit {
+			return ji.Submit < jj.Submit
+		}
+		return ji.ID < jj.ID
+	})
+	try(canonical)
+	for _, s := range seeds {
+		if order, ok := a.orderFromSchedule(s, unfixed); ok {
+			try(order)
+		}
+	}
+	if best < 0 {
+		return // no seed fit the grid: skip the trim, stay safe
+	}
+	var minSum int64
+	for _, i := range unfixed {
+		minSum += a.gridCost(i, a.min[i])
+	}
+	slack := best - minSum
+	if slack < 0 {
+		slack = 0 // cannot happen: every placement is at or after min
+	}
+	for _, i := range unfixed {
+		step := a.scale * int64(a.jobs[i].Width)
+		tmax := a.min[i] + int(slack/step)
+		if tmax < a.max[i] {
+			a.max[i] = tmax
+		}
+	}
+}
+
+// listObjective grid-list-schedules the given original job indices in
+// order (earliest feasible slot within each job's current window,
+// against the current capacity profile) and returns the summed grid
+// cost, or ok=false when some job does not fit.
+func (a *analysis) listObjective(order []int) (int64, bool) {
+	capLeft := append([]int(nil), a.capacity...)
+	var total int64
+	for _, i := range order {
+		w, dur := a.jobs[i].Width, a.dur[i]
+		placed := false
+		for t := a.min[i]; t <= a.max[i]; t++ {
+			fits := true
+			for u := t; u < t+dur; u++ {
+				if capLeft[u] < w {
+					fits = false
+					break
+				}
+			}
+			if fits {
+				for u := t; u < t+dur; u++ {
+					capLeft[u] -= w
+				}
+				total += a.gridCost(i, t)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return 0, false
+		}
+	}
+	return total, true
+}
+
+// orderFromSchedule extracts the start order of the unfixed jobs from a
+// seed schedule. The seed must cover every unfixed job exactly once
+// (entries of fixed jobs are ignored, unknown jobs invalidate the seed).
+func (a *analysis) orderFromSchedule(s *schedule.Schedule, unfixed []int) ([]int, bool) {
+	if s == nil {
+		return nil, false
+	}
+	idx := make(map[int]int, len(a.jobs))
+	for _, i := range unfixed {
+		idx[a.jobs[i].ID] = i
+	}
+	c := s.Clone()
+	c.SortByStart()
+	order := make([]int, 0, len(unfixed))
+	seen := make(map[int]bool, len(unfixed))
+	for _, e := range c.Entries {
+		i, ok := idx[e.Job.ID]
+		if !ok {
+			continue // fixed or foreign job: not part of the program
+		}
+		if seen[i] {
+			return nil, false
+		}
+		seen[i] = true
+		order = append(order, i)
+	}
+	if len(order) != len(unfixed) {
+		return nil, false
+	}
+	return order, true
+}
+
+// dominanceTrim groups identical-shape jobs and narrows each member's
+// window to the slots its rank can occupy in the canonically sorted
+// optimal solution (see the package comment for the exchange argument).
+func (a *analysis) dominanceTrim() error {
+	type shape struct{ w, d, lo, hi int }
+	byShape := make(map[shape][]int)
+	for _, i := range a.unfixedIdx() {
+		k := shape{a.jobs[i].Width, a.dur[i], a.min[i], a.max[i]}
+		byShape[k] = append(byShape[k], i)
+	}
+	// Deterministic group order for reproducible models.
+	shapes := make([]shape, 0, len(byShape))
+	for k, members := range byShape {
+		if len(members) >= 2 {
+			shapes = append(shapes, k)
+		}
+	}
+	sort.Slice(shapes, func(x, y int) bool {
+		kx, ky := shapes[x], shapes[y]
+		if kx.lo != ky.lo {
+			return kx.lo < ky.lo
+		}
+		if kx.hi != ky.hi {
+			return kx.hi < ky.hi
+		}
+		if kx.w != ky.w {
+			return kx.w < ky.w
+		}
+		return kx.d < ky.d
+	})
+	for _, k := range shapes {
+		members := byShape[k]
+		sort.Slice(members, func(x, y int) bool {
+			ji, jj := a.jobs[members[x]], a.jobs[members[y]]
+			if ji.Submit != jj.Submit {
+				return ji.Submit < jj.Submit
+			}
+			return ji.ID < jj.ID
+		})
+		maxCap := 0
+		for u := k.lo; u < k.hi+k.d && u < a.slots; u++ {
+			if a.capacity[u] > maxCap {
+				maxCap = a.capacity[u]
+			}
+		}
+		q := maxCap / k.w
+		if q < 1 {
+			q = 1 // feasTrim guarantees some slot fits; defensive only
+		}
+		g := len(members)
+		for pos, i := range members {
+			if lo := k.lo + (pos/q)*k.d; lo > a.min[i] {
+				a.min[i] = lo
+			}
+			if hi := k.hi - ((g-1-pos)/q)*k.d; hi < a.max[i] {
+				a.max[i] = hi
+			}
+			if a.min[i] > a.max[i] {
+				return fmt.Errorf("%w: dominance group of job %d does not fit the grid",
+					ErrInfeasible, a.jobs[i].ID)
+			}
+		}
+		a.groupsOrig = append(a.groupsOrig, members)
+	}
+	return nil
+}
+
+// finish trims the grid tail, assembles the reduced buildSpec and the
+// "after" size stats.
+func (a *analysis) finish() {
+	unfixed := a.unfixedIdx()
+	newSlots := 1
+	for _, i := range unfixed {
+		if end := a.max[i] + a.dur[i]; end > newSlots {
+			newSlots = end
+		}
+	}
+	if newSlots > a.slots {
+		newSlots = a.slots
+	}
+	a.stats.SlotsCut = a.slots - newSlots
+	a.slots = newSlots
+
+	n := len(unfixed)
+	spec := buildSpec{
+		inst: a.inst, scale: a.scale, slots: newSlots,
+		jobs: make([]*job.Job, n),
+		min:  make([]int, n), max: make([]int, n), dur: make([]int, n),
+		capacity:  a.capacity[:newSlots],
+		coverRows: true,
+		fixed:     a.fixed,
+		offset:    a.offset,
+	}
+	modeledOf := make(map[int]int, n) // original index -> modeled index
+	for mi, i := range unfixed {
+		spec.jobs[mi] = a.jobs[i]
+		spec.min[mi], spec.max[mi], spec.dur[mi] = a.min[i], a.max[i], a.dur[i]
+		modeledOf[i] = mi
+	}
+	for _, members := range a.groupsOrig {
+		group := make([]int, 0, len(members))
+		for _, i := range members {
+			if mi, ok := modeledOf[i]; ok {
+				group = append(group, mi)
+			}
+		}
+		if len(group) >= 2 {
+			spec.groups = append(spec.groups, group)
+		}
+	}
+	a.spec = spec
+
+	for mi := range spec.jobs {
+		nv := spec.max[mi] - spec.min[mi] + 1
+		a.stats.VarsAfter += nv
+		a.stats.EntriesAfter += nv * (1 + spec.dur[mi])
+	}
+	a.stats.RowsAfter = n
+	for _, b := range rowBindable(spec) {
+		if b {
+			a.stats.RowsAfter++
+		}
+	}
+}
+
+// BuildPresolved runs the presolve analysis and materializes the reduced
+// model. The returned model solves to the same full-instance objective
+// as Build's (Solution.Objective / Solution.Grid include the fixed jobs)
+// — presolve only removes provably useless or dominated start slots.
+func BuildPresolved(inst *Instance, scale int64, opt PresolveOptions) (*Model, *PresolveStats, error) {
+	a, err := analyze(inst, scale, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := materialize(a.spec)
+	st := a.stats
+	return m, &st, nil
+}
+
+// EstimatePresolvedSize predicts the reduced model size without
+// materializing it: the analysis runs (cheap — no matrix allocation),
+// and the post-reduction variable/entry counts are returned. This is the
+// size BuildPresolvedGuarded guards against, so ErrModelTooLarge no
+// longer rejects instances that presolve makes tractable.
+func EstimatePresolvedSize(inst *Instance, scale int64, opt PresolveOptions) (vars, entries int, err error) {
+	a, err := analyze(inst, scale, opt)
+	if err != nil {
+		return 0, 0, err
+	}
+	return a.stats.VarsAfter, a.stats.EntriesAfter, nil
+}
+
+// BuildPresolvedGuarded is BuildPresolved behind the SizeLimit guard.
+// Unlike BuildGuarded, the guard applies to the *reduced* size — the
+// analysis itself is O(jobs × slots) with no matrix allocation, so it is
+// always safe to run.
+func BuildPresolvedGuarded(inst *Instance, scale int64, lim SizeLimit, opt PresolveOptions) (*Model, *PresolveStats, error) {
+	a, err := analyze(inst, scale, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	if (lim.MaxVariables > 0 && a.stats.VarsAfter > lim.MaxVariables) ||
+		(lim.MaxMatrixEntries > 0 && a.stats.EntriesAfter > lim.MaxMatrixEntries) {
+		return nil, nil, &ModelTooLargeError{
+			Scale: scale, Variables: a.stats.VarsAfter, MatrixEntries: a.stats.EntriesAfter,
+			MaxVariables: lim.MaxVariables, MaxEntries: lim.MaxMatrixEntries,
+		}
+	}
+	m := materialize(a.spec)
+	st := a.stats
+	return m, &st, nil
+}
+
+// PostsolveX lifts a presolved model's 0/1 start vector into the column
+// layout of this (unreduced) model of the same instance and scale:
+// modeled jobs keep their chosen slots, fixed jobs contribute their
+// pinned slots. The result is a feasible vector of the full model with
+// the same Eq. 2 objective — the postsolve map of the reduction.
+func (m *Model) PostsolveX(red *Model, x []float64) ([]float64, error) {
+	if red.Scale != m.Scale {
+		return nil, fmt.Errorf("ilpsched: postsolve scale mismatch (%d vs %d)", red.Scale, m.Scale)
+	}
+	idx := make(map[int]int, len(m.jobs))
+	for i, jb := range m.jobs {
+		idx[jb.ID] = i
+	}
+	out := make([]float64, m.prob.NumVariables())
+	place := func(id, slot int) error {
+		i, ok := idx[id]
+		if !ok {
+			return fmt.Errorf("ilpsched: postsolve job %d not in target model", id)
+		}
+		if slot < m.minSlot[i] || slot > m.maxSlot[i] {
+			return fmt.Errorf("ilpsched: postsolve slot %d outside job %d window [%d,%d]",
+				slot, id, m.minSlot[i], m.maxSlot[i])
+		}
+		out[m.col(i, slot)] = 1
+		return nil
+	}
+	for _, e := range red.fixed {
+		slot := int((e.Start - m.Inst.Now) / m.Scale)
+		if err := place(e.Job.ID, slot); err != nil {
+			return nil, err
+		}
+	}
+	for i, jb := range red.jobs {
+		found := false
+		for t := red.minSlot[i]; t <= red.maxSlot[i]; t++ {
+			if x[red.col(i, t)] > 0.5 {
+				if err := place(jb.ID, t); err != nil {
+					return nil, err
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("ilpsched: postsolve job %d unassigned", jb.ID)
+		}
+	}
+	return out, nil
+}

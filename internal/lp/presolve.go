@@ -5,28 +5,58 @@ import (
 	"math"
 )
 
+// PresolveStats reports the reductions Presolve applied.
+type PresolveStats struct {
+	ColsFixed     int // columns removed (fixed, tightened-to-fixed, empty)
+	RowsRemoved   int // rows eliminated (empty or singleton)
+	SingletonRows int // singleton rows converted into bounds
+	Rounds        int // fixpoint rounds run
+}
+
 // Presolved carries the reduced problem plus the mapping needed to lift a
 // solution of the reduction back to the original problem.
 type Presolved struct {
 	// Reduced is the smaller problem (nil when presolve already decided
 	// the instance).
 	Reduced *Problem
+	// Stats reports the reductions applied.
+	Stats PresolveStats
 
 	origCols, origRows int
 	colMap             []int     // reduced column -> original column
 	rowMap             []int     // reduced row -> original row
 	fixedVal           []float64 // original column -> value (for removed columns)
 	removedCol         []bool
+	folded             []foldedRow // singleton rows turned into bounds
 }
 
-// Presolve applies reductions with trivial postsolve semantics:
+// foldedRow remembers a singleton row eliminated into a column bound, so
+// Postsolve can move the bound's multiplier back onto the row when the
+// tightened bound is active but the original bound is not.
+type foldedRow struct {
+	row, col int
+	a        float64
+}
+
+// Presolve applies reductions with trivial postsolve semantics, iterated
+// to a fixpoint:
 //
 //   - fixed columns (lo == hi) are substituted into the right-hand sides
 //     and removed;
 //   - empty columns are moved to their cost-optimal bound and removed
 //     (detecting unboundedness);
 //   - empty rows are checked for consistency and dropped (detecting
-//     infeasibility).
+//     infeasibility);
+//   - singleton rows (one surviving entry a·x ≤/=/≥ b) are converted
+//     into a bound on their column and dropped — an EQ singleton fixes
+//     the column outright, an inequality tightens lo or hi depending on
+//     the sign of a. Tightening can collapse a column to fixed, which
+//     can empty further rows, hence the fixpoint loop.
+//
+// Bound shrinking never cuts off an integer-feasible point that the row
+// admitted, so the reduction is also valid when the caller later imposes
+// integrality on a subset of the columns (use MapCols to translate the
+// integer set and FixedValue to recover removed columns).
 //
 // The returned status is Optimal when the reduced problem still needs to
 // be solved (possibly with zero columns), or Infeasible/Unbounded when
@@ -39,90 +69,166 @@ func Presolve(p *Problem) (*Presolved, Status) {
 		fixedVal:   make([]float64, n),
 		removedCol: make([]bool, n),
 	}
+	lo := append([]float64(nil), p.lo...)
+	hi := append([]float64(nil), p.hi...)
 	rhs := append([]float64(nil), p.rhs...)
-	entriesLeft := make([]int, m)
-
-	// Pass 1: classify columns.
-	for j := 0; j < n; j++ {
-		lo, hi := p.lo[j], p.hi[j]
-		switch {
-		case lo == hi:
-			pr.removedCol[j] = true
-			pr.fixedVal[j] = lo
-			if lo != 0 {
-				for _, e := range p.cols[j] {
-					rhs[e.row] -= e.val * lo
-				}
-			}
-		case len(p.cols[j]) == 0:
-			// Empty column: settled by its cost sign.
-			c := p.cost[j]
-			var v float64
-			switch {
-			case c > 0:
-				if math.IsInf(lo, -1) {
-					return nil, Unbounded
-				}
-				v = lo
-			case c < 0:
-				if math.IsInf(hi, 1) {
-					return nil, Unbounded
-				}
-				v = hi
-			default:
-				switch {
-				case !math.IsInf(lo, -1):
-					v = lo
-				case !math.IsInf(hi, 1):
-					v = hi
-				}
-			}
-			pr.removedCol[j] = true
-			pr.fixedVal[j] = v
-		default:
-			for _, e := range p.cols[j] {
-				entriesLeft[e.row]++
-			}
-		}
-	}
-	// Pass 2: empty rows.
+	dropRow := make([]bool, m)
 	const tol = 1e-9
-	keepRow := make([]bool, m)
-	for i := 0; i < m; i++ {
-		if entriesLeft[i] > 0 {
-			keepRow[i] = true
-			continue
+
+	fixCol := func(j int, v float64) {
+		pr.removedCol[j] = true
+		pr.fixedVal[j] = v
+		if v != 0 {
+			for _, e := range p.cols[j] {
+				rhs[e.row] -= e.val * v
+			}
 		}
-		switch p.sense[i] {
-		case LE:
-			if rhs[i] < -tol {
+		pr.Stats.ColsFixed++
+	}
+
+	entries := make([]int, m)
+	single := make([]int, m)
+	for {
+		pr.Stats.Rounds++
+		changed := false
+		// (a) fixed and empty columns.
+		for j := 0; j < n; j++ {
+			if pr.removedCol[j] {
+				continue
+			}
+			if hi[j] < lo[j]-tol {
 				return nil, Infeasible
 			}
-		case GE:
-			if rhs[i] > tol {
-				return nil, Infeasible
+			switch {
+			case hi[j]-lo[j] <= tol:
+				fixCol(j, lo[j])
+				changed = true
+			case len(p.cols[j]) == 0:
+				// Empty column: settled by its cost sign.
+				c := p.cost[j]
+				var v float64
+				switch {
+				case c > 0:
+					if math.IsInf(lo[j], -1) {
+						return nil, Unbounded
+					}
+					v = lo[j]
+				case c < 0:
+					if math.IsInf(hi[j], 1) {
+						return nil, Unbounded
+					}
+					v = hi[j]
+				default:
+					switch {
+					case !math.IsInf(lo[j], -1):
+						v = lo[j]
+					case !math.IsInf(hi[j], 1):
+						v = hi[j]
+					}
+				}
+				fixCol(j, v)
+				changed = true
 			}
-		case EQ:
-			if math.Abs(rhs[i]) > tol {
-				return nil, Infeasible
+		}
+		// (b) surviving entry counts per row.
+		for i := range entries {
+			entries[i] = 0
+		}
+		for j := 0; j < n; j++ {
+			if pr.removedCol[j] {
+				continue
 			}
+			for _, e := range p.cols[j] {
+				entries[e.row]++
+				single[e.row] = j
+			}
+		}
+		// (c) empty rows checked and dropped; singleton rows folded into
+		// the bounds of their only column and dropped.
+		for i := 0; i < m; i++ {
+			if dropRow[i] {
+				continue
+			}
+			switch entries[i] {
+			case 0:
+				switch p.sense[i] {
+				case LE:
+					if rhs[i] < -tol {
+						return nil, Infeasible
+					}
+				case GE:
+					if rhs[i] > tol {
+						return nil, Infeasible
+					}
+				case EQ:
+					if math.Abs(rhs[i]) > tol {
+						return nil, Infeasible
+					}
+				}
+				dropRow[i] = true
+			case 1:
+				j := single[i]
+				var a float64
+				for _, e := range p.cols[j] {
+					if e.row == i {
+						a = e.val
+						break
+					}
+				}
+				if math.Abs(a) < 1e-12 {
+					continue // numerically empty: leave it to the solver
+				}
+				v := rhs[i] / a
+				switch p.sense[i] {
+				case EQ:
+					if v < lo[j]-tol || v > hi[j]+tol {
+						return nil, Infeasible
+					}
+					lo[j], hi[j] = v, v
+				case LE:
+					if a > 0 {
+						if v < hi[j] {
+							hi[j] = v
+						}
+					} else if v > lo[j] {
+						lo[j] = v
+					}
+				case GE:
+					if a > 0 {
+						if v > lo[j] {
+							lo[j] = v
+						}
+					} else if v < hi[j] {
+						hi[j] = v
+					}
+				}
+				dropRow[i] = true
+				pr.folded = append(pr.folded, foldedRow{row: i, col: j, a: a})
+				pr.Stats.SingletonRows++
+				changed = true
+			}
+		}
+		if !changed {
+			break
 		}
 	}
-	// Build the reduced problem.
+	// Build the reduced problem over the surviving rows and columns, with
+	// the tightened bounds standing in for the folded singleton rows.
 	q := NewProblem()
 	newRow := make([]int, m)
 	for i := 0; i < m; i++ {
 		newRow[i] = -1
-		if keepRow[i] {
+		if !dropRow[i] {
 			newRow[i] = q.AddConstraint(p.sense[i], rhs[i])
 			pr.rowMap = append(pr.rowMap, i)
 		}
 	}
+	pr.Stats.RowsRemoved = m - len(pr.rowMap)
 	for j := 0; j < n; j++ {
 		if pr.removedCol[j] {
 			continue
 		}
-		col := q.AddVariable(p.lo[j], p.hi[j], p.cost[j], p.names[j])
+		col := q.AddVariable(lo[j], hi[j], p.cost[j], p.names[j])
 		pr.colMap = append(pr.colMap, j)
 		for _, e := range p.cols[j] {
 			if newRow[e.row] >= 0 {
@@ -134,9 +240,44 @@ func Presolve(p *Problem) (*Presolved, Status) {
 	return pr, Optimal
 }
 
+// MapCols translates original column indices into the reduced problem's
+// column space; removed columns map to -1. This is how a caller lifts an
+// integrality set (e.g. the binary x_it columns of a MIP) onto the
+// reduction before solving it.
+func (pr *Presolved) MapCols(cols []int) []int {
+	inv := make([]int, pr.origCols)
+	for j := range inv {
+		inv[j] = -1
+	}
+	for rj, oj := range pr.colMap {
+		inv[oj] = rj
+	}
+	out := make([]int, len(cols))
+	for k, j := range cols {
+		if j >= 0 && j < pr.origCols {
+			out[k] = inv[j]
+		} else {
+			out[k] = -1
+		}
+	}
+	return out
+}
+
+// FixedValue returns the presolved value of an original column and true
+// when presolve removed it, or (0, false) when the column survives in
+// the reduced problem.
+func (pr *Presolved) FixedValue(j int) (float64, bool) {
+	if j < 0 || j >= pr.origCols || !pr.removedCol[j] {
+		return 0, false
+	}
+	return pr.fixedVal[j], true
+}
+
 // Postsolve lifts a result of the reduced problem back to the original
-// space: removed columns take their presolved values, dropped rows get
-// zero duals, and the objective is recomputed over the original costs.
+// space: removed columns take their presolved values, eliminated rows get
+// zero duals (a folded singleton row's multiplier re-appears as a bound
+// dual of its column, not as a row dual), and the objective is recomputed
+// over the original costs.
 func (pr *Presolved) Postsolve(p *Problem, res *Result) (*Result, error) {
 	if res.Status != Optimal {
 		return res, nil
@@ -159,10 +300,64 @@ func (pr *Presolved) Postsolve(p *Problem, res *Result) (*Result, error) {
 	for ri, oi := range pr.rowMap {
 		out.Duals[oi] = res.Duals[ri]
 	}
+	pr.recoverFoldedDuals(p, out)
 	for j := 0; j < pr.origCols; j++ {
 		out.Objective += p.cost[j] * out.X[j]
 	}
 	return out, nil
+}
+
+// recoverFoldedDuals restores dual feasibility for columns whose binding
+// bound (or fixing) was manufactured from folded singleton rows: when
+// such a column sits strictly inside its original bounds with a nonzero
+// reduced cost, the multiplier belongs to a folded row (y = d/a). The
+// undo runs in reverse fold order, the classical postsolve LIFO: a fold
+// could only happen once every other column of its row was already
+// fixed, so assigning its dual perturbs only columns whose own undo
+// comes later in the reverse sweep. Assigned duals keep complementary
+// slackness (only rows tight at the lifted point absorb a multiplier)
+// and the right sign by construction — an active LE-fold bound yields
+// y <= 0, a GE fold y >= 0, an EQ fold is free.
+func (pr *Presolved) recoverFoldedDuals(p *Problem, out *Result) {
+	if len(pr.folded) == 0 {
+		return
+	}
+	const tol = 1e-7
+	act := make([]float64, pr.origRows)
+	for j := 0; j < pr.origCols; j++ {
+		if out.X[j] == 0 {
+			continue
+		}
+		for _, e := range p.cols[j] {
+			act[e.row] += e.val * out.X[j]
+		}
+	}
+	for k := len(pr.folded) - 1; k >= 0; k-- {
+		fr := pr.folded[k]
+		j := fr.col
+		d := p.cost[j]
+		for _, e := range p.cols[j] {
+			d -= out.Duals[e.row] * e.val
+		}
+		x := out.X[j]
+		atLo := x <= p.lo[j]+tol
+		atHi := x >= p.hi[j]-tol
+		switch {
+		case atLo && atHi,
+			atLo && d >= -tol,
+			atHi && d <= tol,
+			!atLo && !atHi && math.Abs(d) <= tol:
+			continue // already dual-feasible against the original bounds
+		}
+		if math.Abs(act[fr.row]-p.rhs[fr.row]) > tol {
+			continue // slack row: complementary slackness forces y = 0
+		}
+		y := d / fr.a
+		if (p.sense[fr.row] == LE && y > tol) || (p.sense[fr.row] == GE && y < -tol) {
+			continue
+		}
+		out.Duals[fr.row] = y
+	}
 }
 
 // SolvePresolved runs presolve, solves the reduction cold, and lifts the

@@ -9,7 +9,8 @@ import (
 )
 
 func TestPresolveFixedColumn(t *testing.T) {
-	// min x + y s.t. x + y >= 4, x fixed at 1 -> reduced: y >= 3.
+	// min x + y s.t. x + y >= 4, x fixed at 1 -> y >= 3, which the
+	// singleton-row fold turns into a bound: no rows survive.
 	p := NewProblem()
 	x := p.AddVariable(1, 1, 1, "x")
 	y := p.AddVariable(0, 10, 1, "y")
@@ -20,12 +21,21 @@ func TestPresolveFixedColumn(t *testing.T) {
 	if st != Optimal {
 		t.Fatalf("status = %v", st)
 	}
-	if pr.Reduced.NumVariables() != 1 || pr.Reduced.NumConstraints() != 1 {
+	if pr.Reduced.NumVariables() != 1 || pr.Reduced.NumConstraints() != 0 {
 		t.Fatalf("reduction wrong: %d cols, %d rows",
 			pr.Reduced.NumVariables(), pr.Reduced.NumConstraints())
 	}
-	if _, rhs := pr.Reduced.Row(0); rhs != 3 {
-		t.Fatalf("adjusted rhs = %v, want 3", rhs)
+	if lo, hi := pr.Reduced.Bounds(0); lo != 3 || hi != 10 {
+		t.Fatalf("tightened bounds = [%v, %v], want [3, 10]", lo, hi)
+	}
+	if pr.Stats.SingletonRows != 1 || pr.Stats.ColsFixed != 1 || pr.Stats.RowsRemoved != 1 {
+		t.Fatalf("stats = %+v", pr.Stats)
+	}
+	if mapped := pr.MapCols([]int{x, y}); mapped[0] != -1 || mapped[1] != 0 {
+		t.Fatalf("MapCols = %v", mapped)
+	}
+	if v, ok := pr.FixedValue(x); !ok || v != 1 {
+		t.Fatalf("FixedValue(x) = %v, %v", v, ok)
 	}
 	res, err := p.SolvePresolved(Options{})
 	if err != nil {

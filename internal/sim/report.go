@@ -36,7 +36,12 @@ type RunReport struct {
 	ILPSteps     int
 	ILPFallbacks int
 	ILPRetries   int
-	Failures     []StepFailure
+	// ILPCacheHits/ILPReusedIncumbents are the cross-step reuse stats:
+	// steps answered by the step cache without a solve, and steps whose
+	// incumbent came from the previous step's schedule.
+	ILPCacheHits        int
+	ILPReusedIncumbents int
+	Failures            []StepFailure
 }
 
 // Report summarizes the result. machineSize is the processor count used
@@ -60,6 +65,8 @@ func (r *Result) Report(machineSize int, policyOrder []string) *RunReport {
 	rr.ILPSteps = r.ILPSteps
 	rr.ILPFallbacks = r.ILPFallbacks
 	rr.ILPRetries = r.ILPRetries
+	rr.ILPCacheHits = r.ILPCacheHits
+	rr.ILPReusedIncumbents = r.ILPReusedIncumbents
 	rr.Failures = append(rr.Failures, r.Failures...)
 	for _, name := range policyOrder {
 		rr.PolicyUse = append(rr.PolicyUse, PolicyCount{Policy: name, Count: r.PolicyUse[name]})
@@ -87,6 +94,8 @@ func (rr *RunReport) String() string {
 		t.Row("ILP-driven steps", rr.ILPSteps)
 		t.Row("ILP retries", rr.ILPRetries)
 		t.Row("ILP fallbacks", rr.ILPFallbacks)
+		t.Row("ILP step-cache hits", rr.ILPCacheHits)
+		t.Row("ILP incumbents reused", rr.ILPReusedIncumbents)
 	}
 	out := t.String()
 	if len(rr.PolicyUse) > 0 {

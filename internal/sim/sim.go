@@ -146,6 +146,19 @@ type ILPConfig struct {
 	// "solve.fallback" trace event). When false such a step aborts the
 	// simulation — only sensible in experiments that must not degrade.
 	Fallback bool
+	// StepCacheOff disables the cross-step solution cache. By default
+	// every ILP-driven run carries a solvepipe.StepCache: steps whose
+	// relative instance fingerprint matches an already-solved one adopt
+	// the rebased cached schedule without building or solving a model.
+	// Only successful solves populate the cache (a fallback step cannot
+	// poison it), and each hit is re-validated against the live profile.
+	StepCacheOff bool
+	// StepCacheSize overrides the cache capacity (default 64 entries).
+	StepCacheSize int
+	// ReuseOff disables seeding each step's branch and bound with the
+	// previous step's compacted ILP schedule (on by default; the seed is
+	// only an incumbent candidate and never changes the proven optimum).
+	ReuseOff bool
 }
 
 // Reservation is an advance reservation: Width processors are promised to
@@ -216,6 +229,12 @@ type Result struct {
 	// (ILP-driven runs only); ILPFallbacks of them degraded to the
 	// basic-policy schedule and ILPRetries sums the retry rungs taken.
 	ILPSteps, ILPFallbacks, ILPRetries int
+	// ILPCacheHits counts the ILP steps answered by the cross-step
+	// solution cache without building or solving a model, and
+	// ILPReusedIncumbents the steps whose branch-and-bound incumbent came
+	// from the previous step's compacted schedule rather than the
+	// basic-policy seed.
+	ILPCacheHits, ILPReusedIncumbents int
 	// Failures holds the per-step failure provenance of the fallbacks.
 	Failures []StepFailure
 }
@@ -308,6 +327,10 @@ type Simulator struct {
 
 	result Result
 
+	// Cross-step reuse state (ILP-driven runs only).
+	stepCache *solvepipe.StepCache
+	lastILP   *schedule.Schedule // last successfully adopted ILP schedule
+
 	// Observability sinks (all nil-safe no-ops when disabled).
 	trace       *obs.Tracer
 	cSubmits    *obs.Counter
@@ -364,6 +387,9 @@ func New(t *job.Trace, s *dynp.Scheduler, cfg Config) (*Simulator, error) {
 		plan:      map[int]int64{},
 	}
 	sim.result.PolicyUse = map[string]int{}
+	if cfg.ILP != nil && !cfg.ILP.StepCacheOff && cfg.ILP.Pipe.Cache == nil {
+		sim.stepCache = solvepipe.NewStepCache(cfg.ILP.StepCacheSize)
+	}
 	sim.trace = cfg.Trace
 	if reg := cfg.Metrics; reg != nil {
 		depthBounds := []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}
@@ -552,14 +578,27 @@ func (s *Simulator) ilpSchedule(res *dynp.StepResult, waiting []*job.Job, base *
 	if pipe.Seed == nil {
 		pipe.Seed = res.Schedule
 	}
+	if pipe.Cache == nil {
+		pipe.Cache = s.stepCache
+	}
+	if pipe.ReuseSeed == nil && !s.cfg.ILP.ReuseOff {
+		pipe.ReuseSeed = s.reuseSeed(waiting)
+	}
 	out := solvepipe.Solve(s.ctx, pipe, inst)
 	s.result.ILPSteps++
 	s.result.ILPRetries += out.Retries()
+	if out.CacheHit {
+		s.result.ILPCacheHits++
+	}
+	if out.IncumbentReused {
+		s.result.ILPReusedIncumbents++
+	}
 	info := &ILPStepInfo{Outcome: out}
 	failKind, failErr := out.LastFailure(), out.Err
 	if !out.Failed() {
 		sch := out.Solution.Compacted
 		if verr := sch.Validate(base); verr == nil {
+			s.lastILP = sch
 			return sch, info, nil
 		} else {
 			// A solver bug, not an instance property: degrade like any
@@ -575,6 +614,7 @@ func (s *Simulator) ilpSchedule(res *dynp.StepResult, waiting []*job.Job, base *
 		return nil, nil, fmt.Errorf("sim: step at %d: solve pipeline failed: %w", s.clock, failErr)
 	}
 	info.Fallback = true
+	s.lastILP = nil // a degraded step's schedule must never seed reuse
 	s.result.ILPFallbacks++
 	s.cFallbacks.Inc()
 	s.result.Failures = append(s.result.Failures, StepFailure{
@@ -587,6 +627,54 @@ func (s *Simulator) ilpSchedule(res *dynp.StepResult, waiting []*job.Job, base *
 		obs.Int("attempts", int64(len(out.Attempts))),
 		obs.Str("policy", res.Chosen.Name()))
 	return res.Schedule, info, nil
+}
+
+// reuseSeed derives a second incumbent candidate from the last adopted
+// ILP schedule: its entries restricted to the jobs still waiting, with
+// jobs that arrived since appended behind them in submission order. Only
+// the relative order matters downstream (IncumbentFromSchedule and the
+// presolve upper-bound seeds list-schedule in start order), so the
+// appended entries just need starts that sort last.
+func (s *Simulator) reuseSeed(waiting []*job.Job) *schedule.Schedule {
+	if s.lastILP == nil || len(s.lastILP.Entries) == 0 {
+		return nil
+	}
+	waitingByID := make(map[int]bool, len(waiting))
+	for _, j := range waiting {
+		waitingByID[j.ID] = true
+	}
+	seed := &schedule.Schedule{Policy: "reuse", Now: s.clock, Machine: s.total}
+	kept := make(map[int]bool, len(s.lastILP.Entries))
+	maxStart := s.clock
+	for _, e := range s.lastILP.Entries {
+		if !waitingByID[e.Job.ID] {
+			continue // started or otherwise departed since
+		}
+		kept[e.Job.ID] = true
+		seed.Entries = append(seed.Entries, e)
+		if e.Start > maxStart {
+			maxStart = e.Start
+		}
+	}
+	if len(kept) == 0 {
+		return nil // nothing of the old plan survives
+	}
+	fresh := make([]*job.Job, 0, len(waiting)-len(kept))
+	for _, j := range waiting {
+		if !kept[j.ID] {
+			fresh = append(fresh, j)
+		}
+	}
+	sort.Slice(fresh, func(i, k int) bool {
+		if fresh[i].Submit != fresh[k].Submit {
+			return fresh[i].Submit < fresh[k].Submit
+		}
+		return fresh[i].ID < fresh[k].ID
+	})
+	for k, j := range fresh {
+		seed.Entries = append(seed.Entries, schedule.Entry{Job: j, Start: maxStart + int64(k) + 1})
+	}
+	return seed
 }
 
 // replan rebuilds the plan with the active policy, without self-tuning.

@@ -117,6 +117,15 @@ type Outcome struct {
 	Attempts []Attempt
 	// Err is the last rung's error when Solution is nil.
 	Err error
+	// CacheHit reports the solution was served from Config.Cache without
+	// building or solving a model.
+	CacheHit bool
+	// IncumbentReused reports that some rung seeded its incumbent from
+	// Config.ReuseSeed rather than Config.Seed.
+	IncumbentReused bool
+	// Presolve carries the winning rung's reduction stats (nil when
+	// presolve was off, the ladder failed, or the cache answered).
+	Presolve *ilpsched.PresolveStats
 }
 
 // Failed reports whether the pipeline produced no schedule.
@@ -168,6 +177,24 @@ type Config struct {
 	// Seed, if non-nil, warm-starts every rung's search with this
 	// feasible schedule (e.g. the best basic-policy schedule).
 	Seed *schedule.Schedule
+	// ReuseSeed, if non-nil, is a second incumbent candidate — typically
+	// the previous step's compacted ILP schedule restricted to the jobs
+	// still waiting. Per rung, the candidate with the lower grid
+	// objective seeds the search; when ReuseSeed wins, the
+	// "step.incumbent.reused" counter is bumped and the Outcome flagged.
+	ReuseSeed *schedule.Schedule
+	// PresolveOff disables the ilpsched presolve pass. Presolve is ON by
+	// default: each rung builds the reduced model via
+	// BuildPresolvedGuarded (with Seed and ReuseSeed as upper-bound
+	// schedules), which also means the size guard applies to the
+	// *reduced* model, so instances that presolve makes tractable are no
+	// longer rejected.
+	PresolveOff bool
+	// Cache, if non-nil, short-circuits steps whose fingerprint matches
+	// a previously solved one (see Fingerprint). Only successful
+	// pipeline outcomes are stored; failed or degraded steps never
+	// populate it.
+	Cache *StepCache
 	// Hook, if non-nil, wraps the base SolveFunc with middleware. This
 	// is the fault-injection seam used by internal/faultinject; it also
 	// admits caching or logging middleware.
@@ -224,6 +251,15 @@ func Classify(ctx context.Context, err error) FailureKind {
 // rung failure. The returned Outcome is non-nil even on total failure.
 func Solve(ctx context.Context, cfg Config, inst *ilpsched.Instance) *Outcome {
 	cfg = cfg.withDefaults()
+	var key uint64
+	if cfg.Cache != nil {
+		key = Fingerprint(inst)
+		if sol, scale := cfg.Cache.get(key, inst); sol != nil {
+			cfg.Metrics.Counter("step.cache.hits").Inc()
+			cfg.Trace.Emit("solve.cache.hit", obs.Int("scale", scale))
+			return &Outcome{Solution: sol, Scale: scale, CacheHit: true}
+		}
+	}
 	scale := cfg.FixedScale
 	if scale <= 0 {
 		scale = cfg.Scaling.TimeScale(inst)
@@ -233,18 +269,24 @@ func Solve(ctx context.Context, cfg Config, inst *ilpsched.Instance) *Outcome {
 	for rung := 0; ; rung++ {
 		att := Attempt{Scale: scale, Budget: budget}
 		start := time.Now()
-		sol, err := solveOnce(ctx, cfg, inst, scale, budget)
+		sol, rs, err := solveOnce(ctx, cfg, inst, scale, budget)
 		att.Elapsed = time.Since(start)
 		att.Err = err
 		att.Failure = Classify(ctx, err)
 		out.Attempts = append(out.Attempts, att)
+		if rs.incumbentReused {
+			out.IncumbentReused = true
+		}
 		cfg.Trace.Emit("solve.attempt",
 			obs.Int("rung", int64(rung)),
 			obs.Int("scale", scale),
 			obs.Int("budget_ms", budget.Milliseconds()),
 			obs.Str("failure", att.Failure.String()))
 		if err == nil {
-			out.Solution, out.Scale = sol, scale
+			out.Solution, out.Scale, out.Presolve = sol, scale, rs.presolve
+			if cfg.Cache != nil {
+				cfg.Cache.put(key, inst, scale, sol)
+			}
 			return out
 		}
 		if !att.Failure.Retryable() || rung >= cfg.Retries {
@@ -262,18 +304,43 @@ func Solve(ctx context.Context, cfg Config, inst *ilpsched.Instance) *Outcome {
 	}
 }
 
-// solveOnce runs one rung: guarded build, optional incumbent seeding,
-// then the (possibly hook-wrapped) solve under the rung budget, with
-// panic containment around the whole rung.
-func solveOnce(ctx context.Context, cfg Config, inst *ilpsched.Instance, scale int64, budget time.Duration) (sol *ilpsched.Solution, err error) {
+// rungStats carries per-rung provenance out of solveOnce.
+type rungStats struct {
+	presolve        *ilpsched.PresolveStats
+	incumbentReused bool
+}
+
+// solveOnce runs one rung: guarded build (presolved unless PresolveOff),
+// incumbent seeding from the better of Seed and ReuseSeed, then the
+// (possibly hook-wrapped) solve under the rung budget, with panic
+// containment around the whole rung.
+func solveOnce(ctx context.Context, cfg Config, inst *ilpsched.Instance, scale int64, budget time.Duration) (sol *ilpsched.Solution, rs rungStats, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			sol, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
-	m, err := ilpsched.BuildGuarded(inst, scale, cfg.Limit)
+	var m *ilpsched.Model
+	if cfg.PresolveOff {
+		m, err = ilpsched.BuildGuarded(inst, scale, cfg.Limit)
+	} else {
+		var seeds []*schedule.Schedule
+		if cfg.Seed != nil {
+			seeds = append(seeds, cfg.Seed)
+		}
+		if cfg.ReuseSeed != nil {
+			seeds = append(seeds, cfg.ReuseSeed)
+		}
+		var st *ilpsched.PresolveStats
+		m, st, err = ilpsched.BuildPresolvedGuarded(inst, scale, cfg.Limit, ilpsched.PresolveOptions{Seeds: seeds})
+		if err == nil {
+			rs.presolve = st
+			cfg.Metrics.Counter("presolve.vars.fixed").Add(int64(st.VarsRemoved()))
+			cfg.Metrics.Counter("presolve.rows.removed").Add(int64(st.RowsRemoved()))
+		}
+	}
 	if err != nil {
-		return nil, err
+		return nil, rs, err
 	}
 	opt := cfg.MIP
 	opt.TimeLimit = budget
@@ -286,10 +353,31 @@ func solveOnce(ctx context.Context, cfg Config, inst *ilpsched.Instance, scale i
 	if opt.Metrics == nil {
 		opt.Metrics = cfg.Metrics
 	}
-	if cfg.Seed != nil {
-		if inc, serr := m.IncumbentFromSchedule(cfg.Seed); serr == nil {
-			opt.Incumbent = inc
+	// Seed the search with the better of the two candidate incumbents.
+	var chosen []float64
+	bestObj := 0.0
+	for _, cand := range []struct {
+		s       *schedule.Schedule
+		isReuse bool
+	}{{cfg.Seed, false}, {cfg.ReuseSeed, true}} {
+		if cand.s == nil {
+			continue
 		}
+		inc, serr := m.IncumbentFromSchedule(cand.s)
+		if serr != nil {
+			continue
+		}
+		obj := m.ObjectiveOfVector(inc)
+		if chosen == nil || obj < bestObj {
+			chosen, bestObj = inc, obj
+			rs.incumbentReused = cand.isReuse
+		}
+	}
+	if chosen != nil {
+		opt.Incumbent = chosen
+	}
+	if rs.incumbentReused {
+		cfg.Metrics.Counter("step.incumbent.reused").Inc()
 	}
 	fn := SolveFunc(func(ctx context.Context, m *ilpsched.Model, opt mip.Options) (*ilpsched.Solution, error) {
 		return m.SolveCtx(ctx, opt)
@@ -297,7 +385,8 @@ func solveOnce(ctx context.Context, cfg Config, inst *ilpsched.Instance, scale i
 	if cfg.Hook != nil {
 		fn = cfg.Hook(fn)
 	}
-	return fn(ctx, m, opt)
+	sol, err = fn(ctx, m, opt)
+	return sol, rs, err
 }
 
 // nextScale coarsens the grid for the next rung: multiply by factor,

@@ -14,6 +14,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mip"
 	"repro/internal/obs"
+	"repro/internal/schedule"
 	"repro/internal/solvepipe"
 )
 
@@ -227,6 +228,49 @@ func TestCanceledContextNotRetried(t *testing.T) {
 	}
 	if !errors.Is(out.Err, mip.ErrCanceled) {
 		t.Fatalf("terminal error %v, want mip.ErrCanceled match", out.Err)
+	}
+}
+
+// When the previous step's schedule (ReuseSeed) is strictly better than
+// the basic-policy seed, it becomes the incumbent and the outcome and
+// "step.incumbent.reused" counter say so. On one processor the FCFS
+// order long-then-short costs 100 + 110 = 210 while short-then-long
+// costs 10 + 110 = 120, so the reuse seed must win; ties or worse go to
+// the policy seed.
+func TestReuseSeedBecomesIncumbentWhenBetter(t *testing.T) {
+	long := jb(1, 0, 1, 100)
+	short := jb(2, 0, 1, 10)
+	i := inst(1, 200, long, short)
+	fcfs := &schedule.Schedule{Now: 0, Machine: 1, Entries: []schedule.Entry{
+		{Job: long, Start: 0}, {Job: short, Start: 100},
+	}}
+	spt := &schedule.Schedule{Now: 0, Machine: 1, Entries: []schedule.Entry{
+		{Job: short, Start: 0}, {Job: long, Start: 10},
+	}}
+	reg := obs.NewRegistry()
+	c := cfg()
+	c.Seed = fcfs
+	c.ReuseSeed = spt
+	c.Metrics = reg
+	out := solvepipe.Solve(context.Background(), c, i)
+	if out.Failed() {
+		t.Fatalf("pipeline failed: %v", out.Err)
+	}
+	if !out.IncumbentReused {
+		t.Fatal("strictly better reuse seed was not chosen as incumbent")
+	}
+	if got := reg.Counter("step.incumbent.reused").Value(); got != 1 {
+		t.Fatalf("step.incumbent.reused = %d, want 1", got)
+	}
+	// With the seeds swapped the policy seed is already the better one
+	// (and wins ties by construction): no reuse.
+	c.Seed, c.ReuseSeed = spt, fcfs
+	out = solvepipe.Solve(context.Background(), c, i)
+	if out.Failed() {
+		t.Fatalf("pipeline failed: %v", out.Err)
+	}
+	if out.IncumbentReused {
+		t.Fatal("worse reuse seed reported as incumbent")
 	}
 }
 
