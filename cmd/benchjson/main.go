@@ -1,16 +1,23 @@
-// Command benchjson runs the repo's solver benchmarks in-process and
-// writes a machine-readable trajectory file (default BENCH_4.json): the
-// E3 self-tuning-step and E5 blow-up workloads, the ParallelBnB and
+// Command benchjson runs the repo's solver and serving benchmarks
+// in-process and writes a machine-readable trajectory file: the E3
+// self-tuning-step and E5 blow-up workloads, the ParallelBnB and
 // WarmStart micro-benchmarks, the presolve on/off solves of sampled
-// E1-style CTC steps (with the aggregate model-size reduction), and the
-// end-to-end ILP-driven simulation with cross-step reuse off and on.
-// The benchmark bodies live in internal/benchkit and are the same ones
+// E1-style CTC steps (with the aggregate model-size reduction), the
+// end-to-end ILP-driven simulation with cross-step reuse off and on,
+// and the schedd serving benchmark: an accelerated CTC replay through
+// the full HTTP service with submission batching off and on, measuring
+// submit-to-plan latency percentiles and replans per second. The
+// benchmark bodies live in internal/benchkit and are the same ones
 // `go test -bench` runs, so the JSON numbers and the -bench numbers are
 // directly comparable.
 //
+// The output path defaults to the next free BENCH_N.json in the
+// current directory, so successive runs never overwrite an earlier
+// trajectory; pin it with -out.
+//
 // Usage:
 //
-//	benchjson [-o BENCH_4.json] [-quick]
+//	benchjson [-out BENCH_5.json] [-quick] [-serving-jobs 10000]
 package main
 
 import (
@@ -18,11 +25,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
 
 	"repro/internal/benchkit"
+	"repro/internal/loadgen"
 )
 
 type benchResult struct {
@@ -55,6 +64,29 @@ type trajectory struct {
 	// Reuse is the cross-step reuse provenance of one instrumented
 	// ILP-driven CTC simulation.
 	Reuse *reuseStats `json:"cross_step_reuse,omitempty"`
+	// Serving is the schedd end-to-end serving benchmark.
+	Serving *servingStats `json:"serving,omitempty"`
+}
+
+// servingRun is one serving leg: the loadgen measurement plus the
+// batching mode that produced it.
+type servingRun struct {
+	Batching bool `json:"batching"`
+	*loadgen.Result
+}
+
+// servingStats compares accelerated CTC replay through the full HTTP
+// service with submission batching off (one replan per submission) and
+// on (up to 64 submissions coalesced per replan).
+type servingStats struct {
+	Jobs    int         `json:"jobs"`
+	Machine int         `json:"machine"`
+	Accel   float64     `json:"accel"`
+	Off     *servingRun `json:"batching_off"`
+	On      *servingRun `json:"batching_on"`
+	// ReplanReductionPct is how many of the batching-off replans the
+	// coalescing eliminated.
+	ReplanReductionPct float64 `json:"replan_reduction_pct"`
 }
 
 type presolveStats struct {
@@ -94,10 +126,31 @@ func run(name string, body func(b *testing.B)) benchResult {
 	}
 }
 
+// nextBenchPath returns BENCH_N.json for N one above the highest
+// already present, so successive runs extend the trajectory sequence
+// instead of filling old gaps or overwriting anything.
+func nextBenchPath() string {
+	matches, _ := filepath.Glob("BENCH_*.json")
+	max := 0
+	for _, m := range matches {
+		var n int
+		if _, err := fmt.Sscanf(filepath.Base(m), "BENCH_%d.json", &n); err == nil && n > max {
+			max = n
+		}
+	}
+	return fmt.Sprintf("BENCH_%d.json", max+1)
+}
+
 func main() {
-	out := flag.String("o", "BENCH_4.json", "output path for the benchmark trajectory JSON")
-	quick := flag.Bool("quick", false, "skip the E3 self-tuning-step benchmarks (solver micro-benchmarks only)")
+	out := flag.String("out", "", "output path for the benchmark trajectory JSON (default: next free BENCH_N.json)")
+	quick := flag.Bool("quick", false, "skip the E3 self-tuning-step benchmarks and shrink the serving replay")
+	servingJobs := flag.Int("serving-jobs", 10000, "submissions replayed per serving leg (0 disables the serving benchmark)")
+	servingAccel := flag.Float64("serving-accel", 100000, "trace-time compression of the serving replay")
+	flag.StringVar(out, "o", "", "alias for -out")
 	flag.Parse()
+	if *out == "" {
+		*out = nextBenchPath()
+	}
 
 	var results []benchResult
 	if !*quick {
@@ -152,6 +205,34 @@ func main() {
 		os.Exit(1)
 	}
 
+	var serving *servingStats
+	if *servingJobs > 0 {
+		jobs := *servingJobs
+		if *quick && jobs > 1000 {
+			jobs = 1000
+		}
+		leg := func(batching bool) *servingRun {
+			mode := "off"
+			if batching {
+				mode = "on"
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: serving replay (%d jobs, batching %s)...\n", jobs, mode)
+			res, _, err := benchkit.ServingBench(benchkit.ServingConfig{
+				Jobs: jobs, Accel: *servingAccel, Batching: batching,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: serving: %v\n", err)
+				os.Exit(1)
+			}
+			return &servingRun{Batching: batching, Result: res}
+		}
+		off, on := leg(false), leg(true)
+		serving = &servingStats{Jobs: jobs, Machine: 430, Accel: *servingAccel, Off: off, On: on}
+		if offTotal := off.Steps + off.Replans; offTotal > 0 {
+			serving.ReplanReductionPct = 100 * (1 - float64(on.Steps+on.Replans)/float64(offTotal))
+		}
+	}
+
 	traj := trajectory{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
@@ -174,6 +255,7 @@ func main() {
 			ILPSteps: ilpSteps, CacheHits: hits,
 			IncumbentReuses: reuses, Fallbacks: fallbacks,
 		},
+		Serving: serving,
 	}
 	if traj.GoMaxProcs == 1 {
 		traj.Note = "GOMAXPROCS=1: the branch-and-bound worker pool cannot run nodes " +

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/job"
@@ -20,13 +21,24 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "ctcgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ctcgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		n       = flag.Int("n", 1000, "number of jobs")
-		seed    = flag.Uint64("seed", 1, "generator seed")
-		out     = flag.String("o", "-", "output file (- for stdout)")
-		profile = flag.String("profile", "ctc", "workload profile: ctc, short, long, phased")
+		n       = fs.Int("n", 1000, "number of jobs")
+		seed    = fs.Uint64("seed", 1, "generator seed")
+		out     = fs.String("o", "-", "output file (- for stdout)")
+		profile = fs.String("profile", "ctc", "workload profile: ctc, short, long, phased")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var (
 		tr  *job.Trace
@@ -50,24 +62,22 @@ func main() {
 		err = fmt.Errorf("unknown profile %q", *profile)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ctcgen:", err)
-		os.Exit(1)
+		return err
 	}
 
-	w := os.Stdout
+	w := stdout
 	if *out != "-" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ctcgen:", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := swf.Write(w, tr); err != nil {
-		fmt.Fprintln(os.Stderr, "ctcgen:", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "ctcgen: wrote %d jobs (%d processors, mean interarrival %.0f s)\n",
+	fmt.Fprintf(stderr, "ctcgen: wrote %d jobs (%d processors, mean interarrival %.0f s)\n",
 		len(tr.Jobs), tr.Processors, tr.MeanInterarrival())
+	return nil
 }

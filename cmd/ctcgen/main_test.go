@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// The generator is a seeded deterministic pipeline, so the exact SWF
+// byte output is pinned: any unintended change to the workload
+// distributions, the SWF writer, or the generator's consumption order
+// of the random stream shows up as a golden diff.
+func TestGolden(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"ctc_n25_seed7", []string{"-n", "25", "-seed", "7"}},
+		{"phased_n30_seed3", []string{"-n", "30", "-seed", "3", "-profile", "phased"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if err := run(tc.args, &out, &errb); err != nil {
+				t.Fatalf("run(%v): %v (stderr: %s)", tc.args, err, errb.String())
+			}
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (rerun with -update to create)", err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("output differs from %s (rerun with -update after intended changes)\ngot %d bytes, want %d",
+					golden, out.Len(), len(want))
+			}
+		})
+	}
+}
+
+func TestRunRejectsUnknownProfile(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-profile", "nope"}, &out, &errb); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}

@@ -31,7 +31,6 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"net/http"
@@ -42,6 +41,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/dynp"
 	"repro/internal/ilpsched"
 	"repro/internal/job"
@@ -134,25 +134,11 @@ func main() {
 		fail(err)
 	}
 
-	var (
-		tracer *obs.Tracer
-		flush  func()
-	)
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fail(err)
-		}
-		bw := bufio.NewWriterSize(f, 1<<16)
-		tracer = obs.NewTracer(bw)
-		flush = func() {
-			if err := tracer.Err(); err != nil {
-				fmt.Fprintln(os.Stderr, "dynpsim: trace:", err)
-			}
-			bw.Flush()
-			f.Close()
-		}
+	tracer, flush, err := cliutil.OpenTracer("dynpsim", *traceOut)
+	if err != nil {
+		fail(err)
 	}
+	cliutil.ExitOnSignal(flush)
 	reg := obs.NewRegistry()
 
 	cfg := sim.Config{
@@ -190,9 +176,7 @@ func main() {
 		fail(err)
 	}
 	res, err := s.Run()
-	if flush != nil {
-		flush()
-	}
+	flush()
 	if err != nil {
 		fail(err)
 	}

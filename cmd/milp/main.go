@@ -19,7 +19,6 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"math"
@@ -28,6 +27,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/lp"
 	"repro/internal/mip"
 	"repro/internal/obs"
@@ -166,26 +166,12 @@ func main() {
 		Workers:     *workers,
 		LP:          lp.Options{MaxIters: *maxIter},
 	}
-	var (
-		tracer *obs.Tracer
-		flush  func()
-	)
-	if *traceOut != "" {
-		tf, err := os.Create(*traceOut)
-		if err != nil {
-			fail(err)
-		}
-		bw := bufio.NewWriterSize(tf, 1<<16)
-		tracer = obs.NewTracer(bw)
-		flush = func() {
-			if err := tracer.Err(); err != nil {
-				fmt.Fprintln(os.Stderr, "milp: trace:", err)
-			}
-			bw.Flush()
-			tf.Close()
-		}
-		opts.Trace = tracer
+	tracer, flush, err := cliutil.OpenTracer("milp", *traceOut)
+	if err != nil {
+		fail(err)
 	}
+	cliutil.ExitOnSignal(flush)
+	opts.Trace = tracer
 	reg := obs.NewRegistry()
 	opts.Metrics = reg
 	if *verbose {
@@ -199,9 +185,7 @@ func main() {
 		}
 	}
 	res, err := mip.Solve(solveP, solveInts, opts)
-	if flush != nil {
-		flush()
-	}
+	flush()
 	if err != nil {
 		fail(err)
 	}

@@ -30,7 +30,6 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -40,6 +39,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/ilpsched"
 	"repro/internal/job"
 	"repro/internal/machine"
@@ -182,26 +182,12 @@ func main() {
 	}
 
 	opts := mip.Options{MaxNodes: *nodes, TimeLimit: *timeLimit, Workers: *workers}
-	var (
-		tracer *obs.Tracer
-		flush  func()
-	)
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fail(err)
-		}
-		bw := bufio.NewWriterSize(f, 1<<16)
-		tracer = obs.NewTracer(bw)
-		flush = func() {
-			if err := tracer.Err(); err != nil {
-				fmt.Fprintln(os.Stderr, "optsched: trace:", err)
-			}
-			bw.Flush()
-			f.Close()
-		}
-		opts.Trace = tracer
+	tracer, flush, err := cliutil.OpenTracer("optsched", *traceOut)
+	if err != nil {
+		fail(err)
 	}
+	cliutil.ExitOnSignal(flush)
+	opts.Trace = tracer
 	reg := obs.NewRegistry()
 	opts.Metrics = reg
 	if *verbose {
@@ -222,9 +208,7 @@ func main() {
 		Trace:       tracer,
 		Metrics:     reg,
 	}, inst)
-	if flush != nil {
-		flush()
-	}
+	flush()
 	if len(out.Attempts) > 1 || out.Failed() {
 		at := table.New("rung", "scale[s]", "budget", "failure", "elapsed")
 		for i, a := range out.Attempts {

@@ -1,0 +1,202 @@
+// Command schedctl is the command-line client of the schedd daemon.
+//
+// Usage:
+//
+//	schedctl [-addr http://127.0.0.1:8080] <command> [flags]
+//
+//	schedctl submit -width 4 -estimate 3600 -runtime 1800 -source alice
+//	schedctl get 17
+//	schedctl schedule
+//	schedctl health
+//	schedctl metrics
+//	schedctl loadgen -synthetic 2000 -seed 1 -accel 2000 -sources 4
+//	schedctl loadgen -swf ctc.swf -jobs 10000 -accel 5000 -json
+//
+// submit/get/schedule/health/metrics are thin wrappers over the HTTP
+// API and print the server's JSON responses. loadgen replays a trace
+// (synthetic CTC-like or an SWF file prefix) through internal/loadgen
+// as an open-loop driver and reports throughput, submit and
+// submit-to-plan latency percentiles, backpressure counts, and replan
+// totals; -json emits the loadgen.Result for scripting.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/job"
+	"repro/internal/loadgen"
+	"repro/internal/schedd"
+	"repro/internal/swf"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "schedd base URL")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	base := strings.TrimRight(*addr, "/")
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "submit":
+		err = cmdSubmit(base, args)
+	case "get":
+		err = cmdGet(base, args)
+	case "schedule":
+		err = get(base + "/v1/schedule")
+	case "health":
+		err = get(base + "/v1/healthz")
+	case "metrics":
+		err = get(base + "/v1/metrics")
+	case "loadgen":
+		err = cmdLoadgen(base, args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: schedctl [-addr URL] <command> [flags]
+
+commands:
+  submit    submit a job (-width, -estimate, -runtime, -source)
+  get ID    show one job's state
+  schedule  show the current plan snapshot
+  health    show liveness and queue depth
+  metrics   dump the obs metric registry
+  loadgen   replay a workload and measure serving latency
+`)
+}
+
+func cmdSubmit(base string, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	width := fs.Int("width", 1, "requested processors")
+	estimate := fs.Int64("estimate", 3600, "estimated duration in seconds")
+	runtime := fs.Int64("runtime", 0, "actual runtime in seconds (0 = runs to its estimate)")
+	source := fs.String("source", "", "submission source label (rate-limiting key)")
+	fs.Parse(args)
+	body, _ := json.Marshal(schedd.SubmitJSON{
+		Width: *width, Estimate: *estimate, Runtime: *runtime, Source: *source,
+	})
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return printResponse(resp)
+}
+
+func cmdGet(base string, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: schedctl get <job-id>")
+	}
+	if _, err := strconv.Atoi(args[0]); err != nil {
+		return fmt.Errorf("bad job id %q", args[0])
+	}
+	return get(base + "/v1/jobs/" + args[0])
+}
+
+func get(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return printResponse(resp)
+}
+
+// printResponse copies the server's (already indented) JSON body to
+// stdout and converts non-2xx statuses into an error.
+func printResponse(resp *http.Response) error {
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(b)
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("%s", resp.Status)
+	}
+	return nil
+}
+
+func cmdLoadgen(base string, args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	swfPath := fs.String("swf", "", "SWF trace file (overrides -synthetic)")
+	synthetic := fs.Int("synthetic", 1000, "synthesize this many CTC-like jobs when no trace is given")
+	seed := fs.Uint64("seed", 1, "seed for synthetic workloads")
+	nJobs := fs.Int("jobs", 0, "replay only the first N jobs of the trace (0 = all)")
+	accel := fs.Float64("accel", 1000, "trace-time compression factor")
+	sources := fs.Int("sources", 4, "distinct source labels (round-robin)")
+	timeout := fs.Duration("wait-timeout", 60*time.Second, "bound on the wait for all accepted jobs to be planned")
+	asJSON := fs.Bool("json", false, "emit the result as JSON instead of the report")
+	fs.Parse(args)
+
+	tr, err := loadLoadgenTrace(*swfPath, *synthetic, *seed)
+	if err != nil {
+		return err
+	}
+	if *nJobs > 0 && *nJobs < len(tr.Jobs) {
+		tr.Jobs = tr.Jobs[:*nJobs]
+	}
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:     base,
+		Trace:       tr,
+		Accel:       *accel,
+		Sources:     *sources,
+		WaitTimeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+		return nil
+	}
+	fmt.Print(res.String())
+	if res.DroppedAccepted > 0 {
+		return fmt.Errorf("%d accepted jobs were never planned", res.DroppedAccepted)
+	}
+	return nil
+}
+
+func loadLoadgenTrace(path string, synthetic int, seed uint64) (*job.Trace, error) {
+	if path == "" {
+		return workload.Generate(workload.CTC(), synthetic, seed)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	res, err := swf.ParseWith(f, swf.Options{Lenient: true})
+	if err != nil {
+		return nil, err
+	}
+	if res.Skipped+res.Malformed > 0 {
+		fmt.Fprintf(os.Stderr, "schedctl: skipped %d unusable / %d malformed records\n",
+			res.Skipped, res.Malformed)
+	}
+	return res.Trace, nil
+}

@@ -1,0 +1,226 @@
+// Command schedd is the online scheduling daemon: it serves the
+// self-tuning dynP scheduler (and optionally the ILP solve pipeline)
+// behind an HTTP/JSON API on a 430-processor CTC-like machine by
+// default.
+//
+// Usage:
+//
+//	schedd -addr 127.0.0.1:8080
+//	schedd -addr 127.0.0.1:0 -accel 1000 -max-batch 64 -max-batch-delay 20ms
+//	schedd -ilp -solve-budget 2s -solve-retries 1 -trace schedd.jsonl
+//	schedd -rate 5 -burst 10 -queue-bound 512
+//	schedd -inject-faults 0.2 -inject-seed 7   # fault-injection drill
+//
+// The API (see internal/schedd):
+//
+//	POST /v1/jobs      submit {"width","estimate_s","runtime_s","source"}
+//	GET  /v1/jobs/{id} job state, planned start, plan latency
+//	GET  /v1/schedule  current plan snapshot (incl. degradation state)
+//	GET  /v1/healthz   liveness, queue depth, active policy
+//	GET  /v1/metrics   obs counter/histogram registry dump
+//
+// The daemon prints "schedd: listening on http://HOST:PORT" on stderr
+// once the socket is bound, so scripts can pass -addr 127.0.0.1:0 and
+// scrape the chosen port.
+//
+// On SIGINT/SIGTERM the daemon drains instead of dying: the replan loop
+// finishes its in-flight step, plans every already-admitted job (new
+// submissions get 503), persists the final schedule snapshot to
+// -final-schedule if set, flushes the -trace JSONL sink, and exits 0.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/dynp"
+	"repro/internal/faultinject"
+	"repro/internal/ilpsched"
+	"repro/internal/metrics"
+	"repro/internal/mip"
+	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/schedd"
+	"repro/internal/solvepipe"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		machineSz  = flag.Int("machine", 430, "machine size in processors")
+		metricName = flag.String("metric", "SLDwA", "self-tuning metric: ART, ARTwW, AWT, SLD, SLDwA, UTIL, CMAX")
+		deciderStr = flag.String("decider", "advanced", "decider: simple or advanced")
+		policiesCS = flag.String("policies", "FCFS,SJF,LJF", "comma-separated policy list")
+		accel      = flag.Float64("accel", 1, "virtual seconds per wall second (1 = live time)")
+		queueBound = flag.Int("queue-bound", 256, "submit queue bound; a full queue answers 429")
+		maxBatch   = flag.Int("max-batch", 64, "max submissions coalesced into one replan (1 = replan per submission)")
+		batchDelay = flag.Duration("max-batch-delay", 10*time.Millisecond, "how long a replan waits for more arrivals after the first")
+		rate       = flag.Float64("rate", 0, "per-source admission rate in submissions/s (0 = unlimited)")
+		burst      = flag.Int("burst", 4, "per-source burst size (with -rate)")
+		ilpDriven  = flag.Bool("ilp", false, "drive replans through the fault-tolerant ILP solve pipeline")
+		workers    = flag.Int("workers", 0, "parallel solve workers (0 = GOMAXPROCS; with -ilp)")
+		budget     = flag.Duration("solve-budget", 2*time.Second, "per-attempt solve budget of the retry ladder (with -ilp)")
+		retries    = flag.Int("solve-retries", 1, "extra retry-ladder attempts under a coarser grid (with -ilp)")
+		maxVars    = flag.Int("max-model-vars", 0, "refuse ILP models above this many variables (0 = unguarded; with -ilp)")
+		presolve   = flag.Bool("presolve", true, "reduce each step's ILP with the presolve pass (with -ilp)")
+		stepCache  = flag.Bool("step-cache", true, "answer repeated relative instances from the step cache (with -ilp)")
+		faultP     = flag.Float64("inject-faults", 0, "inject solve faults with this probability (with -ilp; testing)")
+		faultSeed  = flag.Uint64("inject-seed", 1, "fault-injection seed (with -inject-faults)")
+		traceOut   = flag.String("trace", "", "write a structured JSONL event trace to this file")
+		finalOut   = flag.String("final-schedule", "", "persist the final schedule snapshot as JSON on drain")
+		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for the drain to finish")
+	)
+	flag.Parse()
+
+	m, err := metrics.ByName(*metricName)
+	if err != nil {
+		fail(err)
+	}
+	var pols []policy.Policy
+	for _, name := range strings.Split(*policiesCS, ",") {
+		p, err := policy.ByName(strings.TrimSpace(name))
+		if err != nil {
+			fail(err)
+		}
+		pols = append(pols, p)
+	}
+	var dec dynp.Decider
+	switch *deciderStr {
+	case "simple":
+		dec = dynp.SimpleDecider{}
+	case "advanced":
+		dec = dynp.AdvancedDecider{}
+	default:
+		fail(fmt.Errorf("unknown decider %q", *deciderStr))
+	}
+	sched, err := dynp.New(pols, m, dec)
+	if err != nil {
+		fail(err)
+	}
+
+	tracer, flush, err := cliutil.OpenTracer("schedd", *traceOut)
+	if err != nil {
+		fail(err)
+	}
+	reg := obs.NewRegistry()
+
+	cfg := schedd.Config{
+		Machine:       *machineSz,
+		Scheduler:     sched,
+		Clock:         schedd.NewWallClock(*accel),
+		QueueBound:    *queueBound,
+		MaxBatch:      *maxBatch,
+		MaxBatchDelay: *batchDelay,
+		RatePerSource: *rate,
+		Burst:         *burst,
+		Trace:         tracer,
+		Metrics:       reg,
+	}
+	if *ilpDriven {
+		cfg.ILP = &schedd.ILPConfig{
+			Pipe: solvepipe.Config{
+				Budget:      *budget,
+				Retries:     *retries,
+				Limit:       ilpsched.SizeLimit{MaxVariables: *maxVars},
+				MIP:         mip.Options{MaxNodes: 200000, Workers: *workers},
+				PresolveOff: !*presolve,
+			},
+			StepCacheOff: !*stepCache,
+		}
+		if *faultP > 0 {
+			inj := faultinject.New(faultinject.NewProbability(*faultSeed, *faultP))
+			cfg.ILP.Pipe.Hook = inj.Hook
+			fmt.Fprintf(os.Stderr, "schedd: injecting solve faults with p=%.2f (seed %d)\n", *faultP, *faultSeed)
+		}
+	} else if *faultP > 0 {
+		fail(fmt.Errorf("-inject-faults requires -ilp (there is no solve pipeline to fault)"))
+	}
+
+	core, err := schedd.New(cfg)
+	if err != nil {
+		fail(err)
+	}
+	core.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	srv := &http.Server{Handler: schedd.NewHandler(core)}
+	fmt.Fprintf(os.Stderr, "schedd: listening on http://%s\n", ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+		}
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		flush()
+		fail(err)
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "schedd: %s received, draining\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	final, err := core.Stop(ctx)
+	if err != nil {
+		flush()
+		fail(fmt.Errorf("drain: %w", err))
+	}
+	if *finalOut != "" {
+		if err := writeFinalSchedule(*finalOut, final); err != nil {
+			flush()
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "schedd: wrote final schedule %s\n", *finalOut)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "schedd: http shutdown:", err)
+	}
+	flush()
+	c := final.Counts
+	fmt.Fprintf(os.Stderr,
+		"schedd: drained at t=%d: %d submitted, %d planned, %d started, %d completed; %d steps (%d degraded), %d replans, %d batches\n",
+		final.Now, c.Submitted, c.Planned, c.Started, c.Completed, c.Steps, c.DegradedSteps, c.Replans, c.Batches)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "schedd:", err)
+	os.Exit(1)
+}
+
+// writeFinalSchedule persists the drain snapshot, including the per-job
+// states the wire form of Snapshot omits.
+func writeFinalSchedule(path string, s *schedd.Snapshot) error {
+	jobs := make([]schedd.JobStatus, 0, len(s.Active))
+	for _, st := range s.Active {
+		jobs = append(jobs, st)
+	}
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].ID < jobs[b].ID })
+	out := struct {
+		*schedd.Snapshot
+		Jobs []schedd.JobStatus `json:"jobs"`
+	}{s, jobs}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// durRe matches Go duration strings (the compute-time column), the one
+// nondeterministic part of the table.
+var durRe = regexp.MustCompile(`(\d+h)?(\d+m)?\d+(\.\d+)?(ms|µs|ns|s)`)
+
+// normalize blanks out wall-clock durations and collapses the column
+// padding their varying widths cause.
+func normalize(s string) string {
+	s = durRe.ReplaceAllString(s, "DUR")
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		lines[i] = strings.Join(strings.Fields(l), " ")
+	}
+	return strings.Join(lines, "\n")
+}
+
+// The simulation, the sampled steps, and the serial (-workers 1)
+// branch-and-bound solves are deterministic for a pinned seed, so
+// everything except compute times is golden: problem sizes, time
+// scales, chosen policies, qualities, losses, and solver statuses.
+func TestGoldenTable1(t *testing.T) {
+	args := []string{
+		"-jobs", "100", "-seed", "7", "-sample", "4",
+		"-minjobs", "4", "-maxjobs", "8",
+		"-nodes", "200", "-workers", "1",
+	}
+	var out, errb bytes.Buffer
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("run(%v): %v (stderr: %s)", args, err, errb.String())
+	}
+	got := normalize(out.String())
+	golden := filepath.Join("testdata", "table1_n100_seed7.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (rerun with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("normalized output differs from %s (rerun with -update after intended changes)\n--- got ---\n%s\n--- want ---\n%s",
+			golden, got, want)
+	}
+}

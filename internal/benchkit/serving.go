@@ -1,0 +1,118 @@
+package benchkit
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/dynp"
+	"repro/internal/faultinject"
+	"repro/internal/loadgen"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/schedd"
+	"repro/internal/solvepipe"
+	"repro/internal/workload"
+)
+
+// ServingConfig parameterizes one serving benchmark leg: a full
+// in-process schedd service (core + HTTP API) driven by the loadgen
+// open-loop replayer over a synthetic CTC-like trace.
+type ServingConfig struct {
+	// Jobs is the number of submissions to replay (default 10000).
+	Jobs int
+	// Seed seeds the synthetic workload (default 1).
+	Seed uint64
+	// Accel compresses trace time (default 100000: CTC's mean 369 s
+	// interarrival becomes ~3.7 ms of wall time).
+	Accel float64
+	// Batching sets MaxBatch 64 with a 5 ms coalescing delay; off means
+	// MaxBatch 1, one replan per submission.
+	Batching bool
+	// FaultP, if > 0, drives replans through the ILP pipeline with
+	// injected solve faults at this probability (the degradation leg).
+	FaultP float64
+	// QueueBound overrides the submit queue bound (default: Jobs, so
+	// the benchmark measures replan throughput, not 429 churn).
+	QueueBound int
+}
+
+// ServingBench runs one serving leg and returns the loadgen measurement
+// plus the core's drain-time counters.
+func ServingBench(cfg ServingConfig) (*loadgen.Result, *schedd.Counters, error) {
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 10000
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Accel <= 0 {
+		cfg.Accel = 100000
+	}
+	if cfg.QueueBound <= 0 {
+		cfg.QueueBound = cfg.Jobs
+	}
+	tr, err := workload.Generate(workload.CTC(), cfg.Jobs, cfg.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	pols := []policy.Policy{policy.FCFS{}, policy.SJF{}, policy.LJF{}}
+	m, err := metrics.ByName("SLDwA")
+	if err != nil {
+		return nil, nil, err
+	}
+	sched, err := dynp.New(pols, m, dynp.AdvancedDecider{})
+	if err != nil {
+		return nil, nil, err
+	}
+	scfg := schedd.Config{
+		Machine:    tr.Processors,
+		Scheduler:  sched,
+		Clock:      schedd.NewWallClock(cfg.Accel),
+		QueueBound: cfg.QueueBound,
+		MaxBatch:   1,
+		Metrics:    obs.NewRegistry(),
+	}
+	if cfg.Batching {
+		scfg.MaxBatch = 64
+		scfg.MaxBatchDelay = 5 * time.Millisecond
+	}
+	if cfg.FaultP > 0 {
+		inj := faultinject.New(faultinject.NewProbability(cfg.Seed, cfg.FaultP))
+		scfg.ILP = &schedd.ILPConfig{
+			Pipe: solvepipe.Config{
+				Budget:  200 * time.Millisecond,
+				Retries: 1,
+				Hook:    inj.Hook,
+			},
+		}
+	}
+	core, err := schedd.New(scfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	core.Start()
+	srv := httptest.NewServer(schedd.NewHandler(core))
+	defer srv.Close()
+
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:     srv.URL,
+		Trace:       tr,
+		Accel:       cfg.Accel,
+		Sources:     8,
+		WaitTimeout: 5 * time.Minute,
+	})
+	stopCtx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	final, stopErr := core.Stop(stopCtx)
+	if err != nil {
+		return nil, nil, err
+	}
+	if stopErr != nil {
+		return nil, nil, fmt.Errorf("drain: %w", stopErr)
+	}
+	return res, &final.Counts, nil
+}

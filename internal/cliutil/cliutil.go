@@ -1,0 +1,70 @@
+// Package cliutil holds the small pieces the command-line binaries
+// share: opening a buffered JSONL event tracer and making sure it is
+// flushed on every exit path, including SIGINT/SIGTERM. Long
+// simulations and solver runs are exactly the processes users interrupt
+// with ^C, and a killed process with an unflushed bufio writer silently
+// truncates its trace — so each binary routes its cleanup through here
+// instead of hand-rolling the signal handling.
+package cliutil
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+
+	"repro/internal/obs"
+)
+
+// OpenTracer opens path for a buffered JSONL obs.Tracer. The returned
+// flush reports any tracer write error to stderr (prefixed with name),
+// flushes the buffer and closes the file; it is idempotent, so it can
+// be deferred and also handed to ExitOnSignal. An empty path returns a
+// nil tracer (the obs package treats nil as disabled) and a no-op
+// flush.
+func OpenTracer(name, path string) (*obs.Tracer, func(), error) {
+	if path == "" {
+		return nil, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	tracer := obs.NewTracer(bw)
+	var once sync.Once
+	flush := func() {
+		once.Do(func() {
+			if err := tracer.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: trace: %v\n", name, err)
+			}
+			if err := bw.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: trace flush: %v\n", name, err)
+			}
+			f.Close()
+		})
+	}
+	return tracer, flush, nil
+}
+
+// ExitOnSignal installs a SIGINT/SIGTERM handler that runs cleanup and
+// exits with the conventional 128+signal status. Binaries with their
+// own shutdown sequence (the schedd daemon drains instead of exiting)
+// should handle signals themselves and only share the flush func.
+func ExitOnSignal(cleanup func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-ch
+		if cleanup != nil {
+			cleanup()
+		}
+		code := 128 + 2 // SIGINT
+		if sig == syscall.SIGTERM {
+			code = 128 + 15
+		}
+		os.Exit(code)
+	}()
+}

@@ -1,0 +1,340 @@
+// Package loadgen is the open-loop workload driver of the scheduling
+// service (internal/schedd): it replays a job trace against the HTTP
+// API at a configurable acceleration factor — submission i fires at
+// wall time (submit_i - submit_0) / Accel after the start, regardless
+// of how fast the service answers, which is what makes the load open
+// loop — and measures what serving actually feels like: submit HTTP
+// round-trip latency, server-side submit-to-plan latency percentiles,
+// throughput, 429 backpressure counts, and the replan/batch totals
+// scraped from /v1/metrics.
+//
+// Traces come from internal/swf (real or ctcgen-written files) or
+// internal/workload (synthetic CTC-like Poisson arrivals), so the same
+// driver exercises live-shaped traffic and accelerated archive replay.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/job"
+	"repro/internal/schedd"
+)
+
+// Config parameterizes a load-generation run.
+type Config struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Trace supplies the arrival process: submission times (compressed
+	// by Accel), widths, estimates and runtimes.
+	Trace *job.Trace
+	// Accel compresses trace time: a gap of Accel virtual seconds
+	// between submissions becomes one wall second (default 1000).
+	Accel float64
+	// Sources is the number of distinct source labels assigned
+	// round-robin, exercising per-source rate limiting (default 4).
+	Sources int
+	// Client is the HTTP client (default: http.Client with a 10s
+	// timeout and a transport sized for the fan-out).
+	Client *http.Client
+	// WaitTimeout bounds the post-submission wait for every accepted
+	// job to be planned (default 60s).
+	WaitTimeout time.Duration
+	// StatusWorkers fetches per-job statuses at the end (default 8).
+	StatusWorkers int
+}
+
+// Percentiles summarizes a latency distribution in milliseconds.
+type Percentiles struct {
+	P50 float64 `json:"p50_ms"`
+	P90 float64 `json:"p90_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+// percentiles computes the summary of a sample set (nearest-rank).
+func percentiles(samples []float64) Percentiles {
+	if len(samples) == 0 {
+		return Percentiles{}
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	rank := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(s)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(s) {
+			i = len(s) - 1
+		}
+		return s[i]
+	}
+	return Percentiles{P50: rank(0.50), P90: rank(0.90), P99: rank(0.99), Max: s[len(s)-1]}
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Submitted is the number of submissions fired; Accepted of them
+	// were admitted (202), Rejected429 hit backpressure (queue full or
+	// rate limit), RejectedOther covers every other HTTP rejection and
+	// TransportErrors failed before an HTTP status was received.
+	Submitted       int `json:"submitted"`
+	Accepted        int `json:"accepted"`
+	Rejected429     int `json:"rejected_429"`
+	RejectedOther   int `json:"rejected_other"`
+	TransportErrors int `json:"transport_errors"`
+	// WallSeconds is the submission phase duration; ThroughputRPS is
+	// Submitted / WallSeconds.
+	WallSeconds   float64 `json:"wall_seconds"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// SubmitLatency is the client-observed HTTP round trip of accepted
+	// submissions; PlanLatency is the server-recorded admission-to-plan
+	// latency of the same jobs.
+	SubmitLatency Percentiles `json:"submit_latency"`
+	PlanLatency   Percentiles `json:"plan_latency"`
+	// Planned (from /v1/metrics) must equal Accepted after drain:
+	// DroppedAccepted = Accepted - Planned is the service's data-loss
+	// count and should always be zero.
+	Planned         int64 `json:"planned"`
+	DroppedAccepted int64 `json:"dropped_accepted"`
+	// Replan provenance scraped from /v1/metrics.
+	Steps         int64 `json:"steps"`
+	Replans       int64 `json:"replans"`
+	Batches       int64 `json:"batches"`
+	DegradedSteps int64 `json:"degraded_steps"`
+	// ReplansPerSec is (Steps + Replans) / WallSeconds.
+	ReplansPerSec float64 `json:"replans_per_sec"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.Accel <= 0 {
+		c.Accel = 1000
+	}
+	if c.Sources < 1 {
+		c.Sources = 4
+	}
+	if c.WaitTimeout <= 0 {
+		c.WaitTimeout = 60 * time.Second
+	}
+	if c.StatusWorkers < 1 {
+		c.StatusWorkers = 8
+	}
+	if c.Client == nil {
+		tr := &http.Transport{MaxIdleConns: 128, MaxIdleConnsPerHost: 128}
+		c.Client = &http.Client{Timeout: 10 * time.Second, Transport: tr}
+	}
+	return c
+}
+
+// Run replays the trace against the service. It returns once every
+// accepted job is planned (or WaitTimeout expires) with the measured
+// result; the error is non-nil only for setup-level failures (bad
+// config, unreachable metrics endpoint), not per-request ones.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: no BaseURL")
+	}
+	if cfg.Trace == nil || len(cfg.Trace.Jobs) == 0 {
+		return nil, fmt.Errorf("loadgen: empty trace")
+	}
+	jobs := cfg.Trace.Jobs
+	submit0 := jobs[0].Submit
+
+	var (
+		mu          sync.Mutex
+		res         Result
+		submitLatMs []float64
+		acceptedIDs []int
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j *job.Job) {
+			defer wg.Done()
+			due := start.Add(time.Duration(float64(j.Submit-submit0) / cfg.Accel * float64(time.Second)))
+			if d := time.Until(due); d > 0 {
+				t := time.NewTimer(d)
+				defer t.Stop()
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					return
+				}
+			}
+			body, _ := json.Marshal(schedd.SubmitJSON{
+				Width:    j.Width,
+				Estimate: j.Estimate,
+				Runtime:  j.Runtime,
+				Source:   fmt.Sprintf("src-%d", i%cfg.Sources),
+			})
+			t0 := time.Now()
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+				cfg.BaseURL+"/v1/jobs", bytes.NewReader(body))
+			if err != nil {
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := cfg.Client.Do(req)
+			rtt := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			res.Submitted++
+			if err != nil {
+				res.TransportErrors++
+				return
+			}
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				var sr schedd.SubmitResponse
+				if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+					res.TransportErrors++
+					return
+				}
+				res.Accepted++
+				acceptedIDs = append(acceptedIDs, sr.ID)
+				submitLatMs = append(submitLatMs, float64(rtt)/float64(time.Millisecond))
+			case http.StatusTooManyRequests:
+				res.Rejected429++
+				io.Copy(io.Discard, resp.Body)
+			default:
+				res.RejectedOther++
+				io.Copy(io.Discard, resp.Body)
+			}
+		}(i, j)
+	}
+	wg.Wait()
+	res.WallSeconds = time.Since(start).Seconds()
+	if res.WallSeconds > 0 {
+		res.ThroughputRPS = float64(res.Submitted) / res.WallSeconds
+	}
+	res.SubmitLatency = percentiles(submitLatMs)
+
+	// Wait until the service has planned every accepted job.
+	deadline := time.Now().Add(cfg.WaitTimeout)
+	for {
+		m, err := ScrapeMetrics(ctx, cfg.Client, cfg.BaseURL)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: metrics scrape: %w", err)
+		}
+		res.Planned = m["schedd.jobs.planned"]
+		res.Steps = m["schedd.steps"]
+		res.Replans = m["schedd.replans"]
+		res.Batches = m["schedd.batches"]
+		res.DegradedSteps = m["schedd.degraded.steps"]
+		if res.Planned >= int64(res.Accepted) || time.Now().After(deadline) || ctx.Err() != nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	res.DroppedAccepted = int64(res.Accepted) - res.Planned
+	if res.DroppedAccepted < 0 {
+		res.DroppedAccepted = 0
+	}
+	if res.WallSeconds > 0 {
+		res.ReplansPerSec = float64(res.Steps+res.Replans) / res.WallSeconds
+	}
+
+	// Collect server-side plan latencies per accepted job.
+	planLat := make([]float64, 0, len(acceptedIDs))
+	idCh := make(chan int, len(acceptedIDs))
+	for _, id := range acceptedIDs {
+		idCh <- id
+	}
+	close(idCh)
+	var pwg sync.WaitGroup
+	var pmu sync.Mutex
+	for w := 0; w < cfg.StatusWorkers; w++ {
+		pwg.Add(1)
+		go func() {
+			defer pwg.Done()
+			for id := range idCh {
+				st, err := FetchJob(ctx, cfg.Client, cfg.BaseURL, id)
+				if err != nil || st.PlanLatencyMs < 0 {
+					continue
+				}
+				pmu.Lock()
+				planLat = append(planLat, st.PlanLatencyMs)
+				pmu.Unlock()
+			}
+		}()
+	}
+	pwg.Wait()
+	res.PlanLatency = percentiles(planLat)
+	return &res, nil
+}
+
+// ScrapeMetrics fetches /v1/metrics and returns counter and histogram
+// sample counts by name.
+func ScrapeMetrics(ctx context.Context, client *http.Client, baseURL string) (map[string]int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/metrics: %s", resp.Status)
+	}
+	var ms []schedd.MetricJSON
+	if err := json.NewDecoder(resp.Body).Decode(&ms); err != nil {
+		return nil, err
+	}
+	out := make(map[string]int64, len(ms))
+	for _, m := range ms {
+		out[m.Name] = m.Value
+	}
+	return out, nil
+}
+
+// FetchJob fetches one job's status.
+func FetchJob(ctx context.Context, client *http.Client, baseURL string, id int) (*schedd.JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/jobs/%d", baseURL, id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/jobs/%d: %s", id, resp.Status)
+	}
+	var st schedd.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// String renders the result as a human-readable report.
+func (r *Result) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "submissions     %d (accepted %d, 429 %d, other %d, transport %d)\n",
+		r.Submitted, r.Accepted, r.Rejected429, r.RejectedOther, r.TransportErrors)
+	fmt.Fprintf(&b, "wall time       %.2fs (%.1f submissions/s)\n", r.WallSeconds, r.ThroughputRPS)
+	fmt.Fprintf(&b, "submit latency  p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n",
+		r.SubmitLatency.P50, r.SubmitLatency.P90, r.SubmitLatency.P99, r.SubmitLatency.Max)
+	fmt.Fprintf(&b, "plan latency    p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n",
+		r.PlanLatency.P50, r.PlanLatency.P90, r.PlanLatency.P99, r.PlanLatency.Max)
+	fmt.Fprintf(&b, "planned         %d of %d accepted (dropped %d)\n",
+		r.Planned, r.Accepted, r.DroppedAccepted)
+	fmt.Fprintf(&b, "replans         %d steps + %d completion replans in %d batches (%.1f/s, %d degraded)\n",
+		r.Steps, r.Replans, r.Batches, r.ReplansPerSec, r.DegradedSteps)
+	return b.String()
+}

@@ -1,0 +1,1003 @@
+// Package schedd is the online scheduling service core of the
+// reproduction: it wraps the self-tuning dynP step (internal/dynp) and
+// the fault-tolerant ILP solve pipeline (internal/solvepipe) behind a
+// submission API, turning the batch simulator's replan-per-event loop
+// into a production-shaped serving loop.
+//
+// The design is a single-writer replan loop with lock-free read
+// snapshots: exactly one goroutine mutates scheduler state (the paper's
+// planning-based RMS is inherently serial — every plan is a function of
+// the full queue), while query traffic reads an immutable *Snapshot
+// published through an atomic pointer. Around that loop sit the serving
+// concerns the batch CLIs never needed:
+//
+//   - submission batching: a burst of arrivals is coalesced into ONE
+//     self-tuning step (bounded by MaxBatch and MaxBatchDelay) instead
+//     of replanning per job;
+//   - admission control: a bounded submit queue (ErrQueueFull maps to
+//     HTTP 429 + Retry-After) and per-source token-bucket rate limiting;
+//   - graceful drain: Stop finishes the in-flight replan, plans every
+//     already-admitted submission, and publishes a final snapshot, so
+//     an accepted job is never dropped;
+//   - degradation surfacing: when the ILP pipeline exhausts its retry
+//     ladder the step falls back to the basic-policy schedule and the
+//     API reports degraded=true with the failure reason.
+//
+// Time is virtual (trace seconds) via the Clock abstraction, so the
+// same core serves live traffic (wall clock) and accelerated trace
+// replay (internal/loadgen).
+package schedd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dynp"
+	"repro/internal/ilpsched"
+	"repro/internal/job"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/schedule"
+	"repro/internal/solvepipe"
+)
+
+// Admission errors. The HTTP layer maps ErrQueueFull and
+// *RateLimitedError to 429 with a Retry-After hint, ErrDraining to 503.
+var (
+	ErrQueueFull = errors.New("schedd: submit queue full")
+	ErrDraining  = errors.New("schedd: draining, not accepting submissions")
+	ErrStopped   = errors.New("schedd: service stopped")
+)
+
+// RateLimitedError reports a per-source rate-limit rejection.
+type RateLimitedError struct {
+	Source     string
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitedError) Error() string {
+	return fmt.Sprintf("schedd: source %q rate limited (retry after %v)", e.Source, e.RetryAfter)
+}
+
+// ValidationError reports a malformed submission (HTTP 400).
+type ValidationError struct{ Reason string }
+
+func (e *ValidationError) Error() string { return "schedd: invalid submission: " + e.Reason }
+
+// JobState is the lifecycle of a served job.
+type JobState string
+
+const (
+	// StateQueued: admitted, waiting for the next self-tuning step.
+	StateQueued JobState = "queued"
+	// StateWaiting: planned with a future start time.
+	StateWaiting JobState = "waiting"
+	// StateRunning: started; End is the projected completion.
+	StateRunning JobState = "running"
+	// StateDone: completed.
+	StateDone JobState = "done"
+)
+
+// SubmitRequest is one job submission.
+type SubmitRequest struct {
+	// Width is the requested processor count (1..machine size).
+	Width int
+	// Estimate is the user-supplied estimated duration in seconds.
+	Estimate int64
+	// Runtime is the actual duration for self-executing (replay) mode;
+	// zero defaults to Estimate. Must not exceed Estimate.
+	Runtime int64
+	// Source identifies the submitter for rate limiting ("" = anonymous).
+	Source string
+}
+
+// SubmitResponse acknowledges an admitted job.
+type SubmitResponse struct {
+	ID    int      `json:"id"`
+	State JobState `json:"state"`
+	Now   int64    `json:"now"`
+}
+
+// JobStatus is the queryable state of one job.
+type JobStatus struct {
+	ID           int      `json:"id"`
+	State        JobState `json:"state"`
+	Width        int      `json:"width"`
+	Estimate     int64    `json:"estimate_s"`
+	Submit       int64    `json:"submit"`
+	PlannedStart int64    `json:"planned_start"` // -1 until planned
+	Start        int64    `json:"start"`         // -1 until started
+	End          int64    `json:"end"`           // -1 until done (running: projection)
+	// PlanLatencyMs is the wall-clock time from admission to the first
+	// adopted plan containing the job (-1 until planned).
+	PlanLatencyMs float64 `json:"plan_latency_ms"`
+	// Degraded reports that the step that (last) planned the job fell
+	// back to the basic-policy schedule.
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// PlannedEntry is one row of the published schedule.
+type PlannedEntry struct {
+	JobID    int   `json:"id"`
+	Width    int   `json:"width"`
+	Start    int64 `json:"start"`
+	Estimate int64 `json:"estimate_s"`
+}
+
+// Counters are the snapshot's monotone totals.
+type Counters struct {
+	Submitted     int64 `json:"submitted"`
+	Planned       int64 `json:"planned"`
+	Started       int64 `json:"started"`
+	Completed     int64 `json:"completed"`
+	Steps         int64 `json:"steps"`
+	Replans       int64 `json:"replans"`
+	Batches       int64 `json:"batches"`
+	BatchedJobs   int64 `json:"batched_jobs"`
+	DegradedSteps int64 `json:"degraded_steps"`
+}
+
+// Snapshot is an immutable view of the service, published by the
+// writer loop after every state change and read lock-free by query
+// traffic. Jobs that are admitted but not yet planned, and jobs that
+// already completed, are tracked separately (see Core.Job).
+type Snapshot struct {
+	// Now is the virtual time of publication.
+	Now int64 `json:"now"`
+	// Version increments with every published snapshot.
+	Version int64 `json:"version"`
+	// Draining reports the service no longer accepts submissions.
+	Draining bool `json:"draining"`
+	// Active holds every planned-but-not-completed job by ID.
+	Active map[int]JobStatus `json:"-"`
+	// Schedule is the current plan: waiting jobs by (start, ID).
+	Schedule []PlannedEntry `json:"schedule"`
+	// Degraded reports the most recent self-tuning step fell back to
+	// the basic-policy schedule; Reason classifies why.
+	Degraded       bool   `json:"degraded"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	// Policy is the currently active dynP policy.
+	Policy string `json:"policy"`
+	// Counts are the monotone service totals.
+	Counts Counters `json:"counts"`
+}
+
+// ILPConfig enables ILP-driven steps: every self-tuning step is solved
+// through the solvepipe retry ladder and the compacted optimal schedule
+// replaces the basic-policy one. Unlike sim.ILPConfig there is no
+// abort-on-failure mode: a serving process always degrades gracefully.
+type ILPConfig struct {
+	// Pipe parameterizes the retry ladder; Trace/Metrics/Seed/Cache
+	// default per step like in the simulator.
+	Pipe solvepipe.Config
+	// StepCacheOff disables the cross-step solution cache.
+	StepCacheOff bool
+	// StepCacheSize overrides the cache capacity (default 64).
+	StepCacheSize int
+	// ReuseOff disables seeding from the previous step's ILP schedule.
+	ReuseOff bool
+}
+
+// Config parameterizes the service core.
+type Config struct {
+	// Machine is the processor count (required).
+	Machine int
+	// Scheduler is the self-tuning dynP scheduler (required). The core
+	// is its only user once Start is called.
+	Scheduler *dynp.Scheduler
+	// Clock drives virtual time; nil defaults to NewWallClock(1).
+	Clock Clock
+	// QueueBound caps the submit queue (default 256). A full queue
+	// rejects with ErrQueueFull.
+	QueueBound int
+	// MaxBatch caps how many arrivals one self-tuning step coalesces
+	// (default 64). 1 replans per submission (batching off).
+	MaxBatch int
+	// MaxBatchDelay is how long the writer waits for more arrivals
+	// after the first of a batch. Zero coalesces only submissions that
+	// are already queued (no added latency).
+	MaxBatchDelay time.Duration
+	// RatePerSource, if > 0, enforces a per-source token bucket of this
+	// many submissions per wall second with the given Burst (default 1).
+	RatePerSource float64
+	Burst         int
+	// ILP, if non-nil, drives steps through the solve pipeline.
+	ILP *ILPConfig
+	// Trace and Metrics are the observability sinks (nil-safe).
+	Trace   *obs.Tracer
+	Metrics *obs.Registry
+}
+
+// submission travels from the admission path to the writer loop.
+type submission struct {
+	job       *job.Job
+	source    string
+	admitWall time.Time
+}
+
+// rec is the writer-side record of an active job.
+type rec struct {
+	job          *job.Job
+	admitWall    time.Time
+	planned      bool
+	planLatency  time.Duration
+	plannedStart int64
+	start        int64
+	degraded     bool
+}
+
+// Core is the scheduling service. Create with New, then Start; submit
+// with Submit; stop with Stop.
+type Core struct {
+	cfg     Config
+	clock   Clock
+	total   int
+	limiter *rateLimiter
+
+	submitCh chan *submission
+	drainCh  chan chan *Snapshot
+	loopDone chan struct{}
+
+	gate     sync.RWMutex // serializes Submit sends against drain
+	draining bool
+	started  atomic.Bool
+	stopOnce sync.Once
+	final    *Snapshot
+	stopErr  error
+
+	nextID   atomic.Int64
+	accepted atomic.Int64
+	pending  sync.Map // id -> JobStatus, admitted but not yet planned
+	done     sync.Map // id -> JobStatus, completed (write-once)
+	snap     atomic.Pointer[Snapshot]
+
+	// Writer-loop state (owned by run()).
+	vnow      int64
+	waiting   map[int]*job.Job
+	recs      map[int]*rec
+	running   map[int]*rec
+	plan      map[int]int64
+	stepCache *solvepipe.StepCache
+	lastILP   *schedule.Schedule
+	version   int64
+	counts    Counters
+	degraded  bool
+	degReason string
+	// newlyPlanned defers pending-map deletion until the snapshot that
+	// carries the job is published, so a concurrent Job() lookup never
+	// falls into the gap between the two.
+	newlyPlanned []int
+
+	// Observability instruments (nil-safe).
+	trace        *obs.Tracer
+	cSubmits     *obs.Counter
+	cRejectFull  *obs.Counter
+	cRejectRate  *obs.Counter
+	cRejectDrain *obs.Counter
+	cSteps       *obs.Counter
+	cReplans     *obs.Counter
+	cBatches     *obs.Counter
+	cPlanned     *obs.Counter
+	cStarts      *obs.Counter
+	cEnds        *obs.Counter
+	cDegraded    *obs.Counter
+	hBatchSize   *obs.Histogram
+	hQueueDepth  *obs.Histogram
+	hPlanLatency *obs.Histogram
+}
+
+// New validates the configuration and creates a stopped core.
+func New(cfg Config) (*Core, error) {
+	if cfg.Machine < 1 {
+		return nil, fmt.Errorf("schedd: machine size %d < 1", cfg.Machine)
+	}
+	if cfg.Scheduler == nil {
+		return nil, errors.New("schedd: nil scheduler")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = NewWallClock(1)
+	}
+	if cfg.QueueBound < 1 {
+		cfg.QueueBound = 256
+	}
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 64
+	}
+	c := &Core{
+		cfg:      cfg,
+		clock:    cfg.Clock,
+		total:    cfg.Machine,
+		limiter:  newRateLimiter(cfg.RatePerSource, cfg.Burst),
+		submitCh: make(chan *submission, cfg.QueueBound),
+		drainCh:  make(chan chan *Snapshot),
+		loopDone: make(chan struct{}),
+		waiting:  map[int]*job.Job{},
+		recs:     map[int]*rec{},
+		running:  map[int]*rec{},
+		plan:     map[int]int64{},
+	}
+	if cfg.ILP != nil && !cfg.ILP.StepCacheOff && cfg.ILP.Pipe.Cache == nil {
+		c.stepCache = solvepipe.NewStepCache(cfg.ILP.StepCacheSize)
+	}
+	c.trace = cfg.Trace
+	if reg := cfg.Metrics; reg != nil {
+		depthBounds := []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}
+		latBounds := []float64{0.5, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 5000}
+		c.cSubmits = reg.Counter("schedd.submits")
+		c.cRejectFull = reg.Counter("schedd.rejects.queue_full")
+		c.cRejectRate = reg.Counter("schedd.rejects.rate_limited")
+		c.cRejectDrain = reg.Counter("schedd.rejects.draining")
+		c.cSteps = reg.Counter("schedd.steps")
+		c.cReplans = reg.Counter("schedd.replans")
+		c.cBatches = reg.Counter("schedd.batches")
+		c.cPlanned = reg.Counter("schedd.jobs.planned")
+		c.cStarts = reg.Counter("schedd.starts")
+		c.cEnds = reg.Counter("schedd.completions")
+		c.cDegraded = reg.Counter("schedd.degraded.steps")
+		c.hBatchSize = reg.Histogram("schedd.batch.size", depthBounds)
+		c.hQueueDepth = reg.Histogram("schedd.queue_depth", depthBounds)
+		c.hPlanLatency = reg.Histogram("schedd.submit_to_plan_ms", latBounds)
+	}
+	if cfg.Trace != nil || cfg.Metrics != nil {
+		cfg.Scheduler.SetObs(cfg.Trace, cfg.Metrics)
+	}
+	c.publish()
+	return c, nil
+}
+
+// Start launches the writer loop. It must be called exactly once.
+func (c *Core) Start() {
+	if !c.started.CompareAndSwap(false, true) {
+		panic("schedd: Start called twice")
+	}
+	go c.run()
+}
+
+// Machine returns the processor count.
+func (c *Core) Machine() int { return c.total }
+
+// Metrics returns the registry the core was configured with (may be nil).
+func (c *Core) Metrics() *obs.Registry { return c.cfg.Metrics }
+
+// QueueDepth returns the current admitted-but-unplanned backlog.
+func (c *Core) QueueDepth() int { return len(c.submitCh) }
+
+// Submit admits one job: it validates the request, applies per-source
+// rate limiting and the bounded submit queue, and hands the job to the
+// writer loop. Safe for concurrent use.
+func (c *Core) Submit(req SubmitRequest) (SubmitResponse, error) {
+	if req.Width < 1 || req.Width > c.total {
+		return SubmitResponse{}, &ValidationError{Reason: fmt.Sprintf("width %d outside [1, %d]", req.Width, c.total)}
+	}
+	if req.Estimate < 1 {
+		return SubmitResponse{}, &ValidationError{Reason: fmt.Sprintf("estimate %d < 1", req.Estimate)}
+	}
+	if req.Runtime == 0 {
+		req.Runtime = req.Estimate
+	}
+	if req.Runtime < 1 || req.Runtime > req.Estimate {
+		return SubmitResponse{}, &ValidationError{Reason: fmt.Sprintf("runtime %d outside [1, estimate %d]", req.Runtime, req.Estimate)}
+	}
+	c.gate.RLock()
+	defer c.gate.RUnlock()
+	if c.draining {
+		c.cRejectDrain.Inc()
+		return SubmitResponse{}, ErrDraining
+	}
+	if ok, wait := c.limiter.allow(req.Source, time.Now()); !ok {
+		c.cRejectRate.Inc()
+		return SubmitResponse{}, &RateLimitedError{Source: req.Source, RetryAfter: wait}
+	}
+	now := c.clock.Now()
+	id := int(c.nextID.Add(1))
+	j := &job.Job{ID: id, Submit: now, Width: req.Width, Estimate: req.Estimate, Runtime: req.Runtime}
+	sub := &submission{job: j, source: req.Source, admitWall: time.Now()}
+	c.pending.Store(id, JobStatus{
+		ID: id, State: StateQueued, Width: j.Width, Estimate: j.Estimate,
+		Submit: now, PlannedStart: -1, Start: -1, End: -1, PlanLatencyMs: -1,
+	})
+	select {
+	case c.submitCh <- sub:
+	default:
+		c.pending.Delete(id)
+		c.cRejectFull.Inc()
+		return SubmitResponse{}, ErrQueueFull
+	}
+	c.accepted.Add(1)
+	c.cSubmits.Inc()
+	c.trace.Emit("schedd.submit",
+		obs.Int("t", now),
+		obs.Int("job", int64(id)),
+		obs.Int("width", int64(j.Width)),
+		obs.Str("source", req.Source))
+	return SubmitResponse{ID: id, State: StateQueued, Now: now}, nil
+}
+
+// Snapshot returns the latest published view (never nil).
+func (c *Core) Snapshot() *Snapshot { return c.snap.Load() }
+
+// Job returns the status of the job with the given ID. It consults the
+// active snapshot, then the completed set, then the admitted-but-
+// unplanned set — all without taking the writer's locks.
+func (c *Core) Job(id int) (JobStatus, bool) {
+	if st, ok := c.snap.Load().Active[id]; ok {
+		return st, true
+	}
+	if v, ok := c.done.Load(id); ok {
+		return v.(JobStatus), true
+	}
+	if v, ok := c.pending.Load(id); ok {
+		// The writer may have planned (or even completed) the job
+		// between the snapshot read and this lookup; re-check so a
+		// moved job is not reported as queued with stale fields.
+		if st, ok2 := c.snap.Load().Active[id]; ok2 {
+			return st, true
+		}
+		if d, ok2 := c.done.Load(id); ok2 {
+			return d.(JobStatus), true
+		}
+		return v.(JobStatus), true
+	}
+	return JobStatus{}, false
+}
+
+// Stop drains the service: it blocks new submissions, lets the writer
+// finish any in-flight replan, plans every already-admitted submission,
+// publishes the final snapshot and stops the loop. Safe to call more
+// than once; later calls return the first result. The context bounds
+// the wait for the writer to finish.
+func (c *Core) Stop(ctx context.Context) (*Snapshot, error) {
+	c.stopOnce.Do(func() {
+		c.gate.Lock()
+		c.draining = true
+		c.gate.Unlock()
+		if !c.started.Load() {
+			// Never started: nothing to drain.
+			c.final = c.snap.Load()
+			return
+		}
+		reply := make(chan *Snapshot, 1)
+		select {
+		case c.drainCh <- reply:
+		case <-ctx.Done():
+			c.stopErr = fmt.Errorf("schedd: drain request: %w", context.Cause(ctx))
+			return
+		}
+		select {
+		case c.final = <-reply:
+		case <-ctx.Done():
+			c.stopErr = fmt.Errorf("schedd: drain wait: %w", context.Cause(ctx))
+		}
+	})
+	return c.final, c.stopErr
+}
+
+// run is the single-writer replan loop. All scheduler and plan state is
+// owned by this goroutine; everything it shares is published as
+// immutable snapshots.
+func (c *Core) run() {
+	defer close(c.loopDone)
+	for {
+		var timerC <-chan time.Time
+		var timer *time.Timer
+		if next, ok := c.nextEventTime(); ok {
+			timer = time.NewTimer(c.clock.Until(next))
+			timerC = timer.C
+		}
+		select {
+		case sub := <-c.submitCh:
+			batch := c.collectBatch(sub)
+			c.advance()
+			c.step(batch)
+			c.publish()
+		case <-timerC:
+			c.advance()
+			c.publish()
+		case reply := <-c.drainCh:
+			if timer != nil {
+				timer.Stop()
+			}
+			c.finalDrain()
+			c.publish()
+			reply <- c.snap.Load()
+			return
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+}
+
+// collectBatch coalesces a burst of arrivals: it always drains what is
+// already queued (up to MaxBatch) and, with MaxBatchDelay > 0,
+// additionally waits up to that long for stragglers.
+func (c *Core) collectBatch(first *submission) []*submission {
+	batch := []*submission{first}
+	max := c.cfg.MaxBatch
+	if max <= 1 {
+		return batch
+	}
+	if c.cfg.MaxBatchDelay > 0 {
+		t := time.NewTimer(c.cfg.MaxBatchDelay)
+		defer t.Stop()
+		for len(batch) < max {
+			select {
+			case sub := <-c.submitCh:
+				batch = append(batch, sub)
+			case <-t.C:
+				return batch
+			}
+		}
+		return batch
+	}
+	for len(batch) < max {
+		select {
+		case sub := <-c.submitCh:
+			batch = append(batch, sub)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// nextEventTime returns the earliest pending virtual event: a running
+// job's completion or a planned start.
+func (c *Core) nextEventTime() (int64, bool) {
+	var t int64
+	found := false
+	for _, r := range c.running {
+		end := r.start + r.job.Runtime
+		if !found || end < t {
+			t, found = end, true
+		}
+	}
+	for id, start := range c.plan {
+		if _, ok := c.waiting[id]; !ok {
+			continue
+		}
+		if !found || start < t {
+			t, found = start, true
+		}
+	}
+	return t, found
+}
+
+// advance catches the writer state up with the clock: it processes all
+// due completions and planned starts in event order, replanning (with
+// the active policy, no self-tuning — the paper tunes only at
+// submissions) after completions so early finishers pull work forward.
+func (c *Core) advance() {
+	now := c.clock.Now()
+	if now < c.vnow {
+		now = c.vnow
+	}
+	for {
+		t, ok := c.nextEventTime()
+		if !ok || t > now {
+			break
+		}
+		if t > c.vnow {
+			c.vnow = t
+		}
+		if c.completeDue(t) {
+			if len(c.waiting) > 0 {
+				c.replan(t)
+			}
+		}
+		c.startDue(t)
+	}
+	if now > c.vnow {
+		c.vnow = now
+	}
+}
+
+// completeDue finishes every running job whose end is <= t.
+func (c *Core) completeDue(t int64) bool {
+	var ids []int
+	for id, r := range c.running {
+		if r.start+r.job.Runtime <= t {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		r := c.running[id]
+		delete(c.running, id)
+		end := r.start + r.job.Runtime
+		c.counts.Completed++
+		c.cEnds.Inc()
+		c.done.Store(id, JobStatus{
+			ID: id, State: StateDone, Width: r.job.Width, Estimate: r.job.Estimate,
+			Submit: r.job.Submit, PlannedStart: r.plannedStart, Start: r.start, End: end,
+			PlanLatencyMs: float64(r.planLatency) / float64(time.Millisecond),
+			Degraded:      r.degraded,
+		})
+		c.trace.Emit("schedd.end",
+			obs.Int("t", end),
+			obs.Int("job", int64(id)),
+			obs.Int("response", end-r.job.Submit))
+	}
+	return len(ids) > 0
+}
+
+// startDue starts every waiting job whose planned start is <= t, in
+// (planned start, ID) order.
+func (c *Core) startDue(t int64) {
+	var due []int
+	for id, start := range c.plan {
+		if start <= t {
+			if _, ok := c.waiting[id]; ok {
+				due = append(due, id)
+			}
+		}
+	}
+	sort.Slice(due, func(i, k int) bool {
+		if c.plan[due[i]] != c.plan[due[k]] {
+			return c.plan[due[i]] < c.plan[due[k]]
+		}
+		return due[i] < due[k]
+	})
+	for _, id := range due {
+		r := c.recs[id]
+		delete(c.waiting, id)
+		delete(c.plan, id)
+		delete(c.recs, id)
+		r.start = t
+		c.running[id] = r
+		c.counts.Started++
+		c.cStarts.Inc()
+		c.trace.Emit("schedd.start",
+			obs.Int("t", t),
+			obs.Int("job", int64(id)),
+			obs.Int("width", int64(r.job.Width)),
+			obs.Int("wait", t-r.job.Submit))
+	}
+}
+
+// baseProfile builds the machine profile of the running jobs at time
+// now with estimated ends (planning never sees actual runtimes).
+func (c *Core) baseProfile(now int64) (*machine.Profile, error) {
+	rs := make([]machine.Running, 0, len(c.running))
+	for _, r := range c.running {
+		end := r.start + r.job.Estimate
+		if end <= now {
+			// Overdue per its own estimate but not completed yet (can
+			// happen when planning catches up after a busy stretch):
+			// keep it occupying capacity for one more second.
+			end = now + 1
+		}
+		rs = append(rs, machine.Running{JobID: r.job.ID, Width: r.job.Width, End: end})
+	}
+	h, err := machine.HistoryFromRunning(c.total, now, rs)
+	if err != nil {
+		return nil, err
+	}
+	return h.Profile(c.total), nil
+}
+
+func (c *Core) waitingSlice() []*job.Job {
+	out := make([]*job.Job, 0, len(c.waiting))
+	for _, j := range c.waiting {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// step runs one self-tuning step over the batch of new arrivals plus
+// everything already waiting, optionally through the ILP pipeline, and
+// adopts the resulting plan. A step that cannot produce any schedule
+// keeps the previous plan and reports degradation — a serving process
+// never dies on a bad step.
+func (c *Core) step(batch []*submission) {
+	now := c.clock.Now()
+	if now < c.vnow {
+		now = c.vnow
+	}
+	c.vnow = now
+	for _, sub := range batch {
+		// Trace-replay admissions may carry virtual submit times the
+		// accelerated clock has already passed; planning requires
+		// Submit <= now.
+		if sub.job.Submit > now {
+			sub.job.Submit = now
+		}
+		c.waiting[sub.job.ID] = sub.job
+		c.recs[sub.job.ID] = &rec{job: sub.job, admitWall: sub.admitWall, plannedStart: -1, start: -1}
+	}
+	c.counts.Batches++
+	c.counts.BatchedJobs += int64(len(batch))
+	c.cBatches.Inc()
+	c.hBatchSize.Observe(float64(len(batch)))
+	waiting := c.waitingSlice()
+	c.hQueueDepth.Observe(float64(len(waiting)))
+	span := c.trace.StartSpan("schedd.step",
+		obs.Int("t", now),
+		obs.Int("batch", int64(len(batch))),
+		obs.Int("queue_depth", int64(len(waiting))))
+	base, err := c.baseProfile(now)
+	if err != nil {
+		span.End(obs.Str("status", "error"))
+		c.failStep(fmt.Sprintf("base profile: %v", err))
+		return
+	}
+	res, err := c.cfg.Scheduler.Step(now, base, waiting)
+	if err != nil {
+		span.End(obs.Str("status", "error"))
+		c.failStep(fmt.Sprintf("self-tuning step: %v", err))
+		return
+	}
+	adopt := res.Schedule
+	degraded, reason := false, ""
+	if c.cfg.ILP != nil {
+		adopt, degraded, reason = c.ilpSchedule(now, res, waiting, base)
+	}
+	c.counts.Steps++
+	c.cSteps.Inc()
+	c.degraded, c.degReason = degraded, reason
+	if degraded {
+		c.counts.DegradedSteps++
+		c.cDegraded.Inc()
+	}
+	c.adoptPlan(now, adopt, degraded)
+	span.End(obs.Str("chosen", res.Chosen.Name()), obs.Bool("degraded", degraded))
+}
+
+// failStep records a step that produced no schedule at all: the
+// previous plan stays in force and the batch's jobs remain waiting for
+// the next step (they are in c.waiting, so any later submission or
+// completion replans them in).
+func (c *Core) failStep(reason string) {
+	c.counts.Steps++
+	c.counts.DegradedSteps++
+	c.cSteps.Inc()
+	c.cDegraded.Inc()
+	c.degraded, c.degReason = true, reason
+	c.trace.Emit("schedd.step.failed", obs.Int("t", c.vnow), obs.Str("reason", reason))
+}
+
+// ilpSchedule drives one step through the solve pipeline, always
+// degrading to the basic-policy schedule on failure.
+func (c *Core) ilpSchedule(now int64, res *dynp.StepResult, waiting []*job.Job, base *machine.Profile) (*schedule.Schedule, bool, string) {
+	var horizon int64
+	for _, e := range res.Evals {
+		if mk := e.Schedule.Makespan(); mk > horizon {
+			horizon = mk
+		}
+	}
+	if horizon <= now {
+		return res.Schedule, false, "" // every waiting job starts now
+	}
+	inst := &ilpsched.Instance{
+		Now:     now,
+		Machine: base.Total(),
+		Base:    base,
+		Jobs:    waiting,
+		Horizon: horizon,
+	}
+	pipe := c.cfg.ILP.Pipe
+	if pipe.Trace == nil {
+		pipe.Trace = c.trace
+	}
+	if pipe.Metrics == nil {
+		pipe.Metrics = c.cfg.Metrics
+	}
+	if pipe.Seed == nil {
+		pipe.Seed = res.Schedule
+	}
+	if pipe.Cache == nil {
+		pipe.Cache = c.stepCache
+	}
+	if pipe.ReuseSeed == nil && !c.cfg.ILP.ReuseOff {
+		pipe.ReuseSeed = reuseSeed(c.lastILP, waiting, now, c.total)
+	}
+	out := solvepipe.Solve(context.Background(), pipe, inst)
+	if !out.Failed() {
+		sch := out.Solution.Compacted
+		if verr := sch.Validate(base); verr == nil {
+			c.lastILP = sch
+			return sch, false, ""
+		} else {
+			c.lastILP = nil
+			return res.Schedule, true, fmt.Sprintf("infeasible ILP schedule: %v", verr)
+		}
+	}
+	c.lastILP = nil // a degraded step's schedule must never seed reuse
+	reason := out.LastFailure().String()
+	if out.Err != nil {
+		reason = fmt.Sprintf("%s: %v (%d attempts)", reason, out.Err, len(out.Attempts))
+	}
+	c.trace.Emit("solve.fallback",
+		obs.Int("t", now),
+		obs.Str("cause", out.LastFailure().String()),
+		obs.Int("attempts", int64(len(out.Attempts))),
+		obs.Str("policy", res.Chosen.Name()))
+	return res.Schedule, true, reason
+}
+
+// reuseSeed derives an incumbent candidate from the last adopted ILP
+// schedule: its entries restricted to the jobs still waiting, with jobs
+// that arrived since appended behind them in submission order (only the
+// relative order matters downstream).
+func reuseSeed(last *schedule.Schedule, waiting []*job.Job, now int64, total int) *schedule.Schedule {
+	if last == nil || len(last.Entries) == 0 {
+		return nil
+	}
+	waitingByID := make(map[int]bool, len(waiting))
+	for _, j := range waiting {
+		waitingByID[j.ID] = true
+	}
+	seed := &schedule.Schedule{Policy: "reuse", Now: now, Machine: total}
+	kept := make(map[int]bool, len(last.Entries))
+	maxStart := now
+	for _, e := range last.Entries {
+		if !waitingByID[e.Job.ID] {
+			continue
+		}
+		kept[e.Job.ID] = true
+		seed.Entries = append(seed.Entries, e)
+		if e.Start > maxStart {
+			maxStart = e.Start
+		}
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	fresh := make([]*job.Job, 0, len(waiting)-len(kept))
+	for _, j := range waiting {
+		if !kept[j.ID] {
+			fresh = append(fresh, j)
+		}
+	}
+	sort.Slice(fresh, func(i, k int) bool {
+		if fresh[i].Submit != fresh[k].Submit {
+			return fresh[i].Submit < fresh[k].Submit
+		}
+		return fresh[i].ID < fresh[k].ID
+	})
+	for k, j := range fresh {
+		seed.Entries = append(seed.Entries, schedule.Entry{Job: j, Start: maxStart + int64(k) + 1})
+	}
+	return seed
+}
+
+// replan rebuilds the plan with the active policy after completions.
+func (c *Core) replan(now int64) {
+	base, err := c.baseProfile(now)
+	if err != nil {
+		c.trace.Emit("schedd.replan.failed", obs.Int("t", now), obs.Str("reason", err.Error()))
+		return // keep the previous plan
+	}
+	sch, err := c.cfg.Scheduler.Reschedule(now, base, c.waitingSlice())
+	if err != nil {
+		c.trace.Emit("schedd.replan.failed", obs.Int("t", now), obs.Str("reason", err.Error()))
+		return
+	}
+	c.counts.Replans++
+	c.cReplans.Inc()
+	c.trace.Emit("schedd.replan",
+		obs.Int("t", now),
+		obs.Int("queue_depth", int64(len(c.waiting))))
+	c.adoptPlan(now, sch, c.degraded)
+}
+
+// adoptPlan installs a full schedule: it records planned starts,
+// completes the submit-to-plan latency of first-planned jobs, and
+// starts jobs planned for now.
+func (c *Core) adoptPlan(now int64, sch *schedule.Schedule, degraded bool) {
+	c.plan = make(map[int]int64, len(sch.Entries))
+	for _, e := range sch.Entries {
+		c.plan[e.Job.ID] = e.Start
+		r, ok := c.recs[e.Job.ID]
+		if !ok {
+			continue
+		}
+		r.plannedStart = e.Start
+		r.degraded = degraded
+		if !r.planned {
+			r.planned = true
+			r.planLatency = time.Since(r.admitWall)
+			c.counts.Planned++
+			c.cPlanned.Inc()
+			c.hPlanLatency.Observe(float64(r.planLatency) / float64(time.Millisecond))
+			c.newlyPlanned = append(c.newlyPlanned, e.Job.ID)
+		}
+	}
+	c.startDue(now)
+}
+
+// finalDrain plans every submission still in the queue so that no
+// accepted job is dropped, then emits the drain event.
+func (c *Core) finalDrain() {
+	var batch []*submission
+	for {
+		select {
+		case sub := <-c.submitCh:
+			batch = append(batch, sub)
+		default:
+			c.advance()
+			if len(batch) > 0 || c.hasUnplannedWaiting() {
+				c.step(batch)
+			}
+			c.trace.Emit("schedd.drain",
+				obs.Int("t", c.vnow),
+				obs.Int("flushed", int64(len(batch))),
+				obs.Int("waiting", int64(len(c.waiting))),
+				obs.Int("running", int64(len(c.running))))
+			return
+		}
+	}
+}
+
+// hasUnplannedWaiting reports whether a failed step left admitted jobs
+// without a plan entry (the drain path re-plans them so an accepted job
+// is never dropped).
+func (c *Core) hasUnplannedWaiting() bool {
+	for id := range c.waiting {
+		if !c.recs[id].planned {
+			return true
+		}
+	}
+	return false
+}
+
+// publish builds and installs a fresh immutable snapshot.
+func (c *Core) publish() {
+	c.version++
+	s := &Snapshot{
+		Now:            c.vnow,
+		Version:        c.version,
+		Active:         make(map[int]JobStatus, len(c.waiting)+len(c.running)),
+		Degraded:       c.degraded,
+		DegradedReason: c.degReason,
+		Policy:         c.cfg.Scheduler.Current().Name(),
+		Counts:         c.counts,
+	}
+	c.gate.RLock()
+	s.Draining = c.draining
+	c.gate.RUnlock()
+	s.Counts.Submitted = c.accepted.Load() // accepted admissions, including still-queued ones
+	for id, j := range c.waiting {
+		r := c.recs[id]
+		st := JobStatus{
+			ID: id, State: StateQueued, Width: j.Width, Estimate: j.Estimate,
+			Submit: j.Submit, PlannedStart: -1, Start: -1, End: -1, PlanLatencyMs: -1,
+		}
+		if r.planned {
+			st.State = StateWaiting
+			st.PlannedStart = r.plannedStart
+			st.PlanLatencyMs = float64(r.planLatency) / float64(time.Millisecond)
+			st.Degraded = r.degraded
+		}
+		s.Active[id] = st
+		if start, ok := c.plan[id]; ok {
+			s.Schedule = append(s.Schedule, PlannedEntry{JobID: id, Width: j.Width, Start: start, Estimate: j.Estimate})
+		}
+	}
+	for id, r := range c.running {
+		s.Active[id] = JobStatus{
+			ID: id, State: StateRunning, Width: r.job.Width, Estimate: r.job.Estimate,
+			Submit: r.job.Submit, PlannedStart: r.plannedStart, Start: r.start,
+			End:           r.start + r.job.Runtime,
+			PlanLatencyMs: float64(r.planLatency) / float64(time.Millisecond),
+			Degraded:      r.degraded,
+		}
+	}
+	sort.Slice(s.Schedule, func(i, k int) bool {
+		if s.Schedule[i].Start != s.Schedule[k].Start {
+			return s.Schedule[i].Start < s.Schedule[k].Start
+		}
+		return s.Schedule[i].JobID < s.Schedule[k].JobID
+	})
+	c.snap.Store(s)
+	for _, id := range c.newlyPlanned {
+		c.pending.Delete(id)
+	}
+	c.newlyPlanned = c.newlyPlanned[:0]
+}

@@ -1,0 +1,143 @@
+// Serving end-to-end test: the full HTTP service under accelerated
+// CTC replay with injected solve faults. This is the body of the CI
+// serving-e2e job (run under -race): the service must stay up, degrade
+// gracefully on every failed solve, plan every accepted job, and drain
+// cleanly.
+package schedd_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/dynp"
+	"repro/internal/faultinject"
+	"repro/internal/loadgen"
+	"repro/internal/metrics"
+	"repro/internal/mip"
+	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/schedd"
+	"repro/internal/solvepipe"
+	"repro/internal/workload"
+)
+
+func TestServingE2EWithFaults(t *testing.T) {
+	const nJobs = 200
+	tr, err := workload.Generate(workload.CTC(), nJobs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pols := []policy.Policy{policy.FCFS{}, policy.SJF{}, policy.LJF{}}
+	m, err := metrics.ByName("SLDwA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := dynp.New(pols, m, dynp.AdvancedDecider{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20% of solve calls fault (timeouts, panics, infeasibilities); no
+	// retries, so every faulted step must degrade to the basic-policy
+	// schedule and be reported, never kill the service.
+	inj := faultinject.New(faultinject.NewProbability(7, 0.2))
+	core, err := schedd.New(schedd.Config{
+		Machine:       tr.Processors,
+		Scheduler:     sched,
+		Clock:         schedd.NewWallClock(50000),
+		QueueBound:    1024,
+		MaxBatch:      64,
+		MaxBatchDelay: 5 * time.Millisecond,
+		ILP: &schedd.ILPConfig{
+			Pipe: solvepipe.Config{
+				Budget: 500 * time.Millisecond,
+				MIP:    mip.Options{MaxNodes: 50000},
+				Hook:   inj.Hook,
+			},
+		},
+		Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Start()
+	srv := httptest.NewServer(schedd.NewHandler(core))
+	defer srv.Close()
+
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:     srv.URL,
+		Trace:       tr,
+		Accel:       50000,
+		Sources:     4,
+		WaitTimeout: 3 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("serving e2e:\n%s", res)
+
+	if res.Accepted != nJobs {
+		t.Errorf("accepted %d of %d submissions", res.Accepted, nJobs)
+	}
+	if res.TransportErrors > 0 {
+		t.Errorf("%d transport errors: the service went down under faults", res.TransportErrors)
+	}
+	// Zero dropped accepted jobs: everything admitted must be planned.
+	if res.DroppedAccepted != 0 {
+		t.Errorf("%d accepted jobs were never planned", res.DroppedAccepted)
+	}
+	// With 20% per-call faults and no retries, degraded replans must
+	// both happen and be surfaced.
+	if res.DegradedSteps == 0 {
+		t.Errorf("no degraded steps despite %d injected faults", len(inj.Injected()))
+	}
+	if len(inj.Injected()) == 0 {
+		t.Error("fault injector never fired")
+	}
+
+	// The snapshot API must expose the degradation state and a
+	// non-empty metrics dump must be served.
+	r, err := http.Get(srv.URL + "/v1/schedule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap schedd.Snapshot
+	if err := json.NewDecoder(r.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if snap.Counts.DegradedSteps != res.DegradedSteps {
+		t.Errorf("snapshot reports %d degraded steps, metrics %d",
+			snap.Counts.DegradedSteps, res.DegradedSteps)
+	}
+	rm, err := http.Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms []schedd.MetricJSON
+	if err := json.NewDecoder(rm.Body).Decode(&ms); err != nil {
+		t.Fatal(err)
+	}
+	rm.Body.Close()
+	if len(ms) == 0 {
+		t.Error("empty /v1/metrics dump")
+	}
+
+	// Clean drain: Stop returns without error and the final snapshot
+	// accounts for every accepted job.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	final, err := core.Stop(ctx)
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if !final.Draining {
+		t.Error("final snapshot not marked draining")
+	}
+	if final.Counts.Planned != int64(res.Accepted) {
+		t.Errorf("drained with %d planned of %d accepted", final.Counts.Planned, res.Accepted)
+	}
+}

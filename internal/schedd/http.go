@@ -1,0 +1,179 @@
+package schedd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// API types of the HTTP layer. Everything is plain JSON; errors are
+// {"error": "..."} with the appropriate status code.
+
+// SubmitJSON is the POST /v1/jobs request body.
+type SubmitJSON struct {
+	Width    int    `json:"width"`
+	Estimate int64  `json:"estimate_s"`
+	Runtime  int64  `json:"runtime_s,omitempty"`
+	Source   string `json:"source,omitempty"`
+}
+
+// HealthJSON is the GET /v1/healthz response body.
+type HealthJSON struct {
+	Status     string `json:"status"` // "ok" or "draining"
+	Now        int64  `json:"now"`
+	QueueDepth int    `json:"queue_depth"`
+	Waiting    int    `json:"waiting"`
+	Running    int    `json:"running"`
+	Policy     string `json:"policy"`
+}
+
+// MetricJSON is one instrument of the GET /v1/metrics dump. Histogram
+// bucket upper bounds are rendered as strings so the +Inf overflow
+// bucket survives JSON.
+type MetricJSON struct {
+	Name    string       `json:"name"`
+	Kind    string       `json:"kind"`
+	Value   int64        `json:"value"`
+	Sum     float64      `json:"sum,omitempty"`
+	Mean    float64      `json:"mean,omitempty"`
+	Buckets []BucketJSON `json:"buckets,omitempty"`
+}
+
+// BucketJSON is one histogram bucket ("le" is the inclusive upper edge,
+// "+Inf" for the overflow bucket).
+type BucketJSON struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// MetricsToJSON converts a registry snapshot into the wire form.
+func MetricsToJSON(ms []obs.Metric) []MetricJSON {
+	out := make([]MetricJSON, 0, len(ms))
+	for _, m := range ms {
+		mj := MetricJSON{Name: m.Name, Kind: m.Kind, Value: m.Value, Sum: m.Sum, Mean: m.Mean}
+		for _, b := range m.Buckets {
+			le := "+Inf"
+			if !math.IsInf(b.UpperBound, 1) {
+				le = strconv.FormatFloat(b.UpperBound, 'g', -1, 64)
+			}
+			mj.Buckets = append(mj.Buckets, BucketJSON{LE: le, Count: b.Count})
+		}
+		out = append(out, mj)
+	}
+	return out
+}
+
+// NewHandler returns the HTTP API of the service:
+//
+//	POST /v1/jobs      submit a job (202; 400/429/503 on rejection)
+//	GET  /v1/jobs/{id} job state and planned start
+//	GET  /v1/schedule  the current full plan
+//	GET  /v1/healthz   liveness and queue depths
+//	GET  /v1/metrics   dump of the obs counter/histogram registry
+func NewHandler(c *Core) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req SubmitJSON
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+			return
+		}
+		resp, err := c.Submit(SubmitRequest{
+			Width: req.Width, Estimate: req.Estimate, Runtime: req.Runtime, Source: req.Source,
+		})
+		if err != nil {
+			writeSubmitError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, resp)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad job id %q", r.PathValue("id")))
+			return
+		}
+		st, ok := c.Job(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no job %d", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/schedule", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Snapshot())
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		s := c.Snapshot()
+		status := "ok"
+		if s.Draining {
+			status = "draining"
+		}
+		waiting, running := 0, 0
+		for _, st := range s.Active {
+			if st.State == StateRunning {
+				running++
+			} else {
+				waiting++
+			}
+		}
+		writeJSON(w, http.StatusOK, HealthJSON{
+			Status: status, Now: s.Now, QueueDepth: c.QueueDepth(),
+			Waiting: waiting, Running: running, Policy: s.Policy,
+		})
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, MetricsToJSON(c.Metrics().Snapshot()))
+	})
+	return mux
+}
+
+// writeSubmitError maps admission errors to their status codes: 429
+// with Retry-After for backpressure, 503 while draining, 400 for
+// malformed submissions.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	var rl *RateLimitedError
+	var ve *ValidationError
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.As(err, &rl):
+		w.Header().Set("Retry-After", retryAfterSeconds(rl.RetryAfter))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.As(err, &ve):
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// retryAfterSeconds renders a Retry-After header value (whole seconds,
+// minimum 1 as the header cannot express sub-second waits).
+func retryAfterSeconds(d time.Duration) string {
+	s := int64(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return strconv.FormatInt(s, 10)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,254 @@
+package schedd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// startServer spins up a core behind the HTTP API.
+func startServer(t *testing.T, cfg Config) (*httptest.Server, *Core) {
+	t.Helper()
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	c := startCore(t, cfg)
+	srv := httptest.NewServer(NewHandler(c))
+	t.Cleanup(srv.Close)
+	return srv, c
+}
+
+func postJob(t *testing.T, url string, body SubmitJSON) (*http.Response, SubmitResponse) {
+	t.Helper()
+	b, _ := json.Marshal(body)
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out SubmitResponse
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp.Body.Close()
+	return resp, out
+}
+
+func TestHTTPSubmitAndQuery(t *testing.T) {
+	srv, c := startServer(t, Config{Machine: 8, Clock: NewManualClock(0)})
+	resp, sub := postJob(t, srv.URL, SubmitJSON{Width: 2, Estimate: 300})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs = %d, want 202", resp.StatusCode)
+	}
+	if sub.ID != 1 || sub.State != StateQueued {
+		t.Errorf("submit response = %+v", sub)
+	}
+	waitPlanned(t, c, 1)
+
+	r, err := http.Get(srv.URL + "/v1/jobs/" + strconv.Itoa(sub.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/jobs/%d = %d", sub.ID, r.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != sub.ID || st.State == StateQueued {
+		t.Errorf("job status = %+v, want planned state", st)
+	}
+
+	if r404, _ := http.Get(srv.URL + "/v1/jobs/4242"); r404.StatusCode != http.StatusNotFound {
+		t.Errorf("GET unknown job = %d, want 404", r404.StatusCode)
+	}
+	if rbad, _ := http.Get(srv.URL + "/v1/jobs/xyz"); rbad.StatusCode != http.StatusBadRequest {
+		t.Errorf("GET bad id = %d, want 400", rbad.StatusCode)
+	}
+}
+
+func TestHTTPValidationRejects(t *testing.T) {
+	srv, _ := startServer(t, Config{Machine: 4, Clock: NewManualClock(0)})
+	resp, _ := postJob(t, srv.URL, SubmitJSON{Width: 99, Estimate: 10})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized width = %d, want 400", resp.StatusCode)
+	}
+	r, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body = %d, want 400", r.StatusCode)
+	}
+}
+
+func TestHTTPRateLimit429(t *testing.T) {
+	srv, _ := startServer(t, Config{
+		Machine: 8, Clock: NewManualClock(0),
+		RatePerSource: 0.001, Burst: 1,
+	})
+	first, _ := postJob(t, srv.URL, SubmitJSON{Width: 1, Estimate: 10, Source: "u1"})
+	if first.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d", first.StatusCode)
+	}
+	second, _ := postJob(t, srv.URL, SubmitJSON{Width: 1, Estimate: 10, Source: "u1"})
+	if second.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("rate-limited submit = %d, want 429", second.StatusCode)
+	}
+	if ra := second.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 without Retry-After header")
+	} else if s, err := strconv.Atoi(ra); err != nil || s < 1 {
+		t.Errorf("Retry-After = %q, want a positive integer", ra)
+	}
+}
+
+func TestHTTPScheduleHealthMetrics(t *testing.T) {
+	srv, c := startServer(t, Config{Machine: 8, Clock: NewManualClock(0)})
+	for i := 0; i < 3; i++ {
+		resp, _ := postJob(t, srv.URL, SubmitJSON{Width: 8, Estimate: int64(100 * (i + 1))})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d = %d", i, resp.StatusCode)
+		}
+	}
+	waitPlanned(t, c, 3)
+
+	r, err := http.Get(srv.URL + "/v1/schedule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(r.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if snap.Counts.Planned != 3 {
+		t.Errorf("schedule counts = %+v, want 3 planned", snap.Counts)
+	}
+	// Machine is width-8-saturated: one running, two waiting in the plan.
+	if len(snap.Schedule) != 2 {
+		t.Errorf("schedule has %d entries, want 2 future starts", len(snap.Schedule))
+	}
+	if snap.Policy == "" {
+		t.Error("snapshot has no active policy")
+	}
+
+	rh, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h HealthJSON
+	if err := json.NewDecoder(rh.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	rh.Body.Close()
+	if h.Status != "ok" {
+		t.Errorf("health status = %q", h.Status)
+	}
+	if h.Running != 1 || h.Waiting != 2 {
+		t.Errorf("health running/waiting = %d/%d, want 1/2", h.Running, h.Waiting)
+	}
+
+	rm, err := http.Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms []MetricJSON
+	if err := json.NewDecoder(rm.Body).Decode(&ms); err != nil {
+		t.Fatal(err)
+	}
+	rm.Body.Close()
+	if len(ms) == 0 {
+		t.Fatal("empty metrics dump")
+	}
+	byName := map[string]MetricJSON{}
+	for _, m := range ms {
+		byName[m.Name] = m
+	}
+	if byName["schedd.submits"].Value != 3 {
+		t.Errorf("schedd.submits = %d, want 3", byName["schedd.submits"].Value)
+	}
+	lat, ok := byName["schedd.submit_to_plan_ms"]
+	if !ok || lat.Kind != "histogram" || lat.Value != 3 {
+		t.Errorf("schedd.submit_to_plan_ms = %+v, want histogram with 3 samples", lat)
+	}
+	if len(lat.Buckets) == 0 || lat.Buckets[len(lat.Buckets)-1].LE != "+Inf" {
+		t.Errorf("histogram buckets malformed: %+v", lat.Buckets)
+	}
+}
+
+func TestHTTPDraining503(t *testing.T) {
+	srv, c := startServer(t, Config{Machine: 8, Clock: NewManualClock(0)})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := postJob(t, srv.URL, SubmitJSON{Width: 1, Estimate: 10})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining = %d, want 503", resp.StatusCode)
+	}
+	rh, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rh.Body.Close()
+	var h HealthJSON
+	if err := json.NewDecoder(rh.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "draining" {
+		t.Errorf("health status = %q, want draining", h.Status)
+	}
+}
+
+func TestHTTPQueueFull429(t *testing.T) {
+	// The core is built but its writer loop never started: the submit
+	// queue cannot drain, so the bound is hit deterministically and the
+	// HTTP layer must answer 429 with Retry-After.
+	c, err := New(Config{
+		Machine: 8, Scheduler: newScheduler(t), Clock: NewManualClock(0),
+		QueueBound: 2, Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(c))
+	defer srv.Close()
+	for i := 0; i < 2; i++ {
+		resp, _ := postJob(t, srv.URL, SubmitJSON{Width: 1, Estimate: 10})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d = %d, want 202", i, resp.StatusCode)
+		}
+	}
+	b, _ := json.Marshal(SubmitJSON{Width: 1, Estimate: 10})
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit into full queue = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("queue-full 429 without Retry-After")
+	}
+	var e map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e["error"] == "" {
+		t.Errorf("429 body not a JSON error: %v %v", e, err)
+	}
+	// The queued-but-unplanned jobs are still visible as queued.
+	if st, ok := c.Job(1); !ok || st.State != StateQueued {
+		t.Errorf("job 1 = %+v (%v), want queued", st, ok)
+	}
+}

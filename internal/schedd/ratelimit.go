@@ -1,0 +1,61 @@
+package schedd
+
+import (
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-source token bucket: each source accumulates
+// tokens at rate per wall second up to burst, and a submission spends
+// one token. The zero rate disables limiting.
+type rateLimiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if rate <= 0 {
+		return nil // nil limiter admits everything
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{rate: rate, burst: float64(burst), buckets: map[string]*bucket{}}
+}
+
+// allow reports whether source may submit now, and if not, how long to
+// wait for the next token (the Retry-After hint).
+func (rl *rateLimiter) allow(source string, now time.Time) (bool, time.Duration) {
+	if rl == nil {
+		return true, 0
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b, ok := rl.buckets[source]
+	if !ok {
+		b = &bucket{tokens: rl.burst, last: now}
+		rl.buckets[source] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * rl.rate
+	if b.tokens > rl.burst {
+		b.tokens = rl.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / rl.rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return false, wait
+}
