@@ -18,6 +18,7 @@ import (
 	"io"
 	"testing"
 
+	"repro/internal/benchkit"
 	"repro/internal/lp"
 	"repro/internal/mip"
 	"repro/internal/obs"
@@ -50,6 +51,24 @@ func benchSolve(b *testing.B, opt mip.Options) {
 		if res.Status != mip.Optimal {
 			b.Fatalf("status = %v", res.Status)
 		}
+	}
+}
+
+// BenchmarkObsServingPath measures the per-submission instrument cost of
+// the serving path (labeled counters, ctx spans, JSONL events); the body
+// lives in internal/benchkit so cmd/benchjson records the same numbers.
+func BenchmarkObsServingPath(b *testing.B) {
+	for _, mode := range []string{"disabled", "labeled", "tracing"} {
+		b.Run(mode, benchkit.BenchObsServingPath(mode))
+	}
+}
+
+// The disabled (nil-instrument) serving path must not allocate: it is
+// the permanent cost of shipping the service instrumented.
+func TestObsServingPathDisabledAllocFree(t *testing.T) {
+	o := benchkit.NewObsServing("disabled")
+	if allocs := testing.AllocsPerRun(1000, func() { o.Op(1) }); allocs != 0 {
+		t.Errorf("disabled obs path allocates %.1f objects per op, want 0", allocs)
 	}
 }
 

@@ -188,6 +188,18 @@ func main() {
 	}
 	results = append(results, run("WarmStart", benchkit.BenchWarmStart()))
 
+	// Observability overhead on the serving hot path: the disabled leg is
+	// the permanent cost of shipping the service instrumented and must
+	// stay allocation-free.
+	obsDisabled := run("ObsServingPath/obs=disabled", benchkit.BenchObsServingPath("disabled"))
+	obsLabeled := run("ObsServingPath/obs=labeled", benchkit.BenchObsServingPath("labeled"))
+	obsTracing := run("ObsServingPath/obs=tracing", benchkit.BenchObsServingPath("tracing"))
+	if obsDisabled.NsPerOp > 0 {
+		obsLabeled.SpeedupVsBaseline = obsDisabled.NsPerOp / obsLabeled.NsPerOp
+		obsTracing.SpeedupVsBaseline = obsDisabled.NsPerOp / obsTracing.NsPerOp
+	}
+	results = append(results, obsDisabled, obsLabeled, obsTracing)
+
 	warmHits, lpSolves, etaUp, err := benchkit.WarmStartStats()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: warm-start stats: %v\n", err)

@@ -9,11 +9,14 @@
 //	schedctl schedule
 //	schedctl health
 //	schedctl metrics
+//	schedctl metrics -prom          # Prometheus text exposition
+//	schedctl metrics -prom -check   # also validate the exposition format
+//	schedctl replans                # flight recorder: last N replans
 //	schedctl loadgen -synthetic 2000 -seed 1 -accel 2000 -sources 4
 //	schedctl loadgen -swf ctc.swf -jobs 10000 -accel 5000 -json
 //
-// submit/get/schedule/health/metrics are thin wrappers over the HTTP
-// API and print the server's JSON responses. loadgen replays a trace
+// submit/get/schedule/health/metrics/replans are thin wrappers over the
+// HTTP API and print the server's JSON responses. loadgen replays a trace
 // (synthetic CTC-like or an SWF file prefix) through internal/loadgen
 // as an open-loop driver and reports throughput, submit and
 // submit-to-plan latency percentiles, backpressure counts, and replan
@@ -34,6 +37,7 @@ import (
 
 	"repro/internal/job"
 	"repro/internal/loadgen"
+	"repro/internal/obs"
 	"repro/internal/schedd"
 	"repro/internal/swf"
 	"repro/internal/workload"
@@ -60,7 +64,9 @@ func main() {
 	case "health":
 		err = get(base + "/v1/healthz")
 	case "metrics":
-		err = get(base + "/v1/metrics")
+		err = cmdMetrics(base, args)
+	case "replans":
+		err = get(base + "/v1/replans")
 	case "loadgen":
 		err = cmdLoadgen(base, args)
 	default:
@@ -81,7 +87,8 @@ commands:
   get ID    show one job's state
   schedule  show the current plan snapshot
   health    show liveness and queue depth
-  metrics   dump the obs metric registry
+  metrics   dump the obs metric registry (-prom for Prometheus text, -check to validate)
+  replans   show the flight recorder's replan summaries
   loadgen   replay a workload and measure serving latency
 `)
 }
@@ -133,6 +140,40 @@ func printResponse(resp *http.Response) error {
 	os.Stdout.Write(b)
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		return fmt.Errorf("%s", resp.Status)
+	}
+	return nil
+}
+
+// cmdMetrics dumps the registry: JSON by default, the Prometheus text
+// exposition with -prom. -check additionally runs the scraped text
+// through the exposition-format validator (promtool-style) and fails on
+// malformed output, which is what the CI drill uses.
+func cmdMetrics(base string, args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	prom := fs.Bool("prom", false, "scrape the Prometheus text exposition instead of JSON")
+	check := fs.Bool("check", false, "validate the exposition format (implies -prom)")
+	fs.Parse(args)
+	if !*prom && !*check {
+		return get(base + "/v1/metrics")
+	}
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(b)
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("%s", resp.Status)
+	}
+	if *check {
+		if err := obs.ValidateExposition(b); err != nil {
+			return fmt.Errorf("malformed exposition: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "schedctl: exposition OK")
 	}
 	return nil
 }

@@ -17,7 +17,12 @@
 //	GET  /v1/jobs/{id} job state, planned start, plan latency
 //	GET  /v1/schedule  current plan snapshot (incl. degradation state)
 //	GET  /v1/healthz   liveness, queue depth, active policy
-//	GET  /v1/metrics   obs counter/histogram registry dump
+//	GET  /v1/metrics   obs registry dump (JSON; Prometheus text via Accept)
+//	GET  /metrics      Prometheus text exposition (scrape target)
+//	GET  /v1/replans   flight recorder: last N replan summaries
+//
+// With -pprof the daemon additionally serves the Go profiling handlers
+// under /debug/pprof/.
 //
 // The daemon prints "schedd: listening on http://HOST:PORT" on stderr
 // once the socket is bound, so scripts can pass -addr 127.0.0.1:0 and
@@ -36,6 +41,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the DefaultServeMux
 	"os"
 	"os/signal"
 	"sort"
@@ -78,6 +84,10 @@ func main() {
 		faultP     = flag.Float64("inject-faults", 0, "inject solve faults with this probability (with -ilp; testing)")
 		faultSeed  = flag.Uint64("inject-seed", 1, "fault-injection seed (with -inject-faults)")
 		traceOut   = flag.String("trace", "", "write a structured JSONL event trace to this file")
+		sampleEvry = flag.Int("trace-sample-every", 1, "trace every Nth replan's span tree (per-job events are always traced)")
+		replanBuf  = flag.Int("replan-buffer", 0, "flight-recorder capacity in replan summaries (0 = default 64)")
+		slowReplan = flag.Duration("slow-replan", 0, "dump the full span tree of replans slower than this, even when sampled out (0 = off)")
+		pprofOn    = flag.Bool("pprof", false, "serve Go profiling handlers under /debug/pprof/")
 		finalOut   = flag.String("final-schedule", "", "persist the final schedule snapshot as JSON on drain")
 		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for the drain to finish")
 	)
@@ -126,6 +136,10 @@ func main() {
 		Burst:         *burst,
 		Trace:         tracer,
 		Metrics:       reg,
+
+		ReplanBuffer:     *replanBuf,
+		SlowReplan:       *slowReplan,
+		TraceSampleEvery: *sampleEvry,
 	}
 	if *ilpDriven {
 		cfg.ILP = &schedd.ILPConfig{
@@ -157,7 +171,17 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	srv := &http.Server{Handler: schedd.NewHandler(core)}
+	var handler http.Handler = schedd.NewHandler(core)
+	if *pprofOn {
+		// The API mux has no /debug routes, so delegating the prefix to
+		// net/http/pprof's DefaultServeMux registrations is safe.
+		mux := http.NewServeMux()
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		mux.Handle("/", handler)
+		handler = mux
+		fmt.Fprintln(os.Stderr, "schedd: pprof enabled at /debug/pprof/")
+	}
+	srv := &http.Server{Handler: handler}
 	fmt.Fprintf(os.Stderr, "schedd: listening on http://%s\n", ln.Addr())
 
 	errCh := make(chan error, 1)

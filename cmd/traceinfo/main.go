@@ -5,10 +5,16 @@
 // parallel and long running jobs, while others submit hundreds of short
 // and sequential jobs").
 //
+// With -jsonl the command instead summarizes a schedd structured event
+// trace: per-request submit → batched → planned → published latency
+// breakdowns reconstructed from the daemon's trace IDs, plus a
+// slowest-replan report from the span tree.
+//
 // Usage:
 //
 //	traceinfo -trace ctc.swf
 //	traceinfo -synthetic 5000 -seed 3
+//	traceinfo -jsonl schedd.jsonl -top 20
 package main
 
 import (
@@ -28,8 +34,18 @@ func main() {
 		tracePath = flag.String("trace", "", "SWF trace file")
 		synthetic = flag.Int("synthetic", 5000, "synthesize this many CTC-like jobs when no trace is given")
 		seed      = flag.Uint64("seed", 1, "seed for synthetic workloads")
+		jsonlPath = flag.String("jsonl", "", "summarize a schedd JSONL event trace instead of a workload")
+		topN      = flag.Int("top", 10, "rows in the slowest-requests table (with -jsonl; 0 = all)")
 	)
 	flag.Parse()
+
+	if *jsonlPath != "" {
+		if err := runJSONL(os.Stdout, *jsonlPath, *topN); err != nil {
+			fmt.Fprintln(os.Stderr, "traceinfo:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	tr, err := load(*tracePath, *synthetic, *seed)
 	if err != nil {

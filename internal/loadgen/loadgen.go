@@ -19,13 +19,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math"
 	"net/http"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/job"
+	"repro/internal/obs"
 	"repro/internal/schedd"
 )
 
@@ -60,24 +60,31 @@ type Percentiles struct {
 	Max float64 `json:"max_ms"`
 }
 
-// percentiles computes the summary of a sample set (nearest-rank).
+// percentiles summarizes a sample set through the obs histogram
+// estimator (the same Quantile the live instruments use): every
+// distinct sample value becomes a bucket edge, so the estimate tracks
+// the empirical distribution to within interpolation error. Max is
+// taken from the samples directly and stays exact.
 func percentiles(samples []float64) Percentiles {
 	if len(samples) == 0 {
 		return Percentiles{}
 	}
 	s := append([]float64(nil), samples...)
 	sort.Float64s(s)
-	rank := func(q float64) float64 {
-		i := int(math.Ceil(q*float64(len(s)))) - 1
-		if i < 0 {
-			i = 0
+	bounds := make([]float64, 0, len(s))
+	for _, v := range s {
+		if len(bounds) == 0 || v > bounds[len(bounds)-1] {
+			bounds = append(bounds, v)
 		}
-		if i >= len(s) {
-			i = len(s) - 1
-		}
-		return s[i]
 	}
-	return Percentiles{P50: rank(0.50), P90: rank(0.90), P99: rank(0.99), Max: s[len(s)-1]}
+	h := obs.NewHistogram(bounds)
+	for _, v := range s {
+		h.Observe(v)
+	}
+	return Percentiles{
+		P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+		Max: s[len(s)-1],
+	}
 }
 
 // Result is the outcome of a run.

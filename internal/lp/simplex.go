@@ -7,6 +7,7 @@ import (
 	"math"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/solvererr"
 )
 
@@ -50,6 +51,11 @@ type Options struct {
 	MaxIters int
 	// Tol is the feasibility/optimality tolerance (default 1e-7).
 	Tol float64
+	// Trace, if non-nil, wraps the solve in an "lp.solve" span carrying
+	// the problem shape, status, iteration count and warm-start flag.
+	// Leave nil on per-node solves inside branch and bound: a span pair
+	// per LP re-solve would swamp the trace.
+	Trace *obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -1103,6 +1109,13 @@ func (p *Problem) Solve(opt Options) (*Result, error) {
 // ctx every cancelCheckEvery iterations and abort with a *CanceledError
 // when it is done. The problem is left unchanged by an aborted solve.
 func (p *Problem) SolveCtx(ctx context.Context, opt Options) (*Result, error) {
+	res, err := traceSolve(ctx, p, opt, func() (*Result, error) {
+		return p.solveCtx(ctx, opt)
+	})
+	return res, err
+}
+
+func (p *Problem) solveCtx(ctx context.Context, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -1112,6 +1125,31 @@ func (p *Problem) SolveCtx(ctx context.Context, opt Options) (*Result, error) {
 	s.ctx = ctx
 	s.coldBasis()
 	return s.run()
+}
+
+// traceSolve wraps solve in an "lp.solve" span when opt.Trace is set;
+// with a nil tracer it is a direct call with zero overhead.
+func traceSolve(ctx context.Context, p *Problem, opt Options, solve func() (*Result, error)) (*Result, error) {
+	if opt.Trace == nil {
+		return solve()
+	}
+	fields := []obs.Field{
+		obs.Int("cols", int64(p.NumVariables())),
+		obs.Int("rows", int64(p.NumConstraints())),
+	}
+	if tid := obs.TraceIDFrom(ctx); tid != "" {
+		fields = append(fields, obs.Str("trace", tid))
+	}
+	span := opt.Trace.StartSpan("lp.solve", fields...)
+	res, err := solve()
+	if err != nil {
+		span.End(obs.Str("status", "error"))
+		return res, err
+	}
+	span.End(obs.Str("status", res.Status.String()),
+		obs.Int("iters", int64(res.Iterations)),
+		obs.Bool("warm", res.WarmStarted))
+	return res, err
 }
 
 // SolveFrom optimizes the problem warm-starting from basis (typically the
@@ -1124,6 +1162,12 @@ func (p *Problem) SolveFrom(basis *Basis, opt Options) (*Result, error) {
 
 // SolveFromCtx is SolveFrom with cooperative cancellation (see SolveCtx).
 func (p *Problem) SolveFromCtx(ctx context.Context, basis *Basis, opt Options) (*Result, error) {
+	return traceSolve(ctx, p, opt, func() (*Result, error) {
+		return p.solveFromCtx(ctx, basis, opt)
+	})
+}
+
+func (p *Problem) solveFromCtx(ctx context.Context, basis *Basis, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	if err := p.Validate(); err != nil {
 		return nil, err

@@ -501,13 +501,22 @@ func SolveCtx(ctx context.Context, p *lp.Problem, integer []int, opt Options) (*
 		s.cWarmHits = reg.Counter("lp.warmstart.hits")
 		s.cEtaUp = reg.Counter("lp.eta.updates")
 	}
-	span := s.trace.StartSpan("mip.solve",
+	spanFields := []obs.Field{
 		obs.Int("cols", int64(p.NumVariables())),
 		obs.Int("rows", int64(p.NumConstraints())),
-		obs.Int("ints", int64(len(integer))))
+		obs.Int("ints", int64(len(integer))),
+	}
+	// A request trace ID on ctx (the serving path) joins this solve to
+	// that request's end-to-end trace.
+	if tid := obs.TraceIDFrom(ctx); tid != "" {
+		spanFields = append(spanFields, obs.Str("trace", tid))
+	}
+	span := s.trace.StartSpan("mip.solve", spanFields...)
+	statuses := opt.Metrics.CounterVec("mip.solve.status", "status")
 	if opt.Incumbent != nil {
 		if err := s.tryIncumbent(opt.Incumbent, "initial"); err != nil {
 			span.End(obs.Str("status", "error"))
+			statuses.With("error").Inc()
 			return nil, fmt.Errorf("mip: bad initial incumbent: %v", err)
 		}
 	}
@@ -520,6 +529,7 @@ func SolveCtx(ctx context.Context, p *lp.Problem, integer []int, opt Options) (*
 	}
 	if err != nil {
 		span.End(obs.Str("status", "error"))
+		statuses.With("error").Inc()
 		return nil, err
 	}
 	span.End(obs.Str("status", res.Status.String()),
@@ -527,6 +537,7 @@ func SolveCtx(ctx context.Context, p *lp.Problem, integer []int, opt Options) (*
 		obs.Int("lp_iters", int64(res.LPIters)),
 		obs.Float("objective", res.Objective),
 		obs.Float("best_bound", res.BestBound))
+	statuses.With(res.Status.String()).Inc()
 	return res, nil
 }
 

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Labeled metric families. A family is one metric name plus a fixed set
+// of label keys; each distinct label-value tuple is one child instrument
+// (a series). Cardinality is bounded: once a family holds MaxSeries
+// distinct tuples, further tuples share a single overflow series whose
+// every label value is "other", so a high-cardinality label (a
+// user-supplied source string, say) can never grow the registry without
+// bound. Children are plain *Counter/*Histogram values — call With once
+// at wire-up time and keep the child when the tuple is static; the
+// serving hot path then pays exactly the unlabeled price.
+//
+// Everything is nil-safe like the rest of the package: a nil vec hands
+// out nil children, which are no-ops.
+
+// MaxSeries bounds the distinct label tuples of one family.
+const MaxSeries = 64
+
+// overflowValue replaces every label value of tuples beyond MaxSeries.
+const overflowValue = "other"
+
+// Label is one key/value pair of a labeled series.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// sep joins label values into map keys; it cannot appear in sane label
+// values (it is not valid UTF-8 as a standalone byte).
+const sep = "\xff"
+
+func joinValues(values []string) string { return strings.Join(values, sep) }
+
+// CounterVec is a family of counters sharing a name and label keys.
+type CounterVec struct {
+	name string
+	keys []string
+
+	mu    sync.RWMutex
+	kids  map[string]*Counter
+	order []string // insertion-ordered tuple keys
+}
+
+// With returns the child counter for the given label values (one per
+// key, in key order), creating it on first use. Past the cardinality
+// bound every new tuple maps to the shared overflow series. A nil vec
+// returns a nil (no-op) counter.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.keys) {
+		panic(fmt.Sprintf("obs: %s takes %d label values, got %d", v.name, len(v.keys), len(values)))
+	}
+	key := joinValues(values)
+	v.mu.RLock()
+	c := v.kids[key]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c := v.kids[key]; c != nil {
+		return c
+	}
+	if len(v.kids) >= MaxSeries {
+		key = v.overflowKey()
+		if c := v.kids[key]; c != nil {
+			return c
+		}
+	}
+	c = &Counter{}
+	v.kids[key] = c
+	v.order = append(v.order, key)
+	return c
+}
+
+func (v *CounterVec) overflowKey() string {
+	vals := make([]string, len(v.keys))
+	for i := range vals {
+		vals[i] = overflowValue
+	}
+	return joinValues(vals)
+}
+
+// HistogramVec is a family of histograms sharing a name, bucket bounds
+// and label keys.
+type HistogramVec struct {
+	name   string
+	keys   []string
+	bounds []float64
+
+	mu    sync.RWMutex
+	kids  map[string]*Histogram
+	order []string
+}
+
+// With returns the child histogram for the given label values, creating
+// it on first use; see CounterVec.With for the cardinality bound. A nil
+// vec returns a nil (no-op) histogram.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.keys) {
+		panic(fmt.Sprintf("obs: %s takes %d label values, got %d", v.name, len(v.keys), len(values)))
+	}
+	key := joinValues(values)
+	v.mu.RLock()
+	h := v.kids[key]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h := v.kids[key]; h != nil {
+		return h
+	}
+	if len(v.kids) >= MaxSeries {
+		vals := make([]string, len(v.keys))
+		for i := range vals {
+			vals[i] = overflowValue
+		}
+		key = joinValues(vals)
+		if h := v.kids[key]; h != nil {
+			return h
+		}
+	}
+	h = newHistogram(v.bounds)
+	v.kids[key] = h
+	v.order = append(v.order, key)
+	return h
+}
+
+// CounterVec returns the counter family with the given name and label
+// keys, creating it on first use (later keys are ignored, like
+// Histogram bounds). Returns nil (a no-op family) on a nil registry.
+func (r *Registry) CounterVec(name string, keys ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.cvs[name]
+	if !ok {
+		v = &CounterVec{name: name, keys: append([]string(nil), keys...), kids: map[string]*Counter{}}
+		r.cvs[name] = v
+		r.order = append(r.order, name)
+	}
+	return v
+}
+
+// HistogramVec returns the histogram family with the given name, bucket
+// bounds and label keys, creating it on first use. Returns nil on a nil
+// registry.
+func (r *Registry) HistogramVec(name string, bounds []float64, keys ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.hvs[name]
+	if !ok {
+		bs := append([]float64(nil), bounds...)
+		sort.Float64s(bs)
+		v = &HistogramVec{name: name, keys: append([]string(nil), keys...), bounds: bs, kids: map[string]*Histogram{}}
+		r.hvs[name] = v
+		r.order = append(r.order, name)
+	}
+	return v
+}
+
+// labels reassembles the Label slice of a tuple key.
+func labelsOf(keys []string, tupleKey string) []Label {
+	vals := strings.Split(tupleKey, sep)
+	out := make([]Label, len(keys))
+	for i, k := range keys {
+		v := ""
+		if i < len(vals) {
+			v = vals[i]
+		}
+		out[i] = Label{Key: k, Value: v}
+	}
+	return out
+}
+
+// sortedTuples returns the family's tuple keys sorted lexicographically,
+// so snapshots (and therefore expositions) are deterministic regardless
+// of which series was touched first.
+func sortedTuples(order []string) []string {
+	out := append([]string(nil), order...)
+	sort.Strings(out)
+	return out
+}

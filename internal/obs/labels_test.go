@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterVecBasics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("req.total", "source", "outcome")
+	v.With("cli", "ok").Add(3)
+	v.With("cli", "rejected").Inc()
+	v.With("cli", "ok").Inc() // same tuple → same child
+	if got := v.With("cli", "ok").Value(); got != 4 {
+		t.Errorf("cli/ok = %d, want 4", got)
+	}
+	if r.CounterVec("req.total", "ignored") != v {
+		t.Error("CounterVec not idempotent per name")
+	}
+
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// Series sorted by label values: (cli,ok) < (cli,rejected).
+	if snap[0].Labels[1].Value != "ok" || snap[0].Value != 4 {
+		t.Errorf("snap[0] = %+v", snap[0])
+	}
+	if snap[1].Labels[1].Value != "rejected" || snap[1].Value != 1 {
+		t.Errorf("snap[1] = %+v", snap[1])
+	}
+	for _, m := range snap {
+		if m.Name != "req.total" || m.Kind != "counter" || m.Labels[0] != (Label{"source", "cli"}) {
+			t.Errorf("series = %+v", m)
+		}
+	}
+	if out := r.String(); !strings.Contains(out, "req.total{source=cli,outcome=ok}") {
+		t.Errorf("String() = %q", out)
+	}
+}
+
+func TestHistogramVecBasics(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("lat.ms", []float64{10, 100}, "kind")
+	v.With("batch").Observe(5)
+	v.With("batch").Observe(50)
+	v.With("drain").Observe(500)
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap[0].Labels[0].Value != "batch" || snap[0].Value != 2 || snap[0].Sum != 55 {
+		t.Errorf("batch series = %+v", snap[0])
+	}
+	if snap[1].Labels[0].Value != "drain" || snap[1].Value != 1 {
+		t.Errorf("drain series = %+v", snap[1])
+	}
+	if len(snap[0].Buckets) != 3 {
+		t.Errorf("buckets = %+v", snap[0].Buckets)
+	}
+}
+
+func TestVecArityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong label arity must panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+// Past MaxSeries distinct tuples, every new tuple lands in the shared
+// all-"other" overflow series — the registry stays bounded no matter how
+// hostile the label values are.
+func TestVecCardinalityBound(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("c", "source")
+	for i := 0; i < MaxSeries+50; i++ {
+		v.With(fmt.Sprintf("src-%03d", i)).Inc()
+	}
+	snap := r.Snapshot()
+	if len(snap) != MaxSeries+1 {
+		t.Fatalf("got %d series, want %d (MaxSeries + overflow)", len(snap), MaxSeries+1)
+	}
+	var overflow *Metric
+	for i := range snap {
+		if snap[i].Labels[0].Value == overflowValue {
+			overflow = &snap[i]
+		}
+	}
+	if overflow == nil {
+		t.Fatal("no overflow series")
+	}
+	if overflow.Value != 50 {
+		t.Errorf("overflow count = %d, want 50", overflow.Value)
+	}
+	// Existing tuples still resolve to their own series.
+	if got := v.With("src-000").Value(); got != 1 {
+		t.Errorf("src-000 = %d, want 1", got)
+	}
+	// The overflow child is reused, never re-inserted.
+	before := len(r.Snapshot())
+	v.With("yet-another").Inc()
+	if after := len(r.Snapshot()); after != before {
+		t.Errorf("overflow insert grew the family: %d -> %d", before, after)
+	}
+}
+
+func TestVecConcurrency(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("c", "g")
+	hv := r.HistogramVec("h", []float64{10}, "g")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("g%d", g%4) // contend on shared tuples
+			for i := 0; i < 1000; i++ {
+				cv.With(name).Inc()
+				hv.With(name).Observe(float64(i % 20))
+				if i%100 == 0 {
+					r.Snapshot() // snapshots race against writes
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := int64(0)
+	for _, m := range r.Snapshot() {
+		if m.Name == "c" {
+			total += m.Value
+		}
+	}
+	if total != 8000 {
+		t.Errorf("counter total = %d, want 8000", total)
+	}
+}
+
+func TestVecNilSafety(t *testing.T) {
+	var r *Registry
+	cv := r.CounterVec("x", "k")
+	if cv != nil {
+		t.Error("nil registry CounterVec != nil")
+	}
+	c := cv.With("v")
+	c.Inc()
+	if c.Value() != 0 {
+		t.Error("nil vec child counted")
+	}
+	hv := r.HistogramVec("y", []float64{1}, "k")
+	h := hv.With("v")
+	h.Observe(1)
+	if h.Count() != 0 {
+		t.Error("nil vec child observed")
+	}
+}
+
+// The steady-state path — With on an existing tuple plus the child
+// update — must not allocate; families are safe to use per-event.
+func TestVecSteadyStateAllocations(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("c", "outcome")
+	cv.With("ok").Inc() // create outside the measured loop
+	if n := testing.AllocsPerRun(1000, func() {
+		cv.With("ok").Inc()
+	}); n != 0 {
+		t.Errorf("steady-state With+Inc allocates %v per op, want 0", n)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 40, 80})
+	// 100 samples uniform over (0,100]: ~10 per decile.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	cases := []struct {
+		q, want, tol float64
+	}{
+		{0.5, 50, 10},   // interpolated within the (40,80] bucket
+		{0.1, 10, 5},    // first bucket
+		{0.9, 80, 10},   // (40,80] bucket upper region
+		{0.99, 80, 0.1}, // overflow → last finite bound
+		{1.0, 80, 0.1},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got < c.want-c.tol || got > c.want+c.tol {
+			t.Errorf("Quantile(%g) = %g, want %g ± %g", c.q, got, c.want, c.tol)
+		}
+	}
+	// Clamping and edge cases.
+	if got := h.Quantile(-1); got < 0 || got > 10 {
+		t.Errorf("Quantile(-1) = %g, want within first bucket", got)
+	}
+	if got := h.Quantile(2); got != 80 {
+		t.Errorf("Quantile(2) = %g, want 80", got)
+	}
+	if (*Histogram)(nil).Quantile(0.5) != 0 {
+		t.Error("nil histogram Quantile != 0")
+	}
+	if NewHistogram([]float64{1}).Quantile(0.5) != 0 {
+		t.Error("empty histogram Quantile != 0")
+	}
+}
+
+// With fine buckets the estimator should land close to exact ranks —
+// this is the contract loadgen's percentile reporting now relies on.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	bounds := make([]float64, 200)
+	for i := range bounds {
+		bounds[i] = float64(i+1) * 5 // 5,10,...,1000
+	}
+	h := NewHistogram(bounds)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		want := q * 1000
+		if got := h.Quantile(q); got < want-6 || got > want+6 {
+			t.Errorf("Quantile(%g) = %g, want %g ± 6", q, got, want)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package obs_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// Metric names are dot-separated snake_case segments: "schedd.submits",
+// "schedd.replan.duration.ms", "go.heap.alloc.bytes". The Prometheus
+// encoder maps dots to underscores, so anything matching this rule also
+// yields a valid exposition name.
+var metricNameRule = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$`)
+
+// registryMethods are the Registry/instrument constructors whose first
+// string-literal argument is a metric name.
+var registryMethods = map[string]bool{
+	"Counter": true, "Histogram": true, "CounterVec": true, "HistogramVec": true,
+}
+
+// Every metric name registered anywhere in the repository must follow
+// the naming rule — a vet-style test, so a typo'd name ("Schedd.Foo",
+// "mip-retries") fails CI instead of silently producing an ugly or
+// invalid Prometheus series.
+func TestAllRegisteredMetricNamesFollowRule(t *testing.T) {
+	root := repoRoot(t)
+	var checked int
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == ".git" || name == ".github" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !registryMethods[sel.Sel.Name] {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			checked++
+			if !metricNameRule.MatchString(name) {
+				rel, _ := filepath.Rel(root, path)
+				t.Errorf("%s:%d: metric name %q violates %s",
+					rel, fset.Position(lit.Pos()).Line, name, metricNameRule)
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked < 20 {
+		t.Fatalf("only %d registered metric names found — scan broken?", checked)
+	}
+}
+
+// Runtime gauges are built outside a Registry; hold them to the same rule.
+func TestRuntimeMetricNamesFollowRule(t *testing.T) {
+	for _, m := range obs.RuntimeMetrics() {
+		if !metricNameRule.MatchString(m.Name) {
+			t.Errorf("runtime metric %q violates %s", m.Name, metricNameRule)
+		}
+	}
+}
+
+// repoRoot walks up from the working directory to the go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}

@@ -128,6 +128,7 @@ type Span struct {
 	id    int64
 	name  string
 	start time.Time
+	trace string // request trace ID (spans opened via StartSpanCtx)
 }
 
 // StartSpan emits a begin event and opens a nested span: events emitted
@@ -158,6 +159,9 @@ func (sp *Span) End(fields ...Field) {
 		return
 	}
 	t := sp.t
+	if sp.trace != "" {
+		fields = append(fields, Str("trace", sp.trace))
+	}
 	t.mu.Lock()
 	for i := len(t.stack) - 1; i >= 0; i-- {
 		if t.stack[i] == sp.id {

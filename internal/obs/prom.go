@@ -1,0 +1,305 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for registry
+// snapshots, plus an in-process promtool-style parser used by tests and
+// the CI daemon drill to reject malformed output. Both operate on
+// []Metric so the JSON and Prometheus encoders share one snapshot pass.
+
+// promName sanitizes a registry metric name for Prometheus: the
+// registry's snake.case dots become underscores (`schedd.step.total` →
+// `schedd_step_total`); any other invalid rune is likewise replaced.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// promFloat formats a sample value; Prometheus spells infinities
+// "+Inf"/"-Inf" (Go's FormatFloat matches for NaN).
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promLabels renders {k="v",...} with an optional extra le label, or ""
+// when there are no labels at all.
+func promLabels(labels []Label, le string) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promName(l.Key))
+		b.WriteString(`="`)
+		b.WriteString(promEscape(l.Value))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format: one # TYPE line per family (labeled series of one family are
+// adjacent in Snapshot output and share it), histograms expanded into
+// cumulative _bucket series with le labels plus _sum and _count.
+func WritePrometheus(w io.Writer, ms []Metric) error {
+	var b strings.Builder
+	lastTyped := ""
+	for _, m := range ms {
+		name := promName(m.Name)
+		kind := m.Kind
+		if kind != "counter" && kind != "gauge" && kind != "histogram" {
+			kind = "untyped"
+		}
+		if name != lastTyped {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", name, kind)
+			lastTyped = name
+		}
+		switch m.Kind {
+		case "counter":
+			fmt.Fprintf(&b, "%s%s %d\n", name, promLabels(m.Labels, ""), m.Value)
+		case "gauge":
+			fmt.Fprintf(&b, "%s%s %s\n", name, promLabels(m.Labels, ""), promFloat(m.Sum))
+		default: // histogram
+			cum := int64(0)
+			for _, bk := range m.Buckets {
+				cum += bk.Count
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", name, promLabels(m.Labels, promFloat(bk.UpperBound)), cum)
+			}
+			fmt.Fprintf(&b, "%s_sum%s %s\n", name, promLabels(m.Labels, ""), promFloat(m.Sum))
+			fmt.Fprintf(&b, "%s_count%s %d\n", name, promLabels(m.Labels, ""), m.Value)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ValidateExposition parses a Prometheus text exposition and returns the
+// first syntax error found (nil when well-formed) — an in-process
+// promtool check so CI can fail on malformed output without external
+// tooling. It verifies metric-name and label syntax, label-value escape
+// sequences, sample values, and that at most one # TYPE line names each
+// family.
+func ValidateExposition(data []byte) error {
+	typed := map[string]bool{}
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		lineno := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimPrefix(line, "#")
+			rest = strings.TrimPrefix(rest, " ")
+			switch {
+			case strings.HasPrefix(rest, "TYPE "):
+				parts := strings.Fields(rest)
+				if len(parts) != 3 {
+					return fmt.Errorf("line %d: malformed TYPE line", lineno)
+				}
+				if !validPromName(parts[1]) {
+					return fmt.Errorf("line %d: invalid metric name %q in TYPE line", lineno, parts[1])
+				}
+				switch parts[2] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineno, parts[2])
+				}
+				if typed[parts[1]] {
+					return fmt.Errorf("line %d: duplicate TYPE line for %q", lineno, parts[1])
+				}
+				typed[parts[1]] = true
+			case strings.HasPrefix(rest, "HELP "):
+				// free-form; nothing to check beyond the name
+				parts := strings.SplitN(rest, " ", 3)
+				if len(parts) < 2 || !validPromName(parts[1]) {
+					return fmt.Errorf("line %d: malformed HELP line", lineno)
+				}
+			default:
+				// other comments are ignored by scrapers
+			}
+			continue
+		}
+		if err := validateSample(line); err != nil {
+			return fmt.Errorf("line %d: %v", lineno, err)
+		}
+	}
+	return nil
+}
+
+func validPromName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validateSample checks one sample line: name[{labels}] value [timestamp].
+func validateSample(line string) error {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	if !validPromName(line[:i]) {
+		return fmt.Errorf("invalid metric name %q", line[:i])
+	}
+	if i < len(line) && line[i] == '{' {
+		i++ // past '{'
+		for {
+			if i >= len(line) {
+				return fmt.Errorf("unterminated label set")
+			}
+			if line[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(line) && line[j] != '=' {
+				j++
+			}
+			if j >= len(line) || !validLabelName(line[i:j]) {
+				return fmt.Errorf("invalid label name %q", line[i:j])
+			}
+			i = j + 1
+			if i >= len(line) || line[i] != '"' {
+				return fmt.Errorf("label value must be quoted")
+			}
+			i++
+			for {
+				if i >= len(line) {
+					return fmt.Errorf("unterminated label value")
+				}
+				if line[i] == '\\' {
+					if i+1 >= len(line) {
+						return fmt.Errorf("dangling escape in label value")
+					}
+					switch line[i+1] {
+					case '\\', '"', 'n':
+					default:
+						return fmt.Errorf("invalid escape \\%c in label value", line[i+1])
+					}
+					i += 2
+					continue
+				}
+				if line[i] == '"' {
+					i++
+					break
+				}
+				i++
+			}
+			if i < len(line) && line[i] == ',' {
+				i++
+			}
+		}
+	}
+	rest := strings.TrimLeft(line[i:], " \t")
+	if rest == "" {
+		return fmt.Errorf("missing sample value")
+	}
+	fields := strings.Fields(rest)
+	if len(fields) > 2 {
+		return fmt.Errorf("trailing garbage after sample value")
+	}
+	if !validPromValue(fields[0]) {
+		return fmt.Errorf("invalid sample value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("invalid timestamp %q", fields[1])
+		}
+	}
+	return nil
+}
+
+func validPromValue(s string) bool {
+	switch s {
+	case "+Inf", "-Inf", "Inf", "NaN":
+		return true
+	}
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// Golden test pinning the exposition format: TYPE lines, cumulative
+// +Inf-terminated histogram buckets, dot→underscore name sanitization,
+// and label-value escaping. Any encoder change must update this
+// deliberately.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("schedd.submits.total").Add(7)
+	h := r.Histogram("schedd.step.duration.ms", []float64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+	cv := r.CounterVec("schedd.step.outcome", "outcome", "policy")
+	cv.With("ok", "FCFS").Add(3)
+	cv.With(`we"ird\value`+"\n", "SJF").Inc()
+	hv := r.HistogramVec("solve.latency.ms", []float64{1}, "kind")
+	hv.With("mip").Observe(0.5)
+
+	snap := r.Snapshot()
+	snap = append(snap, Metric{Name: "go.goroutines", Kind: "gauge", Value: 12, Sum: 12})
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE schedd_submits_total counter
+schedd_submits_total 7
+# TYPE schedd_step_duration_ms histogram
+schedd_step_duration_ms_bucket{le="10"} 1
+schedd_step_duration_ms_bucket{le="100"} 2
+schedd_step_duration_ms_bucket{le="+Inf"} 3
+schedd_step_duration_ms_sum 555
+schedd_step_duration_ms_count 3
+# TYPE schedd_step_outcome counter
+schedd_step_outcome{outcome="ok",policy="FCFS"} 3
+schedd_step_outcome{outcome="we\"ird\\value\n",policy="SJF"} 1
+# TYPE solve_latency_ms histogram
+solve_latency_ms_bucket{kind="mip",le="1"} 1
+solve_latency_ms_bucket{kind="mip",le="+Inf"} 1
+solve_latency_ms_sum{kind="mip"} 0.5
+solve_latency_ms_count{kind="mip"} 1
+# TYPE go_goroutines gauge
+go_goroutines 12
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if err := ValidateExposition([]byte(b.String())); err != nil {
+		t.Errorf("golden exposition fails validation: %v", err)
+	}
+}
+
+func TestWritePrometheusEmptyAndUntyped(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "" {
+		t.Errorf("empty snapshot rendered %q", b.String())
+	}
+	b.Reset()
+	if err := WritePrometheus(&b, []Metric{{Name: "9weird", Kind: "bogus"}}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE _9weird untyped") {
+		t.Errorf("unknown kind not rendered untyped: %q", out)
+	}
+	if err := ValidateExposition([]byte(out)); err != nil {
+		t.Errorf("untyped exposition fails validation: %v", err)
+	}
+}
+
+func TestValidateExposition(t *testing.T) {
+	good := []string{
+		"",
+		"# HELP x something about x\n# TYPE x counter\nx 1\n",
+		`x{a="1",b="two"} 3.5` + "\n",
+		`x_bucket{le="+Inf"} 4 1700000000000` + "\n",
+		"x NaN\n# arbitrary comment\ny -Inf\n",
+		`x{v="esc\\aped\"quote\nnewline"} 1` + "\n",
+	}
+	for _, g := range good {
+		if err := ValidateExposition([]byte(g)); err != nil {
+			t.Errorf("valid exposition rejected: %v\n%q", err, g)
+		}
+	}
+	bad := map[string]string{
+		"bad metric name":     "9x 1\n",
+		"missing value":       "x\n",
+		"bad value":           "x one\n",
+		"unterminated labels": `x{a="1" 2` + "\n",
+		"unquoted label":      "x{a=1} 2\n",
+		"bad label name":      `x{9a="1"} 2` + "\n",
+		"bad escape":          `x{a="\q"} 2` + "\n",
+		"dangling escape":     `x{a="\` + "\n",
+		"bad TYPE arity":      "# TYPE x\n",
+		"bad TYPE kind":       "# TYPE x banana\n",
+		"duplicate TYPE":      "# TYPE x counter\n# TYPE x counter\n",
+		"trailing garbage":    "x 1 2 3\n",
+		"bad timestamp":       "x 1 soon\n",
+	}
+	for name, b := range bad {
+		if err := ValidateExposition([]byte(b)); err == nil {
+			t.Errorf("%s: malformed exposition accepted: %q", name, b)
+		}
+	}
+}
+
+func TestRuntimeMetrics(t *testing.T) {
+	ms := RuntimeMetrics()
+	if len(ms) == 0 {
+		t.Fatal("no runtime metrics")
+	}
+	byName := map[string]Metric{}
+	for _, m := range ms {
+		if m.Kind != "gauge" {
+			t.Errorf("%s kind = %q, want gauge", m.Name, m.Kind)
+		}
+		byName[m.Name] = m
+	}
+	if byName["go.goroutines"].Sum < 1 {
+		t.Errorf("go.goroutines = %v", byName["go.goroutines"].Sum)
+	}
+	if byName["go.heap.alloc.bytes"].Sum <= 0 {
+		t.Errorf("go.heap.alloc.bytes = %v", byName["go.heap.alloc.bytes"].Sum)
+	}
+	var b strings.Builder
+	if err := WritePrometheus(&b, ms); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition([]byte(b.String())); err != nil {
+		t.Errorf("runtime metrics exposition invalid: %v", err)
+	}
+}

@@ -49,6 +49,11 @@ func newHistogram(bounds []float64) *Histogram {
 	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
 }
 
+// NewHistogram creates a standalone histogram with the given bucket
+// bounds (an implicit +Inf overflow bucket is added), for callers that
+// want estimation (Quantile, Mean) without a registry.
+func NewHistogram(bounds []float64) *Histogram { return newHistogram(bounds) }
+
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
@@ -90,6 +95,62 @@ func (h *Histogram) Mean() float64 {
 	return 0
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the recorded samples
+// by linear interpolation within the bucket holding the target rank —
+// the usual fixed-bucket estimator, so accuracy is bounded by bucket
+// width. Samples in the +Inf overflow bucket are attributed to the last
+// finite bound (there is nothing better to interpolate against).
+// Returns 0 for a nil or empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.bounds) {
+				// Overflow bucket: no finite upper edge.
+				if len(h.bounds) == 0 {
+					return 0
+				}
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Bucket is one histogram bucket in a snapshot.
 type Bucket struct {
 	// UpperBound is the inclusive upper edge (+Inf for the overflow bucket).
@@ -113,18 +174,26 @@ func (h *Histogram) Buckets() []Bucket {
 	return out
 }
 
-// Registry holds named counters and histograms. A nil Registry hands out
-// nil (no-op) instruments, so callers never need to branch.
+// Registry holds named counters and histograms — plain and labeled
+// (see CounterVec/HistogramVec). A nil Registry hands out nil (no-op)
+// instruments, so callers never need to branch.
 type Registry struct {
 	mu    sync.Mutex
 	cs    map[string]*Counter
 	hs    map[string]*Histogram
+	cvs   map[string]*CounterVec
+	hvs   map[string]*HistogramVec
 	order []string
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{cs: map[string]*Counter{}, hs: map[string]*Histogram{}}
+	return &Registry{
+		cs:  map[string]*Counter{},
+		hs:  map[string]*Histogram{},
+		cvs: map[string]*CounterVec{},
+		hvs: map[string]*HistogramVec{},
+	}
 }
 
 // Counter returns the counter with the given name, creating it on first
@@ -162,17 +231,24 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
-// Metric is one instrument in a registry snapshot.
+// Metric is one instrument (or one series of a labeled family) in a
+// registry snapshot.
 type Metric struct {
-	Name    string
-	Kind    string // "counter" or "histogram"
-	Value   int64  // counter value, or histogram sample count
+	Name string
+	Kind string // "counter", "gauge" or "histogram"
+	// Labels identify the series within a labeled family (nil for plain
+	// instruments). Series of one family share the Name and are adjacent
+	// in the snapshot, sorted by label values.
+	Labels  []Label
+	Value   int64 // counter/gauge value, or histogram sample count
 	Sum     float64
 	Mean    float64
 	Buckets []Bucket // histograms only
 }
 
-// Snapshot returns all instruments in registration order.
+// Snapshot returns all instruments in registration order; labeled
+// families expand into one Metric per series, sorted by label values so
+// successive snapshots enumerate series deterministically.
 func (r *Registry) Snapshot() []Metric {
 	if r == nil {
 		return nil
@@ -185,9 +261,31 @@ func (r *Registry) Snapshot() []Metric {
 			out = append(out, Metric{Name: name, Kind: "counter", Value: c.Value()})
 			continue
 		}
-		h := r.hs[name]
-		out = append(out, Metric{Name: name, Kind: "histogram",
-			Value: h.Count(), Sum: h.Sum(), Mean: h.Mean(), Buckets: h.Buckets()})
+		if h, ok := r.hs[name]; ok {
+			out = append(out, Metric{Name: name, Kind: "histogram",
+				Value: h.Count(), Sum: h.Sum(), Mean: h.Mean(), Buckets: h.Buckets()})
+			continue
+		}
+		if v, ok := r.cvs[name]; ok {
+			v.mu.RLock()
+			for _, key := range sortedTuples(v.order) {
+				c := v.kids[key]
+				out = append(out, Metric{Name: name, Kind: "counter",
+					Labels: labelsOf(v.keys, key), Value: c.Value()})
+			}
+			v.mu.RUnlock()
+			continue
+		}
+		if v, ok := r.hvs[name]; ok {
+			v.mu.RLock()
+			for _, key := range sortedTuples(v.order) {
+				h := v.kids[key]
+				out = append(out, Metric{Name: name, Kind: "histogram",
+					Labels: labelsOf(v.keys, key), Value: h.Count(),
+					Sum: h.Sum(), Mean: h.Mean(), Buckets: h.Buckets()})
+			}
+			v.mu.RUnlock()
+		}
 	}
 	return out
 }
@@ -201,14 +299,25 @@ func (r *Registry) String() string {
 	rows := make([][2]string, len(ms))
 	width := 0
 	for i, m := range ms {
-		rows[i][0] = m.Name
-		if m.Kind == "counter" {
+		name := m.Name
+		if len(m.Labels) > 0 {
+			parts := make([]string, len(m.Labels))
+			for j, l := range m.Labels {
+				parts[j] = l.Key + "=" + l.Value
+			}
+			name += "{" + strings.Join(parts, ",") + "}"
+		}
+		rows[i][0] = name
+		switch m.Kind {
+		case "counter":
 			rows[i][1] = fmt.Sprintf("%d", m.Value)
-		} else {
+		case "gauge":
+			rows[i][1] = fmt.Sprintf("%g", m.Sum)
+		default:
 			rows[i][1] = fmt.Sprintf("n=%d mean=%.3f sum=%.3f", m.Value, m.Mean, m.Sum)
 		}
-		if len(m.Name) > width {
-			width = len(m.Name)
+		if len(name) > width {
+			width = len(name)
 		}
 	}
 	var b strings.Builder

@@ -1,0 +1,25 @@
+package obs
+
+import "runtime"
+
+// RuntimeMetrics returns a point-in-time snapshot of Go runtime health
+// as gauge Metrics (value in Sum; Value is the rounded integer). The
+// daemon appends these to its registry snapshot at exposition time, so
+// they ride the same JSON/Prometheus encoders as application metrics
+// without ever living in a Registry.
+func RuntimeMetrics() []Metric {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauge := func(name string, v float64) Metric {
+		return Metric{Name: name, Kind: "gauge", Value: int64(v), Sum: v}
+	}
+	return []Metric{
+		gauge("go.goroutines", float64(runtime.NumGoroutine())),
+		gauge("go.heap.alloc.bytes", float64(ms.HeapAlloc)),
+		gauge("go.heap.objects", float64(ms.HeapObjects)),
+		gauge("go.heap.sys.bytes", float64(ms.HeapSys)),
+		gauge("go.gc.cycles", float64(ms.NumGC)),
+		gauge("go.gc.pause.total.ms", float64(ms.PauseTotalNs)/1e6),
+		gauge("go.alloc.total.bytes", float64(ms.TotalAlloc)),
+	}
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// Request-scoped tracing. A trace ID names one end-to-end request (one
+// job submission travelling admission → batch → replan → solve →
+// publish); it is minted at the edge (or accepted from an
+// `X-Trace-Id`-style header), carried in a context.Context, and stamped
+// onto every event and span emitted with the *Ctx methods as a "trace"
+// field. Span parentage for these request paths is explicit — the parent
+// span travels in the context — so concurrent requests never steal each
+// other's spans the way the tracer's goroutine-agnostic span stack
+// would.
+//
+// The stack-based StartSpan/Emit remain the right tool inside a
+// single-goroutine pipeline (the schedd writer loop, the simulator, the
+// solvers): spans opened there nest automatically, and the two models
+// compose — a *Ctx span can parent a stack span and vice versa, because
+// both write the same span/parent ids.
+
+type traceIDKey struct{}
+type spanCtxKey struct{}
+
+// traceSeq disambiguates fallback IDs minted when crypto/rand fails.
+var traceSeq atomic.Int64
+
+// NewTraceID returns a fresh 16-hex-character random trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion is effectively unreachable; degrade to a
+		// process-unique sequence rather than failing the request.
+		n := traceSeq.Add(1)
+		for i := 0; i < 8; i++ {
+			b[i] = byte(n >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithTraceID returns a context carrying the trace ID.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// TraceIDFrom returns the context's trace ID, or "" when none is set.
+func TraceIDFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(traceIDKey{}).(string)
+	return id
+}
+
+// ContextWithSpan returns a context carrying sp as the current span, so
+// later StartSpanCtx/EmitCtx calls parent under it.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sp)
+}
+
+// SpanFromContext returns the context's current span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}
+
+// ID returns the span's id in the trace (0 for a nil span). Ids are
+// positive, so 0 is unambiguous "no span".
+func (sp *Span) ID() int64 {
+	if sp == nil {
+		return 0
+	}
+	return sp.id
+}
+
+// Trace returns the trace ID the span was started with ("" when it was
+// opened outside a traced context).
+func (sp *Span) Trace() string {
+	if sp == nil {
+		return ""
+	}
+	return sp.trace
+}
+
+// StartSpanCtx opens a span whose parent is the context's current span
+// (explicit parenting — the tracer's span stack is not consulted or
+// modified) and whose begin and end events carry the context's trace ID.
+// The returned context carries the new span, so nested StartSpanCtx and
+// EmitCtx calls attach under it. On a nil tracer it returns the context
+// unchanged and a nil (no-op) span.
+func (t *Tracer) StartSpanCtx(ctx context.Context, name string, fields ...Field) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	parent := SpanFromContext(ctx).ID()
+	trace := TraceIDFrom(ctx)
+	if trace != "" {
+		fields = append(fields, Str("trace", trace))
+	}
+	t.mu.Lock()
+	t.nextSpan++
+	id := t.nextSpan
+	now := t.now()
+	pid := int64(-1)
+	if parent > 0 {
+		pid = parent
+	}
+	t.write(name, id, pid, "begin", 0, fields)
+	t.mu.Unlock()
+	sp := &Span{t: t, id: id, name: name, start: now, trace: trace}
+	return ContextWithSpan(ctx, sp), sp
+}
+
+// EmitCtx writes one point event attributed to the context's current
+// span (or to the root when the context carries none — unlike Emit it
+// never attaches to whatever span happens to top the tracer's stack)
+// and stamped with the context's trace ID.
+func (t *Tracer) EmitCtx(ctx context.Context, event string, fields ...Field) {
+	if t == nil {
+		return
+	}
+	if trace := TraceIDFrom(ctx); trace != "" {
+		fields = append(fields, Str("trace", trace))
+	}
+	span := SpanFromContext(ctx).ID()
+	t.mu.Lock()
+	sid := int64(-1)
+	if span > 0 {
+		sid = span
+	}
+	t.write(event, sid, -1, "", 0, fields)
+	t.mu.Unlock()
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"regexp"
+	"sync"
+	"testing"
+)
+
+func TestNewTraceID(t *testing.T) {
+	hex16 := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if !hex16.MatchString(id) {
+			t.Fatalf("trace ID %q not 16 lowercase hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceIDContext(t *testing.T) {
+	if got := TraceIDFrom(context.Background()); got != "" {
+		t.Errorf("empty context trace ID = %q", got)
+	}
+	if got := TraceIDFrom(nil); got != "" { //nolint:staticcheck // nil-safety is the contract
+		t.Errorf("nil context trace ID = %q", got)
+	}
+	ctx := WithTraceID(context.Background(), "abc123")
+	if got := TraceIDFrom(ctx); got != "abc123" {
+		t.Errorf("trace ID = %q, want abc123", got)
+	}
+}
+
+func TestStartSpanCtxParentageAndTrace(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	ctx := WithTraceID(context.Background(), "t1")
+
+	ctx1, root := tr.StartSpanCtx(ctx, "req")
+	ctx2, child := tr.StartSpanCtx(ctx1, "phase")
+	tr.EmitCtx(ctx2, "point", Int("k", 1))
+	child.End()
+	root.End(Str("status", "ok"))
+
+	events := decodeLines(t, &buf)
+	if len(events) != 5 {
+		t.Fatalf("got %d events, want 5", len(events))
+	}
+	// Root begin: no parent, trace stamped.
+	if events[0]["ev"] != "req" || events[0]["phase"] != "begin" || events[0]["trace"] != "t1" {
+		t.Errorf("root begin = %v", events[0])
+	}
+	if _, hasParent := events[0]["parent"]; hasParent {
+		t.Errorf("root span must have no parent: %v", events[0])
+	}
+	rootID := events[0]["span"]
+	// Child begin: parent is the root span, trace stamped.
+	if events[1]["parent"] != rootID || events[1]["trace"] != "t1" {
+		t.Errorf("child begin = %v", events[1])
+	}
+	childID := events[1]["span"]
+	// EmitCtx point: attributed to the child span, trace stamped.
+	if events[2]["span"] != childID || events[2]["trace"] != "t1" {
+		t.Errorf("point = %v", events[2])
+	}
+	// Ends carry trace and duration.
+	for _, e := range events[3:] {
+		if e["phase"] != "end" || e["trace"] != "t1" {
+			t.Errorf("end event = %v", e)
+		}
+		if _, ok := e["dur_ms"]; !ok {
+			t.Errorf("end missing dur_ms: %v", e)
+		}
+	}
+	if root.Trace() != "t1" {
+		t.Errorf("Span.Trace() = %q", root.Trace())
+	}
+}
+
+// Ctx spans must not touch the tracer's span stack: a concurrent stack
+// span keeps its own parentage, and EmitCtx on a bare context attaches
+// to the root, not to whatever stack span happens to be open.
+func TestCtxSpansIndependentOfStack(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+
+	stack := tr.StartSpan("loop.step")
+	_, req := tr.StartSpanCtx(WithTraceID(context.Background(), "t2"), "req")
+	tr.Emit("stack.point")                          // should attach to loop.step
+	tr.EmitCtx(context.Background(), "naked.point") // no ctx span: root, no trace
+	req.End()
+	stack.End()
+
+	events := decodeLines(t, &buf)
+	stackID := events[0]["span"]
+	if events[1]["ev"] != "req" {
+		t.Fatalf("events[1] = %v", events[1])
+	}
+	if _, hasParent := events[1]["parent"]; hasParent {
+		t.Errorf("ctx span must not parent under the stack span: %v", events[1])
+	}
+	if events[2]["span"] != stackID {
+		t.Errorf("stack emit not attributed to stack span: %v", events[2])
+	}
+	if _, hasSpan := events[3]["span"]; hasSpan {
+		t.Errorf("EmitCtx without ctx span must attach to root: %v", events[3])
+	}
+	if _, hasTrace := events[3]["trace"]; hasTrace {
+		t.Errorf("EmitCtx without trace ID must not stamp trace: %v", events[3])
+	}
+}
+
+func TestStartSpanCtxConcurrency(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := WithTraceID(context.Background(), NewTraceID())
+			for i := 0; i < 50; i++ {
+				c, sp := tr.StartSpanCtx(ctx, "req")
+				tr.EmitCtx(c, "work", Int("g", int64(g)))
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	events := decodeLines(t, &buf)
+	if len(events) != 8*50*3 {
+		t.Fatalf("got %d events, want %d", len(events), 8*50*3)
+	}
+	// Every event of a span must carry that span's trace ID consistently.
+	spanTrace := map[float64]string{}
+	for _, e := range events {
+		id := e["span"].(float64)
+		trace := e["trace"].(string)
+		if prev, ok := spanTrace[id]; ok && prev != trace {
+			t.Fatalf("span %v carries two trace IDs: %q and %q", id, prev, trace)
+		}
+		spanTrace[id] = trace
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCtxNilSafety(t *testing.T) {
+	var tr *Tracer
+	ctx := context.Background()
+	c, sp := tr.StartSpanCtx(ctx, "x")
+	if c != ctx || sp != nil {
+		t.Error("nil tracer StartSpanCtx must return ctx unchanged and nil span")
+	}
+	tr.EmitCtx(ctx, "ev")
+	if (*Span)(nil).ID() != 0 {
+		t.Error("nil span ID != 0")
+	}
+	if (*Span)(nil).Trace() != "" {
+		t.Error("nil span Trace != \"\"")
+	}
+}

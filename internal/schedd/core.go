@@ -101,6 +101,9 @@ type SubmitResponse struct {
 	ID    int      `json:"id"`
 	State JobState `json:"state"`
 	Now   int64    `json:"now"`
+	// TraceID echoes the request's trace ID ("" when untraced) so the
+	// submitter can grep the JSONL trace for the job's whole path.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // JobStatus is the queryable state of one job.
@@ -119,6 +122,8 @@ type JobStatus struct {
 	// Degraded reports that the step that (last) planned the job fell
 	// back to the basic-policy schedule.
 	Degraded bool `json:"degraded,omitempty"`
+	// TraceID is the request trace ID the job was submitted with.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // PlannedEntry is one row of the published schedule.
@@ -211,12 +216,25 @@ type Config struct {
 	// Trace and Metrics are the observability sinks (nil-safe).
 	Trace   *obs.Tracer
 	Metrics *obs.Registry
+	// ReplanBuffer caps the flight recorder's ring of replan summaries
+	// (default 64). The recorder is always on.
+	ReplanBuffer int
+	// SlowReplan, if > 0, is the wall-clock threshold past which a
+	// replan's reconstructed span tree is dumped to Trace — even when
+	// step tracing is sampled off via TraceSampleEvery.
+	SlowReplan time.Duration
+	// TraceSampleEvery, if > 1, traces only every Nth step/replan span
+	// (and its solver internals). Per-job request events (submit,
+	// batched, planned, published, start, end), the flight recorder and
+	// slow-replan dumps are never sampled away.
+	TraceSampleEvery int
 }
 
 // submission travels from the admission path to the writer loop.
 type submission struct {
 	job       *job.Job
 	source    string
+	trace     string // request trace ID ("" when untraced)
 	admitWall time.Time
 }
 
@@ -224,6 +242,7 @@ type submission struct {
 type rec struct {
 	job          *job.Job
 	admitWall    time.Time
+	trace        string
 	planned      bool
 	planLatency  time.Duration
 	plannedStart int64
@@ -273,6 +292,11 @@ type Core struct {
 	// falls into the gap between the two.
 	newlyPlanned []int
 
+	// Flight recorder and step-span sampling state (stepSeq is owned by
+	// the writer loop).
+	recorder *flightRecorder
+	stepSeq  int64
+
 	// Observability instruments (nil-safe).
 	trace        *obs.Tracer
 	cSubmits     *obs.Counter
@@ -289,6 +313,11 @@ type Core struct {
 	hBatchSize   *obs.Histogram
 	hQueueDepth  *obs.Histogram
 	hPlanLatency *obs.Histogram
+	// Labeled families (bounded cardinality; see obs.MaxSeries).
+	vSubmits    *obs.CounterVec   // by source
+	vStepOut    *obs.CounterVec   // by outcome, policy
+	vDegReason  *obs.CounterVec   // by bounded reason class
+	hvReplanDur *obs.HistogramVec // by replan kind
 }
 
 // New validates the configuration and creates a stopped core.
@@ -324,6 +353,7 @@ func New(cfg Config) (*Core, error) {
 	if cfg.ILP != nil && !cfg.ILP.StepCacheOff && cfg.ILP.Pipe.Cache == nil {
 		c.stepCache = solvepipe.NewStepCache(cfg.ILP.StepCacheSize)
 	}
+	c.recorder = newFlightRecorder(cfg.ReplanBuffer)
 	c.trace = cfg.Trace
 	if reg := cfg.Metrics; reg != nil {
 		depthBounds := []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}
@@ -342,6 +372,10 @@ func New(cfg Config) (*Core, error) {
 		c.hBatchSize = reg.Histogram("schedd.batch.size", depthBounds)
 		c.hQueueDepth = reg.Histogram("schedd.queue_depth", depthBounds)
 		c.hPlanLatency = reg.Histogram("schedd.submit_to_plan_ms", latBounds)
+		c.vSubmits = reg.CounterVec("schedd.submits.by_source", "source")
+		c.vStepOut = reg.CounterVec("schedd.step.outcome", "outcome", "policy")
+		c.vDegReason = reg.CounterVec("schedd.degraded.by_reason", "reason")
+		c.hvReplanDur = reg.HistogramVec("schedd.replan.duration.ms", latBounds, "kind")
 	}
 	if cfg.Trace != nil || cfg.Metrics != nil {
 		cfg.Scheduler.SetObs(cfg.Trace, cfg.Metrics)
@@ -367,10 +401,17 @@ func (c *Core) Metrics() *obs.Registry { return c.cfg.Metrics }
 // QueueDepth returns the current admitted-but-unplanned backlog.
 func (c *Core) QueueDepth() int { return len(c.submitCh) }
 
-// Submit admits one job: it validates the request, applies per-source
-// rate limiting and the bounded submit queue, and hands the job to the
-// writer loop. Safe for concurrent use.
+// Submit admits one job without a request context; see SubmitCtx.
 func (c *Core) Submit(req SubmitRequest) (SubmitResponse, error) {
+	return c.SubmitCtx(context.Background(), req)
+}
+
+// SubmitCtx admits one job: it validates the request, applies
+// per-source rate limiting and the bounded submit queue, and hands the
+// job to the writer loop. A trace ID in ctx (obs.WithTraceID) rides the
+// submission through batching, planning and publication, so the whole
+// submit→planned path shares one trace. Safe for concurrent use.
+func (c *Core) SubmitCtx(ctx context.Context, req SubmitRequest) (SubmitResponse, error) {
 	if req.Width < 1 || req.Width > c.total {
 		return SubmitResponse{}, &ValidationError{Reason: fmt.Sprintf("width %d outside [1, %d]", req.Width, c.total)}
 	}
@@ -395,10 +436,11 @@ func (c *Core) Submit(req SubmitRequest) (SubmitResponse, error) {
 	}
 	now := c.clock.Now()
 	id := int(c.nextID.Add(1))
+	trace := obs.TraceIDFrom(ctx)
 	j := &job.Job{ID: id, Submit: now, Width: req.Width, Estimate: req.Estimate, Runtime: req.Runtime}
-	sub := &submission{job: j, source: req.Source, admitWall: time.Now()}
+	sub := &submission{job: j, source: req.Source, trace: trace, admitWall: time.Now()}
 	c.pending.Store(id, JobStatus{
-		ID: id, State: StateQueued, Width: j.Width, Estimate: j.Estimate,
+		ID: id, State: StateQueued, Width: j.Width, Estimate: j.Estimate, TraceID: trace,
 		Submit: now, PlannedStart: -1, Start: -1, End: -1, PlanLatencyMs: -1,
 	})
 	select {
@@ -410,13 +452,20 @@ func (c *Core) Submit(req SubmitRequest) (SubmitResponse, error) {
 	}
 	c.accepted.Add(1)
 	c.cSubmits.Inc()
-	c.trace.Emit("schedd.submit",
+	c.vSubmits.With(req.Source).Inc()
+	c.trace.EmitCtx(ctx, "schedd.submit",
 		obs.Int("t", now),
 		obs.Int("job", int64(id)),
 		obs.Int("width", int64(j.Width)),
 		obs.Str("source", req.Source))
-	return SubmitResponse{ID: id, State: StateQueued, Now: now}, nil
+	return SubmitResponse{ID: id, State: StateQueued, Now: now, TraceID: trace}, nil
 }
+
+// Replans returns the flight recorder's replan summaries, newest first.
+func (c *Core) Replans() []ReplanRecord { return c.recorder.list() }
+
+// Tracer returns the tracer the core was configured with (may be nil).
+func (c *Core) Tracer() *obs.Tracer { return c.trace }
 
 // Snapshot returns the latest published view (never nil).
 func (c *Core) Snapshot() *Snapshot { return c.snap.Load() }
@@ -617,11 +666,17 @@ func (c *Core) completeDue(t int64) bool {
 			Submit: r.job.Submit, PlannedStart: r.plannedStart, Start: r.start, End: end,
 			PlanLatencyMs: float64(r.planLatency) / float64(time.Millisecond),
 			Degraded:      r.degraded,
+			TraceID:       r.trace,
 		})
-		c.trace.Emit("schedd.end",
+		fields := []obs.Field{
 			obs.Int("t", end),
 			obs.Int("job", int64(id)),
-			obs.Int("response", end-r.job.Submit))
+			obs.Int("response", end-r.job.Submit),
+		}
+		if r.trace != "" {
+			fields = append(fields, obs.Str("trace", r.trace))
+		}
+		c.trace.Emit("schedd.end", fields...)
 	}
 	return len(ids) > 0
 }
@@ -652,11 +707,16 @@ func (c *Core) startDue(t int64) {
 		c.running[id] = r
 		c.counts.Started++
 		c.cStarts.Inc()
-		c.trace.Emit("schedd.start",
+		fields := []obs.Field{
 			obs.Int("t", t),
 			obs.Int("job", int64(id)),
 			obs.Int("width", int64(r.job.Width)),
-			obs.Int("wait", t-r.job.Submit))
+			obs.Int("wait", t-r.job.Submit),
+		}
+		if r.trace != "" {
+			fields = append(fields, obs.Str("trace", r.trace))
+		}
+		c.trace.Emit("schedd.start", fields...)
 	}
 }
 
@@ -696,6 +756,7 @@ func (c *Core) waitingSlice() []*job.Job {
 // keeps the previous plan and reports degradation — a serving process
 // never dies on a bad step.
 func (c *Core) step(batch []*submission) {
+	wallStart := time.Now()
 	now := c.clock.Now()
 	if now < c.vnow {
 		now = c.vnow
@@ -709,7 +770,7 @@ func (c *Core) step(batch []*submission) {
 			sub.job.Submit = now
 		}
 		c.waiting[sub.job.ID] = sub.job
-		c.recs[sub.job.ID] = &rec{job: sub.job, admitWall: sub.admitWall, plannedStart: -1, start: -1}
+		c.recs[sub.job.ID] = &rec{job: sub.job, admitWall: sub.admitWall, trace: sub.trace, plannedStart: -1, start: -1}
 	}
 	c.counts.Batches++
 	c.counts.BatchedJobs += int64(len(batch))
@@ -717,36 +778,147 @@ func (c *Core) step(batch []*submission) {
 	c.hBatchSize.Observe(float64(len(batch)))
 	waiting := c.waitingSlice()
 	c.hQueueDepth.Observe(float64(len(waiting)))
-	span := c.trace.StartSpan("schedd.step",
+
+	c.stepSeq++
+	tr := c.sampledTracer()
+	record := ReplanRecord{Kind: "step", Now: now, Batch: len(batch), QueueDepth: len(waiting)}
+	for _, sub := range batch {
+		if sub.trace != "" && len(record.Traces) < maxRecordTraces {
+			record.Traces = append(record.Traces, sub.trace)
+		}
+	}
+	plannedBefore := len(c.newlyPlanned)
+	defer func() {
+		record.DurMs = float64(time.Since(wallStart)) / float64(time.Millisecond)
+		record.Planned = len(c.newlyPlanned) - plannedBefore
+		c.recordReplan(record)
+	}()
+
+	span := tr.StartSpan("schedd.step",
 		obs.Int("t", now),
 		obs.Int("batch", int64(len(batch))),
 		obs.Int("queue_depth", int64(len(waiting))))
+	for _, sub := range batch {
+		// Per-job trace join: the batched event carries the request trace
+		// ID and (when the step span is traced) the step's span id, tying
+		// the request's trace to the shared replan span tree.
+		if sub.trace != "" {
+			c.trace.Emit("schedd.job.batched",
+				obs.Int("t", now),
+				obs.Int("job", int64(sub.job.ID)),
+				obs.Str("trace", sub.trace))
+		}
+	}
 	base, err := c.baseProfile(now)
 	if err != nil {
 		span.End(obs.Str("status", "error"))
 		c.failStep(fmt.Sprintf("base profile: %v", err))
+		record.Outcome, record.ReasonClass, record.Reason = "failed", "step_error", c.degReason
 		return
 	}
 	res, err := c.cfg.Scheduler.Step(now, base, waiting)
 	if err != nil {
 		span.End(obs.Str("status", "error"))
 		c.failStep(fmt.Sprintf("self-tuning step: %v", err))
+		record.Outcome, record.ReasonClass, record.Reason = "failed", "step_error", c.degReason
 		return
 	}
+	record.Policy = res.Chosen.Name()
 	adopt := res.Schedule
-	degraded, reason := false, ""
+	degraded := false
+	reasonClass, reason := "", ""
 	if c.cfg.ILP != nil {
-		adopt, degraded, reason = c.ilpSchedule(now, res, waiting, base)
+		// A single traced submission in the batch threads its trace ID
+		// down to the MIP solve span; multi-job batches share one solve,
+		// so no single trace can own it.
+		ctx := context.Background()
+		if len(record.Traces) == 1 && record.Batch == 1 {
+			ctx = obs.WithTraceID(ctx, record.Traces[0])
+		}
+		var out *solvepipe.Outcome
+		adopt, degraded, reasonClass, reason, out = c.ilpSchedule(ctx, tr, now, res, waiting, base)
+		if out != nil {
+			record.CacheHit = out.CacheHit
+			record.SeedReused = out.IncumbentReused
+			for _, a := range out.Attempts {
+				record.Attempts = append(record.Attempts, AttemptRecord{
+					Scale:    a.Scale,
+					BudgetMs: a.Budget.Milliseconds(),
+					DurMs:    float64(a.Elapsed) / float64(time.Millisecond),
+					Failure:  a.Failure.String(),
+				})
+			}
+		}
 	}
 	c.counts.Steps++
 	c.cSteps.Inc()
 	c.degraded, c.degReason = degraded, reason
+	record.Outcome = "ok"
 	if degraded {
 		c.counts.DegradedSteps++
 		c.cDegraded.Inc()
+		record.Outcome = "degraded"
+		record.ReasonClass, record.Reason = reasonClass, reason
 	}
 	c.adoptPlan(now, adopt, degraded)
 	span.End(obs.Str("chosen", res.Chosen.Name()), obs.Bool("degraded", degraded))
+}
+
+// sampledTracer returns the tracer for the current replan's span tree,
+// nil when this replan is sampled off (TraceSampleEvery). The caller
+// must have advanced stepSeq first.
+func (c *Core) sampledTracer() *obs.Tracer {
+	if n := c.cfg.TraceSampleEvery; n > 1 && c.stepSeq%int64(n) != 0 {
+		return nil
+	}
+	return c.trace
+}
+
+// recordReplan finishes one replan's bookkeeping: flight recorder,
+// labeled outcome/duration metrics, and the slow-replan dump.
+func (c *Core) recordReplan(r ReplanRecord) {
+	r = c.recorder.add(r)
+	c.hvReplanDur.With(r.Kind).Observe(r.DurMs)
+	policy := r.Policy
+	if policy == "" {
+		policy = "none"
+	}
+	c.vStepOut.With(r.Outcome, policy).Inc()
+	if r.ReasonClass != "" {
+		c.vDegReason.With(r.ReasonClass).Inc()
+	}
+	if c.cfg.SlowReplan > 0 && r.DurMs >= float64(c.cfg.SlowReplan)/float64(time.Millisecond) {
+		c.dumpSlowReplan(r)
+	}
+}
+
+// dumpSlowReplan reconstructs the span tree of an offending replan on
+// the always-on tracer from the flight recorder's provenance. This is
+// how a slow replan becomes visible in the JSONL trace even when step
+// tracing was sampled off: the live spans were never written, so the
+// dump re-emits them (span dur_ms is the reconstruction time; the
+// measured durations ride in replan_dur_ms/attempt_dur_ms).
+func (c *Core) dumpSlowReplan(r ReplanRecord) {
+	sp := c.trace.StartSpan("schedd.replan.slow",
+		obs.Int("replan_seq", r.Seq),
+		obs.Str("kind", r.Kind),
+		obs.Int("t", r.Now),
+		obs.Float("replan_dur_ms", r.DurMs),
+		obs.Int("batch", int64(r.Batch)),
+		obs.Int("queue_depth", int64(r.QueueDepth)),
+		obs.Str("outcome", r.Outcome),
+		obs.Str("policy", r.Policy))
+	for i, a := range r.Attempts {
+		att := c.trace.StartSpan("schedd.replan.slow.attempt",
+			obs.Int("rung", int64(i)),
+			obs.Int("scale", a.Scale),
+			obs.Int("budget_ms", a.BudgetMs))
+		att.End(obs.Float("attempt_dur_ms", a.DurMs), obs.Str("failure", a.Failure))
+	}
+	sp.End(
+		obs.Str("reason", r.Reason),
+		obs.Bool("cache_hit", r.CacheHit),
+		obs.Bool("seed_reused", r.SeedReused))
 }
 
 // failStep records a step that produced no schedule at all: the
@@ -763,8 +935,13 @@ func (c *Core) failStep(reason string) {
 }
 
 // ilpSchedule drives one step through the solve pipeline, always
-// degrading to the basic-policy schedule on failure.
-func (c *Core) ilpSchedule(now int64, res *dynp.StepResult, waiting []*job.Job, base *machine.Profile) (*schedule.Schedule, bool, string) {
+// degrading to the basic-policy schedule on failure. It returns the
+// schedule to adopt, the degradation flag, the bounded-cardinality
+// reason class plus free-form detail, and the pipeline outcome (nil
+// when the step never reached the pipeline). A trace ID in ctx rides
+// down into the MIP solve spans; tr is the (possibly sampled-off)
+// tracer for solver-internal events.
+func (c *Core) ilpSchedule(ctx context.Context, tr *obs.Tracer, now int64, res *dynp.StepResult, waiting []*job.Job, base *machine.Profile) (*schedule.Schedule, bool, string, string, *solvepipe.Outcome) {
 	var horizon int64
 	for _, e := range res.Evals {
 		if mk := e.Schedule.Makespan(); mk > horizon {
@@ -772,7 +949,7 @@ func (c *Core) ilpSchedule(now int64, res *dynp.StepResult, waiting []*job.Job, 
 		}
 	}
 	if horizon <= now {
-		return res.Schedule, false, "" // every waiting job starts now
+		return res.Schedule, false, "", "", nil // every waiting job starts now
 	}
 	inst := &ilpsched.Instance{
 		Now:     now,
@@ -783,7 +960,7 @@ func (c *Core) ilpSchedule(now int64, res *dynp.StepResult, waiting []*job.Job, 
 	}
 	pipe := c.cfg.ILP.Pipe
 	if pipe.Trace == nil {
-		pipe.Trace = c.trace
+		pipe.Trace = tr
 	}
 	if pipe.Metrics == nil {
 		pipe.Metrics = c.cfg.Metrics
@@ -797,28 +974,29 @@ func (c *Core) ilpSchedule(now int64, res *dynp.StepResult, waiting []*job.Job, 
 	if pipe.ReuseSeed == nil && !c.cfg.ILP.ReuseOff {
 		pipe.ReuseSeed = reuseSeed(c.lastILP, waiting, now, c.total)
 	}
-	out := solvepipe.Solve(context.Background(), pipe, inst)
+	out := solvepipe.Solve(ctx, pipe, inst)
 	if !out.Failed() {
 		sch := out.Solution.Compacted
 		if verr := sch.Validate(base); verr == nil {
 			c.lastILP = sch
-			return sch, false, ""
+			return sch, false, "", "", out
 		} else {
 			c.lastILP = nil
-			return res.Schedule, true, fmt.Sprintf("infeasible ILP schedule: %v", verr)
+			return res.Schedule, true, "invalid_schedule", fmt.Sprintf("infeasible ILP schedule: %v", verr), out
 		}
 	}
 	c.lastILP = nil // a degraded step's schedule must never seed reuse
-	reason := out.LastFailure().String()
+	class := out.LastFailure().String()
+	reason := class
 	if out.Err != nil {
 		reason = fmt.Sprintf("%s: %v (%d attempts)", reason, out.Err, len(out.Attempts))
 	}
-	c.trace.Emit("solve.fallback",
+	tr.Emit("solve.fallback",
 		obs.Int("t", now),
 		obs.Str("cause", out.LastFailure().String()),
 		obs.Int("attempts", int64(len(out.Attempts))),
 		obs.Str("policy", res.Chosen.Name()))
-	return res.Schedule, true, reason
+	return res.Schedule, true, class, reason, out
 }
 
 // reuseSeed derives an incumbent candidate from the last adopted ILP
@@ -869,21 +1047,37 @@ func reuseSeed(last *schedule.Schedule, waiting []*job.Job, now int64, total int
 
 // replan rebuilds the plan with the active policy after completions.
 func (c *Core) replan(now int64) {
+	wallStart := time.Now()
+	c.stepSeq++
+	tr := c.sampledTracer()
+	record := ReplanRecord{
+		Kind: "completion", Now: now, QueueDepth: len(c.waiting),
+		Policy: c.cfg.Scheduler.Current().Name(),
+	}
+	plannedBefore := len(c.newlyPlanned)
+	defer func() {
+		record.DurMs = float64(time.Since(wallStart)) / float64(time.Millisecond)
+		record.Planned = len(c.newlyPlanned) - plannedBefore
+		c.recordReplan(record)
+	}()
 	base, err := c.baseProfile(now)
 	if err != nil {
 		c.trace.Emit("schedd.replan.failed", obs.Int("t", now), obs.Str("reason", err.Error()))
+		record.Outcome, record.ReasonClass, record.Reason = "failed", "step_error", err.Error()
 		return // keep the previous plan
 	}
 	sch, err := c.cfg.Scheduler.Reschedule(now, base, c.waitingSlice())
 	if err != nil {
 		c.trace.Emit("schedd.replan.failed", obs.Int("t", now), obs.Str("reason", err.Error()))
+		record.Outcome, record.ReasonClass, record.Reason = "failed", "step_error", err.Error()
 		return
 	}
 	c.counts.Replans++
 	c.cReplans.Inc()
-	c.trace.Emit("schedd.replan",
+	tr.Emit("schedd.replan",
 		obs.Int("t", now),
 		obs.Int("queue_depth", int64(len(c.waiting))))
+	record.Outcome = "ok"
 	c.adoptPlan(now, sch, c.degraded)
 }
 
@@ -907,6 +1101,15 @@ func (c *Core) adoptPlan(now int64, sch *schedule.Schedule, degraded bool) {
 			c.cPlanned.Inc()
 			c.hPlanLatency.Observe(float64(r.planLatency) / float64(time.Millisecond))
 			c.newlyPlanned = append(c.newlyPlanned, e.Job.ID)
+			if r.trace != "" {
+				c.trace.Emit("schedd.job.planned",
+					obs.Int("t", now),
+					obs.Int("job", int64(e.Job.ID)),
+					obs.Int("planned_start", e.Start),
+					obs.Float("plan_latency_ms", float64(r.planLatency)/float64(time.Millisecond)),
+					obs.Bool("degraded", degraded),
+					obs.Str("trace", r.trace))
+			}
 		}
 	}
 	c.startDue(now)
@@ -968,6 +1171,7 @@ func (c *Core) publish() {
 		st := JobStatus{
 			ID: id, State: StateQueued, Width: j.Width, Estimate: j.Estimate,
 			Submit: j.Submit, PlannedStart: -1, Start: -1, End: -1, PlanLatencyMs: -1,
+			TraceID: r.trace,
 		}
 		if r.planned {
 			st.State = StateWaiting
@@ -987,6 +1191,7 @@ func (c *Core) publish() {
 			End:           r.start + r.job.Runtime,
 			PlanLatencyMs: float64(r.planLatency) / float64(time.Millisecond),
 			Degraded:      r.degraded,
+			TraceID:       r.trace,
 		}
 	}
 	sort.Slice(s.Schedule, func(i, k int) bool {
@@ -997,7 +1202,31 @@ func (c *Core) publish() {
 	})
 	c.snap.Store(s)
 	for _, id := range c.newlyPlanned {
+		// Publication closes the traced submit→planned path: the first
+		// snapshot carrying the job's plan is now visible to readers.
+		if trace := c.traceOf(id); trace != "" {
+			c.trace.Emit("schedd.job.published",
+				obs.Int("t", c.vnow),
+				obs.Int("job", int64(id)),
+				obs.Int("version", s.Version),
+				obs.Str("trace", trace))
+		}
 		c.pending.Delete(id)
 	}
 	c.newlyPlanned = c.newlyPlanned[:0]
+}
+
+// traceOf finds a job's trace ID wherever its record currently lives
+// (waiting, running, or already completed).
+func (c *Core) traceOf(id int) string {
+	if r, ok := c.recs[id]; ok {
+		return r.trace
+	}
+	if r, ok := c.running[id]; ok {
+		return r.trace
+	}
+	if v, ok := c.done.Load(id); ok {
+		return v.(JobStatus).TraceID
+	}
+	return ""
 }

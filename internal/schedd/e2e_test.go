@@ -8,8 +8,10 @@ package schedd_test
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -51,6 +53,7 @@ func TestServingE2EWithFaults(t *testing.T) {
 		QueueBound:    1024,
 		MaxBatch:      64,
 		MaxBatchDelay: 5 * time.Millisecond,
+		ReplanBuffer:  4096, // keep every replan of the run for the assertions below
 		ILP: &schedd.ILPConfig{
 			Pipe: solvepipe.Config{
 				Budget: 500 * time.Millisecond,
@@ -124,6 +127,50 @@ func TestServingE2EWithFaults(t *testing.T) {
 	rm.Body.Close()
 	if len(ms) == 0 {
 		t.Error("empty /v1/metrics dump")
+	}
+
+	// Every faulted (degraded) replan must be queryable in the flight
+	// recorder with a reason, and the Prometheus exposition must parse
+	// and carry the degraded outcome as a labeled series.
+	rr, err := http.Get(srv.URL + "/v1/replans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []schedd.ReplanRecord
+	if err := json.NewDecoder(rr.Body).Decode(&recs); err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	degradedRecs := int64(0)
+	for _, rec := range recs {
+		if rec.Outcome != "degraded" {
+			continue
+		}
+		degradedRecs++
+		if rec.ReasonClass == "" || rec.Reason == "" {
+			t.Errorf("degraded replan %d has no reason: %+v", rec.Seq, rec)
+		}
+		if len(rec.Attempts) == 0 {
+			t.Errorf("degraded replan %d has no attempt provenance", rec.Seq)
+		}
+	}
+	if degradedRecs != res.DegradedSteps {
+		t.Errorf("/v1/replans shows %d degraded replans, metrics %d", degradedRecs, res.DegradedSteps)
+	}
+	pm, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, err := io.ReadAll(pm.Body)
+	pm.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateExposition(expo); err != nil {
+		t.Errorf("malformed Prometheus exposition: %v", err)
+	}
+	if !strings.Contains(string(expo), `schedd_step_outcome{outcome="degraded"`) {
+		t.Error("exposition missing degraded outcome series")
 	}
 
 	// Clean drain: Stop returns without error and the final snapshot

@@ -7,10 +7,16 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/obs"
 )
+
+// TraceHeader carries the request trace ID. Clients may supply one (any
+// non-empty value); the daemon mints a fresh ID otherwise and always
+// echoes the effective ID back on the response.
+const TraceHeader = "X-Trace-Id"
 
 // API types of the HTTP layer. Everything is plain JSON; errors are
 // {"error": "..."} with the appropriate status code.
@@ -35,10 +41,12 @@ type HealthJSON struct {
 
 // MetricJSON is one instrument of the GET /v1/metrics dump. Histogram
 // bucket upper bounds are rendered as strings so the +Inf overflow
-// bucket survives JSON.
+// bucket survives JSON. Labeled families expand into one entry per
+// series, carrying the label pairs.
 type MetricJSON struct {
 	Name    string       `json:"name"`
 	Kind    string       `json:"kind"`
+	Labels  []obs.Label  `json:"labels,omitempty"`
 	Value   int64        `json:"value"`
 	Sum     float64      `json:"sum,omitempty"`
 	Mean    float64      `json:"mean,omitempty"`
@@ -56,7 +64,7 @@ type BucketJSON struct {
 func MetricsToJSON(ms []obs.Metric) []MetricJSON {
 	out := make([]MetricJSON, 0, len(ms))
 	for _, m := range ms {
-		mj := MetricJSON{Name: m.Name, Kind: m.Kind, Value: m.Value, Sum: m.Sum, Mean: m.Mean}
+		mj := MetricJSON{Name: m.Name, Kind: m.Kind, Labels: m.Labels, Value: m.Value, Sum: m.Sum, Mean: m.Mean}
 		for _, b := range m.Buckets {
 			le := "+Inf"
 			if !math.IsInf(b.UpperBound, 1) {
@@ -75,7 +83,10 @@ func MetricsToJSON(ms []obs.Metric) []MetricJSON {
 //	GET  /v1/jobs/{id} job state and planned start
 //	GET  /v1/schedule  the current full plan
 //	GET  /v1/healthz   liveness and queue depths
-//	GET  /v1/metrics   dump of the obs counter/histogram registry
+//	GET  /v1/metrics   obs registry dump (JSON, or Prometheus text when
+//	                   the Accept header asks for it)
+//	GET  /metrics      Prometheus text exposition (scrape target)
+//	GET  /v1/replans   flight recorder: the last N replan summaries
 func NewHandler(c *Core) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -84,13 +95,24 @@ func NewHandler(c *Core) http.Handler {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
 			return
 		}
-		resp, err := c.Submit(SubmitRequest{
+		trace := r.Header.Get(TraceHeader)
+		if trace == "" {
+			trace = obs.NewTraceID()
+		}
+		w.Header().Set(TraceHeader, trace)
+		ctx := obs.WithTraceID(r.Context(), trace)
+		ctx, span := c.Tracer().StartSpanCtx(ctx, "schedd.admit",
+			obs.Str("source", req.Source),
+			obs.Int("width", int64(req.Width)))
+		resp, err := c.SubmitCtx(ctx, SubmitRequest{
 			Width: req.Width, Estimate: req.Estimate, Runtime: req.Runtime, Source: req.Source,
 		})
 		if err != nil {
+			span.End(obs.Str("outcome", admitOutcome(err)))
 			writeSubmitError(w, err)
 			return
 		}
+		span.End(obs.Str("outcome", "accepted"), obs.Int("job", int64(resp.ID)))
 		writeJSON(w, http.StatusAccepted, resp)
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
@@ -129,9 +151,63 @@ func NewHandler(c *Core) http.Handler {
 		})
 	})
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, MetricsToJSON(c.Metrics().Snapshot()))
+		// One snapshot pass feeds whichever encoder the client
+		// negotiated; JSON stays the default for compatibility.
+		ms := metricsSnapshot(c)
+		if wantsPrometheus(r.Header.Get("Accept")) {
+			writePrometheus(w, ms)
+			return
+		}
+		writeJSON(w, http.StatusOK, MetricsToJSON(ms))
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writePrometheus(w, metricsSnapshot(c))
+	})
+	mux.HandleFunc("GET /v1/replans", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Replans())
 	})
 	return mux
+}
+
+// metricsSnapshot is the single snapshot pass shared by the JSON and
+// Prometheus encoders: the registry's instruments plus live Go runtime
+// gauges.
+func metricsSnapshot(c *Core) []obs.Metric {
+	ms := c.Metrics().Snapshot()
+	return append(ms, obs.RuntimeMetrics()...)
+}
+
+// wantsPrometheus reports whether the Accept header asks for the text
+// exposition (a Prometheus scraper sends text/plain and/or
+// application/openmetrics-text; JSON clients and browsers do not lead
+// with those).
+func wantsPrometheus(accept string) bool {
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
+}
+
+func writePrometheus(w http.ResponseWriter, ms []obs.Metric) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = obs.WritePrometheus(w, ms)
+}
+
+// admitOutcome classifies a submit error for the admission span.
+func admitOutcome(err error) string {
+	var rl *RateLimitedError
+	var ve *ValidationError
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return "queue_full"
+	case errors.As(err, &rl):
+		return "rate_limited"
+	case errors.Is(err, ErrDraining):
+		return "draining"
+	case errors.As(err, &ve):
+		return "invalid"
+	default:
+		return "error"
+	}
 }
 
 // writeSubmitError maps admission errors to their status codes: 429

@@ -1,0 +1,117 @@
+package schedd
+
+import "sync"
+
+// The flight recorder keeps the last N replan summaries in memory,
+// always on: when an operator asks "why was that plan late/degraded?"
+// the answer is already recorded, even with tracing sampled off. It is
+// deliberately a summary store, not a span store — a fixed ring of
+// small records costs nothing on the hot path — but each record keeps
+// enough solve-pipeline provenance (per-attempt scale/budget/failure/
+// duration) to reconstruct the span tree of an offending replan after
+// the fact; see Core.dumpSlowReplan.
+
+// AttemptRecord is one solve-pipeline rung of a recorded replan.
+type AttemptRecord struct {
+	Scale    int64   `json:"scale"`
+	BudgetMs int64   `json:"budget_ms"`
+	DurMs    float64 `json:"dur_ms"`
+	Failure  string  `json:"failure"` // "none" on success
+}
+
+// ReplanRecord is one replan summary in the flight recorder.
+type ReplanRecord struct {
+	// Seq is the recorder-assigned sequence number (monotone, 1-based).
+	Seq int64 `json:"seq"`
+	// Kind is what triggered the replan: "step" (submissions batched into
+	// a self-tuning step, including the drain flush) or "completion" (a
+	// policy replan after job completions).
+	Kind string `json:"kind"`
+	// Now is the virtual time of the replan.
+	Now int64 `json:"now"`
+	// DurMs is the wall-clock duration of the whole replan.
+	DurMs float64 `json:"dur_ms"`
+	// Batch is the number of newly admitted jobs coalesced into the step
+	// (0 for completion replans).
+	Batch int `json:"batch"`
+	// QueueDepth is the waiting-queue size the replan planned over.
+	QueueDepth int `json:"queue_depth"`
+	// Planned is how many jobs received their first plan in this replan.
+	Planned int `json:"planned"`
+	// Outcome is "ok", "degraded" (fell back to the basic-policy
+	// schedule) or "failed" (no schedule at all; previous plan kept).
+	Outcome string `json:"outcome"`
+	// Policy is the dynP policy that produced the adopted schedule.
+	Policy string `json:"policy,omitempty"`
+	// ReasonClass is the bounded-cardinality degradation class (a
+	// solvepipe failure kind, "invalid_schedule" or "step_error"); Reason
+	// is the free-form detail. Both empty when Outcome is "ok".
+	ReasonClass string `json:"reason_class,omitempty"`
+	Reason      string `json:"reason,omitempty"`
+	// CacheHit/SeedReused report cross-step solution reuse.
+	CacheHit   bool `json:"cache_hit,omitempty"`
+	SeedReused bool `json:"seed_reused,omitempty"`
+	// Attempts is the solve pipeline's per-rung provenance (nil when the
+	// step did not reach the pipeline).
+	Attempts []AttemptRecord `json:"attempts,omitempty"`
+	// Traces are the trace IDs riding in the step's batch (capped; see
+	// maxRecordTraces).
+	Traces []string `json:"traces,omitempty"`
+}
+
+// maxRecordTraces caps the trace IDs kept per record so a huge batch
+// cannot bloat the ring.
+const maxRecordTraces = 8
+
+// flightRecorder is a fixed-capacity ring of ReplanRecords. The writer
+// loop adds; HTTP handlers list concurrently.
+type flightRecorder struct {
+	mu   sync.Mutex
+	buf  []ReplanRecord
+	cap  int
+	next int   // ring index of the next write
+	seq  int64 // total records ever added
+}
+
+func newFlightRecorder(capacity int) *flightRecorder {
+	if capacity < 1 {
+		capacity = 64
+	}
+	return &flightRecorder{buf: make([]ReplanRecord, 0, capacity), cap: capacity}
+}
+
+// add assigns the record's sequence number, stores it (evicting the
+// oldest once full) and returns it.
+func (f *flightRecorder) add(r ReplanRecord) ReplanRecord {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seq++
+	r.Seq = f.seq
+	if len(f.buf) < f.cap {
+		f.buf = append(f.buf, r)
+	} else {
+		f.buf[f.next] = r
+	}
+	f.next = (f.next + 1) % f.cap
+	return r
+}
+
+// list returns the recorded replans, newest first.
+func (f *flightRecorder) list() []ReplanRecord {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]ReplanRecord, 0, len(f.buf))
+	// Newest is the slot just before next (once the ring wrapped, next
+	// points at the oldest).
+	for i := 0; i < len(f.buf); i++ {
+		idx := (f.next - 1 - i + len(f.buf)) % len(f.buf)
+		out = append(out, f.buf[idx])
+	}
+	return out
+}
+
+func (f *flightRecorder) len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.buf)
+}

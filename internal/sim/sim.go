@@ -340,6 +340,10 @@ type Simulator struct {
 	cFallbacks  *obs.Counter   // mip.fallbacks: ILP steps degraded to policy
 	hQueueDepth *obs.Histogram // waiting-queue length per self-tuning step
 	hEventDepth *obs.Histogram // event-loop (heap) depth per event
+	// Labeled families of the ILP-driven path (bounded cardinality: the
+	// label values are fixed outcome/failure-kind vocabularies).
+	vStepOut  *obs.CounterVec // sim.step.outcome{outcome}: ok|cache_hit|fallback
+	vFallback *obs.CounterVec // sim.fallback.by_cause{cause}: failure kind
 }
 
 type runningJob struct {
@@ -400,6 +404,8 @@ func New(t *job.Trace, s *dynp.Scheduler, cfg Config) (*Simulator, error) {
 		sim.cFallbacks = reg.Counter("mip.fallbacks")
 		sim.hQueueDepth = reg.Histogram("sim.queue_depth", depthBounds)
 		sim.hEventDepth = reg.Histogram("sim.event_loop_depth", depthBounds)
+		sim.vStepOut = reg.CounterVec("sim.step.outcome", "outcome")
+		sim.vFallback = reg.CounterVec("sim.fallback.by_cause", "cause")
 	}
 	if cfg.Trace != nil || cfg.Metrics != nil {
 		s.SetObs(cfg.Trace, cfg.Metrics)
@@ -599,6 +605,11 @@ func (s *Simulator) ilpSchedule(res *dynp.StepResult, waiting []*job.Job, base *
 		sch := out.Solution.Compacted
 		if verr := sch.Validate(base); verr == nil {
 			s.lastILP = sch
+			if out.CacheHit {
+				s.vStepOut.With("cache_hit").Inc()
+			} else {
+				s.vStepOut.With("ok").Inc()
+			}
 			return sch, info, nil
 		} else {
 			// A solver bug, not an instance property: degrade like any
@@ -617,6 +628,8 @@ func (s *Simulator) ilpSchedule(res *dynp.StepResult, waiting []*job.Job, base *
 	s.lastILP = nil // a degraded step's schedule must never seed reuse
 	s.result.ILPFallbacks++
 	s.cFallbacks.Inc()
+	s.vStepOut.With("fallback").Inc()
+	s.vFallback.With(failKind.String()).Inc()
 	s.result.Failures = append(s.result.Failures, StepFailure{
 		Time: s.clock, Kind: failKind, Attempts: len(out.Attempts),
 		Err: failErr.Error(),

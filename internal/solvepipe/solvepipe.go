@@ -199,8 +199,10 @@ type Config struct {
 	// is the fault-injection seam used by internal/faultinject; it also
 	// admits caching or logging middleware.
 	Hook func(SolveFunc) SolveFunc
-	// Trace, if non-nil, receives "solve.attempt" and "solve.retry"
-	// events. Metrics, if non-nil, accumulates the "mip.retries" counter.
+	// Trace, if non-nil, receives a "solve.attempt" span per rung (solver
+	// internals nest under it) and "solve.retry" events. Metrics, if
+	// non-nil, accumulates the "mip.retries" counter and the
+	// "solve.attempts" counter family labeled by failure kind.
 	Trace   *obs.Tracer
 	Metrics *obs.Registry
 }
@@ -266,8 +268,23 @@ func Solve(ctx context.Context, cfg Config, inst *ilpsched.Instance) *Outcome {
 	}
 	budget := cfg.Budget
 	out := &Outcome{}
+	attempts := cfg.Metrics.CounterVec("solve.attempts", "failure")
 	for rung := 0; ; rung++ {
 		att := Attempt{Scale: scale, Budget: budget}
+		// The attempt is a span (begin/end pair), so the rung's solver
+		// internals (mip.solve, lp spans) nest under it in the trace; the
+		// end event carries the classified failure. A trace ID on ctx
+		// (single-job batches in the serving path) joins the span to the
+		// request's trace.
+		spanFields := []obs.Field{
+			obs.Int("rung", int64(rung)),
+			obs.Int("scale", scale),
+			obs.Int("budget_ms", budget.Milliseconds()),
+		}
+		if tid := obs.TraceIDFrom(ctx); tid != "" {
+			spanFields = append(spanFields, obs.Str("trace", tid))
+		}
+		span := cfg.Trace.StartSpan("solve.attempt", spanFields...)
 		start := time.Now()
 		sol, rs, err := solveOnce(ctx, cfg, inst, scale, budget)
 		att.Elapsed = time.Since(start)
@@ -277,11 +294,8 @@ func Solve(ctx context.Context, cfg Config, inst *ilpsched.Instance) *Outcome {
 		if rs.incumbentReused {
 			out.IncumbentReused = true
 		}
-		cfg.Trace.Emit("solve.attempt",
-			obs.Int("rung", int64(rung)),
-			obs.Int("scale", scale),
-			obs.Int("budget_ms", budget.Milliseconds()),
-			obs.Str("failure", att.Failure.String()))
+		span.End(obs.Str("failure", att.Failure.String()))
+		attempts.With(att.Failure.String()).Inc()
 		if err == nil {
 			out.Solution, out.Scale, out.Presolve = sol, scale, rs.presolve
 			if cfg.Cache != nil {

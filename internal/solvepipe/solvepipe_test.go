@@ -144,11 +144,42 @@ func TestLadderExhaustionEmitsObs(t *testing.T) {
 		t.Fatalf("mip.retries = %d, want 2", got)
 	}
 	trace := buf.String()
-	if n := strings.Count(trace, `"ev":"solve.attempt"`); n != 3 {
-		t.Fatalf("%d solve.attempt events, want 3", n)
+	// solve.attempt is a span: one begin and one end line per rung, with
+	// the classified failure on the end event.
+	begins, ends := 0, 0
+	for _, line := range strings.Split(trace, "\n") {
+		if !strings.Contains(line, `"ev":"solve.attempt"`) {
+			continue
+		}
+		switch {
+		case strings.Contains(line, `"phase":"begin"`):
+			begins++
+		case strings.Contains(line, `"phase":"end"`):
+			ends++
+			if !strings.Contains(line, `"failure":`) {
+				t.Fatalf("attempt end without failure field: %s", line)
+			}
+		}
+	}
+	if begins != 3 || ends != 3 {
+		t.Fatalf("%d/%d solve.attempt begin/end spans, want 3/3", begins, ends)
 	}
 	if n := strings.Count(trace, `"ev":"solve.retry"`); n != 2 {
 		t.Fatalf("%d solve.retry events, want 2", n)
+	}
+	// The labeled attempt counter classifies every rung.
+	var timeouts int64
+	for _, m := range reg.Snapshot() {
+		if m.Name == "solve.attempts" {
+			for _, l := range m.Labels {
+				if l.Key == "failure" && l.Value == "timeout" {
+					timeouts = m.Value
+				}
+			}
+		}
+	}
+	if timeouts != 3 {
+		t.Fatalf("solve.attempts{failure=timeout} = %d, want 3", timeouts)
 	}
 }
 
