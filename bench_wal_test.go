@@ -1,0 +1,26 @@
+// WAL benchmarks of the durable admission path, shared with
+// cmd/benchjson through internal/benchkit:
+//
+//	go test -bench WAL -benchmem .
+//
+// AppendSync measures the client-visible durable-append latency (the
+// caller blocks until its record is fsynced); fsync_every=1 pays one
+// disk flush per record while fsync_every=64 lets the group commit
+// amortize the flush across concurrent submitters. AppendAsync is the
+// fire-and-forget writer-loop path (plan/start/complete records).
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/benchkit"
+)
+
+func BenchmarkWALAppendSync(b *testing.B) {
+	b.Run("fsync_every=1", benchkit.BenchWALAppendSync(1))
+	b.Run("fsync_every=64", benchkit.BenchWALAppendSync(64))
+}
+
+func BenchmarkWALAppendAsync(b *testing.B) {
+	benchkit.BenchWALAppendAsync()(b)
+}

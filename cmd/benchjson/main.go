@@ -87,6 +87,13 @@ type servingStats struct {
 	// ReplanReductionPct is how many of the batching-off replans the
 	// coalescing eliminated.
 	ReplanReductionPct float64 `json:"replan_reduction_pct"`
+	// WAL is the durable leg: batching on plus a write-ahead log, so
+	// every 202 pays a group-committed fsync before it is sent.
+	WAL *servingRun `json:"wal_on,omitempty"`
+	// WALSubmitP99Ratio is the durable leg's submit p99 divided by the
+	// memory-only batching-on leg's — the price of durability on the
+	// tail, which group commit is meant to keep within ~2x.
+	WALSubmitP99Ratio float64 `json:"wal_submit_p99_ratio,omitempty"`
 }
 
 type presolveStats struct {
@@ -200,6 +207,16 @@ func main() {
 	}
 	results = append(results, obsDisabled, obsLabeled, obsTracing)
 
+	// Durable-append cost: fsync_every=1 is the one-fsync-per-record
+	// baseline, fsync_every=64 shows the group-commit amortization under
+	// the same concurrent load.
+	walOne := run("WALAppendSync/fsync_every=1", benchkit.BenchWALAppendSync(1))
+	walGrp := run("WALAppendSync/fsync_every=64", benchkit.BenchWALAppendSync(64))
+	if walOne.NsPerOp > 0 {
+		walGrp.SpeedupVsBaseline = walOne.NsPerOp / walGrp.NsPerOp
+	}
+	results = append(results, walOne, walGrp, run("WALAppendAsync", benchkit.BenchWALAppendAsync()))
+
 	warmHits, lpSolves, etaUp, err := benchkit.WarmStartStats()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: warm-start stats: %v\n", err)
@@ -223,14 +240,17 @@ func main() {
 		if *quick && jobs > 1000 {
 			jobs = 1000
 		}
-		leg := func(batching bool) *servingRun {
+		leg := func(batching, durable bool) *servingRun {
 			mode := "off"
 			if batching {
 				mode = "on"
 			}
+			if durable {
+				mode += "+wal"
+			}
 			fmt.Fprintf(os.Stderr, "benchjson: serving replay (%d jobs, batching %s)...\n", jobs, mode)
 			res, _, err := benchkit.ServingBench(benchkit.ServingConfig{
-				Jobs: jobs, Accel: *servingAccel, Batching: batching,
+				Jobs: jobs, Accel: *servingAccel, Batching: batching, WAL: durable,
 			})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "benchjson: serving: %v\n", err)
@@ -238,10 +258,13 @@ func main() {
 			}
 			return &servingRun{Batching: batching, Result: res}
 		}
-		off, on := leg(false), leg(true)
-		serving = &servingStats{Jobs: jobs, Machine: 430, Accel: *servingAccel, Off: off, On: on}
+		off, on, durable := leg(false, false), leg(true, false), leg(true, true)
+		serving = &servingStats{Jobs: jobs, Machine: 430, Accel: *servingAccel, Off: off, On: on, WAL: durable}
 		if offTotal := off.Steps + off.Replans; offTotal > 0 {
 			serving.ReplanReductionPct = 100 * (1 - float64(on.Steps+on.Replans)/float64(offTotal))
+		}
+		if on.SubmitLatency.P99 > 0 {
+			serving.WALSubmitP99Ratio = durable.SubmitLatency.P99 / on.SubmitLatency.P99
 		}
 	}
 

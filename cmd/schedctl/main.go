@@ -31,6 +31,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -40,6 +41,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/schedd"
 	"repro/internal/swf"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -69,6 +71,8 @@ func main() {
 		err = get(base + "/v1/replans")
 	case "loadgen":
 		err = cmdLoadgen(base, args)
+	case "wal":
+		err = cmdWAL(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -90,6 +94,7 @@ commands:
   metrics   dump the obs metric registry (-prom for Prometheus text, -check to validate)
   replans   show the flight recorder's replan summaries
   loadgen   replay a workload and measure serving latency
+  wal       inspect or verify a daemon WAL directory offline
 `)
 }
 
@@ -188,6 +193,7 @@ func cmdLoadgen(base string, args []string) error {
 	sources := fs.Int("sources", 4, "distinct source labels (round-robin)")
 	timeout := fs.Duration("wait-timeout", 60*time.Second, "bound on the wait for all accepted jobs to be planned")
 	asJSON := fs.Bool("json", false, "emit the result as JSON instead of the report")
+	idemPrefix := fs.String("idem-prefix", "", "attach deterministic Idempotency-Key headers (\"<prefix>-<i>\"); rerun with the same prefix for the crash-resume drill")
 	fs.Parse(args)
 
 	tr, err := loadLoadgenTrace(*swfPath, *synthetic, *seed)
@@ -198,11 +204,12 @@ func cmdLoadgen(base string, args []string) error {
 		tr.Jobs = tr.Jobs[:*nJobs]
 	}
 	res, err := loadgen.Run(context.Background(), loadgen.Config{
-		BaseURL:     base,
-		Trace:       tr,
-		Accel:       *accel,
-		Sources:     *sources,
-		WaitTimeout: *timeout,
+		BaseURL:           base,
+		Trace:             tr,
+		Accel:             *accel,
+		Sources:           *sources,
+		WaitTimeout:       *timeout,
+		IdempotencyPrefix: *idemPrefix,
 	})
 	if err != nil {
 		return err
@@ -219,7 +226,81 @@ func cmdLoadgen(base string, args []string) error {
 	if res.DroppedAccepted > 0 {
 		return fmt.Errorf("%d accepted jobs were never planned", res.DroppedAccepted)
 	}
+	if res.DuplicateIDs > 0 {
+		return fmt.Errorf("%d submissions were double-admitted (duplicate job IDs)", res.DuplicateIDs)
+	}
+	if res.MissingJobs > 0 {
+		return fmt.Errorf("%d accepted jobs could not be fetched back", res.MissingJobs)
+	}
 	return nil
+}
+
+// cmdWAL inspects a WAL directory offline (the daemon must not have it
+// open). "inspect" prints a human summary or -json; "verify" runs the
+// same scan but exits non-zero when the log is corrupt or unreplayable,
+// which is what scripted integrity checks use.
+func cmdWAL(args []string) error {
+	if len(args) < 1 || (args[0] != "inspect" && args[0] != "verify") {
+		return fmt.Errorf("usage: schedctl wal <inspect|verify> -dir DIR [-json]")
+	}
+	verb := args[0]
+	fs := flag.NewFlagSet("wal "+verb, flag.ExitOnError)
+	dir := fs.String("dir", "", "WAL directory (the daemon's -wal-dir)")
+	asJSON := fs.Bool("json", false, "emit the full wal.Info as JSON")
+	fs.Parse(args[1:])
+	if *dir == "" {
+		return fmt.Errorf("wal %s: -dir is required", verb)
+	}
+	info, err := wal.Inspect(*dir)
+	if err != nil {
+		return fmt.Errorf("wal %s: %w", verb, err)
+	}
+	if *asJSON {
+		b, err := json.MarshalIndent(info, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+	} else {
+		fmt.Printf("dir:        %s\n", info.Dir)
+		fmt.Printf("tail seq:   %d\n", info.TailSeq)
+		fmt.Printf("chain:      %s\n", info.Chain)
+		fmt.Printf("snapshot:   seq %d (%d snapshot files)\n", info.SnapshotSeq, len(info.Snapshots))
+		fmt.Printf("segments:   %d\n", len(info.Segments))
+		fmt.Printf("replayable: %d records", info.Replayable)
+		if len(info.ByType) > 0 {
+			fmt.Print(" (")
+			first := true
+			for _, t := range sortedTypeKeys(info.ByType) {
+				if !first {
+					fmt.Print(", ")
+				}
+				fmt.Printf("%s=%d", t, info.ByType[t])
+				first = false
+			}
+			fmt.Print(")")
+		}
+		fmt.Println()
+		if info.TornBytes > 0 {
+			fmt.Printf("torn tail:  %d bytes (truncated on next open)\n", info.TornBytes)
+		}
+		if info.Corrupt != "" {
+			fmt.Printf("CORRUPT:    %s\n", info.Corrupt)
+		}
+	}
+	if verb == "verify" && info.Corrupt != "" {
+		return fmt.Errorf("wal verify: %s", info.Corrupt)
+	}
+	return nil
+}
+
+func sortedTypeKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func loadLoadgenTrace(path string, synthetic int, seed uint64) (*job.Trace, error) {

@@ -10,6 +10,7 @@
 //	schedd -ilp -solve-budget 2s -solve-retries 1 -trace schedd.jsonl
 //	schedd -rate 5 -burst 10 -queue-bound 512
 //	schedd -inject-faults 0.2 -inject-seed 7   # fault-injection drill
+//	schedd -wal-dir /var/lib/schedd/wal        # durable admissions + crash recovery
 //
 // The API (see internal/schedd):
 //
@@ -32,6 +33,15 @@
 // finishes its in-flight step, plans every already-admitted job (new
 // submissions get 503), persists the final schedule snapshot to
 // -final-schedule if set, flushes the -trace JSONL sink, and exits 0.
+//
+// With -wal-dir every admission decision is appended to a hash-chained
+// write-ahead log before the 202 commits; on restart the daemon replays
+// the newest snapshot plus the log tail (announcing "WAL open" with the
+// replay size), serves 503 from POST /v1/jobs until recovery finishes,
+// and refuses to start on a corrupt log unless -wal-repair truncates it
+// back to the last verifiable record. If the daemon panics, the replan
+// flight recorder is dumped to stderr and the JSONL trace is flushed so
+// post-crash forensics (traceinfo -jsonl) see the final events.
 package main
 
 import (
@@ -59,6 +69,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/schedd"
 	"repro/internal/solvepipe"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -90,6 +101,10 @@ func main() {
 		pprofOn    = flag.Bool("pprof", false, "serve Go profiling handlers under /debug/pprof/")
 		finalOut   = flag.String("final-schedule", "", "persist the final schedule snapshot as JSON on drain")
 		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for the drain to finish")
+		walDir     = flag.String("wal-dir", "", "write-ahead log directory; admissions are durable before the 202 (empty = memory only)")
+		walFsync   = flag.Int("wal-fsync-every", 64, "max WAL records coalesced into one fsync (group commit; with -wal-dir)")
+		snapEvery  = flag.Int("snapshot-every", 1024, "WAL records between state snapshots that bound replay (with -wal-dir)")
+		walRepair  = flag.Bool("wal-repair", false, "truncate a corrupt WAL back to the last verifiable record instead of refusing to start")
 	)
 	flag.Parse()
 
@@ -125,6 +140,20 @@ func main() {
 	}
 	reg := obs.NewRegistry()
 
+	// The panic path must leave the same forensics a graceful drain
+	// does: the flight recorder's replan summaries on stderr and a
+	// flushed JSONL trace for traceinfo.
+	var core *schedd.Core
+	panicDump := func(v any) {
+		fmt.Fprintf(os.Stderr, "schedd: panic: %v\n", v)
+		if core != nil {
+			if b, err := json.Marshal(core.Replans()); err == nil {
+				fmt.Fprintf(os.Stderr, "schedd: flight recorder: %s\n", b)
+			}
+		}
+		flush()
+	}
+
 	cfg := schedd.Config{
 		Machine:       *machineSz,
 		Scheduler:     sched,
@@ -140,6 +169,9 @@ func main() {
 		ReplanBuffer:     *replanBuf,
 		SlowReplan:       *slowReplan,
 		TraceSampleEvery: *sampleEvry,
+
+		SnapshotEvery: *snapEvery,
+		PanicHook:     panicDump,
 	}
 	if *ilpDriven {
 		cfg.ILP = &schedd.ILPConfig{
@@ -161,7 +193,29 @@ func main() {
 		fail(fmt.Errorf("-inject-faults requires -ilp (there is no solve pipeline to fault)"))
 	}
 
-	core, err := schedd.New(cfg)
+	var walLog *wal.Log
+	if *walDir != "" {
+		walLog, cfg.Recovery, err = wal.Open(wal.Options{
+			Dir:        *walDir,
+			FsyncEvery: *walFsync,
+			Repair:     *walRepair,
+			Trace:      tracer,
+			Metrics:    reg,
+		})
+		if err != nil {
+			flush()
+			fail(fmt.Errorf("wal: %w (pass -wal-repair to truncate back to the last verifiable record)", err))
+		}
+		cfg.WAL = walLog
+		fmt.Fprintf(os.Stderr,
+			"schedd: WAL open in %s: %d records to replay from seq %d (%d torn bytes truncated, repaired=%d)\n",
+			*walDir, len(cfg.Recovery.Records), cfg.Recovery.SnapshotSeq,
+			cfg.Recovery.TornBytes, cfg.Recovery.Repaired)
+	} else if *walRepair {
+		fail(fmt.Errorf("-wal-repair requires -wal-dir"))
+	}
+
+	core, err = schedd.New(cfg)
 	if err != nil {
 		fail(err)
 	}
@@ -217,6 +271,11 @@ func main() {
 	}
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "schedd: http shutdown:", err)
+	}
+	if walLog != nil {
+		if err := walLog.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "schedd: wal close:", err)
+		}
 	}
 	flush()
 	c := final.Counts

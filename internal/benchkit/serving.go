@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net/http/httptest"
+	"os"
 	"time"
 
 	"repro/internal/dynp"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/schedd"
 	"repro/internal/solvepipe"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -37,6 +39,13 @@ type ServingConfig struct {
 	// QueueBound overrides the submit queue bound (default: Jobs, so
 	// the benchmark measures replan throughput, not 429 churn).
 	QueueBound int
+	// WAL, when true, routes every admission through a durable
+	// write-ahead log in a temp directory (group-commit fsync, batch
+	// bound WALFsyncEvery, default 64): the submit path then pays a real
+	// disk flush before each 202, which is the durability overhead the
+	// serving comparison quantifies.
+	WAL           bool
+	WALFsyncEvery int
 }
 
 // ServingBench runs one serving leg and returns the loadgen measurement
@@ -79,6 +88,24 @@ func ServingBench(cfg ServingConfig) (*loadgen.Result, *schedd.Counters, error) 
 	if cfg.Batching {
 		scfg.MaxBatch = 64
 		scfg.MaxBatchDelay = 5 * time.Millisecond
+	}
+	var walLog *wal.Log
+	if cfg.WAL {
+		dir, err := os.MkdirTemp("", "benchwal-serving")
+		if err != nil {
+			return nil, nil, err
+		}
+		defer os.RemoveAll(dir)
+		fsyncEvery := cfg.WALFsyncEvery
+		if fsyncEvery <= 0 {
+			fsyncEvery = 64
+		}
+		walLog, scfg.Recovery, err = wal.Open(wal.Options{Dir: dir, FsyncEvery: fsyncEvery})
+		if err != nil {
+			return nil, nil, err
+		}
+		defer walLog.Close()
+		scfg.WAL = walLog
 	}
 	if cfg.FaultP > 0 {
 		inj := faultinject.New(faultinject.NewProbability(cfg.Seed, cfg.FaultP))

@@ -289,6 +289,10 @@ func (s *Scheduler) Step(now int64, base *machine.Profile, waiting []*job.Job) (
 	} else {
 		for i, p := range s.policies {
 			all[i], errs[i] = s.buildEval(now, base, waiting, p)
+			// Build boundaries are not preemption points; yield so other
+			// goroutines (serving handlers, the WAL writer) get the CPU
+			// between policy evaluations on a small host.
+			runtime.Gosched()
 		}
 	}
 	evals := all[:0]

@@ -50,6 +50,14 @@ type Config struct {
 	WaitTimeout time.Duration
 	// StatusWorkers fetches per-job statuses at the end (default 8).
 	StatusWorkers int
+	// IdempotencyPrefix, when non-empty, attaches a deterministic
+	// Idempotency-Key header ("<prefix>-<i>") to submission i. Rerunning
+	// the same trace with the same prefix against a recovered daemon is
+	// the crash-resume drill: every job that survived the crash answers
+	// as a dedup hit with its original ID instead of being admitted
+	// twice, and the Result's Deduplicated/NewlyAccepted split plus
+	// DuplicateIDs make the zero-duplicates assertion directly checkable.
+	IdempotencyPrefix string
 }
 
 // Percentiles summarizes a latency distribution in milliseconds.
@@ -98,6 +106,15 @@ type Result struct {
 	Rejected429     int `json:"rejected_429"`
 	RejectedOther   int `json:"rejected_other"`
 	TransportErrors int `json:"transport_errors"`
+	// Deduplicated counts accepted responses that were idempotency-key
+	// dedup hits (the server returned an existing job instead of
+	// admitting a new one); NewlyAccepted = Accepted - Deduplicated.
+	// DuplicateIDs counts accepted responses whose job ID was already
+	// returned to a different submission of this run — with distinct
+	// keys it must be zero, and nonzero means the service double-admitted.
+	Deduplicated  int `json:"deduplicated"`
+	NewlyAccepted int `json:"newly_accepted"`
+	DuplicateIDs  int `json:"duplicate_ids"`
 	// WallSeconds is the submission phase duration; ThroughputRPS is
 	// Submitted / WallSeconds.
 	WallSeconds   float64 `json:"wall_seconds"`
@@ -107,11 +124,16 @@ type Result struct {
 	// latency of the same jobs.
 	SubmitLatency Percentiles `json:"submit_latency"`
 	PlanLatency   Percentiles `json:"plan_latency"`
-	// Planned (from /v1/metrics) must equal Accepted after drain:
-	// DroppedAccepted = Accepted - Planned is the service's data-loss
-	// count and should always be zero.
+	// Planned (from /v1/metrics) must cover every newly accepted job:
+	// DroppedAccepted = NewlyAccepted - Planned is the service's
+	// data-loss count and should always be zero. Dedup hits are excluded
+	// because they were planned by a previous process incarnation, whose
+	// registry counters (standard counter semantics) reset on restart.
+	// MissingJobs counts accepted IDs the final status sweep could not
+	// fetch back — the direct zero-lost check of the crash-resume drill.
 	Planned         int64 `json:"planned"`
 	DroppedAccepted int64 `json:"dropped_accepted"`
+	MissingJobs     int   `json:"missing_jobs"`
 	// Replan provenance scraped from /v1/metrics.
 	Steps         int64 `json:"steps"`
 	Replans       int64 `json:"replans"`
@@ -161,6 +183,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		res         Result
 		submitLatMs []float64
 		acceptedIDs []int
+		seenIDs     = make(map[int]bool)
 	)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -191,6 +214,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				return
 			}
 			req.Header.Set("Content-Type", "application/json")
+			if cfg.IdempotencyPrefix != "" {
+				req.Header.Set(schedd.IdemHeader, fmt.Sprintf("%s-%d", cfg.IdempotencyPrefix, i))
+			}
 			resp, err := cfg.Client.Do(req)
 			rtt := time.Since(t0)
 			mu.Lock()
@@ -209,6 +235,13 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 					return
 				}
 				res.Accepted++
+				if sr.Deduplicated {
+					res.Deduplicated++
+				}
+				if seenIDs[sr.ID] {
+					res.DuplicateIDs++
+				}
+				seenIDs[sr.ID] = true
 				acceptedIDs = append(acceptedIDs, sr.ID)
 				submitLatMs = append(submitLatMs, float64(rtt)/float64(time.Millisecond))
 			case http.StatusTooManyRequests:
@@ -225,6 +258,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if res.WallSeconds > 0 {
 		res.ThroughputRPS = float64(res.Submitted) / res.WallSeconds
 	}
+	res.NewlyAccepted = res.Accepted - res.Deduplicated
 	res.SubmitLatency = percentiles(submitLatMs)
 
 	// Wait until the service has planned every accepted job.
@@ -239,12 +273,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		res.Replans = m["schedd.replans"]
 		res.Batches = m["schedd.batches"]
 		res.DegradedSteps = m["schedd.degraded.steps"]
-		if res.Planned >= int64(res.Accepted) || time.Now().After(deadline) || ctx.Err() != nil {
+		if res.Planned >= int64(res.NewlyAccepted) || time.Now().After(deadline) || ctx.Err() != nil {
 			break
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	res.DroppedAccepted = int64(res.Accepted) - res.Planned
+	res.DroppedAccepted = int64(res.NewlyAccepted) - res.Planned
 	if res.DroppedAccepted < 0 {
 		res.DroppedAccepted = 0
 	}
@@ -267,7 +301,13 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			defer pwg.Done()
 			for id := range idCh {
 				st, err := FetchJob(ctx, cfg.Client, cfg.BaseURL, id)
-				if err != nil || st.PlanLatencyMs < 0 {
+				if err != nil {
+					pmu.Lock()
+					res.MissingJobs++
+					pmu.Unlock()
+					continue
+				}
+				if st.PlanLatencyMs < 0 {
 					continue
 				}
 				pmu.Lock()
@@ -334,6 +374,10 @@ func (r *Result) String() string {
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "submissions     %d (accepted %d, 429 %d, other %d, transport %d)\n",
 		r.Submitted, r.Accepted, r.Rejected429, r.RejectedOther, r.TransportErrors)
+	if r.Deduplicated > 0 || r.DuplicateIDs > 0 || r.MissingJobs > 0 {
+		fmt.Fprintf(&b, "idempotency     %d dedup hits, %d newly accepted, %d duplicate IDs, %d missing jobs\n",
+			r.Deduplicated, r.NewlyAccepted, r.DuplicateIDs, r.MissingJobs)
+	}
 	fmt.Fprintf(&b, "wall time       %.2fs (%.1f submissions/s)\n", r.WallSeconds, r.ThroughputRPS)
 	fmt.Fprintf(&b, "submit latency  p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n",
 		r.SubmitLatency.P50, r.SubmitLatency.P90, r.SubmitLatency.P99, r.SubmitLatency.Max)

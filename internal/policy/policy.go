@@ -9,6 +9,7 @@ package policy
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"repro/internal/job"
@@ -139,7 +140,16 @@ func Build(p Policy, now int64, base *machine.Profile, waiting []*job.Job) (*sch
 	prof := base.Clone()
 	s := &schedule.Schedule{Policy: p.Name(), Now: now, Machine: base.Total(),
 		Entries: make([]schedule.Entry, 0, len(ordered))}
-	for _, j := range ordered {
+	for i, j := range ordered {
+		// Cooperative yield every 64 placements: a deep queue makes one
+		// build run for multiple milliseconds of profile scans, which is
+		// under the Go async-preemption threshold — on a small-GOMAXPROCS
+		// serving host, a goroutine returning from blocking I/O (the WAL's
+		// durability barrier) would otherwise wait out the whole slice
+		// before it can reacquire a P.
+		if i&63 == 63 {
+			runtime.Gosched()
+		}
 		earliest := now
 		if j.Submit > earliest {
 			earliest = j.Submit

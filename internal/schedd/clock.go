@@ -21,10 +21,12 @@ type Clock interface {
 
 // WallClock derives virtual time from the wall clock: virtual second v
 // is reached Accel times faster than real time. The zero Accel means 1
-// (live time).
+// (live time). The epoch is atomic so Resume can rebase a restarted
+// service onto its recovered virtual time while readers keep calling
+// Now.
 type WallClock struct {
-	epoch time.Time
-	accel float64
+	epochNano atomic.Int64
+	accel     float64
 }
 
 // NewWallClock starts a wall-backed virtual clock at virtual second 0.
@@ -32,7 +34,9 @@ func NewWallClock(accel float64) *WallClock {
 	if accel <= 0 {
 		accel = 1
 	}
-	return &WallClock{epoch: time.Now(), accel: accel}
+	c := &WallClock{accel: accel}
+	c.epochNano.Store(time.Now().UnixNano())
+	return c
 }
 
 // Accel returns the acceleration factor.
@@ -40,7 +44,17 @@ func (c *WallClock) Accel() float64 { return c.accel }
 
 // Now returns elapsed wall seconds times the acceleration factor.
 func (c *WallClock) Now() int64 {
-	return int64(time.Since(c.epoch).Seconds() * c.accel)
+	elapsed := time.Duration(time.Now().UnixNano() - c.epochNano.Load())
+	return int64(elapsed.Seconds() * c.accel)
+}
+
+// Resume rebases the clock so Now() reads v right now — how WAL
+// recovery continues the crashed process's virtual timeline instead of
+// restarting trace time from zero (planned starts recovered from the
+// log would otherwise wait out a whole replayed epoch).
+func (c *WallClock) Resume(v int64) {
+	off := time.Duration(float64(v) / c.accel * float64(time.Second))
+	c.epochNano.Store(time.Now().Add(-off).UnixNano())
 }
 
 // Until converts a virtual deadline into a wall duration.

@@ -44,6 +44,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/schedule"
 	"repro/internal/solvepipe"
+	"repro/internal/wal"
 )
 
 // Admission errors. The HTTP layer maps ErrQueueFull and
@@ -94,6 +95,11 @@ type SubmitRequest struct {
 	Runtime int64
 	// Source identifies the submitter for rate limiting ("" = anonymous).
 	Source string
+	// IdempotencyKey, if non-empty, dedupes resubmissions: a second
+	// submit with the same key (including after a crash and recovery)
+	// returns the original job's ID with Deduplicated set instead of
+	// admitting a duplicate.
+	IdempotencyKey string
 }
 
 // SubmitResponse acknowledges an admitted job.
@@ -104,6 +110,9 @@ type SubmitResponse struct {
 	// TraceID echoes the request's trace ID ("" when untraced) so the
 	// submitter can grep the JSONL trace for the job's whole path.
 	TraceID string `json:"trace_id,omitempty"`
+	// Deduplicated reports the submission matched an earlier job's
+	// idempotency key; ID is that job's ID and no new job was admitted.
+	Deduplicated bool `json:"deduplicated,omitempty"`
 }
 
 // JobStatus is the queryable state of one job.
@@ -228,6 +237,25 @@ type Config struct {
 	// batched, planned, published, start, end), the flight recorder and
 	// slow-replan dumps are never sampled away.
 	TraceSampleEvery int
+	// WAL, if non-nil, makes every admission decision durable: a
+	// submission is fsynced (group commit) before Submit returns, and
+	// plan adoptions, starts, completions and rejections are logged by
+	// the writer loop. The core owns appends but not the log's
+	// lifecycle; the caller opens it (wal.Open) and closes it after
+	// Stop.
+	WAL *wal.Log
+	// Recovery is the replay returned by wal.Open; the writer re-applies
+	// it before accepting traffic (Submit returns ErrRecovering until
+	// then, and Phase reports "replaying").
+	Recovery *wal.Replay
+	// SnapshotEvery is how many WAL records accumulate between state
+	// snapshots (default 1024; snapshots bound replay time).
+	SnapshotEvery int
+	// PanicHook, if non-nil, is invoked with the recovered panic value
+	// when the writer loop panics, before the panic is re-raised — the
+	// place to flush tracers and dump the flight recorder for post-crash
+	// forensics.
+	PanicHook func(any)
 }
 
 // submission travels from the admission path to the writer loop.
@@ -236,6 +264,7 @@ type submission struct {
 	source    string
 	trace     string // request trace ID ("" when untraced)
 	admitWall time.Time
+	walSeq    uint64 // the submit record's WAL seq (0 without a WAL)
 }
 
 // rec is the writer-side record of an active job.
@@ -275,6 +304,16 @@ type Core struct {
 	done     sync.Map // id -> JobStatus, completed (write-once)
 	snap     atomic.Pointer[Snapshot]
 
+	// Durability state (see durable.go). phase gates Submit during WAL
+	// replay; idem maps idempotency keys to job IDs; inflight holds the
+	// WAL seqs of accepted submissions the writer has not yet consumed
+	// (the snapshot lower bound); lastSnapSeq is writer-owned.
+	phase       atomic.Int32
+	idem        sync.Map // idempotency key -> job ID
+	inflightMu  sync.Mutex
+	inflight    map[uint64]struct{}
+	lastSnapSeq uint64
+
 	// Writer-loop state (owned by run()).
 	vnow      int64
 	waiting   map[int]*job.Job
@@ -303,6 +342,8 @@ type Core struct {
 	cRejectFull  *obs.Counter
 	cRejectRate  *obs.Counter
 	cRejectDrain *obs.Counter
+	cRejectRecov *obs.Counter
+	cDeduped     *obs.Counter
 	cSteps       *obs.Counter
 	cReplans     *obs.Counter
 	cBatches     *obs.Counter
@@ -337,6 +378,9 @@ func New(cfg Config) (*Core, error) {
 	if cfg.MaxBatch < 1 {
 		cfg.MaxBatch = 64
 	}
+	if cfg.SnapshotEvery < 1 {
+		cfg.SnapshotEvery = 1024
+	}
 	c := &Core{
 		cfg:      cfg,
 		clock:    cfg.Clock,
@@ -349,6 +393,12 @@ func New(cfg Config) (*Core, error) {
 		recs:     map[int]*rec{},
 		running:  map[int]*rec{},
 		plan:     map[int]int64{},
+		inflight: map[uint64]struct{}{},
+	}
+	if cfg.WAL != nil {
+		// Submissions are refused until the writer loop has replayed the
+		// log (Start flips the phase to ready once recovery finishes).
+		c.phase.Store(phaseReplaying)
 	}
 	if cfg.ILP != nil && !cfg.ILP.StepCacheOff && cfg.ILP.Pipe.Cache == nil {
 		c.stepCache = solvepipe.NewStepCache(cfg.ILP.StepCacheSize)
@@ -362,6 +412,8 @@ func New(cfg Config) (*Core, error) {
 		c.cRejectFull = reg.Counter("schedd.rejects.queue_full")
 		c.cRejectRate = reg.Counter("schedd.rejects.rate_limited")
 		c.cRejectDrain = reg.Counter("schedd.rejects.draining")
+		c.cRejectRecov = reg.Counter("schedd.rejects.recovering")
+		c.cDeduped = reg.Counter("schedd.submits.deduplicated")
 		c.cSteps = reg.Counter("schedd.steps")
 		c.cReplans = reg.Counter("schedd.replans")
 		c.cBatches = reg.Counter("schedd.batches")
@@ -430,23 +482,70 @@ func (c *Core) SubmitCtx(ctx context.Context, req SubmitRequest) (SubmitResponse
 		c.cRejectDrain.Inc()
 		return SubmitResponse{}, ErrDraining
 	}
+	if c.phase.Load() == phaseReplaying {
+		c.cRejectRecov.Inc()
+		return SubmitResponse{}, ErrRecovering
+	}
+	trace := obs.TraceIDFrom(ctx)
+	// Idempotent resubmission: a known key returns the original job
+	// before burning rate-limit tokens or queue capacity.
+	if key := req.IdempotencyKey; key != "" {
+		if v, ok := c.idem.Load(key); ok {
+			return c.dedupResponse(v.(int), trace), nil
+		}
+	}
 	if ok, wait := c.limiter.allow(req.Source, time.Now()); !ok {
 		c.cRejectRate.Inc()
 		return SubmitResponse{}, &RateLimitedError{Source: req.Source, RetryAfter: wait}
 	}
 	now := c.clock.Now()
 	id := int(c.nextID.Add(1))
-	trace := obs.TraceIDFrom(ctx)
+	if key := req.IdempotencyKey; key != "" {
+		// Two racing submits with the same key: exactly one claims it.
+		if prev, loaded := c.idem.LoadOrStore(key, id); loaded {
+			return c.dedupResponse(prev.(int), trace), nil
+		}
+	}
 	j := &job.Job{ID: id, Submit: now, Width: req.Width, Estimate: req.Estimate, Runtime: req.Runtime}
 	sub := &submission{job: j, source: req.Source, trace: trace, admitWall: time.Now()}
 	c.pending.Store(id, JobStatus{
 		ID: id, State: StateQueued, Width: j.Width, Estimate: j.Estimate, TraceID: trace,
 		Submit: now, PlannedStart: -1, Start: -1, End: -1, PlanLatencyMs: -1,
 	})
+	if w := c.cfg.WAL; w != nil {
+		// The durability barrier: the submit record is fsynced (group
+		// commit amortizes the cost across concurrent admissions) before
+		// the response can commit. onSeq registers the seq in the
+		// in-flight set atomically with its assignment, so a snapshot
+		// taken before the writer consumes this submission stays below
+		// it.
+		seq, err := w.AppendSync(walSubmit, submitWAL{
+			ID: id, Submit: now, Width: j.Width, Estimate: j.Estimate, Runtime: j.Runtime,
+			Source: req.Source, Trace: trace, IdemKey: req.IdempotencyKey,
+		}, c.inflightAdd)
+		if err != nil {
+			c.pending.Delete(id)
+			if req.IdempotencyKey != "" {
+				c.idem.Delete(req.IdempotencyKey)
+			}
+			c.inflightDone(seq)
+			return SubmitResponse{}, fmt.Errorf("schedd: wal append: %w", err)
+		}
+		sub.walSeq = seq
+	}
 	select {
 	case c.submitCh <- sub:
 	default:
 		c.pending.Delete(id)
+		if req.IdempotencyKey != "" {
+			c.idem.Delete(req.IdempotencyKey)
+		}
+		if sub.walSeq != 0 {
+			// The submit record is already durable; log the rejection so
+			// replay drops the job again (audit trail of the 429).
+			c.inflightDone(sub.walSeq)
+			c.walAppend(walReject, rejectWAL{ID: id, Reason: "queue_full", IdemKey: req.IdempotencyKey})
+		}
 		c.cRejectFull.Inc()
 		return SubmitResponse{}, ErrQueueFull
 	}
@@ -459,6 +558,17 @@ func (c *Core) SubmitCtx(ctx context.Context, req SubmitRequest) (SubmitResponse
 		obs.Int("width", int64(j.Width)),
 		obs.Str("source", req.Source))
 	return SubmitResponse{ID: id, State: StateQueued, Now: now, TraceID: trace}, nil
+}
+
+// dedupResponse acknowledges an idempotent resubmission with the
+// original job's current state.
+func (c *Core) dedupResponse(id int, trace string) SubmitResponse {
+	c.cDeduped.Inc()
+	state := StateQueued
+	if st, ok := c.Job(id); ok {
+		state = st.State
+	}
+	return SubmitResponse{ID: id, State: state, Now: c.clock.Now(), TraceID: trace, Deduplicated: true}
 }
 
 // Replans returns the flight recorder's replan summaries, newest first.
@@ -531,6 +641,18 @@ func (c *Core) Stop(ctx context.Context) (*Snapshot, error) {
 // immutable snapshots.
 func (c *Core) run() {
 	defer close(c.loopDone)
+	defer func() {
+		// The daemon's panic path: give the hook a chance to flush the
+		// tracer and dump the flight recorder before the crash surfaces,
+		// then re-raise so the process still dies loudly.
+		if r := recover(); r != nil {
+			if h := c.cfg.PanicHook; h != nil {
+				h(r)
+			}
+			panic(r)
+		}
+	}()
+	c.recoverFromWAL()
 	for {
 		var timerC <-chan time.Time
 		var timer *time.Timer
@@ -544,15 +666,18 @@ func (c *Core) run() {
 			c.advance()
 			c.step(batch)
 			c.publish()
+			c.maybeSnapshot()
 		case <-timerC:
 			c.advance()
 			c.publish()
+			c.maybeSnapshot()
 		case reply := <-c.drainCh:
 			if timer != nil {
 				timer.Stop()
 			}
 			c.finalDrain()
 			c.publish()
+			c.snapshotNow() // a clean drain leaves a replay-free log
 			reply <- c.snap.Load()
 			return
 		}
@@ -661,13 +786,15 @@ func (c *Core) completeDue(t int64) bool {
 		end := r.start + r.job.Runtime
 		c.counts.Completed++
 		c.cEnds.Inc()
-		c.done.Store(id, JobStatus{
+		st := JobStatus{
 			ID: id, State: StateDone, Width: r.job.Width, Estimate: r.job.Estimate,
 			Submit: r.job.Submit, PlannedStart: r.plannedStart, Start: r.start, End: end,
 			PlanLatencyMs: float64(r.planLatency) / float64(time.Millisecond),
 			Degraded:      r.degraded,
 			TraceID:       r.trace,
-		})
+		}
+		c.done.Store(id, st)
+		c.walAppend(walComplete, completeWAL{Status: st})
 		fields := []obs.Field{
 			obs.Int("t", end),
 			obs.Int("job", int64(id)),
@@ -707,6 +834,7 @@ func (c *Core) startDue(t int64) {
 		c.running[id] = r
 		c.counts.Started++
 		c.cStarts.Inc()
+		c.walAppend(walStart, startWAL{ID: id, T: t})
 		fields := []obs.Field{
 			obs.Int("t", t),
 			obs.Int("job", int64(id)),
@@ -771,6 +899,9 @@ func (c *Core) step(batch []*submission) {
 		}
 		c.waiting[sub.job.ID] = sub.job
 		c.recs[sub.job.ID] = &rec{job: sub.job, admitWall: sub.admitWall, trace: sub.trace, plannedStart: -1, start: -1}
+		// The writer owns the submission now: its WAL record is covered
+		// by this state, so it no longer holds back snapshot bounds.
+		c.inflightDone(sub.walSeq)
 	}
 	c.counts.Batches++
 	c.counts.BatchedJobs += int64(len(batch))
@@ -861,6 +992,7 @@ func (c *Core) step(batch []*submission) {
 		record.ReasonClass, record.Reason = reasonClass, reason
 	}
 	c.adoptPlan(now, adopt, degraded)
+	c.appendPlanWAL("step", now, len(batch), degraded, reason, c.newlyPlanned[plannedBefore:])
 	span.End(obs.Str("chosen", res.Chosen.Name()), obs.Bool("degraded", degraded))
 }
 
@@ -931,6 +1063,7 @@ func (c *Core) failStep(reason string) {
 	c.cSteps.Inc()
 	c.cDegraded.Inc()
 	c.degraded, c.degReason = true, reason
+	c.appendFailedStepWAL(reason)
 	c.trace.Emit("schedd.step.failed", obs.Int("t", c.vnow), obs.Str("reason", reason))
 }
 
@@ -1079,6 +1212,7 @@ func (c *Core) replan(now int64) {
 		obs.Int("queue_depth", int64(len(c.waiting))))
 	record.Outcome = "ok"
 	c.adoptPlan(now, sch, c.degraded)
+	c.appendPlanWAL("completion", now, 0, c.degraded, c.degReason, c.newlyPlanned[plannedBefore:])
 }
 
 // adoptPlan installs a full schedule: it records planned starts,

@@ -1,0 +1,544 @@
+// Durable admission: the WAL record vocabulary of the service, the
+// replay that rebuilds writer state after a crash, and the periodic
+// snapshots that bound replay time.
+//
+// Every admission decision is logged before it commits: a submission is
+// AppendSync'd (group-commit fsync) before the HTTP 202 is written, and
+// the writer loop appends plan adoptions, starts, completions and
+// queue-full rejections as it makes them. Record application is
+// idempotent — a submit for a known job, a start for a job already
+// running, a plan older than the state's step seq are all skipped — so
+// a snapshot's lower bound may be conservative without ever duplicating
+// work on replay. The one deliberate asymmetry: a crash between a
+// submission's record and its queue-full rejection record resurrects
+// the job on restart (the client saw 429, the job is admitted anyway).
+// Durability always errs toward keeping accepted work, never losing it.
+package schedd
+
+import (
+	"encoding/json"
+	"errors"
+	"time"
+
+	"repro/internal/job"
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+// ErrRecovering is returned by Submit while the writer is still
+// replaying the write-ahead log (HTTP 503 + Retry-After).
+var ErrRecovering = errors.New("schedd: replaying write-ahead log, not accepting submissions")
+
+// Recovery phases reported by Phase and /v1/healthz.
+const (
+	PhaseReady     = "ready"
+	PhaseReplaying = "replaying"
+)
+
+const (
+	phaseReady int32 = iota
+	phaseReplaying
+)
+
+// WAL record types.
+const (
+	walSubmit   = "submit"
+	walPlan     = "plan"
+	walStart    = "start"
+	walComplete = "complete"
+	walReject   = "reject"
+)
+
+// submitWAL is the durable form of one admitted submission.
+type submitWAL struct {
+	ID       int    `json:"id"`
+	Submit   int64  `json:"submit"`
+	Width    int    `json:"width"`
+	Estimate int64  `json:"estimate_s"`
+	Runtime  int64  `json:"runtime_s"`
+	Source   string `json:"source,omitempty"`
+	Trace    string `json:"trace,omitempty"`
+	IdemKey  string `json:"idem_key,omitempty"`
+}
+
+// planEntryWAL is one (job, planned start) row of a logged plan.
+type planEntryWAL struct {
+	ID    int   `json:"id"`
+	Start int64 `json:"start"`
+}
+
+// planWAL logs one adopted plan (or a failed step, for exact counter
+// replay). StepSeq is the writer's monotone step counter; replay skips
+// records at or below the recovered state's StepSeq.
+type planWAL struct {
+	StepSeq      int64          `json:"step_seq"`
+	Kind         string         `json:"kind"` // "step" | "completion"
+	Now          int64          `json:"t"`
+	Batch        int            `json:"batch,omitempty"`
+	Degraded     bool           `json:"degraded,omitempty"`
+	DegReason    string         `json:"deg_reason,omitempty"`
+	Failed       bool           `json:"failed,omitempty"` // no schedule produced
+	Entries      []planEntryWAL `json:"entries,omitempty"`
+	NewlyPlanned []int          `json:"newly_planned,omitempty"`
+}
+
+type startWAL struct {
+	ID int   `json:"id"`
+	T  int64 `json:"t"`
+}
+
+type completeWAL struct {
+	Status JobStatus `json:"status"`
+}
+
+type rejectWAL struct {
+	ID      int    `json:"id"`
+	Reason  string `json:"reason"`
+	IdemKey string `json:"idem_key,omitempty"`
+}
+
+// walJobState is one outstanding (waiting or running) job in a snapshot.
+type walJobState struct {
+	ID           int     `json:"id"`
+	Submit       int64   `json:"submit"`
+	Width        int     `json:"width"`
+	Estimate     int64   `json:"estimate_s"`
+	Runtime      int64   `json:"runtime_s"`
+	Trace        string  `json:"trace,omitempty"`
+	Planned      bool    `json:"planned,omitempty"`
+	PlannedStart int64   `json:"planned_start"`
+	PlanDegraded bool    `json:"plan_degraded,omitempty"`
+	Start        int64   `json:"start"` // >= 0: running since Start
+	PlanLatMs    float64 `json:"plan_latency_ms,omitempty"`
+}
+
+// walState is the snapshot the writer persists every SnapshotEvery
+// records: everything replay needs that the log tail no longer covers.
+type walState struct {
+	NextID    int64          `json:"next_id"`
+	Accepted  int64          `json:"accepted"`
+	VNow      int64          `json:"vnow"`
+	StepSeq   int64          `json:"step_seq"`
+	Counts    Counters       `json:"counts"`
+	Degraded  bool           `json:"degraded,omitempty"`
+	DegReason string         `json:"deg_reason,omitempty"`
+	Jobs      []walJobState  `json:"jobs"`
+	Plan      []planEntryWAL `json:"plan,omitempty"`
+	Done      []JobStatus    `json:"done,omitempty"`
+	Idem      map[string]int `json:"idem,omitempty"`
+}
+
+// Phase reports the recovery phase: PhaseReplaying until the writer has
+// re-applied the log, PhaseReady after (always ready without a WAL).
+func (c *Core) Phase() string {
+	if c.phase.Load() == phaseReplaying {
+		return PhaseReplaying
+	}
+	return PhaseReady
+}
+
+// inflightAdd registers a submit record's seq as accepted-but-not-yet-
+// consumed by the writer. Called from AppendSync's onSeq callback, so
+// registration is atomic with seq assignment.
+func (c *Core) inflightAdd(seq uint64) {
+	c.inflightMu.Lock()
+	c.inflight[seq] = struct{}{}
+	c.inflightMu.Unlock()
+}
+
+// inflightDone removes a seq once the writer owns the submission (or
+// the admission path rejected it).
+func (c *Core) inflightDone(seq uint64) {
+	if seq == 0 {
+		return
+	}
+	c.inflightMu.Lock()
+	delete(c.inflight, seq)
+	c.inflightMu.Unlock()
+}
+
+// snapshotLowerBound returns the largest seq S such that the writer's
+// state covers every record <= S: the tail, held back below any submit
+// record still sitting unconsumed in the queue. The tail is read before
+// the set is locked so a submit assigned in between only makes the
+// bound more conservative (replay application is idempotent, so a
+// conservative bound is always safe).
+func (c *Core) snapshotLowerBound() uint64 {
+	s := c.cfg.WAL.Seq()
+	c.inflightMu.Lock()
+	for seq := range c.inflight {
+		if seq-1 < s {
+			s = seq - 1
+		}
+	}
+	c.inflightMu.Unlock()
+	return s
+}
+
+// walAppend logs one writer-loop record asynchronously (its loss in a
+// crash is repaired by replaying the decision, not by losing a job; the
+// durability barrier is only on the admission path). A background write
+// failure is surfaced once via the trace and the wal error counter.
+func (c *Core) walAppend(typ string, data any) {
+	if c.cfg.WAL == nil {
+		return
+	}
+	if _, err := c.cfg.WAL.Append(typ, data); err != nil {
+		c.trace.Emit("schedd.wal.error", obs.Str("type", typ), obs.Str("err", err.Error()))
+	}
+}
+
+// appendPlanWAL logs the plan the writer just adopted. Entries carry
+// only the newly planned jobs' starts (read from c.plan after due
+// starts fired, so replay never resurrects a start that already
+// happened): the full plan would make every record O(waiting) —
+// hundreds of KB per step at scale, queued ahead of latency-sensitive
+// submit records — and recovery re-steps anyway, rebuilding every
+// start from scratch. The record's job is idempotency bookkeeping
+// (StepSeq, planned flags, counters), not plan fidelity; the periodic
+// snapshot carries the full plan.
+func (c *Core) appendPlanWAL(kind string, now int64, batch int, degraded bool, reason string, newly []int) {
+	if c.cfg.WAL == nil {
+		return
+	}
+	p := planWAL{
+		StepSeq: c.stepSeq, Kind: kind, Now: now, Batch: batch,
+		Degraded: degraded, DegReason: reason,
+	}
+	if len(newly) > 0 {
+		p.NewlyPlanned = append([]int(nil), newly...)
+		for _, id := range newly {
+			if start, ok := c.plan[id]; ok {
+				if _, w := c.waiting[id]; w {
+					p.Entries = append(p.Entries, planEntryWAL{ID: id, Start: start})
+				}
+			}
+		}
+	}
+	c.walAppend(walPlan, p)
+}
+
+// appendFailedStepWAL logs a step that produced no schedule, so counter
+// replay stays exact.
+func (c *Core) appendFailedStepWAL(reason string) {
+	if c.cfg.WAL == nil {
+		return
+	}
+	c.walAppend(walPlan, planWAL{
+		StepSeq: c.stepSeq, Kind: "step", Now: c.vnow,
+		Degraded: true, DegReason: reason, Failed: true,
+	})
+}
+
+// maybeSnapshot persists a state snapshot once SnapshotEvery records
+// have accumulated since the last one. Runs on the writer goroutine.
+func (c *Core) maybeSnapshot() {
+	w := c.cfg.WAL
+	if w == nil {
+		return
+	}
+	if w.Seq() < c.lastSnapSeq+uint64(c.cfg.SnapshotEvery) {
+		return
+	}
+	c.snapshotNow()
+}
+
+// snapshotNow persists a snapshot unconditionally (drain path, or a due
+// cadence tick). Runs on the writer goroutine.
+func (c *Core) snapshotNow() {
+	w := c.cfg.WAL
+	if w == nil {
+		return
+	}
+	s := c.snapshotLowerBound()
+	if s <= c.lastSnapSeq {
+		return
+	}
+	if err := w.Snapshot(s, c.buildWALState()); err != nil {
+		c.trace.Emit("schedd.wal.snapshot.failed", obs.Str("err", err.Error()))
+		return
+	}
+	c.lastSnapSeq = s
+}
+
+// buildWALState captures the writer's view. Accepted is derived from
+// the writer-known job set (not the live atomic) so submit records
+// still in flight replay on top without double counting.
+func (c *Core) buildWALState() *walState {
+	st := &walState{
+		NextID:    c.nextID.Load(),
+		VNow:      c.vnow,
+		StepSeq:   c.stepSeq,
+		Counts:    c.counts,
+		Degraded:  c.degraded,
+		DegReason: c.degReason,
+		Idem:      map[string]int{},
+	}
+	st.Accepted = int64(len(c.waiting)+len(c.running)) + c.counts.Completed
+	st.Counts.Submitted = st.Accepted
+	for id, j := range c.waiting {
+		r := c.recs[id]
+		st.Jobs = append(st.Jobs, walJobState{
+			ID: id, Submit: j.Submit, Width: j.Width, Estimate: j.Estimate, Runtime: j.Runtime,
+			Trace: r.trace, Planned: r.planned, PlannedStart: r.plannedStart,
+			PlanDegraded: r.degraded, Start: -1,
+			PlanLatMs: float64(r.planLatency) / float64(time.Millisecond),
+		})
+	}
+	for id, r := range c.running {
+		st.Jobs = append(st.Jobs, walJobState{
+			ID: id, Submit: r.job.Submit, Width: r.job.Width, Estimate: r.job.Estimate, Runtime: r.job.Runtime,
+			Trace: r.trace, Planned: r.planned, PlannedStart: r.plannedStart,
+			PlanDegraded: r.degraded, Start: r.start,
+			PlanLatMs: float64(r.planLatency) / float64(time.Millisecond),
+		})
+	}
+	for id, start := range c.plan {
+		if _, ok := c.waiting[id]; ok {
+			st.Plan = append(st.Plan, planEntryWAL{ID: id, Start: start})
+		}
+	}
+	c.done.Range(func(_, v any) bool {
+		st.Done = append(st.Done, v.(JobStatus))
+		return true
+	})
+	c.idem.Range(func(k, v any) bool {
+		st.Idem[k.(string)] = v.(int)
+		return true
+	})
+	return st
+}
+
+// recoverFromWAL rebuilds writer state from Config.Recovery, replans
+// any admitted-but-unplanned jobs, publishes the recovered view, and
+// flips the phase to ready. Runs first on the writer goroutine.
+func (c *Core) recoverFromWAL() {
+	if c.cfg.WAL == nil {
+		c.phase.Store(phaseReady)
+		return
+	}
+	rep := c.cfg.Recovery
+	span := c.trace.StartSpan("schedd.recover")
+	applied, skipped := 0, 0
+	if rep != nil {
+		if len(rep.Snapshot) > 0 {
+			var st walState
+			if err := json.Unmarshal(rep.Snapshot, &st); err != nil {
+				c.trace.Emit("schedd.recover.badsnapshot", obs.Str("err", err.Error()))
+			} else {
+				c.applyWALState(&st)
+			}
+		}
+		for _, r := range rep.Records {
+			if c.applyWALRecord(r) {
+				applied++
+			} else {
+				skipped++
+			}
+		}
+		c.lastSnapSeq = rep.SnapshotSeq
+	}
+	// Resume the virtual clock where the crashed process left it, so
+	// recovered plans fire on schedule instead of waiting out a restart
+	// of virtual time from zero.
+	if rc, ok := c.clock.(interface{ Resume(int64) }); ok && c.vnow > c.clock.Now() {
+		rc.Resume(c.vnow)
+	}
+	// The recovery replan: plan records only carry newly-planned starts,
+	// so whenever any job is still waiting the plan must be rebuilt from
+	// scratch before the service goes ready (this also re-plans jobs
+	// whose plan record was lost with the crash).
+	if len(c.waiting) > 0 {
+		c.step(nil)
+	}
+	c.publish()
+	c.phase.Store(phaseReady)
+	span.End(
+		obs.Int("applied", int64(applied)),
+		obs.Int("skipped", int64(skipped)),
+		obs.Int("waiting", int64(len(c.waiting))),
+		obs.Int("running", int64(len(c.running))),
+		obs.Int("vnow", c.vnow))
+	c.trace.Emit("schedd.recovered",
+		obs.Int("applied", int64(applied)),
+		obs.Int("waiting", int64(len(c.waiting))),
+		obs.Int("running", int64(len(c.running))))
+}
+
+// applyWALState installs a recovered snapshot as the writer state.
+func (c *Core) applyWALState(st *walState) {
+	c.nextID.Store(st.NextID)
+	c.accepted.Store(st.Accepted)
+	c.vnow = st.VNow
+	c.stepSeq = st.StepSeq
+	c.counts = st.Counts
+	c.degraded, c.degReason = st.Degraded, st.DegReason
+	now := time.Now()
+	for _, js := range st.Jobs {
+		j := &job.Job{ID: js.ID, Submit: js.Submit, Width: js.Width, Estimate: js.Estimate, Runtime: js.Runtime}
+		r := &rec{
+			job: j, admitWall: now, trace: js.Trace,
+			planned: js.Planned, plannedStart: js.PlannedStart,
+			degraded: js.PlanDegraded, start: js.Start,
+			planLatency: time.Duration(js.PlanLatMs * float64(time.Millisecond)),
+		}
+		if js.Start >= 0 {
+			c.running[js.ID] = r
+		} else {
+			c.waiting[js.ID] = j
+			c.recs[js.ID] = r
+		}
+	}
+	c.plan = make(map[int]int64, len(st.Plan))
+	for _, e := range st.Plan {
+		if _, ok := c.waiting[e.ID]; ok {
+			c.plan[e.ID] = e.Start
+		}
+	}
+	for _, d := range st.Done {
+		c.done.Store(d.ID, d)
+	}
+	for k, v := range st.Idem {
+		c.idem.Store(k, v)
+	}
+}
+
+// jobKnown reports whether replay already holds the job anywhere.
+func (c *Core) jobKnown(id int) bool {
+	if _, ok := c.recs[id]; ok {
+		return true
+	}
+	if _, ok := c.running[id]; ok {
+		return true
+	}
+	_, ok := c.done.Load(id)
+	return ok
+}
+
+// applyWALRecord re-applies one log record; it reports whether the
+// record changed state (false = skipped as already covered).
+func (c *Core) applyWALRecord(r wal.Record) bool {
+	switch r.Type {
+	case walSubmit:
+		var s submitWAL
+		if json.Unmarshal(r.Data, &s) != nil || c.jobKnown(s.ID) {
+			return false
+		}
+		j := &job.Job{ID: s.ID, Submit: s.Submit, Width: s.Width, Estimate: s.Estimate, Runtime: s.Runtime}
+		c.waiting[s.ID] = j
+		c.recs[s.ID] = &rec{job: j, admitWall: time.Now(), trace: s.Trace, plannedStart: -1, start: -1}
+		if s.IdemKey != "" {
+			c.idem.Store(s.IdemKey, s.ID)
+		}
+		if int64(s.ID) > c.nextID.Load() {
+			c.nextID.Store(int64(s.ID))
+		}
+		c.accepted.Add(1)
+		if s.Submit > c.vnow {
+			c.vnow = s.Submit
+		}
+		return true
+	case walPlan:
+		var p planWAL
+		if json.Unmarshal(r.Data, &p) != nil || p.StepSeq <= c.stepSeq {
+			return false
+		}
+		c.stepSeq = p.StepSeq
+		if p.Now > c.vnow {
+			c.vnow = p.Now
+		}
+		c.counts.Steps++
+		if p.Kind == "completion" {
+			c.counts.Steps--
+			c.counts.Replans++
+		} else {
+			c.counts.Batches++
+			c.counts.BatchedJobs += int64(p.Batch)
+		}
+		c.degraded, c.degReason = p.Degraded, p.DegReason
+		if p.Degraded {
+			c.counts.DegradedSteps++
+		}
+		if p.Failed {
+			return true
+		}
+		// Entries are merged, not rebuilt: a record only carries the newly
+		// planned jobs, so older entries (from the snapshot or earlier
+		// records) stay until a start/complete/reject removes them. Merged
+		// starts may be stale relative to the crashed process's last
+		// adopted plan — recovery re-steps before going ready, replacing
+		// the whole plan, so stale starts never fire.
+		for _, e := range p.Entries {
+			if _, ok := c.waiting[e.ID]; !ok {
+				continue
+			}
+			c.plan[e.ID] = e.Start
+			if rr, ok := c.recs[e.ID]; ok {
+				rr.plannedStart = e.Start
+				rr.degraded = p.Degraded
+			}
+		}
+		for _, id := range p.NewlyPlanned {
+			if rr, ok := c.recs[id]; ok && !rr.planned {
+				rr.planned = true
+				c.counts.Planned++
+			}
+		}
+		return true
+	case walStart:
+		var s startWAL
+		if json.Unmarshal(r.Data, &s) != nil {
+			return false
+		}
+		if _, ok := c.waiting[s.ID]; !ok {
+			return false
+		}
+		rr := c.recs[s.ID]
+		delete(c.waiting, s.ID)
+		delete(c.plan, s.ID)
+		delete(c.recs, s.ID)
+		rr.start = s.T
+		c.running[s.ID] = rr
+		c.counts.Started++
+		if s.T > c.vnow {
+			c.vnow = s.T
+		}
+		return true
+	case walComplete:
+		var cw completeWAL
+		if json.Unmarshal(r.Data, &cw) != nil {
+			return false
+		}
+		id := cw.Status.ID
+		if _, ok := c.done.Load(id); ok {
+			return false
+		}
+		delete(c.running, id)
+		delete(c.waiting, id)
+		delete(c.plan, id)
+		delete(c.recs, id)
+		c.done.Store(id, cw.Status)
+		c.counts.Completed++
+		if cw.Status.End > c.vnow {
+			c.vnow = cw.Status.End
+		}
+		return true
+	case walReject:
+		var rj rejectWAL
+		if json.Unmarshal(r.Data, &rj) != nil {
+			return false
+		}
+		if _, ok := c.waiting[rj.ID]; !ok {
+			return false
+		}
+		delete(c.waiting, rj.ID)
+		delete(c.plan, rj.ID)
+		delete(c.recs, rj.ID)
+		if rj.IdemKey != "" {
+			c.idem.Delete(rj.IdemKey)
+		}
+		c.accepted.Add(-1)
+		return true
+	}
+	return false
+}

@@ -18,6 +18,12 @@ import (
 // echoes the effective ID back on the response.
 const TraceHeader = "X-Trace-Id"
 
+// IdemHeader carries the client-supplied idempotency key on POST
+// /v1/jobs: a resubmission with the same key (including after a daemon
+// crash and WAL recovery) returns the original job instead of admitting
+// a duplicate.
+const IdemHeader = "Idempotency-Key"
+
 // API types of the HTTP layer. Everything is plain JSON; errors are
 // {"error": "..."} with the appropriate status code.
 
@@ -31,12 +37,15 @@ type SubmitJSON struct {
 
 // HealthJSON is the GET /v1/healthz response body.
 type HealthJSON struct {
-	Status     string `json:"status"` // "ok" or "draining"
+	Status     string `json:"status"` // "ok", "replaying" or "draining"
 	Now        int64  `json:"now"`
 	QueueDepth int    `json:"queue_depth"`
 	Waiting    int    `json:"waiting"`
 	Running    int    `json:"running"`
 	Policy     string `json:"policy"`
+	// Phase is the WAL recovery phase: "replaying" until the writer has
+	// re-applied the log, "ready" after (always "ready" without a WAL).
+	Phase string `json:"phase"`
 }
 
 // MetricJSON is one instrument of the GET /v1/metrics dump. Histogram
@@ -106,6 +115,7 @@ func NewHandler(c *Core) http.Handler {
 			obs.Int("width", int64(req.Width)))
 		resp, err := c.SubmitCtx(ctx, SubmitRequest{
 			Width: req.Width, Estimate: req.Estimate, Runtime: req.Runtime, Source: req.Source,
+			IdempotencyKey: r.Header.Get(IdemHeader),
 		})
 		if err != nil {
 			span.End(obs.Str("outcome", admitOutcome(err)))
@@ -133,7 +143,11 @@ func NewHandler(c *Core) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		s := c.Snapshot()
+		phase := c.Phase()
 		status := "ok"
+		if phase == PhaseReplaying {
+			status = "replaying"
+		}
 		if s.Draining {
 			status = "draining"
 		}
@@ -148,6 +162,7 @@ func NewHandler(c *Core) http.Handler {
 		writeJSON(w, http.StatusOK, HealthJSON{
 			Status: status, Now: s.Now, QueueDepth: c.QueueDepth(),
 			Waiting: waiting, Running: running, Policy: s.Policy,
+			Phase: phase,
 		})
 	})
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -203,6 +218,8 @@ func admitOutcome(err error) string {
 		return "rate_limited"
 	case errors.Is(err, ErrDraining):
 		return "draining"
+	case errors.Is(err, ErrRecovering):
+		return "recovering"
 	case errors.As(err, &ve):
 		return "invalid"
 	default:
@@ -224,6 +241,11 @@ func writeSubmitError(w http.ResponseWriter, err error) {
 		w.Header().Set("Retry-After", retryAfterSeconds(rl.RetryAfter))
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrRecovering):
+		// Recovery is short and bounded (snapshots cap the replay), so a
+		// quick retry is the right client behavior.
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.As(err, &ve):
 		writeError(w, http.StatusBadRequest, err)

@@ -1,0 +1,402 @@
+// Crash-recovery tests: in-process kill -9 simulation (wal.Log.Abort
+// drops unacknowledged appends, exactly like an OS killing the process
+// after the acknowledged bytes reached the kernel), then a second core
+// over the same directory must recover every accepted job — zero lost,
+// zero duplicated — and idempotent resubmission must dedupe across the
+// restart.
+package schedd_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/dynp"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/schedd"
+	"repro/internal/wal"
+)
+
+func newTestScheduler(t *testing.T) *dynp.Scheduler {
+	t.Helper()
+	m, err := metrics.ByName("SLDwA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := dynp.New([]policy.Policy{policy.FCFS{}, policy.SJF{}, policy.LJF{}}, m, dynp.AdvancedDecider{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched
+}
+
+func newWALCore(t *testing.T, dir string, clock schedd.Clock, snapEvery int) (*schedd.Core, *wal.Log) {
+	t.Helper()
+	log, rep, err := wal.Open(wal.Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	core, err := schedd.New(schedd.Config{
+		Machine:       64,
+		Scheduler:     newTestScheduler(t),
+		Clock:         clock,
+		QueueBound:    512,
+		MaxBatch:      32,
+		WAL:           log,
+		Recovery:      rep,
+		SnapshotEvery: snapEvery,
+		Metrics:       obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatalf("schedd.New: %v", err)
+	}
+	return core, log
+}
+
+func waitReady(t *testing.T, core *schedd.Core) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for core.Phase() != schedd.PhaseReady {
+		if time.Now().After(deadline) {
+			t.Fatalf("core never became ready (phase %s)", core.Phase())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// submitN admits n jobs and returns their IDs (only successful admits).
+func submitN(t *testing.T, core *schedd.Core, n int, keyPrefix string) []int {
+	t.Helper()
+	var ids []int
+	for i := 0; i < n; i++ {
+		req := schedd.SubmitRequest{Width: 1 + i%8, Estimate: 100 + int64(i)}
+		if keyPrefix != "" {
+			req.IdempotencyKey = fmt.Sprintf("%s-%d", keyPrefix, i)
+		}
+		resp, err := core.Submit(req)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if resp.Deduplicated {
+			t.Fatalf("fresh submit %d reported deduplicated", i)
+		}
+		ids = append(ids, resp.ID)
+	}
+	return ids
+}
+
+// waitPlanned blocks until every given job is out of the queued state.
+func waitPlanned(t *testing.T, core *schedd.Core, ids []int) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		allPlanned := true
+		for _, id := range ids {
+			st, ok := core.Job(id)
+			if !ok || st.State == schedd.StateQueued {
+				allPlanned = false
+				break
+			}
+		}
+		if allPlanned {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("jobs never planned")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCrashRecoveryZeroLostZeroDuplicated(t *testing.T) {
+	dir := t.TempDir()
+	clock := schedd.NewManualClock(1000)
+	core, log := newWALCore(t, dir, clock, 1<<20)
+	core.Start()
+	waitReady(t, core)
+	ids := submitN(t, core, 40, "")
+	waitPlanned(t, core, ids)
+
+	// Crash: no drain, no final fsync, queued-but-unwritten appends
+	// dropped. Everything the admission path acknowledged is on disk
+	// because AppendSync returns only after the write.
+	log.Abort()
+
+	clock2 := schedd.NewManualClock(1000)
+	core2, log2 := newWALCore(t, dir, clock2, 1<<20)
+	core2.Start()
+	waitReady(t, core2)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		core2.Stop(ctx)
+		log2.Close()
+	}()
+
+	// Every accepted job is present exactly once, with its original
+	// shape, and planned (the recovery replan covers unplanned ones).
+	waitPlanned(t, core2, ids)
+	seen := map[int]bool{}
+	for i, id := range ids {
+		st, ok := core2.Job(id)
+		if !ok {
+			t.Fatalf("job %d lost across crash", id)
+		}
+		if seen[id] {
+			t.Fatalf("job %d duplicated", id)
+		}
+		seen[id] = true
+		if st.Width != 1+i%8 || st.Estimate != 100+int64(i) {
+			t.Fatalf("job %d shape mutated: %+v", id, st)
+		}
+	}
+	// Counters recovered: submitted matches the accepted set.
+	if got := core2.Snapshot().Counts.Submitted; got != int64(len(ids)) {
+		t.Fatalf("recovered Submitted = %d, want %d", got, len(ids))
+	}
+	// New IDs never collide with recovered ones.
+	resp, err := core2.Submit(schedd.SubmitRequest{Width: 1, Estimate: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen[resp.ID] {
+		t.Fatalf("post-recovery ID %d collides with a recovered job", resp.ID)
+	}
+}
+
+func TestCrashRecoveryAcrossSnapshotAndLifecycle(t *testing.T) {
+	// Jobs in every state (done, running, waiting, queued) plus a
+	// snapshot mid-log: recovery must reassemble all of them.
+	dir := t.TempDir()
+	clock := schedd.NewManualClock(1000)
+	core, log := newWALCore(t, dir, clock, 1<<20)
+	core.Start()
+	waitReady(t, core)
+
+	ids := submitN(t, core, 12, "")
+	waitPlanned(t, core, ids)
+	// Let time pass so some jobs start and complete.
+	clock.Advance(150)
+	// Poke the writer: submit one more job so it advances the clock.
+	more, err := core.Submit(schedd.SubmitRequest{Width: 2, Estimate: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitPlanned(t, core, []int{more.ID})
+	all := append(append([]int{}, ids...), more.ID)
+
+	var done, active int
+	for _, id := range all {
+		st, ok := core.Job(id)
+		if !ok {
+			t.Fatalf("job %d missing before crash", id)
+		}
+		if st.State == schedd.StateDone {
+			done++
+		} else {
+			active++
+		}
+	}
+	if done == 0 {
+		t.Fatalf("test needs completed jobs before the crash (done=%d active=%d)", done, active)
+	}
+
+	// Barrier: writer-loop records (plan/start/complete) are appended
+	// asynchronously; this test's counter equality needs them all on
+	// disk, so flush the queue before the crash. (The zero-lost
+	// guarantee itself never needs this — dropped writer records are
+	// repaired by the recovery replan.)
+	if _, err := log.AppendSync("barrier", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	log.Abort()
+
+	clock2 := schedd.NewManualClock(1150)
+	core2, log2 := newWALCore(t, dir, clock2, 1<<20)
+	core2.Start()
+	waitReady(t, core2)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		core2.Stop(ctx)
+		log2.Close()
+	}()
+
+	for _, id := range all {
+		st, ok := core2.Job(id)
+		if !ok {
+			t.Fatalf("job %d lost across crash", id)
+		}
+		pre, _ := core.Job(id)
+		if pre.State == schedd.StateDone {
+			if st.State != schedd.StateDone || st.End != pre.End || st.Start != pre.Start {
+				t.Fatalf("done job %d mutated: pre %+v post %+v", id, pre, st)
+			}
+		}
+	}
+	c2 := core2.Snapshot().Counts
+	c1 := core.Snapshot().Counts
+	if c2.Completed != c1.Completed || c2.Started != c1.Started {
+		t.Fatalf("lifecycle counters diverged: pre %+v post %+v", c1, c2)
+	}
+}
+
+func TestRecoveryWithSnapshotCadence(t *testing.T) {
+	// Aggressive snapshot cadence: every few records. Recovery must be
+	// identical whether state comes from the snapshot or the tail.
+	dir := t.TempDir()
+	clock := schedd.NewManualClock(0)
+	core, log := newWALCore(t, dir, clock, 4)
+	core.Start()
+	waitReady(t, core)
+	ids := submitN(t, core, 30, "")
+	waitPlanned(t, core, ids)
+	log.Abort()
+
+	core2, log2 := newWALCore(t, dir, schedd.NewManualClock(0), 4)
+	core2.Start()
+	waitReady(t, core2)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		core2.Stop(ctx)
+		log2.Close()
+	}()
+	for _, id := range ids {
+		if _, ok := core2.Job(id); !ok {
+			t.Fatalf("job %d lost with snapshot cadence", id)
+		}
+	}
+	if got := core2.Snapshot().Counts.Submitted; got != int64(len(ids)) {
+		t.Fatalf("Submitted = %d, want %d", got, len(ids))
+	}
+}
+
+func TestIdempotentResubmissionSameProcess(t *testing.T) {
+	dir := t.TempDir()
+	core, log := newWALCore(t, dir, schedd.NewManualClock(0), 1<<20)
+	core.Start()
+	waitReady(t, core)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		core.Stop(ctx)
+		log.Close()
+	}()
+
+	first, err := core.Submit(schedd.SubmitRequest{Width: 4, Estimate: 100, IdempotencyKey: "job-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := core.Submit(schedd.SubmitRequest{Width: 4, Estimate: 100, IdempotencyKey: "job-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Deduplicated || second.ID != first.ID {
+		t.Fatalf("resubmit not deduped: first %+v second %+v", first, second)
+	}
+	other, err := core.Submit(schedd.SubmitRequest{Width: 4, Estimate: 100, IdempotencyKey: "job-b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Deduplicated || other.ID == first.ID {
+		t.Fatalf("distinct key collided: %+v", other)
+	}
+}
+
+func TestIdempotentResubmissionAcrossCrash(t *testing.T) {
+	dir := t.TempDir()
+	core, log := newWALCore(t, dir, schedd.NewManualClock(0), 1<<20)
+	core.Start()
+	waitReady(t, core)
+	ids := submitN(t, core, 10, "retry")
+	waitPlanned(t, core, ids)
+	log.Abort()
+
+	core2, log2 := newWALCore(t, dir, schedd.NewManualClock(0), 1<<20)
+	core2.Start()
+	waitReady(t, core2)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		core2.Stop(ctx)
+		log2.Close()
+	}()
+
+	// A client that saw the crash retries every submission with the
+	// same keys: all must dedupe onto the recovered jobs.
+	for i := 0; i < 10; i++ {
+		resp, err := core2.Submit(schedd.SubmitRequest{
+			Width: 1 + i%8, Estimate: 100 + int64(i),
+			IdempotencyKey: fmt.Sprintf("retry-%d", i),
+		})
+		if err != nil {
+			t.Fatalf("retry %d: %v", i, err)
+		}
+		if !resp.Deduplicated {
+			t.Fatalf("retry %d admitted a duplicate (id %d)", i, resp.ID)
+		}
+		if resp.ID != ids[i] {
+			t.Fatalf("retry %d deduped to %d, want %d", i, resp.ID, ids[i])
+		}
+	}
+	if got := core2.Snapshot().Counts.Submitted; got != int64(len(ids)) {
+		t.Fatalf("retries inflated Submitted to %d, want %d", got, len(ids))
+	}
+}
+
+func TestSubmitRejectedWhileReplaying(t *testing.T) {
+	dir := t.TempDir()
+	core, log := newWALCore(t, dir, schedd.NewManualClock(0), 1<<20)
+	// Not started: the phase stays "replaying", exactly the window
+	// between process start and recovery completion.
+	if core.Phase() != schedd.PhaseReplaying {
+		t.Fatalf("phase = %s before recovery", core.Phase())
+	}
+	_, err := core.Submit(schedd.SubmitRequest{Width: 1, Estimate: 10})
+	if !errors.Is(err, schedd.ErrRecovering) {
+		t.Fatalf("submit during replay: %v", err)
+	}
+	core.Start()
+	waitReady(t, core)
+	if _, err := core.Submit(schedd.SubmitRequest{Width: 1, Estimate: 10}); err != nil {
+		t.Fatalf("submit after recovery: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	core.Stop(ctx)
+	log.Close()
+}
+
+func TestCleanDrainLeavesReplayFreeLog(t *testing.T) {
+	dir := t.TempDir()
+	core, log := newWALCore(t, dir, schedd.NewManualClock(0), 1<<20)
+	core.Start()
+	waitReady(t, core)
+	ids := submitN(t, core, 8, "")
+	waitPlanned(t, core, ids)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := core.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The drain snapshot covers the whole log: reopening replays only
+	// the snapshot, no records.
+	_, rep, err := wal.Open(wal.Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != 0 {
+		t.Fatalf("replay after clean drain has %d records", len(rep.Records))
+	}
+	if rep.SnapshotSeq == 0 {
+		t.Fatal("no drain snapshot written")
+	}
+}

@@ -1,0 +1,13 @@
+//go:build !linux
+
+package wal
+
+import "os"
+
+// preallocate is a no-op off Linux: the segment grows per append and
+// sync pays the full fsync. Correctness is identical — only the
+// journal-avoidance optimization is Linux-specific.
+func preallocate(f *os.File, size int64) error { return nil }
+
+// datasync falls back to a full fsync off Linux.
+func datasync(f *os.File) error { return f.Sync() }

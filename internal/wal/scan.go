@@ -1,0 +1,457 @@
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+)
+
+// scanResult is everything Open needs from a recovery pass: the replay
+// for the application, the tail position for new appends, and the
+// truncation/drop work that makes the on-disk log the recovered prefix.
+type scanResult struct {
+	replay   *Replay
+	tailSeq  uint64
+	chain    [32]byte
+	segStart uint64 // active segment name for appends
+	tailOff  int64  // append offset in the active segment
+
+	truncatePath string // segment to truncate ("" = none)
+	truncateLen  int64
+	dropSegments []string // segments after a repair point
+
+	segInfos []SegmentInfo
+}
+
+// scan reads and verifies the whole log directory. With repair false it
+// returns a *CorruptError on the first invalid (but fully present)
+// record; with repair true it truncates there and drops the rest. A
+// torn final record — incomplete bytes at the very end of the last
+// segment — is always truncated silently: the crash hit mid-write and
+// the record was never acknowledged.
+func scan(dir string, repair bool) (*scanResult, error) {
+	segs, snaps, err := listFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	// Choose the newest loadable snapshot for state. Only a corrupt
+	// snapshot file falls back to an older one (and only under repair);
+	// segment records are never skipped by this choice.
+	var (
+		state      *snapPayload
+		stateChain [32]byte
+		haveState  bool
+	)
+	snapSeqs := sortedKeys(snaps)
+	snapChains := make(map[uint64][32]byte, len(snaps)) // tailSeq -> frame chain
+	snapPayloads := make(map[uint64]*snapPayload, len(snaps))
+	for _, s := range snapSeqs {
+		p, chain, err := loadSnap(snaps[s], s)
+		if err != nil {
+			if repair {
+				continue
+			}
+			return nil, err
+		}
+		snapChains[s] = chain
+		snapPayloads[s] = p
+	}
+	for i := len(snapSeqs) - 1; i >= 0; i-- {
+		if p, ok := snapPayloads[snapSeqs[i]]; ok {
+			state, stateChain, haveState = p, snapChains[snapSeqs[i]], true
+			break
+		}
+	}
+
+	res := &scanResult{replay: &Replay{}}
+	if haveState {
+		res.replay.SnapshotSeq = state.AppliedSeq
+		res.replay.Snapshot = state.State
+	}
+
+	segSeqs := sortedKeys(segs)
+	if len(segSeqs) == 0 {
+		// Fresh directory (or snapshot-only after a crash between the
+		// snapshot rename and the rotation with nothing ever appended
+		// after; the rotation order makes that impossible unless files
+		// were removed by hand, which the tail check below rejects).
+		if haveState && state.TailSeq > state.AppliedSeq {
+			return nil, &CorruptError{Path: dir, Reason: fmt.Sprintf(
+				"no segments but snapshot records tail seq %d > applied seq %d", state.TailSeq, state.AppliedSeq)}
+		}
+		if haveState {
+			res.tailSeq, res.chain, res.segStart = state.TailSeq, stateChain, state.TailSeq
+		}
+		return res, nil
+	}
+
+	// Verify the full chain from the earliest kept segment. Its anchor
+	// is genesis (all zeros) for wal-0, else the snapshot of the same
+	// name left in place exactly for this purpose by prune.
+	var chain [32]byte
+	first := segSeqs[0]
+	if first != 0 {
+		anchor, ok := snapChains[first]
+		if !ok {
+			return nil, &CorruptError{Path: segs[first], Reason: fmt.Sprintf(
+				"no chain anchor: snapshot %s missing or corrupt", snapName(first))}
+		}
+		chain = anchor
+	}
+
+	seq := first
+	appliedSeq := res.replay.SnapshotSeq
+	stopped := false // a repair truncation ends the readable prefix
+	for i, s := range segSeqs {
+		path := segs[s]
+		if stopped {
+			res.dropSegments = append(res.dropSegments, path)
+			continue
+		}
+		if s != seq {
+			return nil, &CorruptError{Path: path, Reason: fmt.Sprintf(
+				"segment starts at seq %d but log ends at seq %d (missing segment)", s+1, seq)}
+		}
+		last := i == len(segSeqs)-1
+		info, newChain, serr := readSegment(path, s, chain, appliedSeq, res.replay, last, repair)
+		res.segInfos = append(res.segInfos, *info)
+		if serr != nil {
+			if ce, ok := serr.(*CorruptError); ok && repair {
+				// Keep the valid prefix of this segment, drop the rest
+				// of the log.
+				res.truncatePath, res.truncateLen = path, ce.Offset
+				res.replay.Repaired++
+				stopped = true
+				seq = info.LastSeq
+				chain = newChain
+				continue
+			}
+			return nil, serr
+		}
+		if info.TornBytes > 0 {
+			res.truncatePath, res.truncateLen = path, info.GoodBytes
+			res.replay.TornBytes += info.TornBytes
+		}
+		seq = info.LastSeq
+		chain = newChain
+		// Cross-check: a snapshot taken at this seq recorded the chain
+		// it saw; the replayed chain must agree.
+		if want, ok := snapChains[seq]; ok && want != chain {
+			return nil, &CorruptError{Path: snaps[seq], Reason: fmt.Sprintf(
+				"snapshot chain disagrees with replayed chain at seq %d", seq)}
+		}
+	}
+	res.replay.Segments = len(res.segInfos)
+
+	if haveState && !stopped && seq < state.TailSeq {
+		return nil, &CorruptError{Path: dir, Reason: fmt.Sprintf(
+			"log ends at seq %d before snapshot tail seq %d (missing records)", seq, state.TailSeq)}
+	}
+	if haveState && seq < state.AppliedSeq {
+		// Even repair cannot rebuild the chain position inside the
+		// snapshot's covered range; refuse rather than guess.
+		return nil, &CorruptError{Path: dir, Reason: fmt.Sprintf(
+			"log ends at seq %d inside snapshot coverage (applied seq %d)", seq, state.AppliedSeq)}
+	}
+	if n := len(res.replay.Records); n > 0 && res.replay.Records[0].Seq != appliedSeq+1 {
+		return nil, &CorruptError{Path: dir, Reason: fmt.Sprintf(
+			"first replayable record is seq %d, want %d", res.replay.Records[0].Seq, appliedSeq+1)}
+	}
+	res.tailSeq, res.chain = seq, chain
+	res.segStart = segSeqs[0]
+	for _, s := range segSeqs {
+		if s <= seq {
+			res.segStart = s
+		}
+	}
+	if stopped {
+		// Appends continue on the truncated segment.
+		res.segStart = first
+		for i, s := range segSeqs {
+			if segs[s] == res.truncatePath {
+				res.segStart = segSeqs[i]
+				break
+			}
+		}
+	}
+	for _, si := range res.segInfos {
+		if si.Name == segName(res.segStart) {
+			res.tailOff = si.GoodBytes
+		}
+	}
+	return res, nil
+}
+
+// SegmentInfo describes one verified segment file.
+type SegmentInfo struct {
+	Name      string `json:"name"`
+	FirstSeq  uint64 `json:"first_seq"` // 0 when the segment is empty
+	LastSeq   uint64 `json:"last_seq"`
+	Records   int    `json:"records"`
+	GoodBytes int64  `json:"bytes"`
+	TornBytes int64  `json:"torn_bytes,omitempty"`
+}
+
+// readSegment verifies one segment starting at chain position chain and
+// seq s, appending records with seq > appliedSeq to replay. It returns
+// the segment info and the chain at its end. A *CorruptError carries
+// the byte offset of the first invalid record (the repair truncation
+// point).
+func readSegment(path string, s uint64, chain [32]byte, appliedSeq uint64, replay *Replay, last, repair bool) (*SegmentInfo, [32]byte, error) {
+	info := &SegmentInfo{Name: segName(s), LastSeq: s}
+	f, err := os.Open(path)
+	if err != nil {
+		return info, chain, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	var offset int64
+	seq := s
+	for {
+		var hdr [headerSize]byte
+		n, err := io.ReadFull(br, hdr[:])
+		if err == io.EOF {
+			break // clean end
+		}
+		if err == io.ErrUnexpectedEOF {
+			if !last {
+				return info, chain, &CorruptError{Path: path, Offset: offset,
+					Reason: fmt.Sprintf("truncated header (%d bytes) in non-final segment", n)}
+			}
+			info.TornBytes = int64(n)
+			info.GoodBytes = offset
+			return info, chain, nil
+		}
+		if err != nil {
+			return info, chain, err
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		if length == 0 || length > maxRecordSize {
+			// Not a readable frame: either the zero tail of a
+			// preallocated segment (clean end), a torn final write, or
+			// corruption — the bytes to the end of the file decide.
+			rest, rerr := io.ReadAll(br)
+			if rerr != nil {
+				return info, chain, rerr
+			}
+			kind, torn := classifyTail(append(hdr[:], rest...), length)
+			if kind == tailClean {
+				return info, chain, nil
+			}
+			if kind == tailTorn && last {
+				info.TornBytes = torn
+				return info, chain, nil
+			}
+			return info, chain, &CorruptError{Path: path, Offset: offset,
+				Reason: fmt.Sprintf("record seq %d: implausible length %d", seq+1, length)}
+		}
+		payload := make([]byte, length)
+		pn, err := io.ReadFull(br, payload)
+		if err == io.ErrUnexpectedEOF || err == io.EOF {
+			if !last {
+				return info, chain, &CorruptError{Path: path, Offset: offset,
+					Reason: fmt.Sprintf("truncated payload (%d of %d bytes) in non-final segment", pn, length)}
+			}
+			info.TornBytes = int64(headerSize + pn)
+			info.GoodBytes = offset
+			return info, chain, nil
+		}
+		if err != nil {
+			return info, chain, err
+		}
+		if crc := crc32.ChecksumIEEE(payload); crc != binary.LittleEndian.Uint32(hdr[4:8]) {
+			if last {
+				// A bad final frame with nothing but zeros after it is
+				// a torn write (an acknowledged record would have been
+				// followed by more live bytes or a clean close), not
+				// corruption.
+				rest, rerr := io.ReadAll(br)
+				if rerr != nil {
+					return info, chain, rerr
+				}
+				frame := append(append(append([]byte(nil), hdr[:]...), payload...), rest...)
+				if kind, torn := classifyTail(frame, length); kind == tailTorn {
+					info.TornBytes = torn
+					return info, chain, nil
+				}
+			}
+			return info, chain, &CorruptError{Path: path, Offset: offset,
+				Reason: fmt.Sprintf("record seq %d: CRC mismatch", seq+1)}
+		}
+		next := sha256.Sum256(append(chain[:], payload...))
+		if !bytes.Equal(next[:], hdr[8:headerSize]) {
+			return info, chain, &CorruptError{Path: path, Offset: offset,
+				Reason: fmt.Sprintf("record seq %d: hash chain broken", seq+1)}
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return info, chain, &CorruptError{Path: path, Offset: offset,
+				Reason: fmt.Sprintf("record seq %d: bad envelope: %v", seq+1, err)}
+		}
+		if rec.Seq != seq+1 {
+			return info, chain, &CorruptError{Path: path, Offset: offset,
+				Reason: fmt.Sprintf("record claims seq %d, want %d", rec.Seq, seq+1)}
+		}
+		seq = rec.Seq
+		chain = next
+		offset += int64(headerSize) + int64(length)
+		if info.FirstSeq == 0 {
+			info.FirstSeq = rec.Seq
+		}
+		info.LastSeq = rec.Seq
+		info.Records++
+		info.GoodBytes = offset
+		if rec.Seq > appliedSeq {
+			replay.Records = append(replay.Records, rec)
+		}
+	}
+	return info, chain, nil
+}
+
+// tailKind classifies the bytes of a segment from a failed frame's
+// start to the end of the file.
+type tailKind int
+
+const (
+	tailCorrupt tailKind = iota // live bytes past the failed frame's extent
+	tailClean                   // the zero tail of a preallocated segment
+	tailTorn                    // a partial frame, then zeros (or nothing)
+)
+
+// classifyTail decides what a frame-validation failure is. tail holds
+// the segment bytes from the failed frame's start to the end of the
+// file; claimed is the frame header's length field. All zeros is the
+// unwritten tail of a preallocated segment — a clean end. A nonzero
+// prefix confined to the failed frame's own extent is a torn write: a
+// single sequential batch write that died leaves a prefix of one frame
+// and nothing after it. A nonzero byte beyond that extent means a
+// fully written record followed the failure, so the failure is real
+// corruption, never a tear.
+func classifyTail(tail []byte, claimed uint32) (tailKind, int64) {
+	window := int64(headerSize)
+	if claimed > 0 && claimed <= maxRecordSize {
+		window += int64(claimed)
+	}
+	last := int64(-1)
+	for i := len(tail) - 1; i >= 0; i-- {
+		if tail[i] != 0 {
+			last = int64(i)
+			break
+		}
+	}
+	switch {
+	case last < 0:
+		return tailClean, 0
+	case last < window:
+		return tailTorn, last + 1
+	default:
+		return tailCorrupt, 0
+	}
+}
+
+// loadSnap reads and validates one snapshot file.
+func loadSnap(path string, nameSeq uint64) (*snapPayload, [32]byte, error) {
+	var chain [32]byte
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, chain, err
+	}
+	if len(b) < headerSize {
+		return nil, chain, &CorruptError{Path: path, Reason: "truncated snapshot header"}
+	}
+	length := binary.LittleEndian.Uint32(b[0:4])
+	if int(length) != len(b)-headerSize {
+		return nil, chain, &CorruptError{Path: path,
+			Reason: fmt.Sprintf("snapshot length %d does not match file size %d", length, len(b))}
+	}
+	payload := b[headerSize:]
+	if crc := crc32.ChecksumIEEE(payload); crc != binary.LittleEndian.Uint32(b[4:8]) {
+		return nil, chain, &CorruptError{Path: path, Reason: "snapshot CRC mismatch"}
+	}
+	copy(chain[:], b[8:headerSize])
+	var p snapPayload
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return nil, chain, &CorruptError{Path: path, Reason: fmt.Sprintf("bad snapshot payload: %v", err)}
+	}
+	if p.TailSeq != nameSeq {
+		return nil, chain, &CorruptError{Path: path,
+			Reason: fmt.Sprintf("snapshot records tail seq %d but is named %d", p.TailSeq, nameSeq)}
+	}
+	if p.AppliedSeq > p.TailSeq {
+		return nil, chain, &CorruptError{Path: path,
+			Reason: fmt.Sprintf("snapshot applied seq %d beyond its tail seq %d", p.AppliedSeq, p.TailSeq)}
+	}
+	return &p, chain, nil
+}
+
+// SnapshotInfo describes one snapshot file.
+type SnapshotInfo struct {
+	Name       string `json:"name"`
+	AppliedSeq uint64 `json:"applied_seq"`
+	TailSeq    uint64 `json:"tail_seq"`
+	StateBytes int    `json:"state_bytes"`
+	Corrupt    string `json:"corrupt,omitempty"`
+}
+
+// Info is the offline inspection report of a log directory (the
+// `schedctl wal` subcommand).
+type Info struct {
+	Dir         string         `json:"dir"`
+	TailSeq     uint64         `json:"tail_seq"`
+	Chain       string         `json:"chain"`
+	SnapshotSeq uint64         `json:"snapshot_seq"`
+	Replayable  int            `json:"replayable_records"`
+	ByType      map[string]int `json:"records_by_type,omitempty"`
+	TornBytes   int64          `json:"torn_bytes,omitempty"`
+	Segments    []SegmentInfo  `json:"segments"`
+	Snapshots   []SnapshotInfo `json:"snapshots"`
+	// Corrupt is the verification failure, if any ("" = chain OK). A
+	// torn final record is not corruption (the crash hit mid-write).
+	Corrupt string `json:"corrupt,omitempty"`
+}
+
+// Inspect verifies a log directory without modifying it and reports its
+// structure. A corrupt log still returns an Info (with Corrupt set and
+// whatever could be verified); only I/O errors return a non-nil error.
+func Inspect(dir string) (*Info, error) {
+	info := &Info{Dir: dir, ByType: map[string]int{}}
+	_, snaps, err := listFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range sortedKeys(snaps) {
+		si := SnapshotInfo{Name: snapName(s)}
+		if p, _, err := loadSnap(snaps[s], s); err != nil {
+			si.Corrupt = err.Error()
+		} else {
+			si.AppliedSeq, si.TailSeq, si.StateBytes = p.AppliedSeq, p.TailSeq, len(p.State)
+		}
+		info.Snapshots = append(info.Snapshots, si)
+	}
+	sc, err := scan(dir, false)
+	if err != nil {
+		if ce, ok := err.(*CorruptError); ok {
+			info.Corrupt = ce.Error()
+			return info, nil
+		}
+		return nil, err
+	}
+	info.TailSeq = sc.tailSeq
+	info.Chain = ChainHex(sc.chain)
+	info.SnapshotSeq = sc.replay.SnapshotSeq
+	info.Replayable = len(sc.replay.Records)
+	info.TornBytes = sc.replay.TornBytes
+	info.Segments = sc.segInfos
+	for _, r := range sc.replay.Records {
+		info.ByType[r.Type]++
+	}
+	sort.Slice(info.Segments, func(i, j int) bool { return info.Segments[i].Name < info.Segments[j].Name })
+	return info, nil
+}

@@ -1,0 +1,408 @@
+package wal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+type testPayload struct {
+	ID int    `json:"id"`
+	S  string `json:"s,omitempty"`
+}
+
+func openTest(t *testing.T, dir string, opts Options) (*Log, *Replay) {
+	t.Helper()
+	opts.Dir = dir
+	opts.NoSync = true // tmpfs/test speed; durability is the OS's problem here
+	l, rep, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, rep
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, rep := openTest(t, dir, Options{})
+	if rep.SnapshotSeq != 0 || len(rep.Records) != 0 {
+		t.Fatalf("fresh log replay not empty: %+v", rep)
+	}
+	for i := 1; i <= 10; i++ {
+		seq, err := l.AppendSync("submit", testPayload{ID: i}, nil)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("seq = %d, want %d", seq, i)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, rep2 := openTest(t, dir, Options{})
+	defer l2.Close()
+	if len(rep2.Records) != 10 {
+		t.Fatalf("replayed %d records, want 10", len(rep2.Records))
+	}
+	for i, r := range rep2.Records {
+		if r.Seq != uint64(i+1) || r.Type != "submit" {
+			t.Fatalf("record %d: seq=%d type=%q", i, r.Seq, r.Type)
+		}
+		var p testPayload
+		if err := json.Unmarshal(r.Data, &p); err != nil || p.ID != i+1 {
+			t.Fatalf("record %d payload: %v %+v", i, err, p)
+		}
+	}
+	if l2.Seq() != 10 {
+		t.Fatalf("reopened tail seq = %d, want 10", l2.Seq())
+	}
+	// Appends continue the chain after reopen.
+	if seq, err := l2.AppendSync("submit", testPayload{ID: 11}, nil); err != nil || seq != 11 {
+		t.Fatalf("append after reopen: seq=%d err=%v", seq, err)
+	}
+}
+
+func TestGroupCommitConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openTest(t, dir, Options{FsyncEvery: 16})
+	const n = 200
+	var wg sync.WaitGroup
+	seqs := make([]uint64, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			seqs[i], errs[i] = l.AppendSync("submit", testPayload{ID: i}, nil)
+		}(i)
+	}
+	wg.Wait()
+	seen := map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("append %d: %v", i, errs[i])
+		}
+		if seen[seqs[i]] {
+			t.Fatalf("duplicate seq %d", seqs[i])
+		}
+		seen[seqs[i]] = true
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l2, rep := openTest(t, dir, Options{})
+	defer l2.Close()
+	if len(rep.Records) != n {
+		t.Fatalf("replayed %d, want %d", len(rep.Records), n)
+	}
+	for i, r := range rep.Records {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d out of order: seq %d", i, r.Seq)
+		}
+	}
+}
+
+func TestOnSeqCallbackUnderLock(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openTest(t, dir, Options{})
+	defer l.Close()
+	var got uint64
+	seq, err := l.AppendSync("submit", nil, func(s uint64) { got = s })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != seq || got != 1 {
+		t.Fatalf("onSeq got %d, append returned %d", got, seq)
+	}
+}
+
+func TestSnapshotRotatePruneReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openTest(t, dir, Options{})
+	for i := 1; i <= 5; i++ {
+		if _, err := l.AppendSync("submit", testPayload{ID: i}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	state := map[string]int{"applied": 5}
+	if err := l.Snapshot(5, state); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	for i := 6; i <= 8; i++ {
+		if _, err := l.AppendSync("submit", testPayload{ID: i}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The snapshot rotated to wal-5 and pruned wal-0.
+	if _, err := os.Stat(filepath.Join(dir, segName(0))); !os.IsNotExist(err) {
+		t.Fatalf("wal-0 not pruned: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, segName(5))); err != nil {
+		t.Fatalf("rotated segment missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapName(5))); err != nil {
+		t.Fatalf("snapshot missing: %v", err)
+	}
+
+	l2, rep := openTest(t, dir, Options{})
+	defer l2.Close()
+	if rep.SnapshotSeq != 5 {
+		t.Fatalf("SnapshotSeq = %d, want 5", rep.SnapshotSeq)
+	}
+	var st map[string]int
+	if err := json.Unmarshal(rep.Snapshot, &st); err != nil || st["applied"] != 5 {
+		t.Fatalf("snapshot state: %v %+v", err, st)
+	}
+	if len(rep.Records) != 3 || rep.Records[0].Seq != 6 || rep.Records[2].Seq != 8 {
+		t.Fatalf("tail records: %+v", rep.Records)
+	}
+	if l2.Seq() != 8 {
+		t.Fatalf("tail seq = %d", l2.Seq())
+	}
+}
+
+func TestSnapshotAppliedLagsTail(t *testing.T) {
+	// appliedSeq < tail: records after it must still be replayed.
+	dir := t.TempDir()
+	l, _ := openTest(t, dir, Options{})
+	for i := 1; i <= 6; i++ {
+		if _, err := l.AppendSync("submit", testPayload{ID: i}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Snapshot(4, map[string]int{"applied": 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, rep := openTest(t, dir, Options{})
+	defer l2.Close()
+	if rep.SnapshotSeq != 4 {
+		t.Fatalf("SnapshotSeq = %d, want 4", rep.SnapshotSeq)
+	}
+	if len(rep.Records) != 2 || rep.Records[0].Seq != 5 || rep.Records[1].Seq != 6 {
+		t.Fatalf("tail records: %+v", rep.Records)
+	}
+}
+
+func TestSnapshotBeyondTailRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openTest(t, dir, Options{})
+	defer l.Close()
+	if err := l.Snapshot(3, nil); err == nil {
+		t.Fatal("snapshot beyond tail accepted")
+	}
+}
+
+func TestMultipleSnapshotsNewestWins(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openTest(t, dir, Options{})
+	for i := 1; i <= 12; i++ {
+		if _, err := l.AppendSync("submit", testPayload{ID: i}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if i%4 == 0 {
+			if err := l.Snapshot(uint64(i), map[string]int{"applied": i}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, rep := openTest(t, dir, Options{})
+	defer l2.Close()
+	if rep.SnapshotSeq != 12 || len(rep.Records) != 0 {
+		t.Fatalf("SnapshotSeq=%d records=%d, want 12/0", rep.SnapshotSeq, len(rep.Records))
+	}
+}
+
+func TestAbortDropsPendingKeepsWritten(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openTest(t, dir, Options{})
+	for i := 1; i <= 3; i++ {
+		if _, err := l.AppendSync("submit", testPayload{ID: i}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Abort()
+	if _, err := l.Append("submit", nil); err != ErrClosed {
+		t.Fatalf("append after abort: %v", err)
+	}
+	l2, rep := openTest(t, dir, Options{})
+	defer l2.Close()
+	if len(rep.Records) != 3 {
+		t.Fatalf("replayed %d records after abort, want 3", len(rep.Records))
+	}
+}
+
+func TestAsyncAppendDurableAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openTest(t, dir, Options{})
+	for i := 1; i <= 50; i++ {
+		if _, err := l.Append("plan", testPayload{ID: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, rep := openTest(t, dir, Options{})
+	defer l2.Close()
+	if len(rep.Records) != 50 {
+		t.Fatalf("replayed %d, want 50", len(rep.Records))
+	}
+}
+
+func TestInspect(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openTest(t, dir, Options{})
+	for i := 1; i <= 6; i++ {
+		typ := "submit"
+		if i%2 == 0 {
+			typ = "complete"
+		}
+		if _, err := l.AppendSync(typ, testPayload{ID: i}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Snapshot(3, map[string]int{"applied": 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Closing after the snapshot appended nothing; tail stays 6 from
+	// before the snapshot? No: snapshot was taken after 6 appends with
+	// applied 3, so replayable = seqs 4..6.
+	info, err := Inspect(dir)
+	if err != nil {
+		t.Fatalf("Inspect: %v", err)
+	}
+	if info.Corrupt != "" {
+		t.Fatalf("corrupt: %s", info.Corrupt)
+	}
+	if info.TailSeq != 6 || info.SnapshotSeq != 3 || info.Replayable != 3 {
+		t.Fatalf("info: %+v", info)
+	}
+	if info.ByType["submit"] == 0 && info.ByType["complete"] == 0 {
+		t.Fatalf("ByType empty: %+v", info.ByType)
+	}
+	if len(info.Snapshots) == 0 || len(info.Segments) == 0 {
+		t.Fatalf("missing file info: %+v", info)
+	}
+	if info.Chain == "" {
+		t.Fatal("no chain rendered")
+	}
+}
+
+func TestManySegmentsReopenContinuity(t *testing.T) {
+	dir := t.TempDir()
+	seq := uint64(0)
+	for round := 0; round < 4; round++ {
+		l, _ := openTest(t, dir, Options{})
+		for i := 0; i < 5; i++ {
+			s, err := l.AppendSync("submit", testPayload{ID: int(seq) + 1}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq++
+			if s != seq {
+				t.Fatalf("round %d: seq %d, want %d", round, s, seq)
+			}
+		}
+		if round == 1 {
+			if err := l.Snapshot(seq, map[string]uint64{"applied": seq}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, rep := openTest(t, dir, Options{})
+	defer l.Close()
+	if rep.SnapshotSeq != 10 {
+		t.Fatalf("SnapshotSeq = %d, want 10", rep.SnapshotSeq)
+	}
+	if len(rep.Records) != 10 || rep.Records[0].Seq != 11 {
+		t.Fatalf("records: n=%d first=%+v", len(rep.Records), rep.Records)
+	}
+}
+
+func TestEmptyDirInspect(t *testing.T) {
+	dir := t.TempDir()
+	info, err := Inspect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.TailSeq != 0 || info.Replayable != 0 || info.Corrupt != "" {
+		t.Fatalf("info: %+v", info)
+	}
+}
+
+func TestChainHexDeterministic(t *testing.T) {
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	var chains [2]string
+	for i, dir := range []string{dir1, dir2} {
+		l, _ := openTest(t, dir, Options{})
+		for j := 1; j <= 4; j++ {
+			if _, err := l.AppendSync("submit", testPayload{ID: j, S: "x"}, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		chains[i] = ChainHex(l.Chain())
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if chains[0] != chains[1] {
+		t.Fatalf("identical logs, different chains: %s vs %s", chains[0], chains[1])
+	}
+	if chains[0] == ChainHex([32]byte{}) {
+		t.Fatal("chain never advanced")
+	}
+}
+
+func BenchmarkAppendSyncGroupCommit(b *testing.B) {
+	dir := b.TempDir()
+	l, _, err := Open(Options{Dir: dir, FsyncEvery: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			if _, err := l.AppendSync("submit", testPayload{ID: i}, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkAppendAsync(b *testing.B) {
+	dir := b.TempDir()
+	l, _, err := Open(Options{Dir: dir, FsyncEvery: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append("plan", testPayload{ID: i}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
