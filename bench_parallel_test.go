@@ -26,8 +26,10 @@ func BenchmarkParallelBnB(b *testing.B) {
 }
 
 // BenchmarkWarmStart measures the serial warm-start path on the 6-job E5
-// instance; allocs/op tracks the simplex scratch pool and the ilpsched
-// build arena.
+// instance in both basis representations; allocs/op tracks the simplex
+// scratch pool and the ilpsched build arena. basis=sparse is the default
+// LU + Forrest–Tomlin core, basis=dense the explicit-inverse fallback.
 func BenchmarkWarmStart(b *testing.B) {
-	benchkit.BenchWarmStart()(b)
+	b.Run("basis=sparse", benchkit.BenchWarmStart(false))
+	b.Run("basis=dense", benchkit.BenchWarmStart(true))
 }

@@ -48,11 +48,24 @@ type benchResult struct {
 	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
 }
 
+// environment pins the measurement host so trajectories taken on
+// different machines are never compared as if they were one series. The
+// parallel_bnb_speedup map records the observed branch-and-bound scaling
+// per worker count; multi_core says whether the host could exhibit any.
+type environment struct {
+	GoVersion          string             `json:"go_version"`
+	GoMaxProcs         int                `json:"gomaxprocs"`
+	NumCPU             int                `json:"num_cpu"`
+	MultiCore          bool               `json:"multi_core"`
+	ParallelBnBSpeedup map[string]float64 `json:"parallel_bnb_speedup,omitempty"`
+}
+
 type trajectory struct {
-	Generated  string `json:"generated"`
-	GoVersion  string `json:"go_version"`
-	GoMaxProcs int    `json:"gomaxprocs"`
-	NumCPU     int    `json:"num_cpu"`
+	Generated   string      `json:"generated"`
+	GoVersion   string      `json:"go_version"`
+	GoMaxProcs  int         `json:"gomaxprocs"`
+	NumCPU      int         `json:"num_cpu"`
+	Environment environment `json:"environment"`
 	// Note records measurement caveats (e.g. single-CPU hosts cannot
 	// exhibit parallel speedup no matter the worker count).
 	Note       string        `json:"note,omitempty"`
@@ -115,10 +128,17 @@ type reuseStats struct {
 	Fallbacks       int `json:"fallbacks"`
 }
 
+// warmStats is the basis telemetry of one instrumented warm-start solve.
+// The default sparse-LU run reports ft_updates/lu_fill/refactor_triggers;
+// eta_updates counts the product-form updates of the dense fallback and
+// stays zero in sparse mode.
 type warmStats struct {
-	WarmStartHits int `json:"warmstart_hits"`
-	LPSolves      int `json:"lp_solves"`
-	EtaUpdates    int `json:"eta_updates"`
+	WarmStartHits    int `json:"warmstart_hits"`
+	LPSolves         int `json:"lp_solves"`
+	EtaUpdates       int `json:"eta_updates"`
+	FTUpdates        int `json:"ft_updates"`
+	LUFill           int `json:"lu_fill"`
+	RefactorTriggers int `json:"refactor_triggers"`
 }
 
 func run(name string, body func(b *testing.B)) benchResult {
@@ -183,6 +203,7 @@ func main() {
 
 	workerCounts := []int{1, 2, 4}
 	var base float64
+	bnbSpeedup := make(map[string]float64, len(workerCounts))
 	for _, w := range workerCounts {
 		br := run(fmt.Sprintf("ParallelBnB/workers=%d", w), benchkit.BenchParallelBnB(w))
 		if w == 1 {
@@ -191,9 +212,18 @@ func main() {
 		if base > 0 {
 			br.SpeedupVsWorkers1 = base / br.NsPerOp
 		}
+		bnbSpeedup[fmt.Sprintf("workers=%d", w)] = br.SpeedupVsWorkers1
 		results = append(results, br)
 	}
-	results = append(results, run("WarmStart", benchkit.BenchWarmStart()))
+
+	// The two basis representations on the identical warm-start workload:
+	// the sparse leg's speedup_vs_baseline is dense ns/op over sparse.
+	warmDense := run("WarmStart/basis=dense", benchkit.BenchWarmStart(true))
+	warmSparse := run("WarmStart/basis=sparse", benchkit.BenchWarmStart(false))
+	if warmDense.NsPerOp > 0 {
+		warmSparse.SpeedupVsBaseline = warmDense.NsPerOp / warmSparse.NsPerOp
+	}
+	results = append(results, warmDense, warmSparse)
 
 	// Observability overhead on the serving hot path: the disabled leg is
 	// the permanent cost of shipping the service instrumented and must
@@ -217,7 +247,7 @@ func main() {
 	}
 	results = append(results, walOne, walGrp, run("WALAppendAsync", benchkit.BenchWALAppendAsync()))
 
-	warmHits, lpSolves, etaUp, err := benchkit.WarmStartStats()
+	ws, err := benchkit.WarmStartStats(false)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: warm-start stats: %v\n", err)
 		os.Exit(1)
@@ -273,8 +303,22 @@ func main() {
 		GoVersion:  runtime.Version(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
+		Environment: environment{
+			GoVersion:          runtime.Version(),
+			GoMaxProcs:         runtime.GOMAXPROCS(0),
+			NumCPU:             runtime.NumCPU(),
+			MultiCore:          runtime.GOMAXPROCS(0) > 1 && runtime.NumCPU() > 1,
+			ParallelBnBSpeedup: bnbSpeedup,
+		},
 		Benchmarks: results,
-		WarmStart:  warmStats{WarmStartHits: warmHits, LPSolves: lpSolves, EtaUpdates: etaUp},
+		WarmStart: warmStats{
+			WarmStartHits:    ws.WarmStartHits,
+			LPSolves:         ws.LPSolves,
+			EtaUpdates:       ws.EtaUpdates,
+			FTUpdates:        ws.FTUpdates,
+			LUFill:           ws.LUFill,
+			RefactorTriggers: ws.RefactorTriggers,
+		},
 		Presolve: &presolveStats{
 			Steps:             red.Steps,
 			VarsBefore:        red.VarsBefore,

@@ -49,6 +49,7 @@ func main() {
 		verbose    = flag.Bool("verbose", false, "print solve-progress lines and counters on stderr")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
+		denseBasis = flag.Bool("dense-basis", false, "use the dense explicit basis inverse instead of the sparse LU factorization (differential debugging)")
 	)
 	flag.Parse()
 	if (*mpsPath == "") == (*lpPath == "") {
@@ -139,7 +140,7 @@ func main() {
 
 	start := time.Now()
 	if len(ints) == 0 {
-		res, err := solveP.Solve(lp.Options{MaxIters: *maxIter})
+		res, err := solveP.Solve(lp.Options{MaxIters: *maxIter, DenseBasis: *denseBasis})
 		if err != nil {
 			fail(err)
 		}
@@ -164,7 +165,7 @@ func main() {
 		TimeLimit:   *timeout,
 		RelativeGap: *gap,
 		Workers:     *workers,
-		LP:          lp.Options{MaxIters: *maxIter},
+		LP:          lp.Options{MaxIters: *maxIter, DenseBasis: *denseBasis},
 	}
 	tracer, flush, err := cliutil.OpenTracer("milp", *traceOut)
 	if err != nil {

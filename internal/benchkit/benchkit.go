@@ -119,33 +119,58 @@ func BenchParallelBnB(workers int) func(b *testing.B) {
 // serial bounded solve of the 6-job E5 instance per iteration. Its
 // allocs/op tracks the sync.Pool scratch reuse in the simplex and the
 // arena build in ilpsched; its WarmStartHits tracks the dual-simplex and
-// primal-repair warm paths.
-func BenchWarmStart() func(b *testing.B) {
+// primal-repair warm paths. dense selects the explicit-inverse basis
+// instead of the default sparse LU, so the two representations can be
+// benchmarked against each other.
+func BenchWarmStart(dense bool) func(b *testing.B) {
 	return func(b *testing.B) {
+		opt := blowupOptions(1)
+		opt.LP.DenseBasis = dense
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			m, err := BlowupModel(6)
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := m.Solve(blowupOptions(1)); err != nil {
+			if _, err := m.Solve(opt); err != nil {
 				b.Fatal(err)
 			}
 		}
 	}
 }
 
-// WarmStartStats runs one instrumented solve of the 6-job E5 instance and
-// returns the warm-start hit count, total LP solves and eta updates, for
-// the machine-readable benchmark trajectory.
-func WarmStartStats() (warmHits, lpSolves, etaUpdates int, err error) {
+// WarmStartStatsResult carries the basis-telemetry aggregates of one
+// instrumented warm-start solve for the machine-readable benchmark
+// trajectory.
+type WarmStartStatsResult struct {
+	WarmStartHits    int
+	LPSolves         int
+	EtaUpdates       int
+	FTUpdates        int
+	LUFill           int
+	RefactorTriggers int
+}
+
+// WarmStartStats runs one instrumented solve of the 6-job E5 instance in
+// the selected basis mode and returns its warm-start and basis-update
+// telemetry.
+func WarmStartStats(dense bool) (WarmStartStatsResult, error) {
 	m, err := BlowupModel(6)
 	if err != nil {
-		return 0, 0, 0, err
+		return WarmStartStatsResult{}, err
 	}
-	sol, err := m.Solve(blowupOptions(1))
+	opt := blowupOptions(1)
+	opt.LP.DenseBasis = dense
+	sol, err := m.Solve(opt)
 	if err != nil {
-		return 0, 0, 0, err
+		return WarmStartStatsResult{}, err
 	}
-	return sol.MIP.WarmStartHits, sol.MIP.LPSolves, sol.MIP.EtaUpdates, nil
+	return WarmStartStatsResult{
+		WarmStartHits:    sol.MIP.WarmStartHits,
+		LPSolves:         sol.MIP.LPSolves,
+		EtaUpdates:       sol.MIP.EtaUpdates,
+		FTUpdates:        sol.MIP.FTUpdates,
+		LUFill:           sol.MIP.LUFill,
+		RefactorTriggers: sol.MIP.RefactorTriggers,
+	}, nil
 }

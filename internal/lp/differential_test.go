@@ -1,0 +1,289 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// The differential harness: every LP must solve identically under the
+// sparse LU basis (the default) and the dense explicit-inverse fallback
+// (Options.DenseBasis). Status must match exactly; optimal objectives
+// must agree to 1e-9 relative; both solutions must pass the full KKT
+// certificate. This is the acceptance gate for the sparse core — any
+// divergence is a factorization or update bug, never a tolerance issue.
+
+// solveBothBases solves p in both basis modes and cross-checks them,
+// returning the two results (sparse first).
+func solveBothBases(t *testing.T, p *Problem, tag string) (*Result, *Result) {
+	t.Helper()
+	sparse, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatalf("%s: sparse solve: %v", tag, err)
+	}
+	dense, err := p.Solve(Options{DenseBasis: true})
+	if err != nil {
+		t.Fatalf("%s: dense solve: %v", tag, err)
+	}
+	if sparse.Status != dense.Status {
+		t.Fatalf("%s: status sparse %v, dense %v", tag, sparse.Status, dense.Status)
+	}
+	if sparse.Status == Optimal {
+		if d := math.Abs(sparse.Objective - dense.Objective); d > 1e-9*(1+math.Abs(dense.Objective)) {
+			t.Fatalf("%s: objective sparse %.15g, dense %.15g (|Δ| = %g)",
+				tag, sparse.Objective, dense.Objective, d)
+		}
+		checkKKT(t, p, sparse)
+		checkKKT(t, p, dense)
+		if sparse.Basis == nil || dense.Basis == nil {
+			t.Fatalf("%s: optimal result without a basis", tag)
+		}
+	}
+	return sparse, dense
+}
+
+// Property: sparse and dense bases agree on random feasible LPs.
+func TestSparseDenseAgreeRandomLPs(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		r := stats.NewRand(seed)
+		p := randomFeasibleLP(r)
+		solveBothBases(t, p, fmt.Sprintf("seed=%d", seed))
+	}
+}
+
+// Random LPs without the feasibility guarantee: statuses (including
+// Infeasible/Unbounded) must still match between the two bases.
+func TestSparseDenseAgreeRandomStatuses(t *testing.T) {
+	for seed := uint64(500); seed < 620; seed++ {
+		r := stats.NewRand(seed)
+		p := NewProblem()
+		n := r.Intn(5) + 1
+		m := r.Intn(5) + 1
+		for j := 0; j < n; j++ {
+			hi := Inf
+			if r.Intn(2) == 0 {
+				hi = float64(r.Intn(9) + 1)
+			}
+			p.AddVariable(0, hi, float64(r.Intn(11)-5), "v")
+		}
+		for i := 0; i < m; i++ {
+			var row int
+			switch r.Intn(3) {
+			case 0:
+				row = p.AddConstraint(LE, float64(r.Intn(13)-6))
+			case 1:
+				row = p.AddConstraint(GE, float64(r.Intn(13)-6))
+			default:
+				row = p.AddConstraint(EQ, float64(r.Intn(13)-6))
+			}
+			for j := 0; j < n; j++ {
+				p.SetCoeff(row, j, float64(r.Intn(7)-3))
+			}
+		}
+		solveBothBases(t, p, fmt.Sprintf("status-seed=%d", seed))
+	}
+}
+
+// Every MPS/LP fixture under testdata must solve to Optimal and agree
+// across both basis representations.
+func TestSparseDenseAgreeFixtures(t *testing.T) {
+	mps, err := filepath.Glob("testdata/*.mps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lps, err := filepath.Glob("testdata/*.lp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := append(mps, lps...)
+	if len(files) < 4 {
+		t.Fatalf("expected at least 4 fixtures under testdata, found %v", files)
+	}
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p *Problem
+		if strings.HasSuffix(path, ".mps") {
+			p, _, err = ReadMPS(f)
+		} else {
+			p, _, err = ReadLP(f)
+		}
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: parse: %v", path, err)
+		}
+		sparse, _ := solveBothBases(t, p, path)
+		if sparse.Status != Optimal {
+			t.Fatalf("%s: status %v, want optimal (fixtures are all feasible bounded)", path, sparse.Status)
+		}
+	}
+}
+
+// Warm starts after a bound change (the branch-and-bound pattern) must
+// also agree across bases, exercising the dual simplex and the
+// Forrest–Tomlin update path rather than just cold phase-1/phase-2.
+func TestSparseDenseAgreeWarmStarts(t *testing.T) {
+	for seed := uint64(900); seed < 960; seed++ {
+		r := stats.NewRand(seed)
+		p := randomFeasibleLP(r)
+		res, err := p.Solve(Options{})
+		if err != nil || res.Status != Optimal {
+			continue
+		}
+		// Tighten the bound of the first fractional-ish variable to its
+		// floor, as a branching step would.
+		j := int(seed) % p.NumVariables()
+		lo, _ := p.Bounds(j)
+		p.SetBounds(j, lo, lo)
+		warmSparse, err := p.SolveFrom(res.Basis, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: warm sparse: %v", seed, err)
+		}
+		warmDense, err := p.SolveFrom(res.Basis, Options{DenseBasis: true})
+		if err != nil {
+			t.Fatalf("seed %d: warm dense: %v", seed, err)
+		}
+		if warmSparse.Status != warmDense.Status {
+			t.Fatalf("seed %d: warm status sparse %v, dense %v", seed, warmSparse.Status, warmDense.Status)
+		}
+		if warmSparse.Status == Optimal {
+			if d := math.Abs(warmSparse.Objective - warmDense.Objective); d > 1e-9*(1+math.Abs(warmDense.Objective)) {
+				t.Fatalf("seed %d: warm objective sparse %.15g, dense %.15g",
+					seed, warmSparse.Objective, warmDense.Objective)
+			}
+			checkKKT(t, p, warmSparse)
+		}
+	}
+}
+
+// Hyper-sparsity: an FTRAN whose right-hand side touches one row of a
+// slack-dominated (near-identity) basis must skip the untouched columns
+// entirely — the touch count stays O(1) while m is large.
+func TestFTRANHyperSparseSkips(t *testing.T) {
+	const m = 120
+	p := NewProblem()
+	x := p.AddVariable(0, 1, -1, "x")
+	for i := 0; i < m; i++ {
+		r := p.AddConstraint(LE, float64(i+1))
+		if i == 0 {
+			p.SetCoeff(r, x, 1)
+		}
+	}
+	s := newSimplex(p, Options{}.withDefaults())
+	defer s.release()
+	s.coldBasis() // all-slack basis: B = I
+	w := make([]float64, s.m)
+	before := s.lu.touches
+	s.ftran(x, w) // column with a single nonzero in row 0
+	delta := s.lu.touches - before
+	if delta > 3 {
+		t.Fatalf("single-nonzero FTRAN touched %d etas/pivots on an identity basis of size %d; hyper-sparse skip broken", delta, m)
+	}
+	if w[0] != 1 {
+		t.Fatalf("ftran result w[0] = %g, want 1", w[0])
+	}
+	for i := 1; i < s.m; i++ {
+		if w[i] != 0 {
+			t.Fatalf("ftran result w[%d] = %g, want 0", i, w[i])
+		}
+	}
+}
+
+// The dense fallback's adaptive refactorization: a corrupted basis
+// inverse must show up in basisDrift and a refactorize must restore it
+// below the trigger tolerance.
+func TestDenseDriftDetectsCorruption(t *testing.T) {
+	r := stats.NewRand(77)
+	p := randomFeasibleLP(r)
+	opt := Options{DenseBasis: true}.withDefaults()
+	res, err := p.Solve(opt)
+	if err != nil || res.Status != Optimal {
+		t.Skipf("fixture did not solve: %v %v", res, err)
+	}
+	s := newSimplex(p, opt)
+	defer s.release()
+	copy(s.stat, res.Basis.stat)
+	copy(s.basis, res.Basis.rows)
+	if !s.factorize() {
+		t.Fatal("optimal basis declared singular")
+	}
+	if d := s.basisDrift(); d > driftRefactorTol {
+		t.Fatalf("fresh factorization drifts %g > %g", d, driftRefactorTol)
+	}
+	// Corrupt the represented solution the way accumulated eta roundoff
+	// would: perturb a basic value. The drift check must notice.
+	s.xB[0] += 1e-3
+	if d := s.basisDrift(); d <= driftRefactorTol {
+		t.Fatalf("corrupted basis drifts only %g, trigger would not fire", d)
+	}
+	// factorize() recomputes xB from the basis: drift returns to zero.
+	if !s.factorize() {
+		t.Fatal("refactorize failed")
+	}
+	if d := s.basisDrift(); d > driftRefactorTol {
+		t.Fatalf("post-refactorize drift %g > %g", d, driftRefactorTol)
+	}
+}
+
+// The dual simplex's numerical-breakdown branch ("refactorize and retry
+// once") is unreachable organically on healthy arithmetic, so the test
+// injects a zeroed pivot element through dualBreakdownHook and checks
+// the solve recovers to the same optimum with an extra refactorization.
+func TestDualBreakdownRefactorizeRetry(t *testing.T) {
+	for _, dense := range []bool{false, true} {
+		p := NewProblem()
+		x := p.AddVariable(0, 1, -3, "x")
+		y := p.AddVariable(0, 1, -2, "y")
+		z := p.AddVariable(0, 1, -1, "z")
+		row := p.AddConstraint(LE, 1.5)
+		p.SetCoeff(row, x, 1)
+		p.SetCoeff(row, y, 1)
+		p.SetCoeff(row, z, 1)
+		opt := Options{DenseBasis: dense}
+		res, err := p.Solve(opt)
+		if err != nil || res.Status != Optimal {
+			t.Fatalf("dense=%v: base solve %v %v", dense, res.Status, err)
+		}
+		p.SetBounds(x, 0, 0) // branch: forces the dual repair path
+		cold, err := p.Solve(opt)
+		if err != nil || cold.Status != Optimal {
+			t.Fatalf("dense=%v: cold re-solve %v %v", dense, cold.Status, err)
+		}
+
+		fired := 0
+		dualBreakdownHook = func(s *simplex, w []float64, r int) {
+			if fired == 0 {
+				w[r] = 0 // simulate a numerically annihilated pivot element
+			}
+			fired++
+		}
+		warm, err := p.SolveFrom(res.Basis, opt)
+		dualBreakdownHook = nil
+		if err != nil {
+			t.Fatalf("dense=%v: warm solve: %v", dense, err)
+		}
+		if fired == 0 {
+			t.Fatalf("dense=%v: dual simplex never ran; the fixture no longer exercises the breakdown branch", dense)
+		}
+		if fired < 2 {
+			t.Fatalf("dense=%v: breakdown did not retry (hook fired %d times)", dense, fired)
+		}
+		if warm.Status != Optimal {
+			t.Fatalf("dense=%v: status after injected breakdown %v, want optimal", dense, warm.Status)
+		}
+		if math.Abs(warm.Objective-cold.Objective) > 1e-9*(1+math.Abs(cold.Objective)) {
+			t.Fatalf("dense=%v: objective %g after breakdown, want %g", dense, warm.Objective, cold.Objective)
+		}
+		if warm.Refactorizations < 2 {
+			t.Fatalf("dense=%v: %d refactorizations, want >= 2 (initial + breakdown retry)", dense, warm.Refactorizations)
+		}
+		checkKKT(t, p, warm)
+	}
+}

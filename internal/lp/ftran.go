@@ -1,0 +1,300 @@
+package lp
+
+import "math"
+
+// Sparse triangular solves against the LU factorization (lu.go) plus the
+// Forrest–Tomlin basis-exchange update. Every kernel here exploits
+// hyper-sparsity: an eta or pivot whose input value is exactly zero is
+// skipped without touching its entry list, so the cost of a solve tracks
+// the nonzero pattern of the right-hand side rather than m. The touches
+// counter records how many etas/pivots actually did work, which the
+// hyper-sparsity tests assert against.
+
+// clearPartial zeroes the entries touched by the previous FTRAN.
+func (f *luFactor) clearPartial() {
+	for _, r := range f.ptouch {
+		f.partial[r] = 0
+	}
+	f.ptouch = f.ptouch[:0]
+}
+
+// applyLFile applies the factorization etas and Forrest–Tomlin row etas
+// to the partial vector (row space), maintaining ptouch.
+func (f *luFactor) applyLFile() {
+	for k := 0; k < len(f.etaPiv); k++ {
+		ents := f.etaEnts[f.etaStart[k]:f.etaStart[k+1]]
+		if !f.etaRow[k] {
+			// Column eta: scatter -mult*pivot into the other rows.
+			pv := f.partial[f.etaPiv[k]]
+			if pv == 0 {
+				continue
+			}
+			f.touches++
+			for _, en := range ents {
+				if f.partial[en.idx] == 0 {
+					f.ptouch = append(f.ptouch, en.idx)
+				}
+				f.partial[en.idx] -= en.val * pv
+			}
+		} else {
+			// FT row eta: gather into the pivot row.
+			var sum float64
+			for _, en := range ents {
+				sum += en.val * f.partial[en.idx]
+			}
+			if sum == 0 {
+				continue
+			}
+			f.touches++
+			pr := f.etaPiv[k]
+			if f.partial[pr] == 0 {
+				f.ptouch = append(f.ptouch, pr)
+			}
+			f.partial[pr] -= sum
+		}
+	}
+}
+
+// usolve back-substitutes U against the current partial vector, writing
+// the dense basis-position-space result into w (len m). partial is left
+// intact (it doubles as the FT spike); uwork is consumed back to zero.
+func (f *luFactor) usolve(w []float64) {
+	for _, r := range f.ptouch {
+		if v := f.partial[r]; v != 0 {
+			f.uwork[f.slotOfRow[r]] = v
+		}
+	}
+	for i := f.m - 1; i >= 0; i-- {
+		sl := f.order[i]
+		v := f.uwork[sl]
+		if v == 0 {
+			w[f.posOfSlot[sl]] = 0
+			continue
+		}
+		f.uwork[sl] = 0
+		f.touches++
+		v /= f.diag[sl]
+		w[f.posOfSlot[sl]] = v
+		for _, en := range f.ucols[sl] {
+			f.uwork[en.idx] -= en.val * v
+		}
+	}
+}
+
+// ftranCol computes w = B⁻¹·a for a sparse (coalesced) column a,
+// identified by colID, and caches the post-L-file intermediate as the
+// spike for a following ftUpdate of that column.
+func (f *luFactor) ftranCol(col []nz, colID int, w []float64) {
+	f.clearPartial()
+	for _, e := range col {
+		f.partial[e.row] = e.val
+		f.ptouch = append(f.ptouch, int32(e.row))
+	}
+	f.applyLFile()
+	f.spikeCol = colID
+	f.usolve(w)
+}
+
+// ftranDense solves B·w = t for a dense row-space right-hand side t
+// (used by computeXB); the spike cache is invalidated.
+func (f *luFactor) ftranDense(t, w []float64) {
+	f.clearPartial()
+	for r := 0; r < f.m; r++ {
+		if v := t[r]; v != 0 {
+			f.partial[r] = v
+			f.ptouch = append(f.ptouch, int32(r))
+		}
+	}
+	f.applyLFile()
+	f.spikeCol = -1
+	f.usolve(w)
+}
+
+// btran solves Bᵀ·out = v for a dense basis-position-space v, writing
+// the dense row-space result into out: a Uᵀ forward substitution followed
+// by the L-file transposed in reverse order.
+func (f *luFactor) btran(v, out []float64) {
+	for sl := 0; sl < f.m; sl++ {
+		f.uwork[sl] = v[f.posOfSlot[sl]]
+	}
+	for i := 0; i < f.m; i++ {
+		sl := f.order[i]
+		t := f.uwork[sl]
+		f.uwork[sl] = 0
+		if t == 0 {
+			out[f.pivRow[sl]] = 0
+			continue
+		}
+		f.touches++
+		t /= f.diag[sl]
+		out[f.pivRow[sl]] = t
+		for _, en := range f.urows[sl] {
+			f.uwork[en.idx] -= en.val * t
+		}
+	}
+	for k := len(f.etaPiv) - 1; k >= 0; k-- {
+		ents := f.etaEnts[f.etaStart[k]:f.etaStart[k+1]]
+		if f.etaRow[k] {
+			// Transposed row eta scatters from its pivot row.
+			pv := out[f.etaPiv[k]]
+			if pv == 0 {
+				continue
+			}
+			f.touches++
+			for _, en := range ents {
+				out[en.idx] -= en.val * pv
+			}
+		} else {
+			// Transposed column eta gathers into its pivot row.
+			var sum float64
+			for _, en := range ents {
+				sum += en.val * out[en.idx]
+			}
+			if sum == 0 {
+				continue
+			}
+			f.touches++
+			out[f.etaPiv[k]] -= sum
+		}
+	}
+}
+
+// removeEnt deletes the entry with index idx from ents, preserving the
+// order of the remaining entries (order-preserving keeps the solve
+// arithmetic deterministic run to run).
+func removeEnt(ents []luEnt, idx int32) []luEnt {
+	for i := range ents {
+		if ents[i].idx == idx {
+			copy(ents[i:], ents[i+1:])
+			return ents[:len(ents)-1]
+		}
+	}
+	return ents
+}
+
+// ftUpdate replaces the basis column at position pos with the entering
+// column whose FTRAN spike is cached (ftranCol must have just run for
+// it), using the Forrest–Tomlin update: the leaving pivot slot moves to
+// the end of the ordering, the spike becomes its U column, and the
+// relocated row is eliminated by the rows above it, appending one row
+// eta to the L-file. The cost is bounded by the fill-in of the affected
+// row and column, not O(m²) like the product-form eta it replaces.
+//
+// Returns false when the new diagonal is too small relative to the
+// spike: the factorization is then invalid and the caller must
+// refactorize from the (already exchanged) basis.
+func (f *luFactor) ftUpdate(pos int) bool {
+	m := f.m
+	s0 := f.slotOfPos[pos]
+	i0 := int(f.ordOf[s0])
+
+	// Gather the spike û = L⁻¹·a_enter into slot space.
+	f.stouch = f.stouch[:0]
+	maxu := 0.0
+	for _, r := range f.ptouch {
+		v := f.partial[r]
+		if v == 0 {
+			continue
+		}
+		sl := f.slotOfRow[r]
+		if f.spike[sl] == 0 {
+			f.stouch = append(f.stouch, sl)
+		}
+		f.spike[sl] = v
+		if a := math.Abs(v); a > maxu {
+			maxu = a
+		}
+	}
+
+	// Drop the leaving column s0 from U.
+	for _, en := range f.ucols[s0] {
+		f.urows[en.idx] = removeEnt(f.urows[en.idx], s0)
+	}
+	f.curNNZ -= len(f.ucols[s0])
+	f.ucols[s0] = f.ucols[s0][:0]
+	// Detach row s0; its entries (plus the old diagonal) seed the
+	// elimination accumulator for the relocated row.
+	for _, en := range f.urows[s0] {
+		f.ucols[en.idx] = removeEnt(f.ucols[en.idx], s0)
+		if f.wrow[en.idx] == 0 {
+			f.wtouch = append(f.wtouch, en.idx)
+		}
+		f.wrow[en.idx] += en.val
+	}
+	f.curNNZ -= len(f.urows[s0])
+	f.urows[s0] = f.urows[s0][:0]
+	if f.wrow[s0] == 0 {
+		f.wtouch = append(f.wtouch, s0)
+	}
+	f.wrow[s0] += f.spike[s0]
+
+	// Insert the spike as the (future last) column s0.
+	created := 0
+	for _, sl := range f.stouch {
+		if sl == s0 {
+			continue
+		}
+		v := f.spike[sl]
+		f.ucols[s0] = append(f.ucols[s0], luEnt{sl, v})
+		f.urows[sl] = append(f.urows[sl], luEnt{s0, v})
+		created++
+	}
+	f.curNNZ += created
+
+	// Cyclic shift: slot s0 moves from ordinal i0 to the end.
+	copy(f.order[i0:], f.order[i0+1:])
+	f.order[m-1] = s0
+	for i := i0; i < m; i++ {
+		f.ordOf[f.order[i]] = int32(i)
+	}
+
+	// Eliminate the relocated row against the rows now above it. Fills
+	// land only at ordinals past the current one, so a single forward
+	// sweep suffices.
+	entsStart := len(f.etaEnts)
+	for i := i0; i < m-1; i++ {
+		sl := f.order[i]
+		v := f.wrow[sl]
+		if v == 0 {
+			continue
+		}
+		f.wrow[sl] = 0
+		mult := v / f.diag[sl]
+		if mult == 0 {
+			continue
+		}
+		f.etaEnts = append(f.etaEnts, luEnt{f.pivRow[sl], mult})
+		for _, en := range f.urows[sl] {
+			if f.wrow[en.idx] == 0 {
+				f.wtouch = append(f.wtouch, en.idx)
+			}
+			f.wrow[en.idx] -= mult * en.val
+		}
+	}
+	newd := f.wrow[s0]
+
+	// Restore the work vectors to all-zero and drop the spike cache.
+	for _, sl := range f.wtouch {
+		f.wrow[sl] = 0
+	}
+	f.wtouch = f.wtouch[:0]
+	for _, sl := range f.stouch {
+		f.spike[sl] = 0
+	}
+	f.stouch = f.stouch[:0]
+	f.spikeCol = -1
+
+	if math.Abs(newd) <= ftDiagFloor*(1+maxu) {
+		f.etaEnts = f.etaEnts[:entsStart]
+		return false
+	}
+	if len(f.etaEnts) > entsStart {
+		f.etaPiv = append(f.etaPiv, f.pivRow[s0])
+		f.etaRow = append(f.etaRow, true)
+		f.etaStart = append(f.etaStart, int32(len(f.etaEnts)))
+	}
+	f.diag[s0] = newd
+	f.updates++
+	f.fillCreated += created + (len(f.etaEnts) - entsStart)
+	return true
+}

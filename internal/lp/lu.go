@@ -1,0 +1,478 @@
+package lp
+
+import "math"
+
+// This file holds the sparse LU factorization of the simplex basis: a
+// right-looking elimination with a singleton-triangularization pre-pass
+// and Markowitz pivoting on the remaining kernel. Simplex bases on the
+// paper's time-indexed scheduling LPs are dominated by unit columns
+// (slacks and artificials) with a small structural kernel, so the
+// singleton pass triangularizes almost everything with zero fill and the
+// Markowitz search only ever runs on the small remainder — the sparse
+// generalization of the block shortcut the dense path used.
+//
+// The factorization is expressed as
+//
+//	B = E_1^{-1} E_2^{-1} ... E_K^{-1} U
+//
+// where the E_k are elementary row operations ("the L-file", stored as
+// etas in flat arrays) and U is upper triangular with respect to the
+// pivot ordering. Rows and basis positions are mapped onto stable pivot
+// "slots" so that Forrest–Tomlin updates (ftran.go) can cyclically
+// reorder the pivot sequence without rewriting the factor arrays.
+
+// luEnt is one off-diagonal nonzero of a factor. idx is a row slot (in
+// ucols), a column slot (in urows), a matrix row (in etas), or a basis
+// position (in the factorization workspace) depending on the container.
+type luEnt struct {
+	idx int32
+	val float64
+}
+
+// Tuning constants of the LU core.
+const (
+	// markowitzTol is the relative pivot-stability threshold of the
+	// kernel search: a candidate must be at least this fraction of the
+	// largest magnitude in its column.
+	markowitzTol = 0.1
+	// luPivotFloor is the absolute pivot floor (mirroring the dense
+	// Gauss-Jordan's 1e-10); anything smaller declares the basis singular.
+	luPivotFloor = 1e-10
+	// ftDiagFloor rejects a Forrest–Tomlin update whose new diagonal is
+	// too small relative to the spike; the caller refactorizes instead.
+	ftDiagFloor = 1e-11
+	// luFillGrowth and luFillSlack form the adaptive refactorization
+	// trigger: rebuild when the factor has grown past luFillGrowth times
+	// its post-factorization size plus luFillSlack entries.
+	luFillGrowth = 2.0
+	luFillSlack  = 32
+	// luMaxUpdates is the backstop cap on Forrest–Tomlin updates between
+	// refactorizations; the fill/stability triggers normally fire first.
+	luMaxUpdates = 200
+)
+
+// luFactor is a sparse LU factorization of the basis with Forrest–Tomlin
+// update support. All buffers are reused across factorizations and
+// solves; one luFactor lives in each pooled simplex scratch.
+type luFactor struct {
+	m int
+
+	// Pivot sequence. Slots are stable identities 0..m-1 assigned in
+	// elimination order; order/ordOf express the current (FT-permuted)
+	// triangular ordering over them.
+	order     []int32 // ordinal -> slot
+	ordOf     []int32 // slot -> ordinal
+	pivRow    []int32 // slot -> matrix row
+	slotOfRow []int32 // matrix row -> slot
+	posOfSlot []int32 // slot -> basis position
+	slotOfPos []int32 // basis position -> slot
+
+	diag  []float64 // slot -> U diagonal
+	urows [][]luEnt // slot -> off-diagonal row entries (column slot, val)
+	ucols [][]luEnt // slot -> off-diagonal column entries (row slot, val)
+
+	// L-file in flat storage: eta k covers etaEnts[etaStart[k]:etaStart[k+1]].
+	// etaRow[k] distinguishes factorization column etas (scatter from the
+	// pivot row) from Forrest–Tomlin row etas (gather into the pivot row).
+	etaPiv   []int32
+	etaRow   []bool
+	etaStart []int32
+	etaEnts  []luEnt
+
+	// Spike cache: partial holds the post-L-file FTRAN intermediate of
+	// the column identified by spikeCol (-1 when invalid), in row space
+	// with ptouch tracking its nonzero pattern. ftUpdate consumes it.
+	spikeCol int
+	partial  []float64
+	ptouch   []int32
+
+	// Solve / update work vectors, kept all-zero between uses.
+	uwork  []float64 // slot space (triangular-solve accumulator)
+	wrow   []float64 // slot space (FT elimination accumulator)
+	wtouch []int32
+	spike  []float64 // slot space (û of the pending FT update)
+	stouch []int32
+
+	// Factorization workspace: the active submatrix as dynamic rows
+	// (entries keyed by basis position) plus lazy per-column row lists.
+	frows          [][]luEnt
+	colRows        [][]int32
+	rowCnt, colCnt []int32
+	rowDone        []bool
+	colDone        []bool
+	colQ, rowQ     []int32
+	liveRows       []int32 // active rows, swap-removed as pivots retire them
+	rowPos         []int32 // row -> index in liveRows
+	colMax         []float64
+	uRawStart      []int32
+	uRawEnts       []luEnt // (basis position, val), mapped to slots post-pass
+	bcols          [][]nz  // caller-loaned basis columns
+
+	// Counters. baseNNZ/curNNZ include the m diagonal entries; etas are
+	// counted separately via len(etaEnts).
+	baseNNZ     int // factor size right after the last factorization
+	curNNZ      int // current U size under FT updates
+	updates     int // FT updates since the last factorization
+	fillCreated int // entries created beyond the basis pattern (solve-lifetime)
+	touches     int // non-skipped solve operations (hyper-sparsity probe)
+}
+
+// newLUFactor returns an empty factorization object.
+func newLUFactor() *luFactor { return &luFactor{spikeCol: -1} }
+
+func growI32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+func growBool(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		buf = make([]bool, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = false
+	}
+	return buf
+}
+
+// growEnts resizes an outer slice-of-slices, preserving inner capacity
+// and truncating every inner slice to zero length.
+func growEnts(buf [][]luEnt, n int) [][]luEnt {
+	if cap(buf) < n {
+		nb := make([][]luEnt, n)
+		copy(nb, buf)
+		buf = nb
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = buf[i][:0]
+	}
+	return buf
+}
+
+func growRowLists(buf [][]int32, n int) [][]int32 {
+	if cap(buf) < n {
+		nb := make([][]int32, n)
+		copy(nb, buf)
+		buf = nb
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = buf[i][:0]
+	}
+	return buf
+}
+
+// factorize builds the LU factors of the m×m basis whose column at
+// position p is bcols[p]. It reports whether the basis is nonsingular;
+// on false the factor state is unusable until the next successful call.
+func (f *luFactor) factorize(m int, bcols [][]nz) bool {
+	f.m = m
+	f.etaPiv = f.etaPiv[:0]
+	f.etaRow = f.etaRow[:0]
+	f.etaEnts = f.etaEnts[:0]
+	f.etaStart = append(f.etaStart[:0], 0)
+	f.spikeCol = -1
+	f.updates = 0
+	// Invalidate the spike cache left by a previous (pool-reused) solve
+	// before partial is resliced: its rows may exceed the new dimension.
+	f.clearPartial()
+	if m == 0 {
+		f.curNNZ, f.baseNNZ = 0, 0
+		return true
+	}
+	f.order = growI32(f.order, m)
+	f.ordOf = growI32(f.ordOf, m)
+	f.pivRow = growI32(f.pivRow, m)
+	f.slotOfRow = growI32(f.slotOfRow, m)
+	f.posOfSlot = growI32(f.posOfSlot, m)
+	f.slotOfPos = growI32(f.slotOfPos, m)
+	f.diag = growF(f.diag, m)
+	f.urows = growEnts(f.urows, m)
+	f.ucols = growEnts(f.ucols, m)
+	f.uRawStart = append(f.uRawStart[:0], 0)
+	f.uRawEnts = f.uRawEnts[:0]
+	// Solve vectors are kept zeroed by the consume discipline; grow only.
+	f.partial = growZeroF(f.partial, m)
+	f.uwork = growZeroF(f.uwork, m)
+	f.wrow = growZeroF(f.wrow, m)
+	f.spike = growZeroF(f.spike, m)
+	f.colMax = growF(f.colMax, m)
+
+	// Load the active submatrix.
+	f.frows = growEnts(f.frows, m)
+	f.colRows = growRowLists(f.colRows, m)
+	f.rowCnt = growI32(f.rowCnt, m)
+	f.colCnt = growI32(f.colCnt, m)
+	f.rowDone = growBool(f.rowDone, m)
+	f.colDone = growBool(f.colDone, m)
+	for p := 0; p < m; p++ {
+		for _, e := range bcols[p] {
+			f.frows[e.row] = append(f.frows[e.row], luEnt{int32(p), e.val})
+			f.colRows[p] = append(f.colRows[p], int32(e.row))
+		}
+		f.colCnt[p] = int32(len(bcols[p]))
+	}
+	for r := 0; r < m; r++ {
+		f.rowCnt[r] = int32(len(f.frows[r]))
+	}
+	f.liveRows = growI32(f.liveRows, m)
+	f.rowPos = growI32(f.rowPos, m)
+	liveRows := f.liveRows
+	for r := int32(0); r < int32(m); r++ {
+		liveRows[r] = r
+		f.rowPos[r] = r
+	}
+
+	colQ, rowQ := f.colQ[:0], f.rowQ[:0]
+	for p := int32(0); p < int32(m); p++ {
+		if f.colCnt[p] == 1 {
+			colQ = append(colQ, p)
+		}
+	}
+	for r := int32(0); r < int32(m); r++ {
+		if f.rowCnt[r] == 1 {
+			rowQ = append(rowQ, r)
+		}
+	}
+
+	npiv := 0
+	// capture finalizes pivot (pr, pc, d): records the slot, snapshots
+	// the surviving entries of row pr as the raw U row, and retires the
+	// row and column from the active submatrix.
+	capture := func(pr, pc int32, d float64) {
+		k := npiv
+		npiv++
+		f.pivRow[k] = pr
+		f.posOfSlot[k] = pc
+		f.diag[k] = d
+		f.rowDone[pr] = true
+		f.colDone[pc] = true
+		idx := f.rowPos[pr]
+		last := liveRows[len(liveRows)-1]
+		liveRows[idx] = last
+		f.rowPos[last] = idx
+		liveRows = liveRows[:len(liveRows)-1]
+		for _, en := range f.frows[pr] {
+			if f.colDone[en.idx] {
+				continue
+			}
+			f.colCnt[en.idx]--
+			if f.colCnt[en.idx] == 1 {
+				colQ = append(colQ, en.idx)
+			}
+			if en.val != 0 {
+				f.uRawEnts = append(f.uRawEnts, en)
+			}
+		}
+		f.uRawStart = append(f.uRawStart, int32(len(f.uRawEnts)))
+	}
+	// liveColEntry returns the index of position pc in row r.
+	liveColEntry := func(r, pc int32) int {
+		row := f.frows[r]
+		for i := range row {
+			if row[i].idx == pc {
+				return i
+			}
+		}
+		return -1
+	}
+
+	for npiv < m {
+		// Column singletons: pivot with no elimination and no fill.
+		if len(colQ) > 0 {
+			pc := colQ[len(colQ)-1]
+			colQ = colQ[:len(colQ)-1]
+			if f.colDone[pc] || f.colCnt[pc] != 1 {
+				continue
+			}
+			var pr int32 = -1
+			for _, r := range f.colRows[pc] {
+				if !f.rowDone[r] {
+					pr = r
+					break
+				}
+			}
+			if pr < 0 {
+				return false // count said one live row, list has none
+			}
+			vi := liveColEntry(pr, pc)
+			if vi < 0 || math.Abs(f.frows[pr][vi].val) < luPivotFloor {
+				return false // numerically empty column
+			}
+			capture(pr, pc, f.frows[pr][vi].val)
+			continue
+		}
+		// Row singletons: eliminate the column below the pivot; the pivot
+		// row has no other entries, so rows only lose their pc entry.
+		if len(rowQ) > 0 {
+			pr := rowQ[len(rowQ)-1]
+			rowQ = rowQ[:len(rowQ)-1]
+			if f.rowDone[pr] || f.rowCnt[pr] != 1 {
+				continue
+			}
+			var pc int32 = -1
+			var d float64
+			for _, en := range f.frows[pr] {
+				if !f.colDone[en.idx] {
+					pc, d = en.idx, en.val
+					break
+				}
+			}
+			if pc < 0 || math.Abs(d) < luPivotFloor {
+				return false
+			}
+			entsStart := len(f.etaEnts)
+			for _, r2 := range f.colRows[pc] {
+				if f.rowDone[r2] || r2 == pr {
+					continue
+				}
+				vi := liveColEntry(r2, pc)
+				if vi < 0 {
+					continue
+				}
+				f.rowCnt[r2]--
+				if f.rowCnt[r2] == 1 {
+					rowQ = append(rowQ, r2)
+				}
+				if mult := f.frows[r2][vi].val / d; mult != 0 {
+					f.etaEnts = append(f.etaEnts, luEnt{r2, mult})
+				}
+			}
+			if len(f.etaEnts) > entsStart {
+				f.etaPiv = append(f.etaPiv, pr)
+				f.etaRow = append(f.etaRow, false)
+				f.etaStart = append(f.etaStart, int32(len(f.etaEnts)))
+			}
+			capture(pr, pc, d)
+			continue
+		}
+		// Markowitz kernel: pick the stable entry minimizing
+		// (rowCnt-1)*(colCnt-1), then eliminate with row updates. All
+		// passes run over the live rows only (the kernel is tiny next to
+		// the triangularized slack bulk).
+		for _, r := range liveRows {
+			for _, en := range f.frows[r] {
+				if !f.colDone[en.idx] {
+					f.colMax[en.idx] = 0
+				}
+			}
+		}
+		for _, r := range liveRows {
+			for _, en := range f.frows[r] {
+				if f.colDone[en.idx] {
+					continue
+				}
+				if a := math.Abs(en.val); a > f.colMax[en.idx] {
+					f.colMax[en.idx] = a
+				}
+			}
+		}
+		var bpr, bpc int32 = -1, -1
+		var bscore int64 = math.MaxInt64
+		var babs float64
+		for _, r := range liveRows {
+			for _, en := range f.frows[r] {
+				if f.colDone[en.idx] {
+					continue
+				}
+				a := math.Abs(en.val)
+				if a < luPivotFloor || a < markowitzTol*f.colMax[en.idx] {
+					continue
+				}
+				score := int64(f.rowCnt[r]-1) * int64(f.colCnt[en.idx]-1)
+				if score < bscore || (score == bscore && a > babs) {
+					bscore, babs, bpr, bpc = score, a, r, en.idx
+				}
+			}
+		}
+		if bpr < 0 {
+			return false // no stable pivot: singular (or deficient) kernel
+		}
+		vi := liveColEntry(bpr, bpc)
+		d := f.frows[bpr][vi].val
+		entsStart := len(f.etaEnts)
+		for _, r2 := range f.colRows[bpc] {
+			if f.rowDone[r2] || r2 == bpr {
+				continue
+			}
+			ci := liveColEntry(r2, bpc)
+			if ci < 0 {
+				continue
+			}
+			v := f.frows[r2][ci].val
+			f.rowCnt[r2]--
+			if f.rowCnt[r2] == 1 {
+				rowQ = append(rowQ, r2)
+			}
+			mult := v / d
+			if mult == 0 {
+				continue
+			}
+			f.etaEnts = append(f.etaEnts, luEnt{r2, mult})
+			for _, pe := range f.frows[bpr] {
+				if pe.idx == bpc || f.colDone[pe.idx] {
+					continue
+				}
+				if fi := liveColEntry(r2, pe.idx); fi >= 0 {
+					f.frows[r2][fi].val -= mult * pe.val
+				} else {
+					f.frows[r2] = append(f.frows[r2], luEnt{pe.idx, -mult * pe.val})
+					f.colRows[pe.idx] = append(f.colRows[pe.idx], r2)
+					f.colCnt[pe.idx]++
+					f.rowCnt[r2]++
+					f.fillCreated++
+				}
+			}
+		}
+		if len(f.etaEnts) > entsStart {
+			f.etaPiv = append(f.etaPiv, bpr)
+			f.etaRow = append(f.etaRow, false)
+			f.etaStart = append(f.etaStart, int32(len(f.etaEnts)))
+		}
+		capture(bpr, bpc, d)
+	}
+	f.colQ, f.rowQ = colQ[:0], rowQ[:0]
+
+	// Assemble the slot maps and distribute U into row and column lists.
+	for k := 0; k < m; k++ {
+		f.order[k] = int32(k)
+		f.ordOf[k] = int32(k)
+		f.slotOfRow[f.pivRow[k]] = int32(k)
+		f.slotOfPos[f.posOfSlot[k]] = int32(k)
+	}
+	unnz := 0
+	for k := 0; k < m; k++ {
+		for _, en := range f.uRawEnts[f.uRawStart[k]:f.uRawStart[k+1]] {
+			cs := f.slotOfPos[en.idx]
+			f.urows[k] = append(f.urows[k], luEnt{cs, en.val})
+			f.ucols[cs] = append(f.ucols[cs], luEnt{int32(k), en.val})
+			unnz++
+		}
+	}
+	f.curNNZ = unnz + m
+	f.baseNNZ = f.curNNZ + len(f.etaEnts)
+	return true
+}
+
+// growZeroF grows a float buffer that must stay all-zero between uses;
+// the consume discipline of the solves keeps reused prefixes zero and
+// make() zeroes fresh allocations.
+func growZeroF(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		nb := make([]float64, n)
+		copy(nb, buf)
+		return nb
+	}
+	return buf[:n]
+}
+
+// fillExceeded reports whether Forrest–Tomlin growth has passed the
+// adaptive refactorization threshold.
+func (f *luFactor) fillExceeded() bool {
+	cur := f.curNNZ + len(f.etaEnts)
+	return float64(cur) > luFillGrowth*float64(f.baseNNZ)+luFillSlack
+}

@@ -56,6 +56,12 @@ type Options struct {
 	// Leave nil on per-node solves inside branch and bound: a span pair
 	// per LP re-solve would swamp the trace.
 	Trace *obs.Tracer
+	// DenseBasis selects the legacy dense explicit basis inverse
+	// (Gauss-Jordan factorization plus product-form eta updates) instead
+	// of the default sparse LU factorization with Forrest–Tomlin
+	// updates. It is the escape hatch for differential testing and
+	// numerical comparison against the sparse core.
+	DenseBasis bool
 }
 
 func (o Options) withDefaults() Options {
@@ -84,9 +90,23 @@ type Result struct {
 	// BoundFlips counts nonbasic bound-to-bound moves (no basis change).
 	BoundFlips int
 	// EtaUpdates counts product-form basis-inverse updates applied between
-	// periodic refactorizations — the per-pivot O(m²) eta path that avoids
-	// re-running the O(k³) block factorization on every basis change.
+	// periodic refactorizations — the per-pivot O(m²) eta path of the
+	// dense fallback (Options.DenseBasis). Zero on the sparse path, which
+	// counts FTUpdates instead.
 	EtaUpdates int
+	// FTUpdates counts Forrest–Tomlin basis updates applied by the sparse
+	// LU core between refactorizations (the fill-bounded replacement for
+	// the O(m²) eta path).
+	FTUpdates int
+	// LUFill counts factor entries created beyond the basis nonzero
+	// pattern: elimination fill-in plus Forrest–Tomlin spike and row-eta
+	// entries, summed over the whole solve.
+	LUFill int
+	// RefactorsTriggered counts refactorizations forced by an adaptive
+	// trigger — fill growth or an unstable update diagonal on the sparse
+	// path, accumulated numerical drift on the dense path — as opposed to
+	// the fixed pivot-count backstop or warm-start rebuilds.
+	RefactorsTriggered int
 	// WarmStarted reports that the result came from a warm-started path
 	// (the supplied basis was reused, either by the dual simplex or by the
 	// primal repair), not from the cold all-slack fallback.
@@ -109,7 +129,28 @@ const (
 	freeNB // nonbasic free variable, held at zero
 )
 
+// refactorEvery is the dense fallback's fixed pivot-count backstop; its
+// primary trigger is the accumulated-drift check below. The sparse LU
+// path refactorizes on fill growth and update stability instead (lu.go).
 const refactorEvery = 100
+
+// driftCheckEvery and driftRefactorTol govern the dense path's
+// drift-based refactorization: every driftCheckEvery pivots the relative
+// residual of B·x_B against the nonbasic-adjusted RHS is measured, and a
+// rebuild is forced when the accumulated product-form error exceeds the
+// tolerance.
+const (
+	driftCheckEvery  = 16
+	driftRefactorTol = 1e-7
+)
+
+// dualBreakdownHook, when non-nil, runs right after the dual simplex's
+// entering-column FTRAN and before its numerical-breakdown check. It is
+// a test-only injection point: the breakdown branch guards against a
+// pivot element that the (refactorized) solve disagrees with, a state
+// that cannot be constructed organically because the pricing row and the
+// FTRAN use the same factorization arithmetic.
+var dualBreakdownHook func(s *simplex, w []float64, r int)
 
 // factorCoef is one structural basic coefficient bucketed by covered row
 // during factorize().
@@ -140,6 +181,10 @@ type scratch struct {
 	posOfRow, structPos, rv, rvIdx []int
 	fscale, fa, fainv              []float64
 	cRows                          [][]factorCoef
+
+	// lu is the sparse basis factorization, lazily created and reused
+	// across the solves this scratch serves.
+	lu *luFactor
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
@@ -210,24 +255,30 @@ type simplex struct {
 	acols [][]nz
 
 	basis []int     // basis[i] = column basic in row i
-	binv  []float64 // m×m row-major inverse of the basis matrix
+	binv  []float64 // m×m row-major inverse of the basis matrix (dense mode)
+	lu    *luFactor // sparse LU factors of the basis (default mode)
+	dense bool      // Options.DenseBasis: use binv instead of lu
 	xB    []float64
 
 	// Pivot-loop work arrays (duals, ftran result, dual row), plus the
 	// computeXB temporary; all scratch-backed.
 	y, w, rho, tmp []float64
 
-	iters      int
-	refacts    int
-	degen      int
-	flips      int
-	etaUp      int // product-form binv updates since solve start
-	sincefact  int
-	stall      int
-	bland      bool
-	lastObj    float64
-	phase1     bool
-	structCost []float64 // original costs, structural+slack (+art zeros)
+	iters       int
+	refacts     int
+	degen       int
+	flips       int
+	etaUp       int // product-form binv updates since solve start (dense)
+	ftUp        int // Forrest–Tomlin updates since solve start (sparse)
+	luFillCarry int // LU fill carried from an abandoned warm attempt
+	refactsTrig int // adaptive-trigger refactorizations (drift/fill/stability)
+	broken      bool
+	sincefact   int
+	stall       int
+	bland       bool
+	lastObj     float64
+	phase1      bool
+	structCost  []float64 // original costs, structural+slack (+art zeros)
 
 	// sc is the pooled allocation set backing the slices above; release()
 	// returns it (nil after release).
@@ -301,7 +352,18 @@ func newSimplex(p *Problem, opt Options) *simplex {
 		s.acols[n+i] = sc.slack[i : i+1 : i+1]
 	}
 	s.basis = growI(sc.basis, m)
-	s.binv = growF(sc.binv, m*m)
+	s.dense = opt.DenseBasis
+	if s.dense {
+		s.binv = growF(sc.binv, m*m)
+	} else {
+		s.binv = sc.binv // untouched; preserves pooled capacity for dense users
+		if sc.lu == nil {
+			sc.lu = newLUFactor()
+		}
+		s.lu = sc.lu
+		s.lu.touches = 0
+		s.lu.fillCreated = 0
+	}
 	s.xB = growF(sc.xB, m)
 	s.y = growF(sc.y, m)
 	s.w = growF(sc.w, m)
@@ -334,6 +396,15 @@ func (s *simplex) release() {
 }
 
 func (s *simplex) ncols() int { return s.n + s.m + len(s.artRow) }
+
+// luFillSoFar is the solve's cumulative LU fill-in, including fill
+// carried from an abandoned warm-start attempt.
+func (s *simplex) luFillSoFar() int {
+	if s.lu == nil {
+		return s.luFillCarry
+	}
+	return s.luFillCarry + s.lu.fillCreated
+}
 
 // column returns the nonzero entries of computational column j.
 func (s *simplex) column(j int) []nz { return s.acols[j] }
@@ -371,16 +442,57 @@ func (s *simplex) coldBasis() {
 		s.basis[i] = s.n + i
 		s.stat[s.n+i] = isBasic
 	}
-	for i := range s.binv {
-		s.binv[i] = 0
+	if s.dense {
+		for i := range s.binv {
+			s.binv[i] = 0
+		}
+		for i := 0; i < s.m; i++ {
+			s.binv[i*s.m+i] = 1
+		}
+	} else if !s.rebuildSparse() {
+		panic("lp: all-slack basis singular (internal error)")
 	}
-	for i := 0; i < s.m; i++ {
-		s.binv[i*s.m+i] = 1
-	}
+	s.sincefact = 0
 	s.computeXB()
 }
 
-// factorize rebuilds binv (and xB) from the basis columns. It reports
+// factorize rebuilds the basis factorization (and xB) from the basis
+// columns. It reports whether the basis is nonsingular.
+func (s *simplex) factorize() bool {
+	ok := s.rebuildDense
+	if !s.dense {
+		ok = s.rebuildSparse
+	}
+	if !ok() {
+		return false
+	}
+	s.computeXB()
+	s.sincefact = 0
+	s.refacts++
+	return true
+}
+
+// rebuildSparse refactorizes the sparse LU from the current basis
+// columns (lu.go); the singleton pre-pass makes the dominant
+// slack/artificial part of the basis a zero-fill triangularization.
+func (s *simplex) rebuildSparse() bool {
+	m := s.m
+	f := s.lu
+	if cap(f.bcols) < m {
+		f.bcols = make([][]nz, m)
+	}
+	f.bcols = f.bcols[:m]
+	for i := 0; i < m; i++ {
+		f.bcols[i] = s.acols[s.basis[i]]
+	}
+	ok := f.factorize(m, f.bcols)
+	for i := range f.bcols {
+		f.bcols[i] = nil // do not pin released problems' column storage
+	}
+	return ok
+}
+
+// rebuildDense rebuilds the dense explicit inverse binv. It reports
 // whether the basis is nonsingular.
 //
 // Simplex bases on these problems are dominated by unit columns (slacks
@@ -393,7 +505,7 @@ func (s *simplex) coldBasis() {
 //	B^{-1} = [[A^{-1}, 0], [-D^{-1} C A^{-1}, D^{-1}]]
 //
 // which costs O(k³ + nnz·k) instead of the O(m³) of a dense elimination.
-func (s *simplex) factorize() bool {
+func (s *simplex) rebuildDense() bool {
 	m := s.m
 	if m == 0 {
 		return true
@@ -507,9 +619,6 @@ func (s *simplex) factorize() bool {
 			s.binv[pos*m+r] = 1 / scale[r]
 		}
 	}
-	s.computeXB()
-	s.sincefact = 0
-	s.refacts++
 	return true
 }
 
@@ -578,6 +687,10 @@ func (s *simplex) computeXB() {
 			t[e.row] -= e.val * xv
 		}
 	}
+	if !s.dense {
+		s.lu.ftranDense(t, s.xB)
+		return
+	}
 	for i := 0; i < m; i++ {
 		var sum float64
 		row := s.binv[i*m : i*m+m]
@@ -588,8 +701,12 @@ func (s *simplex) computeXB() {
 	}
 }
 
-// ftran returns w = binv * A_j.
+// ftran returns w = B^{-1} * A_j.
 func (s *simplex) ftran(j int, w []float64) {
+	if !s.dense {
+		s.lu.ftranCol(s.acols[j], j, w)
+		return
+	}
 	m := s.m
 	for i := range w {
 		w[i] = 0
@@ -602,9 +719,17 @@ func (s *simplex) ftran(j int, w []float64) {
 	}
 }
 
-// duals returns y = c_B^T binv.
+// duals returns y = c_B^T B^{-1}.
 func (s *simplex) duals(y []float64) {
 	m := s.m
+	if !s.dense {
+		cb := s.tmp
+		for i := 0; i < m; i++ {
+			cb[i] = s.cost[s.basis[i]]
+		}
+		s.lu.btran(cb, y)
+		return
+	}
 	for i := range y {
 		y[i] = 0
 	}
@@ -618,6 +743,69 @@ func (s *simplex) duals(y []float64) {
 			y[i] += cb * row[i]
 		}
 	}
+}
+
+// basisRow writes row r of B^{-1} into rho — the dual simplex pricing
+// row. The dense path copies it from the explicit inverse; the sparse
+// path solves B^T rho = e_r via BTRAN on a unit vector.
+func (s *simplex) basisRow(r int, rho []float64) {
+	m := s.m
+	if s.dense {
+		copy(rho, s.binv[r*m:r*m+m])
+		return
+	}
+	e := s.tmp
+	for i := 0; i < m; i++ {
+		e[i] = 0
+	}
+	e[r] = 1
+	s.lu.btran(e, rho)
+}
+
+// basisDrift returns the relative residual ‖B·x_B − (b − N·x_N)‖∞ of the
+// current factored representation — the accumulated numerical error of
+// the product-form updates. Uses tmp and rho as scratch, both free
+// between pivots.
+func (s *simplex) basisDrift() float64 {
+	m := s.m
+	if m == 0 {
+		return 0
+	}
+	t := s.tmp
+	copy(t, s.p.rhs)
+	for j := 0; j < s.ncols(); j++ {
+		if s.stat[j] == isBasic {
+			continue
+		}
+		xv := s.nbVal(j)
+		if xv == 0 {
+			continue
+		}
+		for _, e := range s.acols[j] {
+			t[e.row] -= e.val * xv
+		}
+	}
+	bx := s.rho
+	for i := 0; i < m; i++ {
+		bx[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		if v := s.xB[i]; v != 0 {
+			for _, e := range s.acols[s.basis[i]] {
+				bx[e.row] += e.val * v
+			}
+		}
+	}
+	var worst, scale float64
+	for i := 0; i < m; i++ {
+		if a := math.Abs(t[i]); a > scale {
+			scale = a
+		}
+		if d := math.Abs(bx[i] - t[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst / (1 + scale)
 }
 
 // reduced returns d_j = c_j - y^T A_j.
@@ -668,7 +856,19 @@ func (s *simplex) pivot(r, j int, w []float64, t, sigma float64, leavingStat col
 	s.basis[r] = j
 	s.stat[j] = isBasic
 	s.xB[r] = enterVal
+	if s.dense {
+		s.pivotDense(r, w)
+		return
+	}
+	s.pivotSparse(r, j)
+}
 
+// pivotDense applies the product-form eta update to the explicit inverse
+// and the dense refactorization policy: a drift-triggered rebuild when
+// the accumulated update error exceeds tolerance, with the fixed
+// pivot-count cadence kept as a backstop.
+func (s *simplex) pivotDense(r int, w []float64) {
+	m := s.m
 	// binv update: row r scaled by 1/w_r, eliminated from other rows.
 	wr := w[r]
 	inv := 1 / wr
@@ -688,11 +888,50 @@ func (s *simplex) pivot(r, j int, w []float64, t, sigma float64, leavingStat col
 	}
 	s.etaUp++ // product-form update applied instead of a refactorization
 	s.sincefact++
-	if s.sincefact >= refactorEvery {
+	refac := s.sincefact >= refactorEvery
+	if !refac && s.sincefact%driftCheckEvery == 0 && s.basisDrift() > driftRefactorTol {
+		s.refactsTrig++
+		refac = true
+	}
+	if refac {
 		if !s.factorize() {
 			// Should not happen for a basis we just pivoted; keep the
 			// product-form inverse if it does.
 			s.sincefact = 0
+		}
+	}
+}
+
+// pivotSparse replaces the leaving column's U column with the entering
+// column's spike (Forrest–Tomlin), refactorizing when the update is
+// unstable, when fill has grown past the adaptive threshold, or at the
+// update-count backstop. A refactorization failure (numerically singular
+// pivoted basis) latches broken; the pivot loops unwind with
+// IterationLimit.
+func (s *simplex) pivotSparse(r, j int) {
+	if s.lu.spikeCol != j {
+		// The spike cache belongs to a different column (defensive: every
+		// current caller runs ftran(j) immediately before pivoting).
+		s.ftran(j, s.w)
+	}
+	if !s.lu.ftUpdate(r) {
+		// Unstable update diagonal: rebuild from the exchanged basis.
+		s.refactsTrig++
+		if !s.factorize() {
+			s.broken = true
+		}
+		return
+	}
+	s.ftUp++
+	s.sincefact++
+	if s.lu.fillExceeded() {
+		s.refactsTrig++
+		if !s.factorize() {
+			s.broken = true
+		}
+	} else if s.lu.updates >= luMaxUpdates {
+		if !s.factorize() {
+			s.broken = true
 		}
 	}
 }
@@ -813,6 +1052,9 @@ func (s *simplex) primal() Status {
 				leavingStat = atLower
 			}
 			s.pivot(rBest, enter, w, tBest, enterSigma, leavingStat)
+			if s.broken {
+				return IterationLimit
+			}
 		}
 		// Anti-cycling: switch to Bland's rule when stalled.
 		obj := s.objValue()
@@ -900,7 +1142,7 @@ func (s *simplex) dual() Status {
 		} else {
 			bound = s.hi[bj]
 		}
-		copy(rho, s.binv[r*m:r*m+m])
+		s.basisRow(r, rho)
 		s.duals(y)
 
 		// Dual ratio test.
@@ -972,6 +1214,9 @@ func (s *simplex) dual() Status {
 			continue
 		}
 		s.ftran(enter, w)
+		if dualBreakdownHook != nil {
+			dualBreakdownHook(s, w, r)
+		}
 		if math.Abs(w[r]) < 1e-10 {
 			// Numerical breakdown: refactorize and retry once.
 			if !s.factorize() {
@@ -984,6 +1229,9 @@ func (s *simplex) dual() Status {
 			leavingStat = atLower
 		}
 		s.pivot(r, enter, w, t, sigma, leavingStat)
+		if s.broken {
+			return IterationLimit
+		}
 	}
 }
 
@@ -1059,11 +1307,15 @@ func (s *simplex) finishPhase1() {
 func (s *simplex) extract(st Status) *Result {
 	res := &Result{Status: st, Iterations: s.iters,
 		Refactorizations: s.refacts, DegeneratePivots: s.degen, BoundFlips: s.flips,
-		EtaUpdates: s.etaUp}
+		EtaUpdates: s.etaUp, FTUpdates: s.ftUp, LUFill: s.luFillSoFar(),
+		RefactorsTriggered: s.refactsTrig}
 	if st != Optimal {
 		return res
 	}
-	x := make([]float64, s.n)
+	// X and Duals share one backing allocation: extract runs once per LP
+	// solve, and branch-and-bound performs thousands of them.
+	xd := make([]float64, s.n+s.m)
+	x := xd[:s.n:s.n]
 	for j := 0; j < s.n; j++ {
 		if s.stat[j] == isBasic {
 			continue
@@ -1081,7 +1333,7 @@ func (s *simplex) extract(st Status) *Result {
 	}
 	res.Objective = obj
 	res.X = x
-	res.Duals = make([]float64, s.m)
+	res.Duals = xd[s.n:]
 	s.duals(res.Duals)
 	// Export the basis over structural+slack columns. If an artificial is
 	// still basic (redundant row), record the row's slack instead; a
@@ -1248,6 +1500,7 @@ func (p *Problem) solveFromCtx(ctx context.Context, basis *Basis, opt Options) (
 	defer s2.release()
 	s2.ctx = s.ctx
 	s2.refacts, s2.degen, s2.flips, s2.etaUp = s.refacts, s.degen, s.flips, s.etaUp
+	s2.ftUp, s2.refactsTrig, s2.luFillCarry = s.ftUp, s.refactsTrig, s.luFillSoFar()
 	s2.coldBasis()
 	return s2.run()
 }

@@ -603,20 +603,22 @@ func BenchmarkSolveMedium(b *testing.B) {
 	}
 }
 
-// Factorize correctness: after solving, binv must satisfy binv * B = I
-// exactly (within tolerance) for random problems with interesting bases.
+// Factorize correctness (dense path): after solving, binv must satisfy
+// binv * B = I exactly (within tolerance) for random problems with
+// interesting bases.
 func TestFactorizeInverseIdentity(t *testing.T) {
 	r := stats.NewRand(654)
+	opt := Options{DenseBasis: true}.withDefaults()
 	for trial := 0; trial < 60; trial++ {
 		p := randomFeasibleLP(r)
-		s := newSimplex(p, Options{}.withDefaults())
+		s := newSimplex(p, opt)
 		s.coldBasis()
-		res, err := p.Solve(Options{})
+		res, err := p.Solve(opt)
 		if err != nil || res.Status != Optimal {
 			continue
 		}
 		// Install the optimal basis and factorize through the block path.
-		s2 := newSimplex(p, Options{}.withDefaults())
+		s2 := newSimplex(p, opt)
 		copy(s2.stat, res.Basis.stat)
 		copy(s2.basis, res.Basis.rows)
 		if !s2.factorize() {
@@ -642,23 +644,79 @@ func TestFactorizeInverseIdentity(t *testing.T) {
 	}
 }
 
+// Sparse analog of TestFactorizeInverseIdentity: FTRAN of each basis
+// column through the LU factors must return the corresponding unit
+// vector, and BTRAN must invert B^T the same way.
+func TestSparseLUFactorizeIdentity(t *testing.T) {
+	r := stats.NewRand(654)
+	opt := Options{}.withDefaults()
+	for trial := 0; trial < 60; trial++ {
+		p := randomFeasibleLP(r)
+		res, err := p.Solve(opt)
+		if err != nil || res.Status != Optimal {
+			continue
+		}
+		s := newSimplex(p, opt)
+		copy(s.stat, res.Basis.stat)
+		copy(s.basis, res.Basis.rows)
+		if !s.factorize() {
+			t.Fatalf("trial %d: optimal basis declared singular", trial)
+		}
+		m := s.m
+		w := make([]float64, m)
+		for pos := 0; pos < m; pos++ {
+			s.ftran(s.basis[pos], w)
+			for i := 0; i < m; i++ {
+				want := 0.0
+				if i == pos {
+					want = 1
+				}
+				if math.Abs(w[i]-want) > 1e-7 {
+					t.Fatalf("trial %d: ftran(B[%d])[%d] = %g, want %g", trial, pos, i, w[i], want)
+				}
+			}
+		}
+		// BTRAN check: rho_r = e_r^T B^{-1} must satisfy rho_r · B[:,pos] = [r==pos].
+		rho := make([]float64, m)
+		for row := 0; row < m; row++ {
+			s.basisRow(row, rho)
+			for pos := 0; pos < m; pos++ {
+				var sum float64
+				for _, e := range s.acols[s.basis[pos]] {
+					sum += rho[e.row] * e.val
+				}
+				want := 0.0
+				if row == pos {
+					want = 1
+				}
+				if math.Abs(sum-want) > 1e-7 {
+					t.Fatalf("trial %d: (B^-1 B)[%d][%d] = %g, want %g", trial, row, pos, sum, want)
+				}
+			}
+		}
+		s.release()
+	}
+}
+
 func TestFactorizeSingularBasis(t *testing.T) {
-	// Two identical structural columns cannot both be basic.
-	p := NewProblem()
-	x := p.AddVariable(0, 10, -1, "x")
-	y := p.AddVariable(0, 10, -1, "y")
-	r0 := p.AddConstraint(LE, 5)
-	r1 := p.AddConstraint(LE, 7)
-	p.SetCoeff(r0, x, 1)
-	p.SetCoeff(r0, y, 1)
-	p.SetCoeff(r1, x, 1)
-	p.SetCoeff(r1, y, 1)
-	s := newSimplex(p, Options{}.withDefaults())
-	s.coldBasis()
-	s.basis[0], s.basis[1] = x, y // both structural, linearly dependent
-	s.stat[x], s.stat[y] = isBasic, isBasic
-	s.stat[s.n], s.stat[s.n+1] = atLower, atLower
-	if s.factorize() {
-		t.Fatal("singular basis accepted")
+	for _, dense := range []bool{false, true} {
+		// Two identical structural columns cannot both be basic.
+		p := NewProblem()
+		x := p.AddVariable(0, 10, -1, "x")
+		y := p.AddVariable(0, 10, -1, "y")
+		r0 := p.AddConstraint(LE, 5)
+		r1 := p.AddConstraint(LE, 7)
+		p.SetCoeff(r0, x, 1)
+		p.SetCoeff(r0, y, 1)
+		p.SetCoeff(r1, x, 1)
+		p.SetCoeff(r1, y, 1)
+		s := newSimplex(p, Options{DenseBasis: dense}.withDefaults())
+		s.coldBasis()
+		s.basis[0], s.basis[1] = x, y // both structural, linearly dependent
+		s.stat[x], s.stat[y] = isBasic, isBasic
+		s.stat[s.n], s.stat[s.n+1] = atLower, atLower
+		if s.factorize() {
+			t.Fatalf("dense=%v: singular basis accepted", dense)
+		}
 	}
 }

@@ -1,0 +1,34 @@
+NAME          blend
+ROWS
+ N  OBJ
+ E  PROT
+ G  FAT
+ L  CAP
+COLUMNS
+    A  OBJ  2
+    A  PROT  1
+    A  FAT  2
+    A  CAP  1
+    B  OBJ  3
+    B  PROT  2
+    B  FAT  1
+    B  CAP  1
+    C  OBJ  2.5
+    C  PROT  1
+    C  FAT  0.5
+    C  CAP  1
+    D  OBJ  4
+    D  PROT  3
+    D  FAT  1
+    D  CAP  1
+RHS
+    RHS  PROT  20
+    RHS  FAT  10
+    RHS  CAP  25
+BOUNDS
+ LO BND  A  1
+ UP BND  A  10
+ UP BND  B  8
+ MI BND  D
+ UP BND  D  5
+ENDATA

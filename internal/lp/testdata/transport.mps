@@ -1,0 +1,35 @@
+NAME          transport
+ROWS
+ N  OBJ
+ L  S1
+ L  S2
+ G  D1
+ G  D2
+ G  D3
+COLUMNS
+    X11  OBJ  4
+    X11  S1  1
+    X11  D1  1
+    X12  OBJ  6
+    X12  S1  1
+    X12  D2  1
+    X13  OBJ  9
+    X13  S1  1
+    X13  D3  1
+    X21  OBJ  5
+    X21  S2  1
+    X21  D1  1
+    X22  OBJ  3
+    X22  S2  1
+    X22  D2  1
+    X23  OBJ  8
+    X23  S2  1
+    X23  D3  1
+RHS
+    RHS  S1  30
+    RHS  S2  40
+    RHS  D1  20
+    RHS  D2  25
+    RHS  D3  15
+BOUNDS
+ENDATA

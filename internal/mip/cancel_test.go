@@ -78,7 +78,14 @@ func TestSolveCtxDeadlineMidSearch(t *testing.T) {
 // not be conflated.
 func TestSoftTimeLimitKeepsIncumbent(t *testing.T) {
 	p, ints := randomKnapsack(13, 60)
-	res, err := Solve(p, ints, Options{TimeLimit: 20 * time.Millisecond})
+	// A heuristic that always produces the (trivially feasible) empty
+	// load guarantees an incumbent exists from the first node, so the
+	// soft stop keeps one no matter how few nodes fit in the budget on a
+	// slow or race-instrumented run.
+	empty := Heuristic(func(relax []float64) ([]float64, bool) {
+		return make([]float64, len(relax)), true
+	})
+	res, err := Solve(p, ints, Options{TimeLimit: 20 * time.Millisecond, Heuristic: empty})
 	if err != nil {
 		t.Fatalf("Solve with TimeLimit: %v", err)
 	}

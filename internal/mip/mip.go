@@ -140,7 +140,9 @@ type Options struct {
 	// Metrics, if non-nil, accumulates solver counters (mip.nodes,
 	// mip.pruned, mip.lp_solves, mip.lp_iters, mip.incumbents,
 	// mip.heuristic_hits, mip.deadline_hits, mip.cuts,
-	// mip.refactorizations, mip.degenerate_pivots).
+	// mip.refactorizations, mip.degenerate_pivots, plus the LP basis
+	// family lp.warmstart.hits, lp.eta.updates, lp.lu.ft.updates,
+	// lp.lu.fill and lp.lu.refactor.trigger).
 	Metrics *obs.Registry
 	// Progress, if non-nil, is called with a search snapshot every
 	// ProgressEvery explored nodes and after every accepted incumbent.
@@ -230,8 +232,18 @@ type Result struct {
 	// basis (dual simplex or primal repair) instead of a cold restart.
 	WarmStartHits int
 	// EtaUpdates aggregates the product-form basis updates performed by
-	// the relaxation solves between refactorizations.
+	// the relaxation solves between refactorizations (dense basis mode).
 	EtaUpdates int
+	// FTUpdates aggregates the Forrest–Tomlin basis updates applied by
+	// the sparse LU relaxation solves.
+	FTUpdates int
+	// LUFill aggregates the factor fill-in (entries created beyond the
+	// basis nonzeros) across all sparse factorizations and updates.
+	LUFill int
+	// RefactorTriggers counts refactorizations forced by an adaptive
+	// trigger (fill growth, update rejection, drift) rather than the
+	// fixed pivot-count schedule.
+	RefactorTriggers int
 	// DeadlineHit reports that the solve stopped on its TimeLimit.
 	DeadlineHit bool
 	// Incumbents is the incumbent timeline (objective improvements with
@@ -313,6 +325,9 @@ type solver struct {
 	degen    int
 	warmHits int
 	etaUp    int
+	ftUp     int
+	luFill   int
+	refTrig  int
 	start    time.Time
 
 	// ctx is the caller's context (hard abort); lpCtx additionally
@@ -336,6 +351,7 @@ type solver struct {
 	cIncumbents, cHeurHits, cDeadline    *obs.Counter
 	cCuts, cRefacts, cDegen              *obs.Counter
 	cWorkers, cWarmHits, cEtaUp          *obs.Counter
+	cFTUp, cLuFill, cLuTrig              *obs.Counter
 }
 
 // pcStripes is the stripe count of the pseudocost table; a power of two
@@ -500,6 +516,9 @@ func SolveCtx(ctx context.Context, p *lp.Problem, integer []int, opt Options) (*
 		s.cWorkers = reg.Counter("mip.workers.active")
 		s.cWarmHits = reg.Counter("lp.warmstart.hits")
 		s.cEtaUp = reg.Counter("lp.eta.updates")
+		s.cFTUp = reg.Counter("lp.lu.ft.updates")
+		s.cLuFill = reg.Counter("lp.lu.fill")
+		s.cLuTrig = reg.Counter("lp.lu.refactor.trigger")
 	}
 	spanFields := []obs.Field{
 		obs.Int("cols", int64(p.NumVariables())),
@@ -894,12 +913,18 @@ func (s *solver) countLP(res *lp.Result) {
 	s.refacts += res.Refactorizations
 	s.degen += res.DegeneratePivots
 	s.etaUp += res.EtaUpdates
+	s.ftUp += res.FTUpdates
+	s.luFill += res.LUFill
+	s.refTrig += res.RefactorsTriggered
 	s.cNodes.Inc()
 	s.cLPSolves.Inc()
 	s.cLPIters.Add(int64(res.Iterations))
 	s.cRefacts.Add(int64(res.Refactorizations))
 	s.cDegen.Add(int64(res.DegeneratePivots))
 	s.cEtaUp.Add(int64(res.EtaUpdates))
+	s.cFTUp.Add(int64(res.FTUpdates))
+	s.cLuFill.Add(int64(res.LUFill))
+	s.cLuTrig.Add(int64(res.RefactorsTriggered))
 	if res.WarmStarted {
 		s.warmHits++
 		s.cWarmHits.Inc()
@@ -920,6 +945,9 @@ func (s *solver) result(st Status) *Result {
 		DegeneratePivots: s.degen,
 		WarmStartHits:    s.warmHits,
 		EtaUpdates:       s.etaUp,
+		FTUpdates:        s.ftUp,
+		LUFill:           s.luFill,
+		RefactorTriggers: s.refTrig,
 		DeadlineHit:      s.deadlineHit,
 		Incumbents:       s.incLog,
 		Bounds:           s.boundLog,

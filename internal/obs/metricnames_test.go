@@ -27,13 +27,20 @@ var registryMethods = map[string]bool{
 	"Counter": true, "Histogram": true, "CounterVec": true, "HistogramVec": true,
 }
 
-// Every metric name registered anywhere in the repository must follow
-// the naming rule — a vet-style test, so a typo'd name ("Schedd.Foo",
-// "mip-retries") fails CI instead of silently producing an ugly or
-// invalid Prometheus series.
-func TestAllRegisteredMetricNamesFollowRule(t *testing.T) {
+// registeredName is one metric-name string literal found by the AST scan,
+// with its location for error reporting.
+type registeredName struct {
+	name string
+	at   string
+}
+
+// collectRegisteredMetricNames walks every non-test Go file in the repo
+// and returns the first string-literal argument of each Registry
+// constructor call.
+func collectRegisteredMetricNames(t *testing.T) []registeredName {
+	t.Helper()
 	root := repoRoot(t)
-	var checked int
+	var found []registeredName
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -70,12 +77,11 @@ func TestAllRegisteredMetricNamesFollowRule(t *testing.T) {
 			if err != nil {
 				return true
 			}
-			checked++
-			if !metricNameRule.MatchString(name) {
-				rel, _ := filepath.Rel(root, path)
-				t.Errorf("%s:%d: metric name %q violates %s",
-					rel, fset.Position(lit.Pos()).Line, name, metricNameRule)
-			}
+			rel, _ := filepath.Rel(root, path)
+			found = append(found, registeredName{
+				name: name,
+				at:   rel + ":" + strconv.Itoa(fset.Position(lit.Pos()).Line),
+			})
 			return true
 		})
 		return nil
@@ -83,8 +89,54 @@ func TestAllRegisteredMetricNamesFollowRule(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if checked < 20 {
-		t.Fatalf("only %d registered metric names found — scan broken?", checked)
+	return found
+}
+
+// Every metric name registered anywhere in the repository must follow
+// the naming rule — a vet-style test, so a typo'd name ("Schedd.Foo",
+// "mip-retries") fails CI instead of silently producing an ugly or
+// invalid Prometheus series.
+func TestAllRegisteredMetricNamesFollowRule(t *testing.T) {
+	names := collectRegisteredMetricNames(t)
+	for _, rn := range names {
+		if !metricNameRule.MatchString(rn.name) {
+			t.Errorf("%s: metric name %q violates %s", rn.at, rn.name, metricNameRule)
+		}
+	}
+	if len(names) < 20 {
+		t.Fatalf("only %d registered metric names found — scan broken?", len(names))
+	}
+}
+
+// luFamily is the closed set of metric names under the lp.lu. prefix:
+// the sparse-basis telemetry the simplex core exposes. Growing the
+// family is fine — add the new name here in the same change — but a
+// typo'd or undocumented lp.lu.* registration fails instead of silently
+// starting a stray series.
+var luFamily = map[string]bool{
+	"lp.lu.ft.updates":       true,
+	"lp.lu.fill":             true,
+	"lp.lu.refactor.trigger": true,
+}
+
+// The lp.lu.* family must be registered exactly as documented: every
+// member present somewhere in the repo, and nothing else under the
+// prefix.
+func TestLUMetricFamilyIsClosed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, rn := range collectRegisteredMetricNames(t) {
+		if !strings.HasPrefix(rn.name, "lp.lu.") {
+			continue
+		}
+		if !luFamily[rn.name] {
+			t.Errorf("%s: metric %q is not a documented lp.lu.* family member", rn.at, rn.name)
+		}
+		seen[rn.name] = true
+	}
+	for name := range luFamily {
+		if !seen[name] {
+			t.Errorf("lp.lu.* family member %q is documented but never registered", name)
+		}
 	}
 }
 
