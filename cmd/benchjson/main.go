@@ -6,7 +6,10 @@
 // end-to-end ILP-driven simulation with cross-step reuse off and on,
 // and the schedd serving benchmark: an accelerated CTC replay through
 // the full HTTP service with submission batching off and on, measuring
-// submit-to-plan latency percentiles and replans per second. The
+// submit-to-plan latency percentiles and replans per second, plus the
+// sharded comparison: the same replay served by one core and by the
+// -sharded-shards fabric at planning-bound acceleration, reporting the
+// end-to-end throughput multiple and the plan-p99 ratio. The
 // benchmark bodies live in internal/benchkit and are the same ones
 // `go test -bench` runs, so the JSON numbers and the -bench numbers are
 // directly comparable.
@@ -79,13 +82,36 @@ type trajectory struct {
 	Reuse *reuseStats `json:"cross_step_reuse,omitempty"`
 	// Serving is the schedd end-to-end serving benchmark.
 	Serving *servingStats `json:"serving,omitempty"`
+	// ServingSharded compares single-core serving against the sharded
+	// fabric on the same replay.
+	ServingSharded *shardedStats `json:"serving_sharded,omitempty"`
 }
 
 // servingRun is one serving leg: the loadgen measurement plus the
-// batching mode that produced it.
+// batching mode (and shard count, for fabric legs) that produced it.
 type servingRun struct {
 	Batching bool `json:"batching"`
+	Shards   int  `json:"shards,omitempty"`
 	*loadgen.Result
+}
+
+// shardedStats compares the same high-acceleration CTC replay served by
+// one core against the sharded fabric under identical GOMAXPROCS: the
+// fabric's replan loops run concurrently, so end-to-end throughput
+// (submission to planned) should scale with the shard count until the
+// host runs out of cores. ThroughputX is sharded end_to_end_rps over
+// single-core; PlanP99Ratio is sharded plan p99 over single-core (below
+// 1.0 means the tail improved too).
+type shardedStats struct {
+	Jobs         int         `json:"jobs"`
+	Machine      int         `json:"machine"`
+	Shards       int         `json:"shards"`
+	WideLane     int         `json:"wide_lane"`
+	Accel        float64     `json:"accel"`
+	SingleCore   *servingRun `json:"single_core"`
+	Sharded      *servingRun `json:"sharded"`
+	ThroughputX  float64     `json:"throughput_x"`
+	PlanP99Ratio float64     `json:"plan_p99_ratio"`
 }
 
 // servingStats compares accelerated CTC replay through the full HTTP
@@ -173,6 +199,9 @@ func main() {
 	quick := flag.Bool("quick", false, "skip the E3 self-tuning-step benchmarks and shrink the serving replay")
 	servingJobs := flag.Int("serving-jobs", 10000, "submissions replayed per serving leg (0 disables the serving benchmark)")
 	servingAccel := flag.Float64("serving-accel", 100000, "trace-time compression of the serving replay")
+	shardCount := flag.Int("sharded-shards", 4, "shard count of the sharded serving comparison (0 disables it)")
+	shardJobs := flag.Int("sharded-jobs", 10000, "submissions replayed per sharded comparison leg (0 disables it)")
+	shardAccel := flag.Float64("sharded-accel", 2000000, "trace-time compression of the sharded comparison (high, so planning is the bottleneck)")
 	flag.StringVar(out, "o", "", "alias for -out")
 	flag.Parse()
 	if *out == "" {
@@ -298,6 +327,43 @@ func main() {
 		}
 	}
 
+	var sharded *shardedStats
+	if *shardJobs > 0 && *shardCount > 1 {
+		jobs := *shardJobs
+		// The quick floor stays at 4000: below that the single core is
+		// not planning-bound and the comparison degenerates to ~1.0x.
+		if *quick && jobs > 4000 {
+			jobs = 4000
+		}
+		leg := func(shards int) *servingRun {
+			label := "single core"
+			if shards > 1 {
+				label = fmt.Sprintf("%d shards", shards)
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: sharded serving replay (%d jobs, %s)...\n", jobs, label)
+			res, _, err := benchkit.ServingBench(benchkit.ServingConfig{
+				Jobs: jobs, Accel: *shardAccel, Batching: true,
+				Shards: shards, WideLane: 256,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: sharded serving: %v\n", err)
+				os.Exit(1)
+			}
+			return &servingRun{Batching: true, Shards: shards, Result: res}
+		}
+		single, fabric := leg(1), leg(*shardCount)
+		sharded = &shardedStats{
+			Jobs: jobs, Machine: 430, Shards: *shardCount, WideLane: 256,
+			Accel: *shardAccel, SingleCore: single, Sharded: fabric,
+		}
+		if single.EndToEndRPS > 0 {
+			sharded.ThroughputX = fabric.EndToEndRPS / single.EndToEndRPS
+		}
+		if single.PlanLatency.P99 > 0 {
+			sharded.PlanP99Ratio = fabric.PlanLatency.P99 / single.PlanLatency.P99
+		}
+	}
+
 	traj := trajectory{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
@@ -334,7 +400,8 @@ func main() {
 			ILPSteps: ilpSteps, CacheHits: hits,
 			IncumbentReuses: reuses, Fallbacks: fallbacks,
 		},
-		Serving: serving,
+		Serving:        serving,
+		ServingSharded: sharded,
 	}
 	if traj.GoMaxProcs == 1 {
 		traj.Note = "GOMAXPROCS=1: the branch-and-bound worker pool cannot run nodes " +

@@ -12,18 +12,24 @@
 //	schedctl metrics -prom          # Prometheus text exposition
 //	schedctl metrics -prom -check   # also validate the exposition format
 //	schedctl replans                # flight recorder: last N replans
+//	schedctl watch -types plan-version -count 10
 //	schedctl loadgen -synthetic 2000 -seed 1 -accel 2000 -sources 4
 //	schedctl loadgen -swf ctc.swf -jobs 10000 -accel 5000 -json
 //
 // submit/get/schedule/health/metrics/replans are thin wrappers over the
-// HTTP API and print the server's JSON responses. loadgen replays a trace
-// (synthetic CTC-like or an SWF file prefix) through internal/loadgen
-// as an open-loop driver and reports throughput, submit and
-// submit-to-plan latency percentiles, backpressure counts, and replan
-// totals; -json emits the loadgen.Result for scripting.
+// HTTP API and print the server's JSON responses. watch subscribes to a
+// sharded daemon's GET /v1/events Server-Sent Events stream and prints
+// each event's JSON payload as one line (exiting after -count events,
+// or when the stream closes). loadgen replays a trace (synthetic
+// CTC-like or an SWF file prefix) through internal/loadgen as an
+// open-loop driver and reports throughput, submit and submit-to-plan
+// latency percentiles, backpressure counts, and replan totals; -json
+// emits the loadgen.Result for scripting, and -targets fans the replay
+// out across several daemons round-robin.
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
@@ -69,6 +75,8 @@ func main() {
 		err = cmdMetrics(base, args)
 	case "replans":
 		err = get(base + "/v1/replans")
+	case "watch":
+		err = cmdWatch(base, args)
 	case "loadgen":
 		err = cmdLoadgen(base, args)
 	case "wal":
@@ -93,6 +101,7 @@ commands:
   health    show liveness and queue depth
   metrics   dump the obs metric registry (-prom for Prometheus text, -check to validate)
   replans   show the flight recorder's replan summaries
+  watch     stream scheduling events over SSE (-types, -count, -timeout)
   loadgen   replay a workload and measure serving latency
   wal       inspect or verify a daemon WAL directory offline
 `)
@@ -183,6 +192,68 @@ func cmdMetrics(base string, args []string) error {
 	return nil
 }
 
+// cmdWatch subscribes to a sharded daemon's SSE event stream and prints
+// each event's JSON payload as one line. It exits zero after -count
+// events (or on clean stream close), non-zero on transport errors or a
+// -timeout expiry before -count events arrived.
+func cmdWatch(base string, args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	types := fs.String("types", "", "comma-separated event type filter: plan-version, job-planned, job-completed (empty = all)")
+	count := fs.Int("count", 0, "exit after this many events (0 = until the stream closes)")
+	timeout := fs.Duration("timeout", 0, "give up after this long (0 = no deadline)")
+	fs.Parse(args)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	url := base + "/v1/events"
+	if *types != "" {
+		url += "?types=" + *types
+	}
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(b)))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	seen := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		fmt.Println(strings.TrimPrefix(line, "data: "))
+		seen++
+		if *count > 0 && seen >= *count {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if *count > 0 && ctx.Err() != nil {
+			return fmt.Errorf("stream ended after %d of %d events: %w", seen, *count, ctx.Err())
+		}
+		if ctx.Err() == nil {
+			return err
+		}
+	}
+	if *count > 0 && seen < *count {
+		return fmt.Errorf("stream closed after %d of %d events", seen, *count)
+	}
+	return nil
+}
+
 func cmdLoadgen(base string, args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
 	swfPath := fs.String("swf", "", "SWF trace file (overrides -synthetic)")
@@ -194,6 +265,7 @@ func cmdLoadgen(base string, args []string) error {
 	timeout := fs.Duration("wait-timeout", 60*time.Second, "bound on the wait for all accepted jobs to be planned")
 	asJSON := fs.Bool("json", false, "emit the result as JSON instead of the report")
 	idemPrefix := fs.String("idem-prefix", "", "attach deterministic Idempotency-Key headers (\"<prefix>-<i>\"); rerun with the same prefix for the crash-resume drill")
+	targetsCS := fs.String("targets", "", "comma-separated base URLs to spread submissions across round-robin (empty = -addr only)")
 	fs.Parse(args)
 
 	tr, err := loadLoadgenTrace(*swfPath, *synthetic, *seed)
@@ -203,8 +275,17 @@ func cmdLoadgen(base string, args []string) error {
 	if *nJobs > 0 && *nJobs < len(tr.Jobs) {
 		tr.Jobs = tr.Jobs[:*nJobs]
 	}
+	var targets []string
+	if *targetsCS != "" {
+		for _, t := range strings.Split(*targetsCS, ",") {
+			if t = strings.TrimRight(strings.TrimSpace(t), "/"); t != "" {
+				targets = append(targets, t)
+			}
+		}
+	}
 	res, err := loadgen.Run(context.Background(), loadgen.Config{
 		BaseURL:           base,
+		Targets:           targets,
 		Trace:             tr,
 		Accel:             *accel,
 		Sources:           *sources,

@@ -11,6 +11,7 @@
 //	schedd -rate 5 -burst 10 -queue-bound 512
 //	schedd -inject-faults 0.2 -inject-seed 7   # fault-injection drill
 //	schedd -wal-dir /var/lib/schedd/wal        # durable admissions + crash recovery
+//	schedd -shards 4 -shard-wide 256 -rebalance-p99-ms 250   # sharded fabric
 //
 // The API (see internal/schedd):
 //
@@ -21,6 +22,18 @@
 //	GET  /v1/metrics   obs registry dump (JSON; Prometheus text via Accept)
 //	GET  /metrics      Prometheus text exposition (scrape target)
 //	GET  /v1/replans   flight recorder: last N replan summaries
+//
+// With -shards N > 1 the daemon becomes the sharded fabric of
+// internal/shard: the machine partitions into N sub-machines (shard 0
+// sized by -shard-wide so the workload's widest jobs stay servable),
+// each owned by an independent core with its own replan loop, WAL
+// namespace (-wal-dir/shard-<i>) and token bucket (-rate divides by N
+// to keep its per-source meaning roughly global). The HTTP surface is
+// the same, plus the streaming/fan-out routes:
+//
+//	GET  /v1/events    Server-Sent Events: plan-version, job-planned,
+//	                   job-completed (?types= filters)
+//	GET  /v1/shards    per-shard load, p99 and pending migrations
 //
 // With -pprof the daemon additionally serves the Go profiling handlers
 // under /debug/pprof/.
@@ -54,6 +67,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/ on the DefaultServeMux
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"syscall"
@@ -68,6 +82,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/schedd"
+	"repro/internal/shard"
 	"repro/internal/solvepipe"
 	"repro/internal/wal"
 )
@@ -105,6 +120,11 @@ func main() {
 		walFsync   = flag.Int("wal-fsync-every", 64, "max WAL records coalesced into one fsync (group commit; with -wal-dir)")
 		snapEvery  = flag.Int("snapshot-every", 1024, "WAL records between state snapshots that bound replay (with -wal-dir)")
 		walRepair  = flag.Bool("wal-repair", false, "truncate a corrupt WAL back to the last verifiable record instead of refusing to start")
+		shards     = flag.Int("shards", 1, "shard count: >1 partitions the machine across independent per-shard cores behind one routing front end")
+		shardWide  = flag.Int("shard-wide", 0, "wide-lane size: shard 0 owns this many processors, the rest split evenly (0 = even partition; with -shards)")
+		rebalP99   = flag.Float64("rebalance-p99-ms", 0, "migrate queued jobs off a shard whose submit-to-plan p99 diverges from the fastest's by more than this many ms (0 = off; with -shards)")
+		rebalEvery = flag.Duration("rebalance-interval", 200*time.Millisecond, "rebalance evaluation period (with -rebalance-p99-ms)")
+		slowShard  = flag.Duration("slow-shard-solve", 0, "artificially delay shard 0's solves by this much (chaos drills; with -shards and -ilp)")
 	)
 	flag.Parse()
 
@@ -144,6 +164,7 @@ func main() {
 	// does: the flight recorder's replan summaries on stderr and a
 	// flushed JSONL trace for traceinfo.
 	var core *schedd.Core
+	var router *shard.Router
 	panicDump := func(v any) {
 		fmt.Fprintf(os.Stderr, "schedd: panic: %v\n", v)
 		if core != nil {
@@ -151,7 +172,193 @@ func main() {
 				fmt.Fprintf(os.Stderr, "schedd: flight recorder: %s\n", b)
 			}
 		}
+		if router != nil {
+			for i := 0; i < router.Shards(); i++ {
+				if b, err := json.Marshal(router.Core(i).Replans()); err == nil {
+					fmt.Fprintf(os.Stderr, "schedd: shard %d flight recorder: %s\n", i, b)
+				}
+			}
+		}
 		flush()
+	}
+
+	if *shards > 1 {
+		if *faultP > 0 && !*ilpDriven {
+			fail(fmt.Errorf("-inject-faults requires -ilp (there is no solve pipeline to fault)"))
+		}
+		if *slowShard > 0 && !*ilpDriven {
+			fail(fmt.Errorf("-slow-shard-solve requires -ilp (there is no solve pipeline to slow)"))
+		}
+		if *walRepair && *walDir == "" {
+			fail(fmt.Errorf("-wal-repair requires -wal-dir"))
+		}
+
+		// Each shard is a full core: its own scheduler instance (dynP
+		// tuning state is per-core), wall clock, metrics registry and —
+		// with -wal-dir — its own WAL namespace under shard-<i>. The
+		// per-source token bucket divides by the shard count so -rate
+		// keeps roughly its global meaning for unkeyed traffic that the
+		// router spreads across shards.
+		var walLogs []*wal.Log
+		factory := func(idx, machine int) (schedd.Config, error) {
+			shardSched, err := dynp.New(pols, m, dec)
+			if err != nil {
+				return schedd.Config{}, err
+			}
+			c := schedd.Config{
+				Scheduler:     shardSched,
+				Clock:         schedd.NewWallClock(*accel),
+				QueueBound:    *queueBound,
+				MaxBatch:      *maxBatch,
+				MaxBatchDelay: *batchDelay,
+				RatePerSource: *rate / float64(*shards),
+				Burst:         *burst,
+				Trace:         tracer,
+				Metrics:       obs.NewRegistry(),
+
+				ReplanBuffer:     *replanBuf,
+				SlowReplan:       *slowReplan,
+				TraceSampleEvery: *sampleEvry,
+
+				SnapshotEvery: *snapEvery,
+				PanicHook:     panicDump,
+			}
+			if *ilpDriven {
+				c.ILP = &schedd.ILPConfig{
+					Pipe: solvepipe.Config{
+						Budget:      *budget,
+						Retries:     *retries,
+						Limit:       ilpsched.SizeLimit{MaxVariables: *maxVars},
+						MIP:         mip.Options{MaxNodes: 200000, Workers: *workers},
+						PresolveOff: !*presolve,
+					},
+					StepCacheOff: !*stepCache,
+				}
+				var hook func(solvepipe.SolveFunc) solvepipe.SolveFunc
+				if *faultP > 0 {
+					inj := faultinject.New(faultinject.NewProbability(*faultSeed+uint64(idx), *faultP))
+					hook = inj.Hook
+				}
+				if idx == 0 && *slowShard > 0 {
+					// Chaos drill: a deliberately slow wide-lane shard
+					// gives the rebalancer a divergence to act on.
+					delay, prev := *slowShard, hook
+					hook = func(base solvepipe.SolveFunc) solvepipe.SolveFunc {
+						if prev != nil {
+							base = prev(base)
+						}
+						return func(ctx context.Context, mdl *ilpsched.Model, opt mip.Options) (*ilpsched.Solution, error) {
+							time.Sleep(delay)
+							return base(ctx, mdl, opt)
+						}
+					}
+				}
+				c.ILP.Pipe.Hook = hook
+			}
+			if *walDir != "" {
+				dir := filepath.Join(*walDir, fmt.Sprintf("shard-%d", idx))
+				walLog, rec, err := wal.Open(wal.Options{
+					Dir:        dir,
+					FsyncEvery: *walFsync,
+					Repair:     *walRepair,
+					Trace:      tracer,
+					Metrics:    c.Metrics,
+				})
+				if err != nil {
+					return schedd.Config{}, fmt.Errorf("wal shard %d: %w (pass -wal-repair to truncate back to the last verifiable record)", idx, err)
+				}
+				walLogs = append(walLogs, walLog)
+				c.WAL, c.Recovery = walLog, rec
+				fmt.Fprintf(os.Stderr,
+					"schedd: WAL open in %s: %d records to replay from seq %d (%d torn bytes truncated, repaired=%d)\n",
+					dir, len(rec.Records), rec.SnapshotSeq, rec.TornBytes, rec.Repaired)
+			}
+			return c, nil
+		}
+
+		router, err = shard.New(shard.Config{
+			Shards:            *shards,
+			Machine:           *machineSz,
+			WideLane:          *shardWide,
+			Factory:           factory,
+			Metrics:           reg,
+			Trace:             tracer,
+			RebalanceP99:      *rebalP99,
+			RebalanceInterval: *rebalEvery,
+		})
+		if err != nil {
+			flush()
+			fail(err)
+		}
+		if *faultP > 0 {
+			fmt.Fprintf(os.Stderr, "schedd: injecting solve faults with p=%.2f per shard (seed %d)\n", *faultP, *faultSeed)
+		}
+		if *slowShard > 0 {
+			fmt.Fprintf(os.Stderr, "schedd: delaying shard 0 solves by %s\n", *slowShard)
+		}
+		fmt.Fprintf(os.Stderr, "schedd: sharded fabric: %d shards over %d processors (sub-machines %v)\n",
+			*shards, *machineSz, router.Machines())
+		router.Start()
+
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			fail(err)
+		}
+		var handler http.Handler = shard.NewHandler(router)
+		if *pprofOn {
+			mux := http.NewServeMux()
+			mux.Handle("/debug/pprof/", http.DefaultServeMux)
+			mux.Handle("/", handler)
+			handler = mux
+			fmt.Fprintln(os.Stderr, "schedd: pprof enabled at /debug/pprof/")
+		}
+		srv := &http.Server{Handler: handler}
+		fmt.Fprintf(os.Stderr, "schedd: listening on http://%s\n", ln.Addr())
+
+		errCh := make(chan error, 1)
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				errCh <- err
+			}
+		}()
+		sigCh := make(chan os.Signal, 1)
+		signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+		select {
+		case err := <-errCh:
+			flush()
+			fail(err)
+		case sig := <-sigCh:
+			fmt.Fprintf(os.Stderr, "schedd: %s received, draining %d shards\n", sig, *shards)
+		}
+
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		defer cancel()
+		final, err := router.Stop(ctx)
+		if err != nil {
+			flush()
+			fail(fmt.Errorf("drain: %w", err))
+		}
+		if *finalOut != "" {
+			if err := writeFinalMerged(*finalOut, final); err != nil {
+				flush()
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "schedd: wrote final schedule %s\n", *finalOut)
+		}
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "schedd: http shutdown:", err)
+		}
+		for i, walLog := range walLogs {
+			if err := walLog.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "schedd: wal close shard %d: %v\n", i, err)
+			}
+		}
+		flush()
+		c := final.Counts
+		fmt.Fprintf(os.Stderr,
+			"schedd: drained %d shards at t=%d: %d submitted, %d planned, %d started, %d completed; %d steps (%d degraded), %d replans, %d batches\n",
+			*shards, final.Now, c.Submitted, c.Planned, c.Started, c.Completed, c.Steps, c.DegradedSteps, c.Replans, c.Batches)
+		return
 	}
 
 	cfg := schedd.Config{
@@ -302,6 +509,16 @@ func writeFinalSchedule(path string, s *schedd.Snapshot) error {
 		Jobs []schedd.JobStatus `json:"jobs"`
 	}{s, jobs}
 	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// writeFinalMerged persists the sharded drain snapshot: the merged
+// machine-wide schedule plus each shard's own view.
+func writeFinalMerged(path string, s *shard.MergedSnapshot) error {
+	b, err := json.MarshalIndent(s, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -9,11 +9,13 @@ import (
 
 	"repro/internal/dynp"
 	"repro/internal/faultinject"
+	"repro/internal/job"
 	"repro/internal/loadgen"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/schedd"
+	"repro/internal/shard"
 	"repro/internal/solvepipe"
 	"repro/internal/wal"
 	"repro/internal/workload"
@@ -46,6 +48,14 @@ type ServingConfig struct {
 	// serving comparison quantifies.
 	WAL           bool
 	WALFsyncEvery int
+	// Shards, when > 1, serves the replay through the sharded fabric
+	// (internal/shard): the machine partitions into Shards sub-machines
+	// with independent cores and replan loops behind one router, so the
+	// planning work runs on as many OS threads as GOMAXPROCS allows.
+	// WideLane sizes shard 0's sub-machine (0 = even partition); the CTC
+	// width distribution needs 256 of 430 to keep every job servable.
+	Shards   int
+	WideLane int
 }
 
 // ServingBench runs one serving leg and returns the loadgen measurement
@@ -72,6 +82,9 @@ func ServingBench(cfg ServingConfig) (*loadgen.Result, *schedd.Counters, error) 
 	m, err := metrics.ByName("SLDwA")
 	if err != nil {
 		return nil, nil, err
+	}
+	if cfg.Shards > 1 {
+		return shardedServingBench(cfg, tr, pols, m)
 	}
 	sched, err := dynp.New(pols, m, dynp.AdvancedDecider{})
 	if err != nil {
@@ -135,6 +148,103 @@ func ServingBench(cfg ServingConfig) (*loadgen.Result, *schedd.Counters, error) 
 	stopCtx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
 	final, stopErr := core.Stop(stopCtx)
+	if err != nil {
+		return nil, nil, err
+	}
+	if stopErr != nil {
+		return nil, nil, fmt.Errorf("drain: %w", stopErr)
+	}
+	return res, &final.Counts, nil
+}
+
+// shardedServingBench is the Shards > 1 leg: the same replay served by
+// the sharded fabric, each shard a full core with its own replan loop
+// (and, with WAL, its own log namespace). Apart from the partitioning
+// the per-core configuration matches the single-core leg, so the two
+// results isolate the fabric's parallelism.
+func shardedServingBench(cfg ServingConfig, tr *job.Trace, pols []policy.Policy, m metrics.Metric) (*loadgen.Result, *schedd.Counters, error) {
+	var walRoot string
+	if cfg.WAL {
+		dir, err := os.MkdirTemp("", "benchwal-sharded")
+		if err != nil {
+			return nil, nil, err
+		}
+		defer os.RemoveAll(dir)
+		walRoot = dir
+	}
+	var walLogs []*wal.Log
+	factory := func(idx, machine int) (schedd.Config, error) {
+		sched, err := dynp.New(pols, m, dynp.AdvancedDecider{})
+		if err != nil {
+			return schedd.Config{}, err
+		}
+		scfg := schedd.Config{
+			Scheduler:  sched,
+			Clock:      schedd.NewWallClock(cfg.Accel),
+			QueueBound: cfg.QueueBound,
+			MaxBatch:   1,
+			Metrics:    obs.NewRegistry(),
+		}
+		if cfg.Batching {
+			scfg.MaxBatch = 64
+			scfg.MaxBatchDelay = 5 * time.Millisecond
+		}
+		if cfg.FaultP > 0 {
+			inj := faultinject.New(faultinject.NewProbability(cfg.Seed+uint64(idx), cfg.FaultP))
+			scfg.ILP = &schedd.ILPConfig{
+				Pipe: solvepipe.Config{
+					Budget:  200 * time.Millisecond,
+					Retries: 1,
+					Hook:    inj.Hook,
+				},
+			}
+		}
+		if walRoot != "" {
+			fsyncEvery := cfg.WALFsyncEvery
+			if fsyncEvery <= 0 {
+				fsyncEvery = 64
+			}
+			walLog, rec, err := wal.Open(wal.Options{
+				Dir:        fmt.Sprintf("%s/shard-%d", walRoot, idx),
+				FsyncEvery: fsyncEvery,
+			})
+			if err != nil {
+				return schedd.Config{}, err
+			}
+			walLogs = append(walLogs, walLog)
+			scfg.WAL, scfg.Recovery = walLog, rec
+		}
+		return scfg, nil
+	}
+	r, err := shard.New(shard.Config{
+		Shards:   cfg.Shards,
+		Machine:  tr.Processors,
+		WideLane: cfg.WideLane,
+		Factory:  factory,
+		Metrics:  obs.NewRegistry(),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer func() {
+		for _, l := range walLogs {
+			l.Close()
+		}
+	}()
+	r.Start()
+	srv := httptest.NewServer(shard.NewHandler(r))
+	defer srv.Close()
+
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:     srv.URL,
+		Trace:       tr,
+		Accel:       cfg.Accel,
+		Sources:     8,
+		WaitTimeout: 5 * time.Minute,
+	})
+	stopCtx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	final, stopErr := r.Stop(stopCtx)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -33,6 +33,15 @@ import (
 type Config struct {
 	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// Targets, when non-empty, overrides BaseURL with a round-robin set
+	// of service roots: submission i fires at Targets[i mod len], each
+	// job's status is fetched back from the target that admitted it, and
+	// the scraped planning totals sum across targets. Point it at
+	// several independent daemons to compare them under one arrival
+	// process; a sharded fabric needs only its router URL (the router
+	// merges the per-shard series server-side). Duplicate-ID detection
+	// is per-target — independent daemons mint overlapping IDs.
+	Targets []string
 	// Trace supplies the arrival process: submission times (compressed
 	// by Accel), widths, estimates and runtimes.
 	Trace *job.Trace
@@ -116,14 +125,24 @@ type Result struct {
 	NewlyAccepted int `json:"newly_accepted"`
 	DuplicateIDs  int `json:"duplicate_ids"`
 	// WallSeconds is the submission phase duration; ThroughputRPS is
-	// Submitted / WallSeconds.
+	// Submitted / WallSeconds. TotalSeconds additionally covers the wait
+	// for every accepted job to be planned, and EndToEndRPS is
+	// NewlyAccepted / TotalSeconds — the service-side serving throughput
+	// once the replay itself stops being the bottleneck (high Accel).
 	WallSeconds   float64 `json:"wall_seconds"`
 	ThroughputRPS float64 `json:"throughput_rps"`
+	TotalSeconds  float64 `json:"total_seconds"`
+	EndToEndRPS   float64 `json:"end_to_end_rps"`
 	// SubmitLatency is the client-observed HTTP round trip of accepted
 	// submissions; PlanLatency is the server-recorded admission-to-plan
 	// latency of the same jobs.
 	SubmitLatency Percentiles `json:"submit_latency"`
 	PlanLatency   Percentiles `json:"plan_latency"`
+	// PlanLatencyByShard breaks PlanLatency down by the shard that
+	// planned each job (keyed "shard-<i>"; multi-target runs prefix the
+	// target index). Empty unless the run spanned more than one group,
+	// so single-core results keep their shape.
+	PlanLatencyByShard map[string]Percentiles `json:"plan_latency_by_shard,omitempty"`
 	// Planned (from /v1/metrics) must cover every newly accepted job:
 	// DroppedAccepted = NewlyAccepted - Planned is the service's
 	// data-loss count and should always be zero. Dedup hits are excluded
@@ -160,6 +179,9 @@ func (c Config) withDefaults() Config {
 		tr := &http.Transport{MaxIdleConns: 128, MaxIdleConnsPerHost: 128}
 		c.Client = &http.Client{Timeout: 10 * time.Second, Transport: tr}
 	}
+	if len(c.Targets) == 0 && c.BaseURL != "" {
+		c.Targets = []string{c.BaseURL}
+	}
 	return c
 }
 
@@ -169,21 +191,25 @@ func (c Config) withDefaults() Config {
 // config, unreachable metrics endpoint), not per-request ones.
 func Run(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	if cfg.BaseURL == "" {
-		return nil, fmt.Errorf("loadgen: no BaseURL")
+	if len(cfg.Targets) == 0 {
+		return nil, fmt.Errorf("loadgen: no BaseURL or Targets")
 	}
 	if cfg.Trace == nil || len(cfg.Trace.Jobs) == 0 {
 		return nil, fmt.Errorf("loadgen: empty trace")
 	}
+	targets := cfg.Targets
 	jobs := cfg.Trace.Jobs
 	submit0 := jobs[0].Submit
 
+	// acceptedRef remembers which target admitted a job so the status
+	// sweep asks the right service (IDs are only unique per target).
+	type acceptedRef struct{ target, id int }
 	var (
 		mu          sync.Mutex
 		res         Result
 		submitLatMs []float64
-		acceptedIDs []int
-		seenIDs     = make(map[int]bool)
+		accepted    []acceptedRef
+		seenIDs     = make(map[acceptedRef]bool)
 	)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -207,9 +233,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				Runtime:  j.Runtime,
 				Source:   fmt.Sprintf("src-%d", i%cfg.Sources),
 			})
+			target := i % len(targets)
 			t0 := time.Now()
 			req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-				cfg.BaseURL+"/v1/jobs", bytes.NewReader(body))
+				targets[target]+"/v1/jobs", bytes.NewReader(body))
 			if err != nil {
 				return
 			}
@@ -238,11 +265,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				if sr.Deduplicated {
 					res.Deduplicated++
 				}
-				if seenIDs[sr.ID] {
+				ref := acceptedRef{target, sr.ID}
+				if seenIDs[ref] {
 					res.DuplicateIDs++
 				}
-				seenIDs[sr.ID] = true
-				acceptedIDs = append(acceptedIDs, sr.ID)
+				seenIDs[ref] = true
+				accepted = append(accepted, ref)
 				submitLatMs = append(submitLatMs, float64(rtt)/float64(time.Millisecond))
 			case http.StatusTooManyRequests:
 				res.Rejected429++
@@ -261,18 +289,22 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	res.NewlyAccepted = res.Accepted - res.Deduplicated
 	res.SubmitLatency = percentiles(submitLatMs)
 
-	// Wait until the service has planned every accepted job.
+	// Wait until every target has planned every accepted job (totals sum
+	// across targets; a sharded router already serves the merged rollup).
 	deadline := time.Now().Add(cfg.WaitTimeout)
 	for {
-		m, err := ScrapeMetrics(ctx, cfg.Client, cfg.BaseURL)
-		if err != nil {
-			return nil, fmt.Errorf("loadgen: metrics scrape: %w", err)
+		res.Planned, res.Steps, res.Replans, res.Batches, res.DegradedSteps = 0, 0, 0, 0, 0
+		for _, base := range targets {
+			m, err := ScrapeMetrics(ctx, cfg.Client, base)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: metrics scrape: %w", err)
+			}
+			res.Planned += m["schedd.jobs.planned"]
+			res.Steps += m["schedd.steps"]
+			res.Replans += m["schedd.replans"]
+			res.Batches += m["schedd.batches"]
+			res.DegradedSteps += m["schedd.degraded.steps"]
 		}
-		res.Planned = m["schedd.jobs.planned"]
-		res.Steps = m["schedd.steps"]
-		res.Replans = m["schedd.replans"]
-		res.Batches = m["schedd.batches"]
-		res.DegradedSteps = m["schedd.degraded.steps"]
 		if res.Planned >= int64(res.NewlyAccepted) || time.Now().After(deadline) || ctx.Err() != nil {
 			break
 		}
@@ -285,22 +317,28 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if res.WallSeconds > 0 {
 		res.ReplansPerSec = float64(res.Steps+res.Replans) / res.WallSeconds
 	}
-
-	// Collect server-side plan latencies per accepted job.
-	planLat := make([]float64, 0, len(acceptedIDs))
-	idCh := make(chan int, len(acceptedIDs))
-	for _, id := range acceptedIDs {
-		idCh <- id
+	res.TotalSeconds = time.Since(start).Seconds()
+	if res.TotalSeconds > 0 {
+		res.EndToEndRPS = float64(res.NewlyAccepted) / res.TotalSeconds
 	}
-	close(idCh)
+
+	// Collect server-side plan latencies per accepted job, grouped by
+	// the shard (and target, for multi-target runs) that planned it.
+	planLat := make([]float64, 0, len(accepted))
+	byShard := map[string][]float64{}
+	refCh := make(chan acceptedRef, len(accepted))
+	for _, ref := range accepted {
+		refCh <- ref
+	}
+	close(refCh)
 	var pwg sync.WaitGroup
 	var pmu sync.Mutex
 	for w := 0; w < cfg.StatusWorkers; w++ {
 		pwg.Add(1)
 		go func() {
 			defer pwg.Done()
-			for id := range idCh {
-				st, err := FetchJob(ctx, cfg.Client, cfg.BaseURL, id)
+			for ref := range refCh {
+				st, err := FetchJob(ctx, cfg.Client, targets[ref.target], ref.id)
 				if err != nil {
 					pmu.Lock()
 					res.MissingJobs++
@@ -310,14 +348,25 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				if st.PlanLatencyMs < 0 {
 					continue
 				}
+				key := fmt.Sprintf("shard-%d", st.Shard)
+				if len(targets) > 1 {
+					key = fmt.Sprintf("target-%d.%s", ref.target, key)
+				}
 				pmu.Lock()
 				planLat = append(planLat, st.PlanLatencyMs)
+				byShard[key] = append(byShard[key], st.PlanLatencyMs)
 				pmu.Unlock()
 			}
 		}()
 	}
 	pwg.Wait()
 	res.PlanLatency = percentiles(planLat)
+	if len(byShard) > 1 {
+		res.PlanLatencyByShard = make(map[string]Percentiles, len(byShard))
+		for key, samples := range byShard {
+			res.PlanLatencyByShard[key] = percentiles(samples)
+		}
+	}
 	return &res, nil
 }
 
@@ -342,9 +391,25 @@ func ScrapeMetrics(ctx context.Context, client *http.Client, baseURL string) (ma
 	}
 	out := make(map[string]int64, len(ms))
 	for _, m := range ms {
+		// A sharded router serves each family as a shard="all" rollup
+		// plus per-shard series; only the rollup may land in the map, or
+		// the last shard's value would shadow the total.
+		if v, labeled := shardLabel(m.Labels); labeled && v != "all" {
+			continue
+		}
 		out[m.Name] = m.Value
 	}
 	return out, nil
+}
+
+// shardLabel extracts the "shard" label when present.
+func shardLabel(labels []obs.Label) (string, bool) {
+	for _, l := range labels {
+		if l.Key == "shard" {
+			return l.Value, true
+		}
+	}
+	return "", false
 }
 
 // FetchJob fetches one job's status.
@@ -379,10 +444,23 @@ func (r *Result) String() string {
 			r.Deduplicated, r.NewlyAccepted, r.DuplicateIDs, r.MissingJobs)
 	}
 	fmt.Fprintf(&b, "wall time       %.2fs (%.1f submissions/s)\n", r.WallSeconds, r.ThroughputRPS)
+	fmt.Fprintf(&b, "end to end      %.2fs (%.1f planned/s)\n", r.TotalSeconds, r.EndToEndRPS)
 	fmt.Fprintf(&b, "submit latency  p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n",
 		r.SubmitLatency.P50, r.SubmitLatency.P90, r.SubmitLatency.P99, r.SubmitLatency.Max)
 	fmt.Fprintf(&b, "plan latency    p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n",
 		r.PlanLatency.P50, r.PlanLatency.P90, r.PlanLatency.P99, r.PlanLatency.Max)
+	if len(r.PlanLatencyByShard) > 0 {
+		keys := make([]string, 0, len(r.PlanLatencyByShard))
+		for k := range r.PlanLatencyByShard {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			p := r.PlanLatencyByShard[k]
+			fmt.Fprintf(&b, "  %-13s p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n",
+				k, p.P50, p.P90, p.P99, p.Max)
+		}
+	}
 	fmt.Fprintf(&b, "planned         %d of %d accepted (dropped %d)\n",
 		r.Planned, r.Accepted, r.DroppedAccepted)
 	fmt.Fprintf(&b, "replans         %d steps + %d completion replans in %d batches (%.1f/s, %d degraded)\n",

@@ -113,6 +113,9 @@ type SubmitResponse struct {
 	// Deduplicated reports the submission matched an earlier job's
 	// idempotency key; ID is that job's ID and no new job was admitted.
 	Deduplicated bool `json:"deduplicated,omitempty"`
+	// Shard is the shard the job was routed to (filled by the front-end
+	// router; always 0 on a standalone core).
+	Shard int `json:"shard,omitempty"`
 }
 
 // JobStatus is the queryable state of one job.
@@ -133,6 +136,9 @@ type JobStatus struct {
 	Degraded bool `json:"degraded,omitempty"`
 	// TraceID is the request trace ID the job was submitted with.
 	TraceID string `json:"trace_id,omitempty"`
+	// Shard is the shard that owns the job in a sharded deployment
+	// (filled by the front-end router; always 0 on a standalone core).
+	Shard int `json:"shard,omitempty"`
 }
 
 // PlannedEntry is one row of the published schedule.
@@ -256,6 +262,16 @@ type Config struct {
 	// place to flush tracers and dump the flight recorder for post-crash
 	// forensics.
 	PanicHook func(any)
+	// Events, if non-nil, receives writer-loop lifecycle events
+	// (snapshot publications, first plans, completions) for streaming
+	// transports. Callbacks run on the writer goroutine and must not
+	// block.
+	Events EventSink
+	// ShardID identifies this core within a sharded fabric (0 for a
+	// standalone core). It namespaces the synthetic idempotency keys the
+	// migration protocol mints, so keys from different source shards can
+	// never collide at a target.
+	ShardID int
 }
 
 // submission travels from the admission path to the writer loop.
@@ -263,6 +279,7 @@ type submission struct {
 	job       *job.Job
 	source    string
 	trace     string // request trace ID ("" when untraced)
+	idemKey   string // idempotency key ("" = unkeyed; keyed jobs never migrate)
 	admitWall time.Time
 	walSeq    uint64 // the submit record's WAL seq (0 without a WAL)
 }
@@ -313,6 +330,14 @@ type Core struct {
 	inflightMu  sync.Mutex
 	inflight    map[uint64]struct{}
 	lastSnapSeq uint64
+
+	// Migration state (see migrate.go): pendingMig holds migrated-out
+	// jobs whose hand-off to the target shard has not been confirmed;
+	// migAliases maps a migrated job's local ID to its new global ID at
+	// the target. Both survive crashes through the WAL.
+	migMu      sync.Mutex
+	pendingMig map[int]MigratedJob
+	migAliases map[int]int64
 
 	// Writer-loop state (owned by run()).
 	vnow      int64
@@ -382,18 +407,20 @@ func New(cfg Config) (*Core, error) {
 		cfg.SnapshotEvery = 1024
 	}
 	c := &Core{
-		cfg:      cfg,
-		clock:    cfg.Clock,
-		total:    cfg.Machine,
-		limiter:  newRateLimiter(cfg.RatePerSource, cfg.Burst),
-		submitCh: make(chan *submission, cfg.QueueBound),
-		drainCh:  make(chan chan *Snapshot),
-		loopDone: make(chan struct{}),
-		waiting:  map[int]*job.Job{},
-		recs:     map[int]*rec{},
-		running:  map[int]*rec{},
-		plan:     map[int]int64{},
-		inflight: map[uint64]struct{}{},
+		cfg:        cfg,
+		clock:      cfg.Clock,
+		total:      cfg.Machine,
+		limiter:    newRateLimiter(cfg.RatePerSource, cfg.Burst),
+		submitCh:   make(chan *submission, cfg.QueueBound),
+		drainCh:    make(chan chan *Snapshot),
+		loopDone:   make(chan struct{}),
+		waiting:    map[int]*job.Job{},
+		recs:       map[int]*rec{},
+		running:    map[int]*rec{},
+		plan:       map[int]int64{},
+		inflight:   map[uint64]struct{}{},
+		pendingMig: map[int]MigratedJob{},
+		migAliases: map[int]int64{},
 	}
 	if cfg.WAL != nil {
 		// Submissions are refused until the writer loop has replayed the
@@ -453,6 +480,17 @@ func (c *Core) Metrics() *obs.Registry { return c.cfg.Metrics }
 // QueueDepth returns the current admitted-but-unplanned backlog.
 func (c *Core) QueueDepth() int { return len(c.submitCh) }
 
+// PlanLatencyQuantile estimates the q-quantile of the submit-to-plan
+// latency distribution in milliseconds from the live histogram (0 when
+// the core has no metrics registry or no samples yet). This is the
+// signal the shard rebalancer compares across cores.
+func (c *Core) PlanLatencyQuantile(q float64) float64 {
+	if c.hPlanLatency == nil {
+		return 0
+	}
+	return c.hPlanLatency.Quantile(q)
+}
+
 // Submit admits one job without a request context; see SubmitCtx.
 func (c *Core) Submit(req SubmitRequest) (SubmitResponse, error) {
 	return c.SubmitCtx(context.Background(), req)
@@ -507,7 +545,7 @@ func (c *Core) SubmitCtx(ctx context.Context, req SubmitRequest) (SubmitResponse
 		}
 	}
 	j := &job.Job{ID: id, Submit: now, Width: req.Width, Estimate: req.Estimate, Runtime: req.Runtime}
-	sub := &submission{job: j, source: req.Source, trace: trace, admitWall: time.Now()}
+	sub := &submission{job: j, source: req.Source, trace: trace, idemKey: req.IdempotencyKey, admitWall: time.Now()}
 	c.pending.Store(id, JobStatus{
 		ID: id, State: StateQueued, Width: j.Width, Estimate: j.Estimate, TraceID: trace,
 		Submit: now, PlannedStart: -1, Start: -1, End: -1, PlanLatencyMs: -1,
@@ -795,6 +833,7 @@ func (c *Core) completeDue(t int64) bool {
 		}
 		c.done.Store(id, st)
 		c.walAppend(walComplete, completeWAL{Status: st})
+		c.emitCompleted(st)
 		fields := []obs.Field{
 			obs.Int("t", end),
 			obs.Int("job", int64(id)),
@@ -1335,6 +1374,8 @@ func (c *Core) publish() {
 		return s.Schedule[i].JobID < s.Schedule[k].JobID
 	})
 	c.snap.Store(s)
+	c.emitPlanned(s, c.newlyPlanned)
+	c.emitPublished(s)
 	for _, id := range c.newlyPlanned {
 		// Publication closes the traced submit→planned path: the first
 		// snapshot carrying the job's plan is now visible to readers.

@@ -42,12 +42,21 @@ const (
 
 // WAL record types.
 const (
-	walSubmit   = "submit"
-	walPlan     = "plan"
-	walStart    = "start"
-	walComplete = "complete"
-	walReject   = "reject"
+	walSubmit      = "submit"
+	walPlan        = "plan"
+	walStart       = "start"
+	walComplete    = "complete"
+	walReject      = "reject"
+	walMigrate     = "migrate"      // queued job stolen for another shard (data: MigratedJob)
+	walMigrateDone = "migrate_done" // target shard confirmed the hand-off
 )
+
+// migrateDoneWAL confirms a migrated job's durable admission at its
+// target shard; TargetGlobal is the job's new front-end (global) ID.
+type migrateDoneWAL struct {
+	ID           int   `json:"id"`
+	TargetGlobal int64 `json:"target_global"`
+}
 
 // submitWAL is the durable form of one admitted submission.
 type submitWAL struct {
@@ -126,6 +135,11 @@ type walState struct {
 	Plan      []planEntryWAL `json:"plan,omitempty"`
 	Done      []JobStatus    `json:"done,omitempty"`
 	Idem      map[string]int `json:"idem,omitempty"`
+	// PendingMig and MigAliases persist the migration protocol's state
+	// (see migrate.go) so a snapshot-bounded replay still completes
+	// in-flight hand-offs and answers aliased job lookups.
+	PendingMig []MigratedJob `json:"pending_mig,omitempty"`
+	MigAliases map[int]int64 `json:"mig_aliases,omitempty"`
 }
 
 // Phase reports the recovery phase: PhaseReplaying until the writer has
@@ -306,6 +320,17 @@ func (c *Core) buildWALState() *walState {
 		st.Idem[k.(string)] = v.(int)
 		return true
 	})
+	c.migMu.Lock()
+	for _, m := range c.pendingMig {
+		st.PendingMig = append(st.PendingMig, m)
+	}
+	if len(c.migAliases) > 0 {
+		st.MigAliases = make(map[int]int64, len(c.migAliases))
+		for k, v := range c.migAliases {
+			st.MigAliases[k] = v
+		}
+	}
+	c.migMu.Unlock()
 	return st
 }
 
@@ -401,6 +426,14 @@ func (c *Core) applyWALState(st *walState) {
 	for k, v := range st.Idem {
 		c.idem.Store(k, v)
 	}
+	c.migMu.Lock()
+	for _, m := range st.PendingMig {
+		c.pendingMig[m.ID] = m
+	}
+	for k, v := range st.MigAliases {
+		c.migAliases[k] = v
+	}
+	c.migMu.Unlock()
 }
 
 // jobKnown reports whether replay already holds the job anywhere.
@@ -522,6 +555,37 @@ func (c *Core) applyWALRecord(r wal.Record) bool {
 		if cw.Status.End > c.vnow {
 			c.vnow = cw.Status.End
 		}
+		return true
+	case walMigrate:
+		var m MigratedJob
+		if json.Unmarshal(r.Data, &m) != nil {
+			return false
+		}
+		c.migMu.Lock()
+		_, pending := c.pendingMig[m.ID]
+		_, confirmed := c.migAliases[m.ID]
+		if pending || confirmed {
+			c.migMu.Unlock()
+			return false // snapshot already covered this migrate-out
+		}
+		c.pendingMig[m.ID] = m
+		c.migMu.Unlock()
+		if _, ok := c.waiting[m.ID]; ok {
+			delete(c.waiting, m.ID)
+			delete(c.plan, m.ID)
+			delete(c.recs, m.ID)
+			c.accepted.Add(-1)
+		}
+		return true
+	case walMigrateDone:
+		var md migrateDoneWAL
+		if json.Unmarshal(r.Data, &md) != nil {
+			return false
+		}
+		c.migMu.Lock()
+		delete(c.pendingMig, md.ID)
+		c.migAliases[md.ID] = md.TargetGlobal
+		c.migMu.Unlock()
 		return true
 	case walReject:
 		var rj rejectWAL

@@ -1,0 +1,54 @@
+// EventSink is the writer-loop's push interface: the streaming
+// transport (internal/shard's SSE hub) subscribes to state changes at
+// their source instead of polling snapshots. Callbacks run on the
+// writer goroutine between state mutation and the next select, so
+// implementations must be fast and must never block — enqueue and
+// return. Everything passed in is immutable (a published *Snapshot, a
+// value-copied JobStatus), so sinks may retain the arguments.
+package schedd
+
+// EventSink receives writer-loop lifecycle events. A nil sink in
+// Config.Events disables eventing with zero overhead.
+type EventSink interface {
+	// SnapshotPublished fires after every snapshot store, exactly once
+	// per version, in version order.
+	SnapshotPublished(s *Snapshot)
+	// JobPlanned fires the first time a job appears in an adopted plan,
+	// before the snapshot carrying it is published.
+	JobPlanned(st JobStatus)
+	// JobCompleted fires when a running job finishes.
+	JobCompleted(st JobStatus)
+}
+
+// emitPublished forwards a snapshot publication to the sink, if any.
+func (c *Core) emitPublished(s *Snapshot) {
+	if sink := c.cfg.Events; sink != nil {
+		sink.SnapshotPublished(s)
+	}
+}
+
+// emitPlanned forwards first-plan events for the given job IDs; the
+// statuses are read from the snapshot that is about to carry them.
+func (c *Core) emitPlanned(s *Snapshot, ids []int) {
+	sink := c.cfg.Events
+	if sink == nil || len(ids) == 0 {
+		return
+	}
+	for _, id := range ids {
+		if st, ok := s.Active[id]; ok {
+			sink.JobPlanned(st)
+			continue
+		}
+		// Planned and already completed within the same writer pass.
+		if v, ok := c.done.Load(id); ok {
+			sink.JobPlanned(v.(JobStatus))
+		}
+	}
+}
+
+// emitCompleted forwards a completion to the sink, if any.
+func (c *Core) emitCompleted(st JobStatus) {
+	if sink := c.cfg.Events; sink != nil {
+		sink.JobCompleted(st)
+	}
+}

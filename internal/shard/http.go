@@ -1,0 +1,292 @@
+// HTTP front end of the sharded fabric. The surface mirrors the
+// single-core daemon API (a schedctl or loadgen pointed at a router
+// cannot tell the difference on the write path) and adds the streaming
+// read path:
+//
+//	POST /v1/jobs      submit (routed; 429 carries the max Retry-After
+//	                   across the shards tried)
+//	GET  /v1/jobs/{id} job state by global ID (migration aliases
+//	                   followed transparently)
+//	GET  /v1/schedule  scatter-gather merged snapshot (partial=true
+//	                   instead of blocking when a shard stalls)
+//	GET  /v1/events    Server-Sent Events: plan-version, job-planned,
+//	                   job-completed (?types= filters; id: is the
+//	                   per-subscriber sequence)
+//	GET  /v1/healthz   fabric health (per-shard phases)
+//	GET  /v1/metrics   merged metrics, per-shard "shard" labels (JSON,
+//	                   or Prometheus when Accept asks)
+//	GET  /metrics      Prometheus text exposition
+//	GET  /v1/replans   flight recorders of all shards
+//	GET  /v1/shards    per-shard load/placement view
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/schedd"
+)
+
+// HealthJSON is the router's GET /v1/healthz body.
+type HealthJSON struct {
+	Status     string   `json:"status"` // "ok", "replaying" or "draining"
+	Now        int64    `json:"now"`
+	Shards     int      `json:"shards"`
+	QueueDepth int      `json:"queue_depth"` // summed across shards
+	Waiting    int      `json:"waiting"`
+	Running    int      `json:"running"`
+	Phases     []string `json:"phases"` // per-shard WAL recovery phase
+}
+
+// ReplansJSON is one shard's flight-recorder dump in GET /v1/replans.
+type ReplansJSON struct {
+	Shard   int                   `json:"shard"`
+	Replans []schedd.ReplanRecord `json:"replans"`
+}
+
+// NewHandler returns the router's HTTP API.
+func NewHandler(r *Router) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, req *http.Request) {
+		var body schedd.SubmitJSON
+		if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+			return
+		}
+		trace := req.Header.Get(schedd.TraceHeader)
+		if trace == "" {
+			trace = obs.NewTraceID()
+		}
+		w.Header().Set(schedd.TraceHeader, trace)
+		ctx := obs.WithTraceID(req.Context(), trace)
+		resp, err := r.Submit(ctx, schedd.SubmitRequest{
+			Width: body.Width, Estimate: body.Estimate, Runtime: body.Runtime, Source: body.Source,
+			IdempotencyKey: req.Header.Get(schedd.IdemHeader),
+		})
+		if err != nil {
+			writeSubmitError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, resp)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, req *http.Request) {
+		id, err := strconv.Atoi(req.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad job id %q", req.PathValue("id")))
+			return
+		}
+		st, ok := r.Job(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no job %d", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/schedule", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, r.Gather())
+	})
+	mux.HandleFunc("GET /v1/events", func(w http.ResponseWriter, req *http.Request) {
+		serveEvents(r, w, req)
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, health(r))
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, req *http.Request) {
+		ms := append(r.MergedMetrics(), obs.RuntimeMetrics()...)
+		if wantsPrometheus(req.Header.Get("Accept")) {
+			writePrometheus(w, ms)
+			return
+		}
+		writeJSON(w, http.StatusOK, schedd.MetricsToJSON(ms))
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
+		writePrometheus(w, append(r.MergedMetrics(), obs.RuntimeMetrics()...))
+	})
+	mux.HandleFunc("GET /v1/replans", func(w http.ResponseWriter, req *http.Request) {
+		out := make([]ReplansJSON, r.n)
+		for i, c := range r.cores {
+			out[i] = ReplansJSON{Shard: i, Replans: c.Replans()}
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /v1/shards", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, r.shardViews())
+	})
+	return mux
+}
+
+// serveEvents is the SSE endpoint: one event per line-block, the
+// per-subscriber sequence as the id: field, a comment heartbeat every
+// 15s so idle connections stay alive through proxies.
+func serveEvents(r *Router, w http.ResponseWriter, req *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	var types map[string]bool
+	if q := req.URL.Query().Get("types"); q != "" {
+		types = map[string]bool{}
+		for _, t := range strings.Split(q, ",") {
+			types[strings.TrimSpace(t)] = true
+		}
+	}
+	sub := r.hub.Subscribe(types)
+	defer sub.Close()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case ev, open := <-sub.Events():
+			if !open {
+				// Overflow disconnect: the subscriber fell too far behind.
+				return
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-req.Context().Done():
+			return
+		}
+	}
+}
+
+// health assembles the fabric health view from O(1) per-shard reads.
+func health(r *Router) HealthJSON {
+	h := HealthJSON{Shards: r.n, Phases: make([]string, r.n)}
+	status := "ok"
+	for i, c := range r.cores {
+		s := c.Snapshot()
+		h.Phases[i] = c.Phase()
+		if h.Phases[i] == schedd.PhaseReplaying {
+			status = "replaying"
+		}
+		if s.Draining {
+			status = "draining"
+		}
+		if s.Now > h.Now {
+			h.Now = s.Now
+		}
+		h.QueueDepth += c.QueueDepth()
+		for _, st := range s.Active {
+			if st.State == schedd.StateRunning {
+				h.Running++
+			} else {
+				h.Waiting++
+			}
+		}
+	}
+	h.Status = status
+	return h
+}
+
+// LoadJSON is one row of GET /v1/shards: the placement inputs plus
+// the rebalance signal.
+type LoadJSON struct {
+	Shard             int     `json:"shard"`
+	Machine           int     `json:"machine"`
+	QueueDepth        int     `json:"queue_depth"`
+	Active            int     `json:"active"`
+	PlanP99Ms         float64 `json:"plan_p99_ms"`
+	PendingMigrations int     `json:"pending_migrations"`
+	Version           int64   `json:"version"`
+}
+
+func (r *Router) shardViews() []LoadJSON {
+	out := make([]LoadJSON, r.n)
+	for i, c := range r.cores {
+		s := c.Snapshot()
+		out[i] = LoadJSON{
+			Shard:             i,
+			Machine:           r.machines[i],
+			QueueDepth:        c.QueueDepth(),
+			Active:            len(s.Active),
+			PlanP99Ms:         c.PlanLatencyQuantile(0.99),
+			PendingMigrations: len(c.PendingMigrations()),
+			Version:           s.Version,
+		}
+	}
+	return out
+}
+
+// writeSubmitError maps routing errors onto the single-core daemon's
+// status codes, with the fabric's aggregated Retry-After for
+// backpressure.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	var bp *BackpressureError
+	var rl *schedd.RateLimitedError
+	var ve *schedd.ValidationError
+	switch {
+	case errors.As(err, &bp):
+		w.Header().Set("Retry-After", retryAfterSeconds(bp.RetryAfter))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, schedd.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.As(err, &rl):
+		w.Header().Set("Retry-After", retryAfterSeconds(rl.RetryAfter))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, schedd.ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, schedd.ErrRecovering):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.As(err, &ve):
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func retryAfterSeconds(d time.Duration) string {
+	s := int64(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return strconv.FormatInt(s, 10)
+}
+
+func wantsPrometheus(accept string) bool {
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
+}
+
+func writePrometheus(w http.ResponseWriter, ms []obs.Metric) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = obs.WritePrometheus(w, ms)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,222 @@
+// The streaming event hub: each core's writer loop pushes its state
+// changes (snapshot publications, first plans, completions) into the
+// hub via the schedd.EventSink hooks, and the hub fans them out to SSE
+// subscribers. Delivery is exactly-once per subscriber: subscription
+// happens under the hub lock, priming the stream with one plan-version
+// event per shard at its current version, and every later publication
+// reaches the subscriber exactly once, in order — per shard, versions
+// are contiguous from the primer on. The sinks run on the writer
+// goroutines, so the hub never blocks: a subscriber whose buffer fills
+// is disconnected (and counted) instead of backpressuring a writer.
+package shard
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/schedd"
+)
+
+// Event types of the /v1/events stream.
+const (
+	// EventPlanVersion announces a new published snapshot version of one
+	// shard (the streaming replacement for polling /v1/schedule).
+	EventPlanVersion = "plan-version"
+	// EventJobPlanned announces a job's first adopted plan.
+	EventJobPlanned = "job-planned"
+	// EventJobCompleted announces a job's completion.
+	EventJobCompleted = "job-completed"
+)
+
+// Event is one SSE payload. Seq is the per-subscriber stream position
+// (contiguous from 1), echoed as the SSE id: field.
+type Event struct {
+	Seq   int64  `json:"seq"`
+	Type  string `json:"type"`
+	Shard int    `json:"shard"`
+	// Version/Now/Degraded describe the published snapshot
+	// (plan-version events).
+	Version  int64 `json:"version,omitempty"`
+	Now      int64 `json:"now,omitempty"`
+	Degraded bool  `json:"degraded,omitempty"`
+	// Job carries the subject of job-planned / job-completed events,
+	// with the ID already globalized.
+	Job *JobEvent `json:"job,omitempty"`
+}
+
+// JobEvent is the job payload of a job-planned or job-completed event.
+type JobEvent struct {
+	ID            int             `json:"id"`
+	State         schedd.JobState `json:"state"`
+	Width         int             `json:"width"`
+	PlannedStart  int64           `json:"planned_start"`
+	Start         int64           `json:"start,omitempty"`
+	End           int64           `json:"end,omitempty"`
+	PlanLatencyMs float64         `json:"plan_latency_ms,omitempty"`
+	TraceID       string          `json:"trace_id,omitempty"`
+}
+
+// Hub fans writer-loop events out to subscribers.
+type Hub struct {
+	n      int
+	buffer int
+
+	mu       sync.Mutex
+	versions []int64 // last published snapshot version per shard
+	nows     []int64
+	degraded []bool
+	subs     map[*Subscription]struct{}
+
+	vEvents    *obs.CounterVec // by type
+	cOverflows *obs.Counter
+	cSubs      *obs.Counter
+}
+
+func newHub(n, buffer int, reg *obs.Registry) *Hub {
+	h := &Hub{
+		n:        n,
+		buffer:   buffer,
+		versions: make([]int64, n),
+		nows:     make([]int64, n),
+		degraded: make([]bool, n),
+		subs:     map[*Subscription]struct{}{},
+	}
+	if reg != nil {
+		h.vEvents = reg.CounterVec("shard.events", "type")
+		h.cOverflows = reg.Counter("shard.sse.overflow_disconnects")
+		h.cSubs = reg.Counter("shard.sse.subscribes")
+	}
+	return h
+}
+
+// sink adapts the hub to one shard's EventSink.
+func (h *Hub) sink(idx int) schedd.EventSink { return &hubSink{h: h, shard: idx} }
+
+type hubSink struct {
+	h     *Hub
+	shard int
+}
+
+func (s *hubSink) SnapshotPublished(snap *schedd.Snapshot) {
+	s.h.publish(Event{
+		Type: EventPlanVersion, Shard: s.shard,
+		Version: snap.Version, Now: snap.Now, Degraded: snap.Degraded,
+	}, true)
+}
+
+func (s *hubSink) JobPlanned(st schedd.JobStatus) {
+	s.h.publish(s.h.jobEvent(EventJobPlanned, s.shard, st), false)
+}
+
+func (s *hubSink) JobCompleted(st schedd.JobStatus) {
+	s.h.publish(s.h.jobEvent(EventJobCompleted, s.shard, st), false)
+}
+
+func (h *Hub) jobEvent(typ string, shard int, st schedd.JobStatus) Event {
+	return Event{
+		Type: typ, Shard: shard,
+		Job: &JobEvent{
+			ID:            st.ID*h.n + shard, // globalize
+			State:         st.State,
+			Width:         st.Width,
+			PlannedStart:  st.PlannedStart,
+			Start:         st.Start,
+			End:           st.End,
+			PlanLatencyMs: st.PlanLatencyMs,
+			TraceID:       st.TraceID,
+		},
+	}
+}
+
+// publish delivers one event to every live subscriber. Version events
+// also update the per-shard state that primes new subscriptions, under
+// the same lock, so no version can slip between a subscriber's primer
+// and its first live event.
+func (h *Hub) publish(ev Event, isVersion bool) {
+	h.mu.Lock()
+	if isVersion {
+		h.versions[ev.Shard] = ev.Version
+		h.nows[ev.Shard] = ev.Now
+		h.degraded[ev.Shard] = ev.Degraded
+	}
+	h.vEvents.With(ev.Type).Inc()
+	for sub := range h.subs {
+		sub.push(ev)
+	}
+	h.mu.Unlock()
+}
+
+// Subscribe registers a new subscriber. types filters delivery (nil =
+// all). The stream opens with one plan-version primer per shard that
+// has published, so a consumer knows the current state before the first
+// live event; per shard, versions are then contiguous.
+func (h *Hub) Subscribe(types map[string]bool) *Subscription {
+	s := &Subscription{
+		hub:   h,
+		ch:    make(chan Event, h.buffer),
+		types: types,
+	}
+	h.mu.Lock()
+	for i := 0; i < h.n; i++ {
+		if h.versions[i] > 0 {
+			s.push(Event{
+				Type: EventPlanVersion, Shard: i,
+				Version: h.versions[i], Now: h.nows[i], Degraded: h.degraded[i],
+			})
+		}
+	}
+	h.subs[s] = struct{}{}
+	h.cSubs.Inc()
+	h.mu.Unlock()
+	return s
+}
+
+// Subscribers returns the current subscriber count.
+func (h *Hub) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// Subscription is one subscriber's event stream. Read Events until it
+// closes (hub overflow disconnect) and call Close when done.
+type Subscription struct {
+	hub   *Hub
+	ch    chan Event
+	types map[string]bool
+	seq   int64
+	dead  bool // guarded by hub.mu
+}
+
+// Events is the subscriber's delivery channel; it closes when the hub
+// disconnects the subscriber for falling too far behind.
+func (s *Subscription) Events() <-chan Event { return s.ch }
+
+// push delivers one event (hub lock held). A full buffer kills the
+// subscription: the writer loops must never block on a slow reader.
+func (s *Subscription) push(ev Event) {
+	if s.dead || (s.types != nil && !s.types[ev.Type]) {
+		return
+	}
+	s.seq++
+	ev.Seq = s.seq
+	select {
+	case s.ch <- ev:
+	default:
+		s.dead = true
+		delete(s.hub.subs, s)
+		close(s.ch)
+		s.hub.cOverflows.Inc()
+	}
+}
+
+// Close unregisters the subscription and closes its channel.
+func (s *Subscription) Close() {
+	s.hub.mu.Lock()
+	if !s.dead {
+		s.dead = true
+		delete(s.hub.subs, s)
+		close(s.ch)
+	}
+	s.hub.mu.Unlock()
+}

@@ -1,0 +1,102 @@
+// Job-width-aware placement. The policy follows the stochastic
+// bin-packing shape of Hong, Xie & Wang (2022): narrow jobs consolidate
+// onto already-busy shards (keeping whole sub-machines free so wide
+// jobs are not fragmented out), while wide jobs — which need contiguous
+// capacity — spread to the least-loaded shard that can fit them. A
+// bounded load band keeps packing from starving throughput: a narrow
+// job packs only onto a shard whose backlog score is within PackSlack
+// of the emptiest candidate, so load imbalance stays bounded and the
+// per-shard replan loops all stay fed.
+package shard
+
+import "sort"
+
+// queueWeight makes admitted-but-unplanned backlog dominate the load
+// score: queued jobs are what submit-to-plan latency is made of, while
+// planned/running jobs cost each replan far less.
+const queueWeight = 4
+
+// shardLoad is one shard's placement-time load sample. Both inputs are
+// O(1) reads (channel length, snapshot map length), so placement stays
+// cheap on the submission hot path.
+type shardLoad struct {
+	idx    int
+	cap    int
+	queued int // admitted, not yet planned
+	active int // planned or running
+}
+
+func (l shardLoad) score() int { return l.queued*queueWeight + l.active }
+
+// loads samples every shard's current load.
+func (r *Router) loads() []shardLoad {
+	out := make([]shardLoad, r.n)
+	for i, c := range r.cores {
+		out[i] = shardLoad{
+			idx:    i,
+			cap:    r.machines[i],
+			queued: c.QueueDepth(),
+			active: len(c.Snapshot().Active),
+		}
+	}
+	return out
+}
+
+// placeOrder returns the candidate shards for an unkeyed job of the
+// given width, best first, and whether the job classified as wide. The
+// caller tries candidates in order, falling through on backpressure.
+func (r *Router) placeOrder(width int) (order []int, wide bool) {
+	ls := r.loads()
+	fits := ls[:0]
+	for _, l := range ls {
+		if l.cap >= width {
+			fits = append(fits, l)
+		}
+	}
+	// Wide: the job needs more than half of the largest sub-machine —
+	// fragmentation can strand it, so it takes the emptiest fitting
+	// shard (ties broken toward spare capacity).
+	wide = width*2 > r.maxMachine
+	if wide {
+		sort.Slice(fits, func(i, k int) bool {
+			if fits[i].score() != fits[k].score() {
+				return fits[i].score() < fits[k].score()
+			}
+			if fits[i].cap != fits[k].cap {
+				return fits[i].cap > fits[k].cap
+			}
+			return fits[i].idx < fits[k].idx
+		})
+	} else {
+		// Narrow: greedy packing within the load band — busiest (most
+		// active) shard first among those within PackSlack of the
+		// emptiest, then the rest by load. Keeping narrow work
+		// consolidated leaves other shards' capacity whole for wide jobs.
+		minScore := int(^uint(0) >> 1)
+		for _, l := range fits {
+			if s := l.score(); s < minScore {
+				minScore = s
+			}
+		}
+		band := minScore + r.cfg.PackSlack
+		sort.Slice(fits, func(i, k int) bool {
+			inI, inK := fits[i].score() <= band, fits[k].score() <= band
+			if inI != inK {
+				return inI
+			}
+			if inI { // both in band: pack onto the busiest machine
+				if fits[i].active != fits[k].active {
+					return fits[i].active > fits[k].active
+				}
+			} else if fits[i].score() != fits[k].score() {
+				return fits[i].score() < fits[k].score()
+			}
+			return fits[i].idx < fits[k].idx
+		})
+	}
+	order = make([]int, len(fits))
+	for i, l := range fits {
+		order[i] = l.idx
+	}
+	return order, wide
+}

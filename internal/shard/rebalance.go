@@ -1,0 +1,108 @@
+// The rebalancer: dynamic re-placement of queued jobs, after Casanova,
+// Stillwell & Vivien (2011) — static partitioning loses to moving work
+// when load skews. The signal is submit-to-plan p99 divergence: when
+// the slowest shard's p99 exceeds the fastest's by more than the
+// configured threshold, queued (not-yet-planned, unkeyed) jobs migrate
+// from slowest to fastest via the exactly-once protocol in
+// schedd/migrate.go:
+//
+//	steal (durable migrate-out, fsynced) → submit to recorded target
+//	under the synthetic key "mig:<src>:<id>" → confirm (MigrateDone).
+//
+// A crash anywhere in between leaves the job pending at the source;
+// recovery re-drives the hand-off against the *recorded* target, whose
+// idempotency dedup makes the retry safe. The router tracks the old →
+// new global ID alias so clients polling the original ID keep getting
+// answers.
+package shard
+
+import (
+	"repro/internal/obs"
+	"repro/internal/schedd"
+)
+
+// RebalanceOnce evaluates the divergence signal and, when it trips,
+// migrates up to MaxMigratePerRound queued jobs from the slowest shard
+// to the fastest. Returns how many jobs completed their hand-off.
+func (r *Router) RebalanceOnce() int {
+	if r.n < 2 {
+		return 0
+	}
+	worst, best := 0, 0
+	var worstP, bestP float64
+	for i, c := range r.cores {
+		p := c.PlanLatencyQuantile(0.99)
+		if i == 0 || p > worstP {
+			worst, worstP = i, p
+		}
+		if i == 0 || p < bestP {
+			best, bestP = i, p
+		}
+	}
+	if worst == best || worstP-bestP < r.cfg.RebalanceP99 {
+		return 0
+	}
+	if r.cores[worst].QueueDepth() == 0 {
+		return 0 // nothing stealable: only queued jobs migrate
+	}
+	// Cap by the target's sub-machine: a job wider than the best shard
+	// can serve must stay put (it would be rejected on hand-off forever).
+	stolen := r.cores[worst].StealQueued(r.cfg.MaxMigratePerRound, best, r.machines[best])
+	moved := r.handOff(worst, stolen)
+	if moved > 0 {
+		r.cRebalances.Inc()
+		r.trace.Emit("shard.rebalance",
+			obs.Int("from", int64(worst)),
+			obs.Int("to", int64(best)),
+			obs.Int("moved", int64(moved)),
+			obs.Float("p99_worst_ms", worstP),
+			obs.Float("p99_best_ms", bestP))
+	}
+	return moved
+}
+
+// handOff completes the migration of stolen jobs: submit each to its
+// recorded target shard under its synthetic idempotency key, then
+// confirm. A hand-off that fails (target backpressure, draining) stays
+// in the source's pending set and is retried by the next maintenance
+// tick — never re-targeted, so the dedup key keeps retries exactly-once.
+func (r *Router) handOff(src int, jobs []schedd.MigratedJob) int {
+	moved := 0
+	for _, m := range jobs {
+		gOld := r.global(src, m.ID)
+		// Queued placeholder so a status poll of the old ID never 404s
+		// between steal and target admission.
+		r.inflight.Store(gOld, schedd.JobStatus{
+			ID: gOld, State: schedd.StateQueued, Width: m.Width, Estimate: m.Estimate,
+			Submit: m.Submit, PlannedStart: -1, Start: -1, End: -1, PlanLatencyMs: -1,
+			TraceID: m.Trace, Shard: src,
+		})
+		resp, err := r.cores[m.Target].Submit(schedd.SubmitRequest{
+			Width: m.Width, Estimate: m.Estimate, Runtime: m.Runtime,
+			Source: m.Source, IdempotencyKey: m.Key,
+		})
+		if err != nil {
+			r.cMigRetries.Inc()
+			continue // still pending at the source; retried next tick
+		}
+		gNew := r.global(m.Target, resp.ID)
+		r.cores[src].MigrateDone(m.ID, int64(gNew))
+		r.aliases.Store(gOld, gNew)
+		r.inflight.Delete(gOld)
+		r.cMigrated.Inc()
+		moved++
+	}
+	return moved
+}
+
+// completeAllPending re-drives every unconfirmed migration hand-off
+// (after a crash, or after a target rejected the submit on an earlier
+// tick). Each goes to its recorded target, where the synthetic key
+// dedups any half-completed earlier attempt.
+func (r *Router) completeAllPending() {
+	for i, c := range r.cores {
+		if pending := c.PendingMigrations(); len(pending) > 0 {
+			r.handOff(i, pending)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Shared helpers of the shard package tests.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/dynp"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/schedd"
+)
+
+func newScheduler(t testing.TB) *dynp.Scheduler {
+	t.Helper()
+	m, err := metrics.ByName("SLDwA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := dynp.New([]policy.Policy{policy.FCFS{}, policy.SJF{}, policy.LJF{}}, m, dynp.AdvancedDecider{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// basicFactory builds minimal per-shard cores over a shared clock; mut
+// (optional) tweaks one shard's config by index.
+func basicFactory(t testing.TB, clock schedd.Clock, mut func(idx int, cfg *schedd.Config)) CoreFactory {
+	return func(idx, machine int) (schedd.Config, error) {
+		cfg := schedd.Config{
+			Scheduler:  newScheduler(t),
+			Clock:      clock,
+			QueueBound: 64,
+			MaxBatch:   16,
+			Metrics:    obs.NewRegistry(),
+		}
+		if mut != nil {
+			mut(idx, &cfg)
+		}
+		return cfg, nil
+	}
+}
+
+func newTestRouter(t testing.TB, cfg Config) *Router {
+	t.Helper()
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func stopRouter(t testing.TB, r *Router) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := r.Stop(ctx); err != nil {
+		t.Errorf("router stop: %v", err)
+	}
+}
+
+// waitState polls until the job reaches a non-queued state (planned,
+// running or done).
+func waitState(t testing.TB, r *Router, gid int) schedd.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		st, ok := r.Job(gid)
+		if ok && st.State != schedd.StateQueued {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %d never left queued (ok=%v state=%v)", gid, ok, st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func mustSubmit(t testing.TB, r *Router, req schedd.SubmitRequest) schedd.SubmitResponse {
+	t.Helper()
+	resp, err := r.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatalf("submit %+v: %v", req, err)
+	}
+	return resp
+}
+
+// counterValue digs one plain counter out of a registry snapshot.
+func counterValue(reg *obs.Registry, name string) int64 {
+	for _, m := range reg.Snapshot() {
+		if m.Name == name && m.Labels == nil {
+			return m.Value
+		}
+	}
+	return 0
+}
+
+func fmtKey(i int) string { return fmt.Sprintf("key-%d", i) }
