@@ -124,6 +124,7 @@ func main() {
 		shardWide  = flag.Int("shard-wide", 0, "wide-lane size: shard 0 owns this many processors, the rest split evenly (0 = even partition; with -shards)")
 		rebalP99   = flag.Float64("rebalance-p99-ms", 0, "migrate queued jobs off a shard whose submit-to-plan p99 diverges from the fastest's by more than this many ms (0 = off; with -shards)")
 		rebalEvery = flag.Duration("rebalance-interval", 200*time.Millisecond, "rebalance evaluation period (with -rebalance-p99-ms)")
+		rebalWin   = flag.Duration("rebalance-window", 15*time.Second, "sliding window of plan-latency samples behind the rebalance p99 signal (with -rebalance-p99-ms)")
 		slowShard  = flag.Duration("slow-shard-solve", 0, "artificially delay shard 0's solves by this much (chaos drills; with -shards and -ilp)")
 	)
 	flag.Parse()
@@ -220,8 +221,9 @@ func main() {
 				SlowReplan:       *slowReplan,
 				TraceSampleEvery: *sampleEvry,
 
-				SnapshotEvery: *snapEvery,
-				PanicHook:     panicDump,
+				SnapshotEvery:     *snapEvery,
+				PanicHook:         panicDump,
+				PlanLatencyWindow: *rebalWin,
 			}
 			if *ilpDriven {
 				c.ILP = &schedd.ILPConfig{

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// WindowedHistogram is a sliding-window variant of Histogram: samples
+// age out after roughly the configured window, in slot-sized steps
+// (window/slots granularity). It exists for *signals* — values that
+// must track recent behavior, like the shard rebalancer's p99
+// divergence — where a lifetime-cumulative histogram would keep a
+// transient slowdown visible forever. Cumulative metrics exported to
+// Prometheus should keep using Histogram; rate() belongs to the
+// scraper there, not here.
+//
+// A nil WindowedHistogram is a no-op, like the other instruments.
+type WindowedHistogram struct {
+	mu       sync.Mutex
+	bounds   []float64
+	slots    []*Histogram
+	slotDur  time.Duration
+	cur      int
+	curStart time.Time
+	now      func() time.Time // test seam
+}
+
+// NewWindowedHistogram creates a sliding-window histogram with the
+// given bucket bounds covering roughly window of history in slots
+// rotating sub-histograms (slots < 2 is raised to 2; window <= 0
+// defaults to 15s).
+func NewWindowedHistogram(bounds []float64, window time.Duration, slots int) *WindowedHistogram {
+	if slots < 2 {
+		slots = 2
+	}
+	if window <= 0 {
+		window = 15 * time.Second
+	}
+	w := &WindowedHistogram{
+		bounds:  append([]float64(nil), bounds...),
+		slots:   make([]*Histogram, slots),
+		slotDur: window / time.Duration(slots),
+		now:     time.Now,
+	}
+	for i := range w.slots {
+		w.slots[i] = newHistogram(bounds)
+	}
+	w.curStart = w.now()
+	return w
+}
+
+// advance rotates out every slot whose time has passed (mu held). An
+// idle gap longer than the whole window clears everything at once
+// instead of stepping slot by slot.
+func (w *WindowedHistogram) advance() {
+	elapsed := w.now().Sub(w.curStart)
+	if elapsed < w.slotDur {
+		return
+	}
+	steps := int(elapsed / w.slotDur)
+	if steps >= len(w.slots) {
+		for i := range w.slots {
+			w.slots[i] = newHistogram(w.bounds)
+		}
+		w.cur = 0
+		w.curStart = w.now()
+		return
+	}
+	for s := 0; s < steps; s++ {
+		w.cur = (w.cur + 1) % len(w.slots)
+		w.slots[w.cur] = newHistogram(w.bounds)
+	}
+	w.curStart = w.curStart.Add(time.Duration(steps) * w.slotDur)
+}
+
+// Observe records one sample into the current slot.
+func (w *WindowedHistogram) Observe(v float64) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.advance()
+	w.slots[w.cur].Observe(v)
+	w.mu.Unlock()
+}
+
+// merged combines every live slot into one histogram (mu held).
+func (w *WindowedHistogram) merged() *Histogram {
+	m := newHistogram(w.bounds)
+	for _, s := range w.slots {
+		for i := range s.counts {
+			if n := s.counts[i].Load(); n != 0 {
+				m.counts[i].Add(n)
+				m.count.Add(n)
+			}
+		}
+	}
+	return m
+}
+
+// Quantile estimates the q-quantile over the samples still inside the
+// window (0 for a nil or empty window); see Histogram.Quantile for the
+// estimator.
+func (w *WindowedHistogram) Quantile(q float64) float64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	w.advance()
+	m := w.merged()
+	w.mu.Unlock()
+	return m.Quantile(q)
+}
+
+// Count returns how many samples are still inside the window.
+func (w *WindowedHistogram) Count() int64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	w.advance()
+	m := w.merged()
+	w.mu.Unlock()
+	return m.Count()
+}

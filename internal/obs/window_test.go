@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeNow installs a controllable clock on a WindowedHistogram and
+// returns the advance function.
+func fakeNow(w *WindowedHistogram) func(time.Duration) {
+	t := time.Unix(1000, 0)
+	w.now = func() time.Time { return t }
+	w.curStart = t
+	return func(d time.Duration) { t = t.Add(d) }
+}
+
+// TestWindowedHistogramDecay: samples must age out of the window — the
+// fix for the rebalancer's signal, where a lifetime histogram kept a
+// transient slowdown's p99 elevated forever.
+func TestWindowedHistogramDecay(t *testing.T) {
+	bounds := []float64{1, 10, 100, 1000}
+	w := NewWindowedHistogram(bounds, 10*time.Second, 5)
+	tick := fakeNow(w)
+
+	// A burst of slow samples: p99 reads high.
+	for i := 0; i < 20; i++ {
+		w.Observe(800)
+	}
+	if q := w.Quantile(0.99); q < 100 {
+		t.Fatalf("p99 = %g right after slow burst, want >= 100", q)
+	}
+	// Recovery: fast samples only. Within the window both populations
+	// are visible.
+	tick(4 * time.Second)
+	for i := 0; i < 20; i++ {
+		w.Observe(2)
+	}
+	if n := w.Count(); n != 40 {
+		t.Fatalf("count inside window = %d, want 40", n)
+	}
+	// Once the slow burst's slots rotate out, only recent behavior
+	// remains: p99 must fall back to the fast buckets.
+	tick(7 * time.Second)
+	if n := w.Count(); n != 20 {
+		t.Fatalf("count after slow slots expired = %d, want 20", n)
+	}
+	if q := w.Quantile(0.99); q > 10 {
+		t.Errorf("p99 = %g after recovery, want <= 10 (slow burst aged out)", q)
+	}
+	// An idle gap longer than the window empties it entirely.
+	tick(time.Minute)
+	if n := w.Count(); n != 0 {
+		t.Errorf("count after idle gap = %d, want 0", n)
+	}
+	if q := w.Quantile(0.99); q != 0 {
+		t.Errorf("p99 of empty window = %g, want 0", q)
+	}
+}
+
+func TestWindowedHistogramNilAndDefaults(t *testing.T) {
+	var w *WindowedHistogram
+	w.Observe(1) // must not panic
+	if w.Quantile(0.5) != 0 || w.Count() != 0 {
+		t.Error("nil WindowedHistogram not a no-op")
+	}
+	// Degenerate constructor args clamp instead of failing.
+	w2 := NewWindowedHistogram([]float64{1, 2}, 0, 0)
+	w2.Observe(1.5)
+	if w2.Count() != 1 {
+		t.Errorf("clamped window count = %d, want 1", w2.Count())
+	}
+	if q := w2.Quantile(1); q < 1 || q > 2 {
+		t.Errorf("clamped window Quantile(1) = %g, want within (1,2]", q)
+	}
+}

@@ -272,6 +272,12 @@ type Config struct {
 	// migration protocol mints, so keys from different source shards can
 	// never collide at a target.
 	ShardID int
+	// PlanLatencyWindow is how much recent history PlanLatencyQuantile
+	// covers (default 15s). The rebalance signal must track *current*
+	// shard behavior: a lifetime-cumulative quantile would keep a
+	// transient slowdown visible forever and migrate jobs off a shard
+	// long after it recovered.
+	PlanLatencyWindow time.Duration
 }
 
 // submission travels from the admission path to the writer loop.
@@ -379,6 +385,11 @@ type Core struct {
 	hBatchSize   *obs.Histogram
 	hQueueDepth  *obs.Histogram
 	hPlanLatency *obs.Histogram
+	// winPlanLat is the sliding-window twin of hPlanLatency: the
+	// rebalance signal reads this one (recent behavior), the cumulative
+	// histogram stays for metrics export. Always present, so the signal
+	// works even without a metrics registry.
+	winPlanLat *obs.WindowedHistogram
 	// Labeled families (bounded cardinality; see obs.MaxSeries).
 	vSubmits    *obs.CounterVec   // by source
 	vStepOut    *obs.CounterVec   // by outcome, policy
@@ -432,9 +443,10 @@ func New(cfg Config) (*Core, error) {
 	}
 	c.recorder = newFlightRecorder(cfg.ReplanBuffer)
 	c.trace = cfg.Trace
+	latBounds := []float64{0.5, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 5000}
+	c.winPlanLat = obs.NewWindowedHistogram(latBounds, cfg.PlanLatencyWindow, 5)
 	if reg := cfg.Metrics; reg != nil {
 		depthBounds := []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}
-		latBounds := []float64{0.5, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 5000}
 		c.cSubmits = reg.Counter("schedd.submits")
 		c.cRejectFull = reg.Counter("schedd.rejects.queue_full")
 		c.cRejectRate = reg.Counter("schedd.rejects.rate_limited")
@@ -481,14 +493,13 @@ func (c *Core) Metrics() *obs.Registry { return c.cfg.Metrics }
 func (c *Core) QueueDepth() int { return len(c.submitCh) }
 
 // PlanLatencyQuantile estimates the q-quantile of the submit-to-plan
-// latency distribution in milliseconds from the live histogram (0 when
-// the core has no metrics registry or no samples yet). This is the
-// signal the shard rebalancer compares across cores.
+// latency distribution in milliseconds over a sliding window of recent
+// samples (Config.PlanLatencyWindow, default 15s; 0 with no samples in
+// the window). This is the signal the shard rebalancer compares across
+// cores — windowed so a transient slowdown ages out instead of marking
+// the shard slow forever, and independent of the metrics registry.
 func (c *Core) PlanLatencyQuantile(q float64) float64 {
-	if c.hPlanLatency == nil {
-		return 0
-	}
-	return c.hPlanLatency.Quantile(q)
+	return c.winPlanLat.Quantile(q)
 }
 
 // Submit admits one job without a request context; see SubmitCtx.
@@ -620,7 +631,8 @@ func (c *Core) Snapshot() *Snapshot { return c.snap.Load() }
 
 // Job returns the status of the job with the given ID. It consults the
 // active snapshot, then the completed set, then the admitted-but-
-// unplanned set — all without taking the writer's locks.
+// unplanned set, then the pending-migration set — all without taking
+// the writer's locks.
 func (c *Core) Job(id int) (JobStatus, bool) {
 	if st, ok := c.snap.Load().Active[id]; ok {
 		return st, true
@@ -639,6 +651,21 @@ func (c *Core) Job(id int) (JobStatus, bool) {
 			return d.(JobStatus), true
 		}
 		return v.(JobStatus), true
+	}
+	// A job stolen for migration but not yet admitted by its target —
+	// including after crash-recovery replay, before the first hand-off
+	// tick — is still queued, just briefly homeless. StealQueued records
+	// the migration before deleting the pending entry, so every job is
+	// visible in at least one of the two sets until the hand-off
+	// confirms (after which the front end's alias table takes over).
+	c.migMu.Lock()
+	m, ok := c.pendingMig[id]
+	c.migMu.Unlock()
+	if ok {
+		return JobStatus{
+			ID: id, State: StateQueued, Width: m.Width, Estimate: m.Estimate, TraceID: m.Trace,
+			Submit: m.Submit, PlannedStart: -1, Start: -1, End: -1, PlanLatencyMs: -1,
+		}, true
 	}
 	return JobStatus{}, false
 }
@@ -1273,6 +1300,7 @@ func (c *Core) adoptPlan(now int64, sch *schedule.Schedule, degraded bool) {
 			c.counts.Planned++
 			c.cPlanned.Inc()
 			c.hPlanLatency.Observe(float64(r.planLatency) / float64(time.Millisecond))
+			c.winPlanLat.Observe(float64(r.planLatency) / float64(time.Millisecond))
 			c.newlyPlanned = append(c.newlyPlanned, e.Job.ID)
 			if r.trace != "" {
 				c.trace.Emit("schedd.job.planned",

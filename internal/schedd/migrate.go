@@ -54,9 +54,14 @@ type MigratedJob struct {
 // migrate-out before returning it. Keyed submissions are re-queued (a
 // key pins its job to the shard the front end hashed it to), as are
 // jobs wider than maxWidth (the target's sub-machine size; a wider job
-// would be rejected by the target forever, 0 = unbounded). Safe to
-// call concurrently with Submit and the writer loop: the queue is a
-// channel, so every submission is drained by exactly one side.
+// would be rejected by the target forever, 0 = unbounded). A stolen
+// job stays visible to Job as queued — the pending-migration entry is
+// recorded before the pending entry is deleted — until MigrateDone
+// confirms the hand-off, so a status lookup racing a migration (or
+// arriving after crash recovery, before the hand-off is re-driven)
+// never 404s. Safe to call concurrently with Submit and the writer
+// loop: the queue is a channel, so every submission is drained by
+// exactly one side.
 func (c *Core) StealQueued(max, target, maxWidth int) []MigratedJob {
 	if max <= 0 {
 		return nil
@@ -117,9 +122,16 @@ func (c *Core) StealQueued(max, target, maxWidth int) []MigratedJob {
 	return out
 }
 
+// MigrationKeyPrefix is the reserved idempotency-key namespace of the
+// migration hand-off protocol. The sharded front end rejects client
+// keys carrying it: a client key like "mig:0:7" that hashed to a
+// migration's target shard would otherwise dedup a user job against a
+// migrated one (or vice versa), silently returning the wrong job's ID.
+const MigrationKeyPrefix = "mig:"
+
 // migrationKey mints the synthetic idempotency key of a migrated job.
 func migrationKey(srcShard, id int) string {
-	return "mig:" + itoa(srcShard) + ":" + itoa(id)
+	return MigrationKeyPrefix + itoa(srcShard) + ":" + itoa(id)
 }
 
 func itoa(v int) string {

@@ -165,7 +165,13 @@ func (h *Hub) Subscribe(types map[string]bool) *Subscription {
 			})
 		}
 	}
-	h.subs[s] = struct{}{}
+	// Priming alone can overflow a tiny buffer (buffer < shard count):
+	// push has then already marked the subscription dead and closed its
+	// channel, so registering it would leak it in h.subs forever (push
+	// deletes on overflow, Close skips dead subs).
+	if !s.dead {
+		h.subs[s] = struct{}{}
+	}
 	h.cSubs.Inc()
 	h.mu.Unlock()
 	return s

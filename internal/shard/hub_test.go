@@ -157,6 +157,40 @@ func TestHubOverflowDisconnects(t *testing.T) {
 	}
 }
 
+// TestHubPrimerOverflowNotRegistered: when the primer loop itself
+// overflows the buffer (buffer < published shard count), the dead
+// subscription must not be registered — it would sit in h.subs
+// forever, inflating Subscribers() and leaking per-subscription state.
+func TestHubPrimerOverflowNotRegistered(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := newHub(3, 1, reg)
+	for i := 0; i < 3; i++ {
+		h.sink(i).SnapshotPublished(&schedd.Snapshot{Version: 1})
+	}
+	sub := h.Subscribe(nil)
+	if got := h.Subscribers(); got != 0 {
+		t.Errorf("dead-at-subscribe subscription registered: Subscribers() = %d, want 0", got)
+	}
+	// The one buffered primer is readable, then the channel is closed.
+	evs := drainEvents(sub, 50*time.Millisecond, time.Second)
+	if len(evs) != 1 {
+		t.Errorf("received %d primer events, want 1 (buffer size)", len(evs))
+	}
+	if _, open := <-sub.Events(); open {
+		t.Error("subscription channel still open after primer overflow")
+	}
+	if got := counterValue(reg, "shard.sse.overflow_disconnects"); got != 1 {
+		t.Errorf("overflow counter = %d, want 1", got)
+	}
+	// Close on the already-dead subscription must be a safe no-op, and
+	// later publications must not resurrect or double-close it.
+	sub.Close()
+	h.sink(0).SnapshotPublished(&schedd.Snapshot{Version: 2})
+	if got := h.Subscribers(); got != 0 {
+		t.Errorf("Subscribers() = %d after close, want 0", got)
+	}
+}
+
 // TestSSEEndpoint checks the wire format of GET /v1/events: id: is the
 // subscriber sequence, event: the type, data: the JSON payload, and a
 // ?types= filter restricts delivery.

@@ -1,10 +1,14 @@
 // The rebalancer: dynamic re-placement of queued jobs, after Casanova,
 // Stillwell & Vivien (2011) — static partitioning loses to moving work
-// when load skews. The signal is submit-to-plan p99 divergence: when
-// the slowest shard's p99 exceeds the fastest's by more than the
-// configured threshold, queued (not-yet-planned, unkeyed) jobs migrate
-// from slowest to fastest via the exactly-once protocol in
-// schedd/migrate.go:
+// when load skews. The signal is submit-to-plan p99 divergence over a
+// sliding window (schedd.Config.PlanLatencyWindow, default 15s): when
+// the slowest shard's recent p99 exceeds the fastest's by more than
+// the configured threshold, queued (not-yet-planned, unkeyed) jobs
+// migrate from slowest to fastest via the exactly-once protocol in
+// schedd/migrate.go. The window matters: a lifetime-cumulative
+// quantile would keep firing for a shard that slowed once and long
+// since recovered, churning jobs off it every interval forever. The
+// protocol:
 //
 //	steal (durable migrate-out, fsynced) → submit to recorded target
 //	under the synthetic key "mig:<src>:<id>" → confirm (MigrateDone).

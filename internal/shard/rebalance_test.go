@@ -75,6 +75,17 @@ func TestStealQueuedWidthFilter(t *testing.T) {
 	if !ok || st.State != schedd.StateQueued {
 		t.Fatalf("wide job status = %+v ok=%v, want queued at shard 0", st, ok)
 	}
+	// The stolen job, mid-migration (steal durable, target hand-off not
+	// yet driven — exactly the post-crash-recovery state too), must stay
+	// visible as queued through both the core and the router: status
+	// lookups never 404 between steal and target admission.
+	mid := stolen[0].ID
+	if st, ok := r.Core(0).Job(mid); !ok || st.State != schedd.StateQueued {
+		t.Fatalf("mid-migration core lookup = %+v ok=%v, want queued", st, ok)
+	}
+	if st, ok := r.Job(r.global(0, mid)); !ok || st.State != schedd.StateQueued {
+		t.Fatalf("mid-migration router lookup = %+v ok=%v, want queued", st, ok)
+	}
 }
 
 // TestRebalanceMigratesQueuedExactlyOnce drives shard 0's p99 past the

@@ -20,9 +20,12 @@
 //
 // Job IDs are globalized as global = local*N + shardIdx, so the owning
 // shard of any ID is global % N with no lookup table. Idempotency-keyed
-// submissions are pinned to hash(key) % N — the same key always lands
-// on the same shard regardless of load, and the rebalancer never
-// migrates keyed jobs, so dedup can never split a key across shards.
+// submissions are pinned by key hash over the shards whose sub-machine
+// fits the job's width — the same key always lands on the same shard
+// regardless of load (and never on one that would reject its width),
+// and the rebalancer never migrates keyed jobs, so dedup can never
+// split a key across shards. The "mig:" key prefix is reserved for the
+// migration protocol's synthetic keys and rejected from clients.
 package shard
 
 import (
@@ -30,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"strings"
 	"sync"
 	"time"
 
@@ -293,18 +297,32 @@ func (r *Router) locate(gid int) (shardIdx, local int, ok bool) {
 
 // keyShard pins an idempotency key to a shard by hash, independent of
 // load, so resubmissions always meet the original admission's dedup
-// entry.
-func (r *Router) keyShard(key string) int {
+// entry. The hash maps over only the shards whose sub-machine fits the
+// job's width, in index order — with a wide lane (machines [256 58 58
+// 58]), a keyed 100-wide job pins to the wide lane instead of to a
+// narrow shard that would 400 it forever. The fitting set depends only
+// on the static partition and the width, so the pin is deterministic;
+// as with every other request field, the idempotency contract requires
+// a resubmission to repeat the original width. The caller has already
+// validated width <= maxMachine, so the set is never empty.
+func (r *Router) keyShard(key string, width int) int {
+	fit := make([]int, 0, r.n)
+	for i, m := range r.machines {
+		if width <= m {
+			fit = append(fit, i)
+		}
+	}
 	h := fnv.New32a()
 	_, _ = h.Write([]byte(key))
-	return int(h.Sum32() % uint32(r.n))
+	return fit[int(h.Sum32()%uint32(len(fit)))]
 }
 
 // Submit routes one submission. Keyed submissions go to hash(key)'s
-// shard only (routing stability beats load). Unkeyed submissions try
-// candidate shards in placement order; backpressure (429) from one
-// shard falls through to the next, and if every candidate
-// backpressures the error carries the maximum Retry-After seen.
+// shard only, among the shards that fit the width (routing stability
+// beats load). Unkeyed submissions try candidate shards in placement
+// order; backpressure (429) from one shard falls through to the next,
+// and if every candidate backpressures the error carries the maximum
+// Retry-After seen.
 func (r *Router) Submit(ctx context.Context, req schedd.SubmitRequest) (schedd.SubmitResponse, error) {
 	if req.Width < 1 || req.Width > r.maxMachine {
 		return schedd.SubmitResponse{}, &schedd.ValidationError{
@@ -312,7 +330,14 @@ func (r *Router) Submit(ctx context.Context, req schedd.SubmitRequest) (schedd.S
 		}
 	}
 	if key := req.IdempotencyKey; key != "" {
-		return r.submitShard(ctx, r.keyShard(key), req)
+		if strings.HasPrefix(key, schedd.MigrationKeyPrefix) {
+			// The migration protocol's synthetic namespace: a client key
+			// in it could dedup against a migrated job at the target.
+			return schedd.SubmitResponse{}, &schedd.ValidationError{
+				Reason: fmt.Sprintf("idempotency key prefix %q is reserved for internal migrations", schedd.MigrationKeyPrefix),
+			}
+		}
+		return r.submitShard(ctx, r.keyShard(key, req.Width), req)
 	}
 	cands, wide := r.placeOrder(req.Width)
 	if wide {

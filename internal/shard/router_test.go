@@ -3,6 +3,7 @@ package shard
 import (
 	"context"
 	"errors"
+	"hash/fnv"
 	"testing"
 	"time"
 
@@ -107,7 +108,7 @@ func TestKeyedRoutingStableAndDeduplicated(t *testing.T) {
 
 	for i := 0; i < 16; i++ {
 		key := fmtKey(i)
-		want := r.keyShard(key)
+		want := r.keyShard(key, 1)
 		first := mustSubmit(t, r, schedd.SubmitRequest{Width: 1, Estimate: 5, IdempotencyKey: key})
 		if first.Shard != want || first.ID%4 != want {
 			t.Fatalf("key %q: routed to shard %d (id %d), want %d", key, first.Shard, first.ID, want)
@@ -122,6 +123,71 @@ func TestKeyedRoutingStableAndDeduplicated(t *testing.T) {
 			t.Fatalf("key %q: resubmission id %d != original %d", key, again.ID, first.ID)
 		}
 	}
+}
+
+// TestKeyedWideRouting: a keyed job wider than some sub-machines must
+// pin — stably — to a shard that fits it. With the naive hash(key)%N
+// pin, most keys wider than the narrow shards were permanently
+// unservable (400 from the pinned core) even though the wide lane had
+// room.
+func TestKeyedWideRouting(t *testing.T) {
+	r := newTestRouter(t, Config{
+		Shards: 4, Machine: 430, WideLane: 256, // machines [256 58 58 58]
+		Factory: basicFactory(t, schedd.NewManualClock(0), nil),
+	})
+	// Every key must admit a width-100 job, and always on shard 0 (the
+	// only fitting shard). Cores are unstarted: admission only.
+	for i := 0; i < 32; i++ {
+		key := fmtKey(i)
+		if got := r.keyShard(key, 100); got != 0 {
+			t.Fatalf("key %q width 100: pinned to shard %d, want 0 (machines %v)", key, got, r.Machines())
+		}
+		resp, err := r.Submit(context.Background(), schedd.SubmitRequest{Width: 100, Estimate: 10, IdempotencyKey: key})
+		if err != nil {
+			t.Fatalf("keyed width-100 submit (key %q): %v", key, err)
+		}
+		if resp.Shard != 0 {
+			t.Fatalf("key %q width 100: landed on shard %d, want 0", key, resp.Shard)
+		}
+		again, err := r.Submit(context.Background(), schedd.SubmitRequest{Width: 100, Estimate: 10, IdempotencyKey: key})
+		if err != nil || !again.Deduplicated || again.ID != resp.ID {
+			t.Fatalf("key %q: resubmission %+v err=%v, want dedup onto id %d", key, again, err, resp.ID)
+		}
+	}
+	// Narrow keyed jobs keep the full fitting set: the pin equals the
+	// legacy hash(key)%N, so pre-existing keys still route unchanged.
+	for i := 0; i < 32; i++ {
+		h := fnvOf(fmtKey(i))
+		if got, want := r.keyShard(fmtKey(i), 1), int(h%4); got != want {
+			t.Fatalf("key %q width 1: pinned to shard %d, want hash%%N = %d", fmtKey(i), got, want)
+		}
+	}
+}
+
+// TestReservedMigrationKeyRejected: client keys in the migration
+// protocol's synthetic namespace must be refused at the front end — a
+// client key like "mig:0:7" landing on the migration's target shard
+// would dedup a user job against a migrated one.
+func TestReservedMigrationKeyRejected(t *testing.T) {
+	r := newTestRouter(t, Config{
+		Shards: 2, Machine: 8,
+		Factory: basicFactory(t, schedd.NewManualClock(0), nil),
+	})
+	var ve *schedd.ValidationError
+	_, err := r.Submit(context.Background(), schedd.SubmitRequest{Width: 1, Estimate: 10, IdempotencyKey: "mig:0:7"})
+	if !errors.As(err, &ve) {
+		t.Fatalf("reserved key: got %v, want ValidationError", err)
+	}
+	// A key merely containing (not starting with) the prefix is fine.
+	if _, err := r.Submit(context.Background(), schedd.SubmitRequest{Width: 1, Estimate: 10, IdempotencyKey: "client-mig:0:7"}); err != nil {
+		t.Fatalf("non-prefix key rejected: %v", err)
+	}
+}
+
+func fnvOf(key string) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return h.Sum32()
 }
 
 func TestJobLookupAcrossShards(t *testing.T) {
