@@ -85,6 +85,10 @@ type trajectory struct {
 	// ServingSharded compares single-core serving against the sharded
 	// fabric on the same replay.
 	ServingSharded *shardedStats `json:"serving_sharded,omitempty"`
+	// ServingAnytime compares deadline-SLO serving by the interval-solve
+	// baseline against the anytime optimizer with digital-twin admission
+	// at equal per-solve budget.
+	ServingAnytime *anytimeStats `json:"serving_anytime,omitempty"`
 }
 
 // servingRun is one serving leg: the loadgen measurement plus the
@@ -112,6 +116,38 @@ type shardedStats struct {
 	Sharded      *servingRun `json:"sharded"`
 	ThroughputX  float64     `json:"throughput_x"`
 	PlanP99Ratio float64     `json:"plan_p99_ratio"`
+}
+
+// anytimeStats compares SLO-deadline serving of the same oversaturated
+// CTC replay (LoadFactor x the paper's arrival rate, so a persistent
+// backlog exists for deadlines to bite on) under two ways of spending
+// the same per-solve budget: the baseline burns it in one interval
+// solve per replan interval and admits every job (the pre-twin serving
+// path — misses latch against the requested deadlines but nothing is
+// rejected up front), while the anytime leg starves the interval solver
+// and streams budget-bounded background sessions instead, with the
+// digital twin 429ing jobs whose predicted start would bust their
+// deadline. Both legs run FCFS-only dynP with workload-adaptive
+// batching. AdoptedPerInterval is anytime incumbents adopted per
+// interval step — above 1 means the plan now improves more than once
+// per replan interval, the gap named in the paper's finding that the
+// one-solve-per-interval path leaves quality on the table. Miss rates
+// are latched SLO misses over admitted jobs.
+type anytimeStats struct {
+	Jobs      int     `json:"jobs"`
+	Machine   int     `json:"machine"`
+	Accel     float64 `json:"accel"`
+	Load      float64 `json:"load_factor"`
+	DeadlineS int64   `json:"deadline_s"`
+	MarginS   int64   `json:"slo_margin_s"`
+	// BudgetMs is the per-solve budget both legs spend: the baseline per
+	// interval solve, the anytime leg per background session.
+	BudgetMs           float64     `json:"budget_ms"`
+	Baseline           *servingRun `json:"interval_baseline"`
+	Anytime            *servingRun `json:"anytime"`
+	AdoptedPerInterval float64     `json:"adopted_per_interval"`
+	BaselineMissRate   float64     `json:"baseline_miss_rate"`
+	AnytimeMissRate    float64     `json:"anytime_miss_rate"`
 }
 
 // servingStats compares accelerated CTC replay through the full HTTP
@@ -202,6 +238,8 @@ func main() {
 	shardCount := flag.Int("sharded-shards", 4, "shard count of the sharded serving comparison (0 disables it)")
 	shardJobs := flag.Int("sharded-jobs", 10000, "submissions replayed per sharded comparison leg (0 disables it)")
 	shardAccel := flag.Float64("sharded-accel", 2000000, "trace-time compression of the sharded comparison (high, so planning is the bottleneck)")
+	anyJobs := flag.Int("anytime-jobs", 400, "submissions replayed per anytime SLO comparison leg (0 disables it)")
+	anyAccel := flag.Float64("anytime-accel", 2500, "trace-time compression of the anytime comparison (low: the optimizer needs wall time between virtual events)")
 	flag.StringVar(out, "o", "", "alias for -out")
 	flag.Parse()
 	if *out == "" {
@@ -364,6 +402,55 @@ func main() {
 		}
 	}
 
+	var anytime *anytimeStats
+	if *anyJobs > 0 {
+		const (
+			anyLoad     = 1.25
+			anyDeadline = 28800 // 8 h start SLO on an oversaturated queue
+			anyMargin   = 2500
+			anyBudget   = 250 * time.Millisecond
+		)
+		leg := func(label string, c benchkit.ServingConfig) *servingRun {
+			fmt.Fprintf(os.Stderr, "benchjson: anytime SLO replay (%d jobs, %s)...\n", *anyJobs, label)
+			c.Jobs, c.Accel = *anyJobs, *anyAccel
+			c.AdaptiveBatch, c.FCFSOnly = true, true
+			c.LoadFactor, c.DeadlineS = anyLoad, anyDeadline
+			res, _, err := benchkit.ServingBench(c)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: anytime serving: %v\n", err)
+				os.Exit(1)
+			}
+			return &servingRun{Result: res}
+		}
+		// Equal per-solve budget: the baseline spends it in one interval
+		// solve per step with every deadline-bearing job admitted; the
+		// anytime leg starves the interval solver (50 us, instant policy
+		// fallback) and hands the budget to background sessions, with the
+		// twin gating admission against predicted starts plus margin.
+		base := leg("interval baseline", benchkit.ServingConfig{
+			TwinGateOff: true, Budget: anyBudget,
+		})
+		anyRun := leg("anytime+twin", benchkit.ServingConfig{
+			SLOMargin: anyMargin, Budget: 50 * time.Microsecond,
+			Anytime: true, AnytimeBudget: anyBudget,
+		})
+		anytime = &anytimeStats{
+			Jobs: *anyJobs, Machine: 430, Accel: *anyAccel,
+			Load: anyLoad, DeadlineS: anyDeadline, MarginS: anyMargin,
+			BudgetMs: float64(anyBudget) / float64(time.Millisecond),
+			Baseline: base, Anytime: anyRun,
+		}
+		if anyRun.Steps > 0 {
+			anytime.AdoptedPerInterval = float64(anyRun.AnytimeAdopted) / float64(anyRun.Steps)
+		}
+		if base.NewlyAccepted > 0 {
+			anytime.BaselineMissRate = float64(base.SLOMisses) / float64(base.NewlyAccepted)
+		}
+		if anyRun.NewlyAccepted > 0 {
+			anytime.AnytimeMissRate = float64(anyRun.SLOMisses) / float64(anyRun.NewlyAccepted)
+		}
+	}
+
 	traj := trajectory{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
@@ -402,6 +489,7 @@ func main() {
 		},
 		Serving:        serving,
 		ServingSharded: sharded,
+		ServingAnytime: anytime,
 	}
 	if traj.GoMaxProcs == 1 {
 		traj.Note = "GOMAXPROCS=1: the branch-and-bound worker pool cannot run nodes " +

@@ -19,8 +19,9 @@
 // submit/get/schedule/health/metrics/replans are thin wrappers over the
 // HTTP API and print the server's JSON responses. watch subscribes to a
 // sharded daemon's GET /v1/events Server-Sent Events stream and prints
-// each event's JSON payload as one line (exiting after -count events,
-// or when the stream closes). loadgen replays a trace (synthetic
+// each event's JSON payload as one line (exiting after -count events);
+// a dropped connection resumes automatically via Last-Event-ID, so a
+// long watch is exactly-once across reconnects. loadgen replays a trace (synthetic
 // CTC-like or an SWF file prefix) through internal/loadgen as an
 // open-loop driver and reports throughput, submit and submit-to-plan
 // latency percentiles, backpressure counts, and replan totals; -json
@@ -95,7 +96,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: schedctl [-addr URL] <command> [flags]
 
 commands:
-  submit    submit a job (-width, -estimate, -runtime, -source)
+  submit    submit a job (-width, -estimate, -runtime, -source, -deadline)
   get ID    show one job's state
   schedule  show the current plan snapshot
   health    show liveness and queue depth
@@ -113,9 +114,11 @@ func cmdSubmit(base string, args []string) error {
 	estimate := fs.Int64("estimate", 3600, "estimated duration in seconds")
 	runtime := fs.Int64("runtime", 0, "actual runtime in seconds (0 = runs to its estimate)")
 	source := fs.String("source", "", "submission source label (rate-limiting key)")
+	deadline := fs.Int64("deadline", 0, "start-SLO in virtual seconds: reject up front if the planned start would bust it (0 = none)")
 	fs.Parse(args)
 	body, _ := json.Marshal(schedd.SubmitJSON{
 		Width: *width, Estimate: *estimate, Runtime: *runtime, Source: *source,
+		Deadline: *deadline,
 	})
 	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(string(body)))
 	if err != nil {
@@ -193,14 +196,19 @@ func cmdMetrics(base string, args []string) error {
 }
 
 // cmdWatch subscribes to a sharded daemon's SSE event stream and prints
-// each event's JSON payload as one line. It exits zero after -count
-// events (or on clean stream close), non-zero on transport errors or a
-// -timeout expiry before -count events arrived.
+// each event's JSON payload as one line. A dropped connection is
+// resumed automatically: the last SSE id (the daemon's hub-global event
+// ID) is replayed back as Last-Event-ID, so the daemon's replay ring
+// delivers exactly the missed events and a long watch survives
+// transient drops without gaps or duplicates. It exits zero after
+// -count events, non-zero on a -timeout expiry before -count events
+// arrived (or, with -no-reconnect, on the first drop).
 func cmdWatch(base string, args []string) error {
 	fs := flag.NewFlagSet("watch", flag.ExitOnError)
-	types := fs.String("types", "", "comma-separated event type filter: plan-version, job-planned, job-completed (empty = all)")
-	count := fs.Int("count", 0, "exit after this many events (0 = until the stream closes)")
+	types := fs.String("types", "", "comma-separated event type filter: plan-version, job-planned, job-completed, plan-improved (empty = all)")
+	count := fs.Int("count", 0, "exit after this many events (0 = until interrupted)")
 	timeout := fs.Duration("timeout", 0, "give up after this long (0 = no deadline)")
+	noReconn := fs.Bool("no-reconnect", false, "exit when the stream drops instead of resuming with Last-Event-ID")
 	fs.Parse(args)
 
 	ctx := context.Background()
@@ -213,45 +221,99 @@ func cmdWatch(base string, args []string) error {
 	if *types != "" {
 		url += "?types=" + *types
 	}
+
+	seen := 0
+	var lastID uint64
+	haveID := false
+	backoff := 200 * time.Millisecond
+	for {
+		got, err := watchOnce(ctx, url, lastID, haveID, func(id uint64, data string) bool {
+			lastID, haveID = id, true
+			fmt.Println(data)
+			seen++
+			return *count == 0 || seen < *count
+		})
+		if *count > 0 && seen >= *count {
+			return nil
+		}
+		if ctx.Err() != nil {
+			if *count > 0 {
+				return fmt.Errorf("stream ended after %d of %d events: %w", seen, *count, ctx.Err())
+			}
+			return nil
+		}
+		if err != nil && !haveID {
+			// Never received an event on any connection: the daemon is down
+			// or the URL is wrong — reconnecting would not help.
+			return err
+		}
+		if *noReconn {
+			if err != nil {
+				return err
+			}
+			if *count > 0 {
+				return fmt.Errorf("stream closed after %d of %d events", seen, *count)
+			}
+			return nil
+		}
+		if got > 0 {
+			backoff = 200 * time.Millisecond // the drop followed a healthy stretch
+		}
+		fmt.Fprintf(os.Stderr, "schedctl: stream dropped (%v), resuming from id %d in %s\n", err, lastID, backoff)
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+		}
+		if backoff *= 2; backoff > 5*time.Second {
+			backoff = 5 * time.Second
+		}
+	}
+}
+
+// watchOnce runs one SSE connection: it resumes from lastID when haveID
+// (sending it as Last-Event-ID), parses id:/data: frames, and calls
+// emit for every event not already delivered on a previous connection
+// (the id-based dedup makes reconnects exactly-once even when the
+// daemon falls back to fresh primers). It returns how many events it
+// emitted and the transport error, nil on clean close or when emit
+// asked to stop.
+func watchOnce(ctx context.Context, url string, lastID uint64, haveID bool, emit func(id uint64, data string) bool) (int, error) {
 	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
 	if err != nil {
-		return err
+		return 0, err
+	}
+	if haveID {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(lastID, 10))
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(b)))
+		return 0, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(b)))
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 64*1024), 64*1024)
-	seen := 0
+	var curID uint64
+	got := 0
 	for sc.Scan() {
 		line := sc.Text()
-		if !strings.HasPrefix(line, "data: ") {
-			continue
-		}
-		fmt.Println(strings.TrimPrefix(line, "data: "))
-		seen++
-		if *count > 0 && seen >= *count {
-			return nil
-		}
-	}
-	if err := sc.Err(); err != nil {
-		if *count > 0 && ctx.Err() != nil {
-			return fmt.Errorf("stream ended after %d of %d events: %w", seen, *count, ctx.Err())
-		}
-		if ctx.Err() == nil {
-			return err
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			curID, _ = strconv.ParseUint(strings.TrimPrefix(line, "id: "), 10, 64)
+		case strings.HasPrefix(line, "data: "):
+			if haveID && curID <= lastID {
+				continue // replayed or primer frame we already delivered
+			}
+			got++
+			if !emit(curID, strings.TrimPrefix(line, "data: ")) {
+				return got, nil
+			}
 		}
 	}
-	if *count > 0 && seen < *count {
-		return fmt.Errorf("stream closed after %d of %d events", seen, *count)
-	}
-	return nil
+	return got, sc.Err()
 }
 
 func cmdLoadgen(base string, args []string) error {
@@ -265,6 +327,7 @@ func cmdLoadgen(base string, args []string) error {
 	timeout := fs.Duration("wait-timeout", 60*time.Second, "bound on the wait for all accepted jobs to be planned")
 	asJSON := fs.Bool("json", false, "emit the result as JSON instead of the report")
 	idemPrefix := fs.String("idem-prefix", "", "attach deterministic Idempotency-Key headers (\"<prefix>-<i>\"); rerun with the same prefix for the crash-resume drill")
+	sloDeadline := fs.Int64("deadline", 0, "attach this start-SLO (virtual seconds) to every submission; deadline rejections are counted separately (0 = none)")
 	targetsCS := fs.String("targets", "", "comma-separated base URLs to spread submissions across round-robin (empty = -addr only)")
 	fs.Parse(args)
 
@@ -291,6 +354,7 @@ func cmdLoadgen(base string, args []string) error {
 		Sources:           *sources,
 		WaitTimeout:       *timeout,
 		IdempotencyPrefix: *idemPrefix,
+		SLODeadlineS:      *sloDeadline,
 	})
 	if err != nil {
 		return err

@@ -107,6 +107,14 @@ func main() {
 		maxVars    = flag.Int("max-model-vars", 0, "refuse ILP models above this many variables (0 = unguarded; with -ilp)")
 		presolve   = flag.Bool("presolve", true, "reduce each step's ILP with the presolve pass (with -ilp)")
 		stepCache  = flag.Bool("step-cache", true, "answer repeated relative instances from the step cache (with -ilp)")
+		anytimeOn  = flag.Bool("anytime", false, "run the background anytime optimizer: continuous B&B between replans, adopting improved incumbents (with -ilp)")
+		anytimeBud = flag.Duration("anytime-budget", 0, "per-session budget of the anytime optimizer (0 = the -solve-budget)")
+		wfqRate    = flag.Float64("wfq-rate", 0, "aggregate admission rate shared across sources by weighted fair queueing (0 = off; replaces -rate's flat per-source buckets)")
+		wfqBurst   = flag.Int("wfq-burst", 4, "WFQ burst tolerance in weight-1 admission units (with -wfq-rate)")
+		wfqWeights = flag.String("wfq-weights", "", "comma-separated source=weight pairs for WFQ shares, e.g. batch=1,interactive=4 (with -wfq-rate)")
+		adaptBatch = flag.Bool("adaptive-batch", false, "size the batching delay from the observed arrival rate instead of the fixed -max-batch-delay")
+		batchSetpt = flag.Float64("batch-setpoint", 0.5, "target batch occupancy as a fraction of -max-batch (with -adaptive-batch)")
+		sloMargin  = flag.Int64("slo-margin", 0, "safety headroom (virtual seconds) added to the twin's predicted start in deadline admission")
 		faultP     = flag.Float64("inject-faults", 0, "inject solve faults with this probability (with -ilp; testing)")
 		faultSeed  = flag.Uint64("inject-seed", 1, "fault-injection seed (with -inject-faults)")
 		traceOut   = flag.String("trace", "", "write a structured JSONL event trace to this file")
@@ -151,6 +159,13 @@ func main() {
 		fail(fmt.Errorf("unknown decider %q", *deciderStr))
 	}
 	sched, err := dynp.New(pols, m, dec)
+	if err != nil {
+		fail(err)
+	}
+	if *anytimeOn && !*ilpDriven {
+		fail(fmt.Errorf("-anytime requires -ilp (the anytime optimizer runs the ILP pipeline)"))
+	}
+	weights, err := parseWeights(*wfqWeights)
 	if err != nil {
 		fail(err)
 	}
@@ -214,6 +229,12 @@ func main() {
 				MaxBatchDelay: *batchDelay,
 				RatePerSource: *rate / float64(*shards),
 				Burst:         *burst,
+				WFQRate:       *wfqRate / float64(*shards),
+				WFQBurst:      *wfqBurst,
+				WFQWeights:    weights,
+				AdaptiveBatch: *adaptBatch,
+				BatchSetpoint: *batchSetpt,
+				SLOMargin:     *sloMargin,
 				Trace:         tracer,
 				Metrics:       obs.NewRegistry(),
 
@@ -234,7 +255,9 @@ func main() {
 						MIP:         mip.Options{MaxNodes: 200000, Workers: *workers},
 						PresolveOff: !*presolve,
 					},
-					StepCacheOff: !*stepCache,
+					StepCacheOff:  !*stepCache,
+					Anytime:       *anytimeOn,
+					AnytimeBudget: *anytimeBud,
 				}
 				var hook func(solvepipe.SolveFunc) solvepipe.SolveFunc
 				if *faultP > 0 {
@@ -372,6 +395,12 @@ func main() {
 		MaxBatchDelay: *batchDelay,
 		RatePerSource: *rate,
 		Burst:         *burst,
+		WFQRate:       *wfqRate,
+		WFQBurst:      *wfqBurst,
+		WFQWeights:    weights,
+		AdaptiveBatch: *adaptBatch,
+		BatchSetpoint: *batchSetpt,
+		SLOMargin:     *sloMargin,
 		Trace:         tracer,
 		Metrics:       reg,
 
@@ -391,7 +420,9 @@ func main() {
 				MIP:         mip.Options{MaxNodes: 200000, Workers: *workers},
 				PresolveOff: !*presolve,
 			},
-			StepCacheOff: !*stepCache,
+			StepCacheOff:  !*stepCache,
+			Anytime:       *anytimeOn,
+			AnytimeBudget: *anytimeBud,
 		}
 		if *faultP > 0 {
 			inj := faultinject.New(faultinject.NewProbability(*faultSeed, *faultP))
@@ -496,6 +527,26 @@ func main() {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "schedd:", err)
 	os.Exit(1)
+}
+
+// parseWeights parses -wfq-weights ("batch=1,interactive=4").
+func parseWeights(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -wfq-weights entry %q: want source=weight", pair)
+		}
+		var w float64
+		if _, err := fmt.Sscanf(val, "%g", &w); err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad -wfq-weights weight %q for %q: want a positive number", val, name)
+		}
+		out[name] = w
+	}
+	return out, nil
 }
 
 // writeFinalSchedule persists the drain snapshot, including the per-job

@@ -1,20 +1,25 @@
 // Anytime: the deployment mode the paper sketches in §4 — "approaches are
 // thinkable, where the scheduling policy is used to generate an initial
 // schedule and CPLEX is used to find better schedules while the initial
-// schedule is active". The example seeds the branch and bound with the
-// best basic-policy schedule and streams every improved incumbent as the
-// search runs, printing the anytime quality curve: how quickly the
-// optimizer closes the gap, and why the next submission (mean CTC
-// interarrival: 369 s) usually arrives first.
+// schedule is active". The example drives internal/anytime, the same
+// background optimizer core the serving daemon runs with -anytime: the
+// best basic-policy schedule seeds the branch and bound, every strictly
+// improving validated incumbent is published through the core's atomic
+// pointer, and the printed quality curve shows how quickly the optimizer
+// closes the gap — and why the next submission (mean CTC interarrival:
+// 369 s) usually preempts the session first.
 //
 //	go run ./examples/anytime
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
+	"repro/internal/anytime"
 	"repro/internal/ilpsched"
 	"repro/internal/job"
 	"repro/internal/machine"
@@ -22,32 +27,55 @@ import (
 	"repro/internal/mip"
 	"repro/internal/policy"
 	"repro/internal/schedule"
+	"repro/internal/solvepipe"
 	"repro/internal/stats"
 	"repro/internal/table"
 )
 
+// params sizes the demo instance; the golden test shrinks it so the
+// search provably finishes (deterministic row set with one worker).
+type params struct {
+	Machine  int
+	Reserved int // processors of the pre-existing reservation
+	Jobs     int
+	Seed     uint64
+	MaxNodes int
+	Budget   time.Duration
+}
+
+func defaultParams() params {
+	return params{Machine: 24, Reserved: 10, Jobs: 12, Seed: 5150,
+		MaxNodes: 50000, Budget: 15 * time.Second}
+}
+
 func main() {
-	const m = 24
-	r := stats.NewRand(5150)
-	base := machine.New(m, 0)
-	if err := base.Reserve(0, 1500, 10); err != nil {
+	if err := run(os.Stdout, defaultParams()); err != nil {
 		log.Fatal(err)
 	}
+}
 
-	jobs := make([]*job.Job, 12)
+func run(w io.Writer, pr params) error {
+	base := machine.New(pr.Machine, 0)
+	if err := base.Reserve(0, 1500, pr.Reserved); err != nil {
+		return err
+	}
+	r := stats.NewRand(pr.Seed)
+	jobs := make([]*job.Job, pr.Jobs)
 	for i := range jobs {
 		est := int64(r.Intn(3000) + 300)
-		jobs[i] = &job.Job{ID: i + 1, Submit: 0, Width: r.Intn(m/2) + 1,
+		jobs[i] = &job.Job{ID: i + 1, Submit: 0, Width: r.Intn(pr.Machine/2) + 1,
 			Estimate: est, Runtime: est}
 	}
 
+	// The policy seed: best standard policy by SLDwA, exactly what the
+	// self-tuning scheduler would be serving when the optimizer starts.
 	sldwa := metrics.SLDwA{}
 	var horizon int64
 	var best *policyResult
 	for _, p := range policy.Standard() {
 		s, err := policy.Build(p, 0, base, jobs)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if mk := s.Makespan(); mk > horizon {
 			horizon = mk
@@ -57,53 +85,77 @@ func main() {
 			best = &policyResult{p.Name(), v, s}
 		}
 	}
-	fmt.Printf("initial schedule: %s with SLDwA %.4f (computed in microseconds)\n",
+	seedObj := ilpsched.ObjectiveOfSchedule(best.schedule)
+	fmt.Fprintf(w, "initial schedule: %s with SLDwA %.4f (computed in microseconds)\n",
 		best.name, best.value)
 
-	inst := &ilpsched.Instance{Now: 0, Machine: m, Base: base, Jobs: jobs, Horizon: horizon}
-	scale := ilpsched.DefaultScaling().TimeScale(inst)
-	model, err := ilpsched.Build(inst, scale)
-	if err != nil {
-		log.Fatal(err)
-	}
-	inc, err := model.IncumbentFromSchedule(best.schedule)
-	if err != nil {
-		log.Fatal(err)
-	}
+	inst := &ilpsched.Instance{Now: 0, Machine: pr.Machine, Base: base,
+		Jobs: jobs, Horizon: horizon}
+
+	// One worker keeps the incumbent stream deterministic; the serving
+	// daemon runs the same core with the parallel solver.
+	plans := make(chan *anytime.Plan, 256)
+	done := make(chan struct{}, 1)
+	var core *anytime.Core
+	core = anytime.New(anytime.Config{
+		Pipe: solvepipe.Config{
+			Budget: pr.Budget,
+			MIP:    mip.Options{MaxNodes: pr.MaxNodes, Workers: 1},
+		},
+		Notify:       func() { plans <- core.Best() },
+		OnSessionEnd: func() { done <- struct{}{} },
+	})
+	core.Start()
+	defer core.Stop()
 
 	t := table.New("elapsed", "ARTwW objective", "improvement vs policy seed")
-	start := time.Now()
-	var seedObj float64
-	first := true
-	opt := mip.Options{
-		MaxNodes:  50000,
-		TimeLimit: 15 * time.Second,
-		Incumbent: inc,
-		OnIncumbent: func(obj float64, _ []float64) {
-			if first {
-				seedObj, first = obj, false
-				t.Row("0s (policy seed)", fmt.Sprintf("%.0f", obj), "baseline")
-				return
+	t.Row("0s (policy seed)", fmt.Sprintf("%.0f", seedObj), "baseline")
+	core.Update(anytime.Problem{
+		Inst: inst, Seed: best.schedule,
+		Fingerprint: solvepipe.Fingerprint(inst), Now: 0,
+	})
+
+	var final *anytime.Plan
+	row := func(plan *anytime.Plan) {
+		final = plan
+		t.Row(plan.FoundAfter.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", plan.Objective),
+			fmt.Sprintf("-%.2f%%", (1-plan.Objective/seedObj)*100))
+	}
+collect:
+	for {
+		select {
+		case plan := <-plans:
+			row(plan)
+		case <-done:
+			for { // the session may end with published plans still queued
+				select {
+				case plan := <-plans:
+					row(plan)
+				default:
+					break collect
+				}
 			}
-			t.Row(time.Since(start).Round(time.Millisecond).String(),
-				fmt.Sprintf("%.0f", obj),
-				fmt.Sprintf("-%.2f%%", (1-obj/seedObj)*100))
-		},
+		}
 	}
-	sol, err := model.Solve(opt)
-	if err != nil {
-		log.Fatal(err)
+	fmt.Fprintf(w, "optimizer session over (%d incumbents published)\n\n", published(final))
+	fmt.Fprint(w, t.String())
+	if final != nil {
+		fmt.Fprintf(w, "\nfinal compacted schedule SLDwA: %.4f (policy seed was %.4f)\n",
+			sldwa.Eval(final.Schedule), best.value)
 	}
-	fmt.Printf("optimizer ran %v: %v after %d nodes (time scale %d s, %d vars)\n\n",
-		time.Since(start).Round(time.Millisecond), sol.MIP.Status, sol.MIP.Nodes,
-		scale, model.NumVariables())
-	fmt.Print(t.String())
-	if sol.Compacted != nil {
-		fmt.Printf("\nfinal compacted schedule SLDwA: %.4f (policy seed was %.4f)\n",
-			sldwa.Eval(sol.Compacted), best.value)
+	fmt.Fprintln(w, "each improvement could replace the active plan — but with a 369 s mean")
+	fmt.Fprintln(w, "interarrival the next self-tuning step usually preempts the optimizer.")
+	return nil
+}
+
+// published reads the plan total off the last plan's sequence number
+// (0 when the seed was never improved).
+func published(final *anytime.Plan) int64 {
+	if final == nil {
+		return 0
 	}
-	fmt.Println("each improvement could replace the active plan — but with a 369 s mean")
-	fmt.Println("interarrival the next self-tuning step usually preempts the optimizer.")
+	return final.Seq
 }
 
 type policyResult struct {

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file")
+
+// elapsedRe matches the wall-clock durations in the output — the only
+// nondeterministic part of a single-worker run that solves to
+// optimality (the incumbent sequence itself is deterministic).
+var elapsedRe = regexp.MustCompile(`[0-9]+(\.[0-9]+)?(ns|µs|ms|s)`)
+
+// TestGoldenOutput locks the example's output format: a small instance
+// solved to optimality with one worker yields a deterministic incumbent
+// stream, so everything except elapsed timings must match the golden
+// file byte for byte.
+func TestGoldenOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solves a small ILP to optimality")
+	}
+	var buf bytes.Buffer
+	err := run(&buf, params{
+		Machine: 16, Reserved: 6, Jobs: 6, Seed: 5150,
+		MaxNodes: 500000, Budget: 120 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := normalize(buf.String())
+	golden := filepath.Join("testdata", "golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to record)", err)
+	}
+	if got != string(want) {
+		t.Errorf("output diverged from %s (re-record with -update if intended):\n--- got ---\n%s\n--- want ---\n%s",
+			golden, got, want)
+	}
+}
+
+// normalize replaces durations with a fixed token and collapses the
+// table's elapsed column padding, so the comparison sees structure and
+// numbers, not wall-clock noise.
+func normalize(s string) string {
+	s = elapsedRe.ReplaceAllString(s, "<t>")
+	// Collapse runs of spaces: column widths depend on the elapsed
+	// strings' lengths.
+	return regexp.MustCompile(` +`).ReplaceAllString(s, " ")
+}

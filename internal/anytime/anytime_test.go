@@ -1,0 +1,212 @@
+package anytime
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ilpsched"
+	"repro/internal/job"
+	"repro/internal/machine"
+	"repro/internal/mip"
+	"repro/internal/obs"
+	"repro/internal/schedule"
+	"repro/internal/solvepipe"
+)
+
+// greedySeed packs the jobs first-fit in ID order — deliberately
+// mediocre, so the solver has room to publish improvements.
+func greedySeed(t *testing.T, total int, now int64, jobs []*job.Job) *schedule.Schedule {
+	t.Helper()
+	p := machine.New(total, now)
+	s := &schedule.Schedule{Policy: "seed", Now: now, Machine: total}
+	for _, j := range jobs {
+		start, ok := p.EarliestFit(now, j.Estimate, j.Width)
+		if !ok {
+			t.Fatalf("job %d does not fit", j.ID)
+		}
+		if err := p.Reserve(start, start+j.Estimate, j.Width); err != nil {
+			t.Fatalf("reserve job %d: %v", j.ID, err)
+		}
+		s.Entries = append(s.Entries, schedule.Entry{Job: j, Start: start})
+	}
+	return s
+}
+
+func problemOf(t *testing.T, total int, now int64, jobs []*job.Job) Problem {
+	t.Helper()
+	seed := greedySeed(t, total, now, jobs)
+	horizon := seed.Makespan()
+	inst := &ilpsched.Instance{
+		Now: now, Machine: total, Base: machine.New(total, now),
+		Jobs: jobs, Horizon: horizon,
+	}
+	return Problem{Inst: inst, Seed: seed, Fingerprint: solvepipe.Fingerprint(inst), Now: now}
+}
+
+// testJobs is a queue where first-fit in ID order wastes capacity: the
+// wide job blocks narrow ones that the optimum reorders.
+func testJobs(now int64) []*job.Job {
+	return []*job.Job{
+		{ID: 1, Submit: now, Width: 7, Estimate: 100, Runtime: 100},
+		{ID: 2, Submit: now, Width: 4, Estimate: 40, Runtime: 40},
+		{ID: 3, Submit: now, Width: 4, Estimate: 40, Runtime: 40},
+		{ID: 4, Submit: now, Width: 2, Estimate: 30, Runtime: 30},
+		{ID: 5, Submit: now, Width: 8, Estimate: 20, Runtime: 20},
+	}
+}
+
+func newTestCore(reg *obs.Registry, notify func()) *Core {
+	return New(Config{
+		Pipe: solvepipe.Config{
+			Budget: 5 * time.Second,
+			MIP:    mip.Options{MaxNodes: 200000},
+		},
+		Metrics: reg,
+		Notify:  notify,
+	})
+}
+
+func TestCorePublishesImprovingPlans(t *testing.T) {
+	reg := obs.NewRegistry()
+	nudge := make(chan struct{}, 1)
+	c := newTestCore(reg, func() {
+		select {
+		case nudge <- struct{}{}:
+		default:
+		}
+	})
+	c.Start()
+	defer c.Stop()
+
+	const total = 8
+	p := problemOf(t, total, 0, testJobs(0))
+	seedObj := ilpsched.ObjectiveOfSchedule(p.Seed)
+	c.Update(p)
+
+	deadline := time.After(10 * time.Second)
+	var plan *Plan
+	for plan == nil || plan.Objective >= seedObj {
+		select {
+		case <-nudge:
+			plan = c.Best()
+		case <-deadline:
+			t.Fatalf("no improving plan published (best %+v, seed objective %g)", plan, seedObj)
+		}
+	}
+	if plan.Fingerprint != p.Fingerprint || plan.Now != p.Now {
+		t.Fatalf("plan names (%d, %d), problem is (%d, %d)",
+			plan.Fingerprint, plan.Now, p.Fingerprint, p.Now)
+	}
+	if err := plan.Schedule.Validate(p.Inst.Base); err != nil {
+		t.Fatalf("published plan infeasible: %v", err)
+	}
+	if len(plan.Schedule.Entries) != len(p.Inst.Jobs) {
+		t.Fatalf("plan covers %d jobs, instance has %d", len(plan.Schedule.Entries), len(p.Inst.Jobs))
+	}
+	if got := ilpsched.ObjectiveOfSchedule(plan.Schedule); got != plan.Objective {
+		t.Fatalf("plan objective %g, schedule evaluates to %g", plan.Objective, got)
+	}
+	if n := reg.Counter("anytime.incumbents.found").Value(); n < 1 {
+		t.Fatalf("found counter %d, want >= 1", n)
+	}
+}
+
+// TestCoreSeqStrictlyIncreases: every nudge-visible plan carries a
+// larger Seq and (within one problem) a smaller objective.
+func TestCoreSeqStrictlyIncreases(t *testing.T) {
+	nudge := make(chan struct{}, 64)
+	c := newTestCore(nil, func() { nudge <- struct{}{} })
+	c.Start()
+	defer c.Stop()
+
+	p := problemOf(t, 8, 0, testJobs(0))
+	c.Update(p)
+
+	var lastSeq int64
+	lastObj := ilpsched.ObjectiveOfSchedule(p.Seed) + 1
+	timeout := time.After(10 * time.Second)
+	for improved := 0; improved < 2; {
+		select {
+		case <-nudge:
+			plan := c.Best()
+			if plan == nil {
+				continue
+			}
+			if plan.Seq == lastSeq {
+				continue
+			}
+			if plan.Seq < lastSeq {
+				t.Fatalf("seq went backwards: %d after %d", plan.Seq, lastSeq)
+			}
+			if plan.Objective >= lastObj {
+				t.Fatalf("objective did not improve: %g after %g", plan.Objective, lastObj)
+			}
+			lastSeq, lastObj = plan.Seq, plan.Objective
+			improved++
+		case <-timeout:
+			if lastSeq > 0 {
+				return // at least one improvement is enough on a slow box
+			}
+			t.Fatal("no plans published")
+		}
+	}
+}
+
+func TestCorePreemptionSwitchesProblems(t *testing.T) {
+	reg := obs.NewRegistry()
+	nudge := make(chan struct{}, 64)
+	c := newTestCore(reg, func() {
+		select {
+		case nudge <- struct{}{}:
+		default:
+		}
+	})
+	c.Start()
+	defer c.Stop()
+
+	// A big instance the solver will chew on for a while...
+	var bigJobs []*job.Job
+	for i := 1; i <= 14; i++ {
+		bigJobs = append(bigJobs, &job.Job{
+			ID: i, Submit: 0, Width: 1 + i%7, Estimate: int64(20 + 13*i), Runtime: int64(20 + 13*i),
+		})
+	}
+	big := problemOf(t, 8, 0, bigJobs)
+	c.Update(big)
+	time.Sleep(50 * time.Millisecond)
+	// ...preempted by a fresh small problem at a later virtual time.
+	small := problemOf(t, 8, 1000, []*job.Job{
+		{ID: 100, Submit: 1000, Width: 7, Estimate: 50, Runtime: 50},
+		{ID: 101, Submit: 1000, Width: 4, Estimate: 30, Runtime: 30},
+		{ID: 102, Submit: 1000, Width: 4, Estimate: 30, Runtime: 30},
+	})
+	c.Update(small)
+
+	deadline := time.After(15 * time.Second)
+	for {
+		plan := c.Best()
+		if plan != nil && plan.Fingerprint == small.Fingerprint && plan.Now == small.Now {
+			if err := plan.Schedule.Validate(small.Inst.Base); err != nil {
+				t.Fatalf("plan for new problem infeasible: %v", err)
+			}
+			return
+		}
+		select {
+		case <-nudge:
+		case <-deadline:
+			t.Fatalf("core never published for the new problem (best %+v)", plan)
+		}
+	}
+}
+
+func TestCoreIdlesOnEmptyProblem(t *testing.T) {
+	c := newTestCore(nil, nil)
+	c.Start()
+	c.Update(Problem{})
+	c.Update(problemOf(t, 4, 0, []*job.Job{{ID: 1, Submit: 0, Width: 2, Estimate: 10, Runtime: 10}}))
+	c.Update(Problem{}) // and back to idle
+	time.Sleep(20 * time.Millisecond)
+	c.Stop()
+	// Stop after Start returns only when the loop exited; reaching here
+	// without deadlock is the assertion.
+}

@@ -35,6 +35,15 @@ type ServingConfig struct {
 	// Batching sets MaxBatch 64 with a 5 ms coalescing delay; off means
 	// MaxBatch 1, one replan per submission.
 	Batching bool
+	// AdaptiveBatch sizes the coalescing delay from the observed arrival
+	// rate (schedd.Config.AdaptiveBatch) with MaxBatch 128 and a 2 s
+	// cap — the workload-adaptive mode the SLO legs run, where a few
+	// large interval steps stand in for the paper's per-interval solves
+	// and bound the denominator of the adoptions-per-replan-interval
+	// measurement. The long coalescing cap trades admission-to-plan
+	// latency for step sparsity; the twin's SLOMargin must absorb the
+	// extra virtual-time slip (cap x Accel) it introduces.
+	AdaptiveBatch bool
 	// FaultP, if > 0, drives replans through the ILP pipeline with
 	// injected solve faults at this probability (the degradation leg).
 	FaultP float64
@@ -56,6 +65,39 @@ type ServingConfig struct {
 	// width distribution needs 256 of 430 to keep every job servable.
 	Shards   int
 	WideLane int
+	// DeadlineS, when > 0, attaches this start-SLO deadline (virtual
+	// seconds) to every replayed submission, turning the leg into an
+	// SLO-serving measurement: the twin's deadline rejections, latched
+	// misses and anytime adoptions all land in the loadgen result.
+	DeadlineS int64
+	// SLOMargin is the twin's admission headroom (schedd.Config.SLOMargin).
+	SLOMargin int64
+	// TwinGateOff admits every deadline-bearing job regardless of its
+	// predicted start (the pre-twin baseline leg): deadlines are still
+	// recorded and misses still latch, nothing is rejected up front.
+	TwinGateOff bool
+	// Budget, when > 0, drives every step through the ILP solve
+	// pipeline with this per-step budget (the interval-solve mode; no
+	// injected faults, unlike FaultP).
+	Budget time.Duration
+	// Anytime runs the background optimizer alongside the interval
+	// solver, each session bounded by AnytimeBudget. The equal-budget
+	// comparison against a pure interval leg is Budget_baseline =
+	// Budget_anytime + AnytimeBudget: the same solver allowance per
+	// replan interval, spent in one burst or streamed continuously.
+	Anytime       bool
+	AnytimeBudget time.Duration
+	// LoadFactor scales the CTC arrival intensity (interarrivals divide
+	// by it; 0/1 = the paper's rate). The stock CTC mix runs the 430-way
+	// machine near 0.86 utilization, where backlogs are transient;
+	// SLO legs push it past saturation so a persistent waiting queue
+	// exists for deadlines to bite on and the optimizer to reorder.
+	LoadFactor float64
+	// FCFSOnly restricts the dynP policy set to FCFS, which keeps
+	// planned starts in admission order — the configuration under which
+	// the twin's prediction is an upper bound the policy path never
+	// violates (SLO legs use it so misses isolate optimizer behavior).
+	FCFSOnly bool
 }
 
 // ServingBench runs one serving leg and returns the loadgen measurement
@@ -73,12 +115,19 @@ func ServingBench(cfg ServingConfig) (*loadgen.Result, *schedd.Counters, error) 
 	if cfg.QueueBound <= 0 {
 		cfg.QueueBound = cfg.Jobs
 	}
-	tr, err := workload.Generate(workload.CTC(), cfg.Jobs, cfg.Seed)
+	wcfg := workload.CTC()
+	if cfg.LoadFactor > 0 {
+		wcfg.MeanInterarrival /= cfg.LoadFactor
+	}
+	tr, err := workload.Generate(wcfg, cfg.Jobs, cfg.Seed)
 	if err != nil {
 		return nil, nil, err
 	}
 
 	pols := []policy.Policy{policy.FCFS{}, policy.SJF{}, policy.LJF{}}
+	if cfg.FCFSOnly {
+		pols = []policy.Policy{policy.FCFS{}}
+	}
 	m, err := metrics.ByName("SLDwA")
 	if err != nil {
 		return nil, nil, err
@@ -91,16 +140,30 @@ func ServingBench(cfg ServingConfig) (*loadgen.Result, *schedd.Counters, error) 
 		return nil, nil, err
 	}
 	scfg := schedd.Config{
-		Machine:    tr.Processors,
-		Scheduler:  sched,
-		Clock:      schedd.NewWallClock(cfg.Accel),
-		QueueBound: cfg.QueueBound,
-		MaxBatch:   1,
-		Metrics:    obs.NewRegistry(),
+		Machine:     tr.Processors,
+		Scheduler:   sched,
+		Clock:       schedd.NewWallClock(cfg.Accel),
+		QueueBound:  cfg.QueueBound,
+		MaxBatch:    1,
+		SLOMargin:   cfg.SLOMargin,
+		TwinGateOff: cfg.TwinGateOff,
+		Metrics:     obs.NewRegistry(),
 	}
 	if cfg.Batching {
 		scfg.MaxBatch = 64
 		scfg.MaxBatchDelay = 5 * time.Millisecond
+	}
+	if cfg.AdaptiveBatch {
+		scfg.MaxBatch = 128
+		scfg.MaxBatchDelay = 2 * time.Second
+		scfg.AdaptiveBatch = true
+	}
+	if cfg.Budget > 0 || cfg.Anytime {
+		scfg.ILP = &schedd.ILPConfig{
+			Pipe:          solvepipe.Config{Budget: cfg.Budget},
+			Anytime:       cfg.Anytime,
+			AnytimeBudget: cfg.AnytimeBudget,
+		}
 	}
 	var walLog *wal.Log
 	if cfg.WAL {
@@ -139,11 +202,12 @@ func ServingBench(cfg ServingConfig) (*loadgen.Result, *schedd.Counters, error) 
 	defer srv.Close()
 
 	res, err := loadgen.Run(context.Background(), loadgen.Config{
-		BaseURL:     srv.URL,
-		Trace:       tr,
-		Accel:       cfg.Accel,
-		Sources:     8,
-		WaitTimeout: 5 * time.Minute,
+		BaseURL:      srv.URL,
+		Trace:        tr,
+		Accel:        cfg.Accel,
+		Sources:      8,
+		WaitTimeout:  5 * time.Minute,
+		SLODeadlineS: cfg.DeadlineS,
 	})
 	stopCtx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
@@ -179,15 +243,29 @@ func shardedServingBench(cfg ServingConfig, tr *job.Trace, pols []policy.Policy,
 			return schedd.Config{}, err
 		}
 		scfg := schedd.Config{
-			Scheduler:  sched,
-			Clock:      schedd.NewWallClock(cfg.Accel),
-			QueueBound: cfg.QueueBound,
-			MaxBatch:   1,
-			Metrics:    obs.NewRegistry(),
+			Scheduler:   sched,
+			Clock:       schedd.NewWallClock(cfg.Accel),
+			QueueBound:  cfg.QueueBound,
+			MaxBatch:    1,
+			SLOMargin:   cfg.SLOMargin,
+			TwinGateOff: cfg.TwinGateOff,
+			Metrics:     obs.NewRegistry(),
+		}
+		if cfg.Budget > 0 || cfg.Anytime {
+			scfg.ILP = &schedd.ILPConfig{
+				Pipe:          solvepipe.Config{Budget: cfg.Budget},
+				Anytime:       cfg.Anytime,
+				AnytimeBudget: cfg.AnytimeBudget,
+			}
 		}
 		if cfg.Batching {
 			scfg.MaxBatch = 64
 			scfg.MaxBatchDelay = 5 * time.Millisecond
+		}
+		if cfg.AdaptiveBatch {
+			scfg.MaxBatch = 128
+			scfg.MaxBatchDelay = 2 * time.Second
+			scfg.AdaptiveBatch = true
 		}
 		if cfg.FaultP > 0 {
 			inj := faultinject.New(faultinject.NewProbability(cfg.Seed+uint64(idx), cfg.FaultP))
@@ -236,11 +314,12 @@ func shardedServingBench(cfg ServingConfig, tr *job.Trace, pols []policy.Policy,
 	defer srv.Close()
 
 	res, err := loadgen.Run(context.Background(), loadgen.Config{
-		BaseURL:     srv.URL,
-		Trace:       tr,
-		Accel:       cfg.Accel,
-		Sources:     8,
-		WaitTimeout: 5 * time.Minute,
+		BaseURL:      srv.URL,
+		Trace:        tr,
+		Accel:        cfg.Accel,
+		Sources:      8,
+		WaitTimeout:  5 * time.Minute,
+		SLODeadlineS: cfg.DeadlineS,
 	})
 	stopCtx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()

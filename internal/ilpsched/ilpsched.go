@@ -761,6 +761,20 @@ func (m *Model) SolveCtx(ctx context.Context, opt mip.Options) (*Solution, error
 	return m.finishSolution(res)
 }
 
+// SolutionFromVector decodes a raw incumbent vector (as handed to
+// mip.Options.OnIncumbent) into a full Solution: grid starts for the
+// modeled jobs, presolve-fixed entries appended, §3.2 compaction run.
+// objective is the MIP-level objective of the vector (the presolve
+// offset is added back, exactly as SolveCtx does for final results).
+// This is how the anytime serving core lifts mid-solve incumbents into
+// adoptable schedules without waiting for the solve to finish.
+func (m *Model) SolutionFromVector(x []float64, objective float64) (*Solution, error) {
+	if len(x) < m.NumVariables() {
+		return nil, fmt.Errorf("ilpsched: vector has %d entries, model needs %d", len(x), m.NumVariables())
+	}
+	return m.finishSolution(&mip.Result{Status: mip.Feasible, Objective: objective, X: x})
+}
+
 // finishSolution lifts a MIP result into the full-instance solution:
 // extract the modeled jobs' grid starts, append the presolve-fixed
 // entries, and run the §3.2 compaction over all of them.

@@ -67,6 +67,11 @@ type Config struct {
 	// twice, and the Result's Deduplicated/NewlyAccepted split plus
 	// DuplicateIDs make the zero-duplicates assertion directly checkable.
 	IdempotencyPrefix string
+	// SLODeadlineS, when > 0, attaches this start-SLO deadline (virtual
+	// seconds) to every submission, exercising the digital-twin
+	// admission: jobs whose predicted start busts the deadline are
+	// rejected up front (counted in RejectedSLO).
+	SLODeadlineS int64
 }
 
 // Percentiles summarizes a latency distribution in milliseconds.
@@ -115,6 +120,10 @@ type Result struct {
 	Rejected429     int `json:"rejected_429"`
 	RejectedOther   int `json:"rejected_other"`
 	TransportErrors int `json:"transport_errors"`
+	// RejectedSLO is the subset of Rejected429 whose body carried the
+	// digital twin's deadline-aware reason (predicted start past the
+	// submission's SLO deadline).
+	RejectedSLO int `json:"rejected_slo,omitempty"`
 	// Deduplicated counts accepted responses that were idempotency-key
 	// dedup hits (the server returned an existing job instead of
 	// admitting a new one); NewlyAccepted = Accepted - Deduplicated.
@@ -160,6 +169,22 @@ type Result struct {
 	DegradedSteps int64 `json:"degraded_steps"`
 	// ReplansPerSec is (Steps + Replans) / WallSeconds.
 	ReplansPerSec float64 `json:"replans_per_sec"`
+	// Anytime serving telemetry scraped from /v1/metrics:
+	// AnytimeAdopted counts background-optimizer incumbents that
+	// replaced the live plan; SLOMisses counts admitted jobs whose
+	// adopted plan busted their start deadline (with SLODeadlineS and
+	// the twin admission on, this should be zero). Solves/Found/Stale/
+	// Rejected expose the optimizer's funnel — sessions run, incumbents
+	// published, and the two drop reasons on the adoption path — and
+	// SLOGuarded counts interval steps that served the policy schedule
+	// because the ILP result would have busted an admitted deadline.
+	AnytimeAdopted  int64 `json:"anytime_adopted,omitempty"`
+	AnytimeSolves   int64 `json:"anytime_solves,omitempty"`
+	AnytimeFound    int64 `json:"anytime_found,omitempty"`
+	AnytimeStale    int64 `json:"anytime_stale,omitempty"`
+	AnytimeRejected int64 `json:"anytime_rejected,omitempty"`
+	SLOGuarded      int64 `json:"slo_guarded,omitempty"`
+	SLOMisses       int64 `json:"slo_misses,omitempty"`
 }
 
 func (c Config) withDefaults() Config {
@@ -232,6 +257,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				Estimate: j.Estimate,
 				Runtime:  j.Runtime,
 				Source:   fmt.Sprintf("src-%d", i%cfg.Sources),
+				Deadline: cfg.SLODeadlineS,
 			})
 			target := i % len(targets)
 			t0 := time.Now()
@@ -274,6 +300,11 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				submitLatMs = append(submitLatMs, float64(rtt)/float64(time.Millisecond))
 			case http.StatusTooManyRequests:
 				res.Rejected429++
+				// The twin's deadline rejections share the 429 status with
+				// backpressure; the body's error string tells them apart.
+				if b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096)); bytes.Contains(b, []byte("slo_deadline")) {
+					res.RejectedSLO++
+				}
 				io.Copy(io.Discard, resp.Body)
 			default:
 				res.RejectedOther++
@@ -294,6 +325,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	deadline := time.Now().Add(cfg.WaitTimeout)
 	for {
 		res.Planned, res.Steps, res.Replans, res.Batches, res.DegradedSteps = 0, 0, 0, 0, 0
+		res.AnytimeAdopted, res.SLOMisses = 0, 0
+		res.AnytimeSolves, res.AnytimeFound, res.AnytimeStale, res.AnytimeRejected, res.SLOGuarded = 0, 0, 0, 0, 0
 		for _, base := range targets {
 			m, err := ScrapeMetrics(ctx, cfg.Client, base)
 			if err != nil {
@@ -304,6 +337,13 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			res.Replans += m["schedd.replans"]
 			res.Batches += m["schedd.batches"]
 			res.DegradedSteps += m["schedd.degraded.steps"]
+			res.AnytimeAdopted += m["anytime.incumbents.adopted"]
+			res.AnytimeSolves += m["anytime.solves"]
+			res.AnytimeFound += m["anytime.incumbents.found"]
+			res.AnytimeStale += m["anytime.incumbents.stale"]
+			res.AnytimeRejected += m["anytime.incumbents.rejected"]
+			res.SLOGuarded += m["schedd.steps.slo_guarded"]
+			res.SLOMisses += m["schedd.slo.misses"]
 		}
 		if res.Planned >= int64(res.NewlyAccepted) || time.Now().After(deadline) || ctx.Err() != nil {
 			break
@@ -439,6 +479,13 @@ func (r *Result) String() string {
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "submissions     %d (accepted %d, 429 %d, other %d, transport %d)\n",
 		r.Submitted, r.Accepted, r.Rejected429, r.RejectedOther, r.TransportErrors)
+	if r.RejectedSLO > 0 || r.SLOMisses > 0 {
+		fmt.Fprintf(&b, "slo             %d deadline rejections, %d admitted-then-missed\n",
+			r.RejectedSLO, r.SLOMisses)
+	}
+	if r.AnytimeAdopted > 0 {
+		fmt.Fprintf(&b, "anytime         %d incumbents adopted\n", r.AnytimeAdopted)
+	}
 	if r.Deduplicated > 0 || r.DuplicateIDs > 0 || r.MissingJobs > 0 {
 		fmt.Fprintf(&b, "idempotency     %d dedup hits, %d newly accepted, %d duplicate IDs, %d missing jobs\n",
 			r.Deduplicated, r.NewlyAccepted, r.DuplicateIDs, r.MissingJobs)

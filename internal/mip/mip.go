@@ -150,6 +150,14 @@ type Options struct {
 	// ProgressEvery is the node interval between Progress calls
 	// (default 500).
 	ProgressEvery int
+	// Stop, if non-nil, is polled at the same counter-gated cadence as
+	// the TimeLimit check. Returning true requests a cooperative soft
+	// stop: the search keeps its incumbent (Result.Stopped is set, and
+	// the status is Feasible/NoSolution exactly as for a soft deadline)
+	// instead of discarding it the way a hard context cancel does. The
+	// anytime serving core uses this to preempt a running solve the
+	// moment the queue it was solved against changes.
+	Stop func() bool
 }
 
 func (o Options) withDefaults() Options {
@@ -246,6 +254,9 @@ type Result struct {
 	RefactorTriggers int
 	// DeadlineHit reports that the solve stopped on its TimeLimit.
 	DeadlineHit bool
+	// Stopped reports that the solve was preempted by Options.Stop
+	// (cooperative soft stop; the incumbent is kept).
+	Stopped bool
 	// Incumbents is the incumbent timeline (objective improvements with
 	// timestamps), oldest first.
 	Incumbents []IncumbentRecord
@@ -343,6 +354,7 @@ type solver struct {
 	lastBound   float64
 	sinceCheck  int
 	deadlineHit bool
+	stopped     bool
 	queue       *nodeQueue
 
 	// Cached registry counters (nil when Options.Metrics is nil; all
@@ -689,6 +701,11 @@ func (s *solver) timeUp() bool {
 	return s.opt.TimeLimit > 0 && time.Since(s.start) > s.opt.TimeLimit
 }
 
+// stopRequested polls the cooperative preemption hook.
+func (s *solver) stopRequested() bool {
+	return s.opt.Stop != nil && s.opt.Stop()
+}
+
 // applyChanges sets node bounds on p and returns an undo function. It is
 // a free function over an explicit problem because the parallel workers
 // apply node paths to their own problem clones, not the shared root.
@@ -730,6 +747,12 @@ func (s *solver) run() (*Result, error) {
 				s.deadlineHit = true
 				s.cDeadline.Inc()
 				s.trace.Emit("mip.deadline", obs.Int("node", int64(s.nodes)))
+				limited = true
+				break
+			}
+			if s.stopRequested() {
+				s.stopped = true
+				s.trace.Emit("mip.stopped", obs.Int("node", int64(s.nodes)))
 				limited = true
 				break
 			}
@@ -949,6 +972,7 @@ func (s *solver) result(st Status) *Result {
 		LUFill:           s.luFill,
 		RefactorTriggers: s.refTrig,
 		DeadlineHit:      s.deadlineHit,
+		Stopped:          s.stopped,
 		Incumbents:       s.incLog,
 		Bounds:           s.boundLog,
 	}

@@ -301,6 +301,14 @@ func (b *pbb) worker(id int, wp *lp.Problem) {
 			b.mu.Unlock()
 			return
 		}
+		if s.stopRequested() {
+			s.stopped = true
+			s.trace.Emit("mip.stopped", obs.Int("node", int64(s.nodes)))
+			b.limited = true
+			b.stopLocked()
+			b.mu.Unlock()
+			return
+		}
 		nd := heap.Pop(b.queue).(*node)
 		// Global bound: the popped node is the best open node, but a
 		// sibling still in flight may carry a smaller bound.

@@ -25,6 +25,7 @@ var metricNameRule = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$`)
 // string-literal argument is a metric name.
 var registryMethods = map[string]bool{
 	"Counter": true, "Histogram": true, "CounterVec": true, "HistogramVec": true,
+	"Gauge": true,
 }
 
 // registeredName is one metric-name string literal found by the AST scan,
@@ -136,6 +137,41 @@ func TestLUMetricFamilyIsClosed(t *testing.T) {
 	for name := range luFamily {
 		if !seen[name] {
 			t.Errorf("lp.lu.* family member %q is documented but never registered", name)
+		}
+	}
+}
+
+// anytimeFamily is the closed set of metric names under the anytime.
+// prefix: the background optimizer's telemetry, split between the
+// solver side (solves, preemptions, incumbents found) and the writer
+// side (incumbents adopted / rejected / dropped as stale). Growing the
+// family is fine — add the new name here in the same change.
+var anytimeFamily = map[string]bool{
+	"anytime.solves":              true,
+	"anytime.solves.preempted":    true,
+	"anytime.incumbents.found":    true,
+	"anytime.incumbents.adopted":  true,
+	"anytime.incumbents.stale":    true,
+	"anytime.incumbents.rejected": true,
+}
+
+// The anytime.* family must be registered exactly as documented: every
+// member present somewhere in the repo, and nothing else under the
+// prefix.
+func TestAnytimeMetricFamilyIsClosed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, rn := range collectRegisteredMetricNames(t) {
+		if !strings.HasPrefix(rn.name, "anytime.") {
+			continue
+		}
+		if !anytimeFamily[rn.name] {
+			t.Errorf("%s: metric %q is not a documented anytime.* family member", rn.at, rn.name)
+		}
+		seen[rn.name] = true
+	}
+	for name := range anytimeFamily {
+		if !seen[name] {
+			t.Errorf("anytime.* family member %q is documented but never registered", name)
 		}
 	}
 }

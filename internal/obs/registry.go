@@ -33,6 +33,28 @@ func (c *Counter) Value() int64 {
 	return c.n.Load()
 }
 
+// Gauge is a last-value instrument (float64, atomically stored): set it
+// to the current reading rather than accumulating. A nil Gauge is a
+// no-op.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set stores the current reading.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the last reading (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
 // Histogram is a fixed-bucket histogram: bounds are the inclusive upper
 // edges of each bucket, with an implicit +Inf overflow bucket. A nil
 // Histogram is a no-op.
@@ -180,6 +202,7 @@ func (h *Histogram) Buckets() []Bucket {
 type Registry struct {
 	mu    sync.Mutex
 	cs    map[string]*Counter
+	gs    map[string]*Gauge
 	hs    map[string]*Histogram
 	cvs   map[string]*CounterVec
 	hvs   map[string]*HistogramVec
@@ -190,6 +213,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		cs:  map[string]*Counter{},
+		gs:  map[string]*Gauge{},
 		hs:  map[string]*Histogram{},
 		cvs: map[string]*CounterVec{},
 		hvs: map[string]*HistogramVec{},
@@ -211,6 +235,23 @@ func (r *Registry) Counter(name string) *Counter {
 		r.order = append(r.order, name)
 	}
 	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first
+// use. Returns nil (a no-op gauge) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gs[name]
+	if !ok {
+		g = &Gauge{}
+		r.gs[name] = g
+		r.order = append(r.order, name)
+	}
+	return g
 }
 
 // Histogram returns the histogram with the given name, creating it with
@@ -259,6 +300,11 @@ func (r *Registry) Snapshot() []Metric {
 	for _, name := range r.order {
 		if c, ok := r.cs[name]; ok {
 			out = append(out, Metric{Name: name, Kind: "counter", Value: c.Value()})
+			continue
+		}
+		if g, ok := r.gs[name]; ok {
+			v := g.Value()
+			out = append(out, Metric{Name: name, Kind: "gauge", Value: int64(v), Sum: v})
 			continue
 		}
 		if h, ok := r.hs[name]; ok {

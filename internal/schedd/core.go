@@ -32,11 +32,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/anytime"
 	"repro/internal/dynp"
 	"repro/internal/ilpsched"
 	"repro/internal/job"
@@ -63,6 +65,25 @@ type RateLimitedError struct {
 
 func (e *RateLimitedError) Error() string {
 	return fmt.Sprintf("schedd: source %q rate limited (retry after %v)", e.Source, e.RetryAfter)
+}
+
+// SLOExceededError reports a deadline-aware admission rejection: the
+// digital twin predicted a planned start past the client's SLO deadline,
+// so admitting the job would only manufacture a guaranteed miss. The
+// HTTP layer maps it to 429 with a Retry-After hint sized to when the
+// predicted backlog would clear enough for the deadline to be met.
+type SLOExceededError struct {
+	// Deadline is the absolute virtual latest acceptable start.
+	Deadline int64
+	// PredictedStart is the twin's earliest-fit planned start.
+	PredictedStart int64
+	// RetryAfter is the wall-clock hint until resubmission could fit.
+	RetryAfter time.Duration
+}
+
+func (e *SLOExceededError) Error() string {
+	return fmt.Sprintf("schedd: slo_deadline: predicted start %d past deadline %d (retry after %v)",
+		e.PredictedStart, e.Deadline, e.RetryAfter)
 }
 
 // ValidationError reports a malformed submission (HTTP 400).
@@ -100,6 +121,11 @@ type SubmitRequest struct {
 	// returns the original job's ID with Deduplicated set instead of
 	// admitting a duplicate.
 	IdempotencyKey string
+	// Deadline, if > 0, is the client's SLO on the planned start in
+	// virtual seconds relative to admission: the job must be planned to
+	// start no later than now+Deadline. Admission runs the digital-twin
+	// check (see SLOExceededError); 0 means no SLO.
+	Deadline int64
 }
 
 // SubmitResponse acknowledges an admitted job.
@@ -134,6 +160,12 @@ type JobStatus struct {
 	// Degraded reports that the step that (last) planned the job fell
 	// back to the basic-policy schedule.
 	Degraded bool `json:"degraded,omitempty"`
+	// Deadline is the absolute virtual latest acceptable planned start
+	// the job was admitted with (0 = no SLO).
+	Deadline int64 `json:"deadline,omitempty"`
+	// SLOMiss reports the job was, at some point, planned to start past
+	// its deadline (latched: once missed, always reported).
+	SLOMiss bool `json:"slo_miss,omitempty"`
 	// TraceID is the request trace ID the job was submitted with.
 	TraceID string `json:"trace_id,omitempty"`
 	// Shard is the shard that owns the job in a sharded deployment
@@ -201,6 +233,15 @@ type ILPConfig struct {
 	StepCacheSize int
 	// ReuseOff disables seeding from the previous step's ILP schedule.
 	ReuseOff bool
+	// Anytime runs the background anytime-optimizer core alongside the
+	// per-step solves: the branch and bound keeps improving the adopted
+	// plan between replan intervals, and every strictly better validated
+	// incumbent is adopted and published without blocking the writer.
+	Anytime bool
+	// AnytimeBudget bounds one anytime solve session (default: the
+	// pipeline's Budget default). A session also ends when the queue
+	// changes (preemption) or the search proves optimality.
+	AnytimeBudget time.Duration
 }
 
 // Config parameterizes the service core.
@@ -226,6 +267,51 @@ type Config struct {
 	// many submissions per wall second with the given Burst (default 1).
 	RatePerSource float64
 	Burst         int
+	// WFQRate, if > 0, replaces the flat per-source token bucket with
+	// weighted fair queueing across sources: the aggregate admission
+	// rate (submissions per wall second) is shared by virtual-time fair
+	// queueing, so a lone source may use the whole rate while
+	// concurrent sources converge to weighted fair shares instead of
+	// each being capped at a fixed slice. Takes precedence over
+	// RatePerSource when both are set.
+	WFQRate float64
+	// WFQBurst is the fair queue's tolerance in admissions (default 1):
+	// how far a source's virtual finish may run ahead of the aggregate
+	// virtual clock before it is rejected with Retry-After.
+	WFQBurst int
+	// WFQWeights maps source names to relative weights (default 1.0
+	// for unlisted sources): a weight-2 source gets twice the share
+	// under contention.
+	WFQWeights map[string]float64
+	// AdaptiveBatch sizes the batch-collection delay from the observed
+	// arrival rate instead of always waiting the full MaxBatchDelay:
+	// the writer waits just long enough for the expected batch
+	// occupancy to reach BatchSetpoint·MaxBatch, capped at
+	// MaxBatchDelay. Idle periods pay no added latency; bursts fill
+	// batches without stretching the wait.
+	AdaptiveBatch bool
+	// BatchSetpoint is the target batch occupancy as a fraction of
+	// MaxBatch (default 0.5).
+	BatchSetpoint float64
+	// SLOMargin is the safety headroom (virtual seconds) the digital
+	// twin adds to its predicted start before comparing it against a
+	// submission's deadline. The prediction is exact only at admission
+	// time: between admission and every later handoff the virtual
+	// clock keeps running while the writer batches, solves and adopts,
+	// so actual starts slip behind the prediction by the accumulated
+	// processing latency. A margin covering that slip turns the
+	// deadline check from best-effort into a guarantee the planner
+	// paths (FCFS order, step SLO guard, anytime adoption gate) can
+	// actually keep. Zero (the default) admits up to the exact
+	// predicted deadline.
+	SLOMargin int64
+	// TwinGateOff records submission deadlines (and latches SLO misses
+	// against them) without letting the digital twin reject anything:
+	// every deadline-bearing job is admitted no matter how hopeless its
+	// predicted start. This is the pre-twin serving behavior, kept as a
+	// measurement baseline — the serving benchmark runs one leg with the
+	// gate off to price what the admission twin saves.
+	TwinGateOff bool
 	// ILP, if non-nil, drives steps through the solve pipeline.
 	ILP *ILPConfig
 	// Trace and Metrics are the observability sinks (nil-safe).
@@ -286,6 +372,7 @@ type submission struct {
 	source    string
 	trace     string // request trace ID ("" when untraced)
 	idemKey   string // idempotency key ("" = unkeyed; keyed jobs never migrate)
+	deadline  int64  // absolute virtual SLO deadline on the planned start (0 = none)
 	admitWall time.Time
 	walSeq    uint64 // the submit record's WAL seq (0 without a WAL)
 }
@@ -300,6 +387,8 @@ type rec struct {
 	plannedStart int64
 	start        int64
 	degraded     bool
+	deadline     int64 // absolute virtual SLO deadline (0 = none)
+	sloMiss      bool  // latched on the first plan past the deadline
 }
 
 // Core is the scheduling service. Create with New, then Start; submit
@@ -309,6 +398,7 @@ type Core struct {
 	clock   Clock
 	total   int
 	limiter *rateLimiter
+	wfq     *wfqLimiter
 
 	submitCh chan *submission
 	drainCh  chan chan *Snapshot
@@ -324,8 +414,12 @@ type Core struct {
 	nextID   atomic.Int64
 	accepted atomic.Int64
 	pending  sync.Map // id -> JobStatus, admitted but not yet planned
-	done     sync.Map // id -> JobStatus, completed (write-once)
-	snap     atomic.Pointer[Snapshot]
+	// twinMu serializes deadline-bearing admissions from twin
+	// prediction through the pending-store, so every prediction sees
+	// all previously admitted jobs (see SubmitCtx).
+	twinMu sync.Mutex
+	done   sync.Map // id -> JobStatus, completed (write-once)
+	snap   atomic.Pointer[Snapshot]
 
 	// Durability state (see durable.go). phase gates Submit during WAL
 	// replay; idem maps idempotency keys to job IDs; inflight holds the
@@ -367,6 +461,30 @@ type Core struct {
 	recorder *flightRecorder
 	stepSeq  int64
 
+	// Anytime-optimizer state. The background core (nil when off) is
+	// fed the latest problem after every writer mutation; anyNudge is
+	// the nonblocking wake-up the core's Notify fires; the lastAny*
+	// fields are the writer's staleness key for adoption (they describe
+	// the most recently pushed problem). anyDirty marks that this
+	// writer pass mutated queue state and the core needs a fresh push.
+	any         *anytime.Core
+	anyNudge    chan struct{}
+	lastAnyInst *ilpsched.Instance
+	lastAnyFp   uint64
+	lastAnySeq  int64
+	anyDirty    bool
+
+	// Adaptive batching state (writer-owned): an EWMA of the wall-clock
+	// arrival rate, sampled from the accepted counter between batches.
+	arrRate      float64 // jobs per wall second
+	lastArrWall  time.Time
+	lastArrCount int64
+
+	// lastPlanWall is the wall-clock time of the last plan adoption
+	// (unix nanos, atomic: written by the writer, read by health and
+	// metrics handlers for the plan-age gauge).
+	lastPlanWall atomic.Int64
+
 	// Observability instruments (nil-safe).
 	trace        *obs.Tracer
 	cSubmits     *obs.Counter
@@ -382,6 +500,14 @@ type Core struct {
 	cStarts      *obs.Counter
 	cEnds        *obs.Counter
 	cDegraded    *obs.Counter
+	cRejectSLO   *obs.Counter
+	cSLOMiss     *obs.Counter
+	cSLOGuard    *obs.Counter
+	cAnyAdopted  *obs.Counter
+	cAnyStale    *obs.Counter
+	cAnyRejected *obs.Counter
+	gPlanAge     *obs.Gauge
+	gBatchDelay  *obs.Gauge
 	hBatchSize   *obs.Histogram
 	hQueueDepth  *obs.Histogram
 	hPlanLatency *obs.Histogram
@@ -417,11 +543,15 @@ func New(cfg Config) (*Core, error) {
 	if cfg.SnapshotEvery < 1 {
 		cfg.SnapshotEvery = 1024
 	}
+	if cfg.BatchSetpoint <= 0 || cfg.BatchSetpoint > 1 {
+		cfg.BatchSetpoint = 0.5
+	}
 	c := &Core{
 		cfg:        cfg,
 		clock:      cfg.Clock,
 		total:      cfg.Machine,
 		limiter:    newRateLimiter(cfg.RatePerSource, cfg.Burst),
+		wfq:        newWFQLimiter(cfg.WFQRate, cfg.WFQBurst, cfg.WFQWeights),
 		submitCh:   make(chan *submission, cfg.QueueBound),
 		drainCh:    make(chan chan *Snapshot),
 		loopDone:   make(chan struct{}),
@@ -460,6 +590,14 @@ func New(cfg Config) (*Core, error) {
 		c.cStarts = reg.Counter("schedd.starts")
 		c.cEnds = reg.Counter("schedd.completions")
 		c.cDegraded = reg.Counter("schedd.degraded.steps")
+		c.cRejectSLO = reg.Counter("schedd.rejects.slo_deadline")
+		c.cSLOMiss = reg.Counter("schedd.slo.misses")
+		c.cSLOGuard = reg.Counter("schedd.steps.slo_guarded")
+		c.cAnyAdopted = reg.Counter("anytime.incumbents.adopted")
+		c.cAnyStale = reg.Counter("anytime.incumbents.stale")
+		c.cAnyRejected = reg.Counter("anytime.incumbents.rejected")
+		c.gPlanAge = reg.Gauge("schedd.plan.age.ms")
+		c.gBatchDelay = reg.Gauge("schedd.batch.delay.ms")
 		c.hBatchSize = reg.Histogram("schedd.batch.size", depthBounds)
 		c.hQueueDepth = reg.Histogram("schedd.queue_depth", depthBounds)
 		c.hPlanLatency = reg.Histogram("schedd.submit_to_plan_ms", latBounds)
@@ -471,6 +609,25 @@ func New(cfg Config) (*Core, error) {
 	if cfg.Trace != nil || cfg.Metrics != nil {
 		cfg.Scheduler.SetObs(cfg.Trace, cfg.Metrics)
 	}
+	if cfg.ILP != nil && cfg.ILP.Anytime {
+		c.anyNudge = make(chan struct{}, 1)
+		pipe := cfg.ILP.Pipe
+		if cfg.ILP.AnytimeBudget > 0 {
+			pipe.Budget = cfg.ILP.AnytimeBudget
+		}
+		c.any = anytime.New(anytime.Config{
+			Pipe:    pipe,
+			Trace:   cfg.Trace,
+			Metrics: cfg.Metrics,
+			Notify: func() {
+				select {
+				case c.anyNudge <- struct{}{}:
+				default:
+				}
+			},
+		})
+	}
+	c.lastPlanWall.Store(time.Now().UnixNano())
 	c.publish()
 	return c, nil
 }
@@ -525,6 +682,9 @@ func (c *Core) SubmitCtx(ctx context.Context, req SubmitRequest) (SubmitResponse
 	if req.Runtime < 1 || req.Runtime > req.Estimate {
 		return SubmitResponse{}, &ValidationError{Reason: fmt.Sprintf("runtime %d outside [1, estimate %d]", req.Runtime, req.Estimate)}
 	}
+	if req.Deadline < 0 {
+		return SubmitResponse{}, &ValidationError{Reason: fmt.Sprintf("deadline %d < 0", req.Deadline)}
+	}
 	c.gate.RLock()
 	defer c.gate.RUnlock()
 	if c.draining {
@@ -543,11 +703,58 @@ func (c *Core) SubmitCtx(ctx context.Context, req SubmitRequest) (SubmitResponse
 			return c.dedupResponse(v.(int), trace), nil
 		}
 	}
-	if ok, wait := c.limiter.allow(req.Source, time.Now()); !ok {
+	if c.wfq != nil {
+		// Weighted fair queueing across sources: the aggregate rate is
+		// shared by virtual-time fairness instead of flat per-source
+		// buckets.
+		if ok, wait := c.wfq.allow(req.Source, time.Now()); !ok {
+			c.cRejectRate.Inc()
+			return SubmitResponse{}, &RateLimitedError{Source: req.Source, RetryAfter: wait}
+		}
+	} else if ok, wait := c.limiter.allow(req.Source, time.Now()); !ok {
 		c.cRejectRate.Inc()
 		return SubmitResponse{}, &RateLimitedError{Source: req.Source, RetryAfter: wait}
 	}
 	now := c.clock.Now()
+	var deadline int64
+	locked := false
+	unlockTwin := func() {
+		if locked {
+			locked = false
+			c.twinMu.Unlock()
+		}
+	}
+	defer unlockTwin()
+	if req.Deadline > 0 {
+		deadline = now + req.Deadline
+	}
+	if deadline > 0 && !c.cfg.TwinGateOff {
+		// Deadline-aware admission: reject only jobs whose *planned*
+		// start, per the digital twin of the current plan, would bust
+		// the SLO — admitting them would manufacture a guaranteed miss.
+		// Deadline admissions are serialized from prediction through the
+		// pending-store below: without that, two concurrent marginal
+		// admissions would each predict against a queue missing the
+		// other, and jointly bust a deadline either alone would keep.
+		c.twinMu.Lock()
+		locked = true
+		if pred, ok := c.predictStart(now, req.Width, req.Estimate); ok && pred+c.cfg.SLOMargin > deadline {
+			c.cRejectSLO.Inc()
+			c.trace.EmitCtx(ctx, "schedd.reject.slo",
+				obs.Int("t", now),
+				obs.Int("predicted", pred),
+				obs.Int("deadline", deadline),
+				obs.Str("source", req.Source))
+			return SubmitResponse{}, &SLOExceededError{
+				Deadline:       deadline,
+				PredictedStart: pred,
+				// Resubmitted once the virtual clock reaches
+				// pred+margin-Deadline, a fresh window [t, t+Deadline]
+				// would cover the predicted start plus margin.
+				RetryAfter: c.clock.Until(pred + c.cfg.SLOMargin - req.Deadline),
+			}
+		}
+	}
 	id := int(c.nextID.Add(1))
 	if key := req.IdempotencyKey; key != "" {
 		// Two racing submits with the same key: exactly one claims it.
@@ -556,11 +763,15 @@ func (c *Core) SubmitCtx(ctx context.Context, req SubmitRequest) (SubmitResponse
 		}
 	}
 	j := &job.Job{ID: id, Submit: now, Width: req.Width, Estimate: req.Estimate, Runtime: req.Runtime}
-	sub := &submission{job: j, source: req.Source, trace: trace, idemKey: req.IdempotencyKey, admitWall: time.Now()}
+	sub := &submission{job: j, source: req.Source, trace: trace, idemKey: req.IdempotencyKey, deadline: deadline, admitWall: time.Now()}
 	c.pending.Store(id, JobStatus{
 		ID: id, State: StateQueued, Width: j.Width, Estimate: j.Estimate, TraceID: trace,
 		Submit: now, PlannedStart: -1, Start: -1, End: -1, PlanLatencyMs: -1,
+		Deadline: deadline,
 	})
+	// The job is visible to the next prediction; the fsync below must
+	// not run under the twin lock.
+	unlockTwin()
 	if w := c.cfg.WAL; w != nil {
 		// The durability barrier: the submit record is fsynced (group
 		// commit amortizes the cost across concurrent admissions) before
@@ -570,7 +781,7 @@ func (c *Core) SubmitCtx(ctx context.Context, req SubmitRequest) (SubmitResponse
 		// it.
 		seq, err := w.AppendSync(walSubmit, submitWAL{
 			ID: id, Submit: now, Width: j.Width, Estimate: j.Estimate, Runtime: j.Runtime,
-			Source: req.Source, Trace: trace, IdemKey: req.IdempotencyKey,
+			Source: req.Source, Trace: trace, IdemKey: req.IdempotencyKey, Deadline: deadline,
 		}, c.inflightAdd)
 		if err != nil {
 			c.pending.Delete(id)
@@ -717,7 +928,12 @@ func (c *Core) run() {
 			panic(r)
 		}
 	}()
+	if c.any != nil {
+		c.any.Start()
+		defer c.any.Stop()
+	}
 	c.recoverFromWAL()
+	c.pushAnytime()
 	for {
 		var timerC <-chan time.Time
 		var timer *time.Timer
@@ -736,6 +952,16 @@ func (c *Core) run() {
 			c.advance()
 			c.publish()
 			c.maybeSnapshot()
+		case <-c.anyNudge:
+			// The anytime core found a better plan for (what it believes
+			// is) the current queue. Adoption re-checks freshness on this
+			// goroutine; a stale or non-improving plan is dropped without
+			// a publish. anyNudge is nil (blocks forever) when off.
+			if plan := c.adoptAnytime(); plan != nil {
+				c.publish()
+				c.emitPlanImproved(plan)
+				c.maybeSnapshot()
+			}
 		case reply := <-c.drainCh:
 			if timer != nil {
 				timer.Stop()
@@ -749,6 +975,23 @@ func (c *Core) run() {
 		if timer != nil {
 			timer.Stop()
 		}
+		// Whenever this pass mutated queue state (new arrivals, starts,
+		// completions — but not a pure anytime adoption, which must not
+		// restart the very solve that produced it), hand the background
+		// optimizer the fresh problem.
+		c.pushDirty()
+	}
+}
+
+// pushDirty hands the background optimizer the current problem if queue
+// state changed since the last push. Called at the end of every writer
+// pass and after mid-coalescing advances, so incumbents found during a
+// long batching window are solved against live state, not the state
+// frozen at the window's start.
+func (c *Core) pushDirty() {
+	if c.anyDirty {
+		c.anyDirty = false
+		c.pushAnytime()
 	}
 }
 
@@ -761,15 +1004,45 @@ func (c *Core) collectBatch(first *submission) []*submission {
 	if max <= 1 {
 		return batch
 	}
-	if c.cfg.MaxBatchDelay > 0 {
-		t := time.NewTimer(c.cfg.MaxBatchDelay)
+	if delay := c.batchDelay(); delay > 0 {
+		t := time.NewTimer(delay)
 		defer t.Stop()
 		for len(batch) < max {
+			// While coalescing, the writer keeps serving the rest of the
+			// data plane: due starts and completions advance on time (the
+			// virtual clock does not pause for stragglers) and background
+			// incumbents are adopted as they stream in, so a long adaptive
+			// window is optimization time, not dead time. Without this, a
+			// multi-second coalescing cap would stall every virtual event
+			// behind it — the actual starts would slip past the twin's
+			// predictions by the full window and bust deadlines the
+			// admission gate had verified.
+			var evC <-chan time.Time
+			var evT *time.Timer
+			if next, ok := c.nextEventTime(); ok {
+				evT = time.NewTimer(c.clock.Until(next))
+				evC = evT.C
+			}
 			select {
 			case sub := <-c.submitCh:
 				batch = append(batch, sub)
+			case <-evC:
+				c.advance()
+				c.publish()
+				c.pushDirty()
+			case <-c.anyNudge:
+				if plan := c.adoptAnytime(); plan != nil {
+					c.publish()
+					c.emitPlanImproved(plan)
+				}
 			case <-t.C:
+				if evT != nil {
+					evT.Stop()
+				}
 				return batch
+			}
+			if evT != nil {
+				evT.Stop()
 			}
 		}
 		return batch
@@ -783,6 +1056,43 @@ func (c *Core) collectBatch(first *submission) []*submission {
 		}
 	}
 	return batch
+}
+
+// batchDelay returns how long this batch collection waits for
+// stragglers. Plain mode: the configured MaxBatchDelay. Adaptive mode:
+// just long enough for the observed arrival rate to fill the batch to
+// BatchSetpoint·MaxBatch, capped at MaxBatchDelay (default cap 250ms
+// when unset) — a burst fills the batch without stretching the wait,
+// and a quiet service pays almost no added latency.
+func (c *Core) batchDelay() time.Duration {
+	if !c.cfg.AdaptiveBatch {
+		return c.cfg.MaxBatchDelay
+	}
+	cap := c.cfg.MaxBatchDelay
+	if cap <= 0 {
+		cap = 250 * time.Millisecond
+	}
+	nowW := time.Now()
+	n := c.accepted.Load()
+	if !c.lastArrWall.IsZero() {
+		if dt := nowW.Sub(c.lastArrWall).Seconds(); dt > 0 {
+			inst := float64(n-c.lastArrCount) / dt
+			// EWMA with a ~2s time constant, gap-weighted so long idle
+			// stretches decay the rate instead of freezing it.
+			alpha := 1 - math.Exp(-dt/2.0)
+			c.arrRate += alpha * (inst - c.arrRate)
+		}
+	}
+	c.lastArrWall, c.lastArrCount = nowW, n
+	delay := cap
+	if c.arrRate > 0 {
+		target := c.cfg.BatchSetpoint * float64(c.cfg.MaxBatch)
+		if want := time.Duration(target / c.arrRate * float64(time.Second)); want < delay {
+			delay = want
+		}
+	}
+	c.gBatchDelay.Set(float64(delay) / float64(time.Millisecond))
+	return delay
 }
 
 // nextEventTime returns the earliest pending virtual event: a running
@@ -856,6 +1166,8 @@ func (c *Core) completeDue(t int64) bool {
 			Submit: r.job.Submit, PlannedStart: r.plannedStart, Start: r.start, End: end,
 			PlanLatencyMs: float64(r.planLatency) / float64(time.Millisecond),
 			Degraded:      r.degraded,
+			Deadline:      r.deadline,
+			SLOMiss:       r.sloMiss,
 			TraceID:       r.trace,
 		}
 		c.done.Store(id, st)
@@ -870,6 +1182,9 @@ func (c *Core) completeDue(t int64) bool {
 			fields = append(fields, obs.Str("trace", r.trace))
 		}
 		c.trace.Emit("schedd.end", fields...)
+	}
+	if len(ids) > 0 {
+		c.anyDirty = true
 	}
 	return len(ids) > 0
 }
@@ -912,6 +1227,9 @@ func (c *Core) startDue(t int64) {
 		}
 		c.trace.Emit("schedd.start", fields...)
 	}
+	if len(due) > 0 {
+		c.anyDirty = true
+	}
 }
 
 // baseProfile builds the machine profile of the running jobs at time
@@ -951,6 +1269,7 @@ func (c *Core) waitingSlice() []*job.Job {
 // never dies on a bad step.
 func (c *Core) step(batch []*submission) {
 	wallStart := time.Now()
+	c.anyDirty = true
 	now := c.clock.Now()
 	if now < c.vnow {
 		now = c.vnow
@@ -964,7 +1283,7 @@ func (c *Core) step(batch []*submission) {
 			sub.job.Submit = now
 		}
 		c.waiting[sub.job.ID] = sub.job
-		c.recs[sub.job.ID] = &rec{job: sub.job, admitWall: sub.admitWall, trace: sub.trace, plannedStart: -1, start: -1}
+		c.recs[sub.job.ID] = &rec{job: sub.job, admitWall: sub.admitWall, trace: sub.trace, plannedStart: -1, start: -1, deadline: sub.deadline}
 		// The writer owns the submission now: its WAL record is covered
 		// by this state, so it no longer holds back snapshot bounds.
 		c.inflightDone(sub.walSeq)
@@ -1178,6 +1497,19 @@ func (c *Core) ilpSchedule(ctx context.Context, tr *obs.Tracer, now int64, res *
 		sch := out.Solution.Compacted
 		if verr := sch.Validate(base); verr == nil {
 			c.lastILP = sch
+			// SLO guard: the solver minimizes the aggregate objective with
+			// no notion of per-job deadlines, so its reordering may push an
+			// admitted job past the deadline the twin admitted it under.
+			// When the basic-policy schedule keeps every deadline and the
+			// ILP one does not, serve the policy schedule — a kept SLO
+			// beats a better Eq. 2 objective. (Both busting is still
+			// adopted and latched honestly as a miss.)
+			if n := c.sloConflicts(sch); n > 0 && c.sloConflicts(res.Schedule) == 0 {
+				c.cSLOGuard.Inc()
+				tr.Emit("step.slo_guard",
+					obs.Int("t", now), obs.Int("conflicts", int64(n)))
+				return res.Schedule, false, "", "", out
+			}
 			return sch, false, "", "", out
 		} else {
 			c.lastILP = nil
@@ -1247,6 +1579,7 @@ func reuseSeed(last *schedule.Schedule, waiting []*job.Job, now int64, total int
 // replan rebuilds the plan with the active policy after completions.
 func (c *Core) replan(now int64) {
 	wallStart := time.Now()
+	c.anyDirty = true
 	c.stepSeq++
 	tr := c.sampledTracer()
 	record := ReplanRecord{
@@ -1285,6 +1618,7 @@ func (c *Core) replan(now int64) {
 // completes the submit-to-plan latency of first-planned jobs, and
 // starts jobs planned for now.
 func (c *Core) adoptPlan(now int64, sch *schedule.Schedule, degraded bool) {
+	c.lastPlanWall.Store(time.Now().UnixNano())
 	c.plan = make(map[int]int64, len(sch.Entries))
 	for _, e := range sch.Entries {
 		c.plan[e.Job.ID] = e.Start
@@ -1294,6 +1628,17 @@ func (c *Core) adoptPlan(now int64, sch *schedule.Schedule, degraded bool) {
 		}
 		r.plannedStart = e.Start
 		r.degraded = degraded
+		if r.deadline > 0 && e.Start > r.deadline && !r.sloMiss {
+			// Latched: the SLO was violated by an adopted plan, even if a
+			// later improvement pulls the start back under the deadline.
+			r.sloMiss = true
+			c.cSLOMiss.Inc()
+			c.trace.Emit("schedd.slo.miss",
+				obs.Int("t", now),
+				obs.Int("job", int64(e.Job.ID)),
+				obs.Int("planned_start", e.Start),
+				obs.Int("deadline", r.deadline))
+		}
 		if !r.planned {
 			r.planned = true
 			r.planLatency = time.Since(r.admitWall)
@@ -1372,7 +1717,7 @@ func (c *Core) publish() {
 		st := JobStatus{
 			ID: id, State: StateQueued, Width: j.Width, Estimate: j.Estimate,
 			Submit: j.Submit, PlannedStart: -1, Start: -1, End: -1, PlanLatencyMs: -1,
-			TraceID: r.trace,
+			TraceID: r.trace, Deadline: r.deadline, SLOMiss: r.sloMiss,
 		}
 		if r.planned {
 			st.State = StateWaiting
@@ -1392,6 +1737,8 @@ func (c *Core) publish() {
 			End:           r.start + r.job.Runtime,
 			PlanLatencyMs: float64(r.planLatency) / float64(time.Millisecond),
 			Degraded:      r.degraded,
+			Deadline:      r.deadline,
+			SLOMiss:       r.sloMiss,
 			TraceID:       r.trace,
 		}
 	}

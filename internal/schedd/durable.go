@@ -68,6 +68,7 @@ type submitWAL struct {
 	Source   string `json:"source,omitempty"`
 	Trace    string `json:"trace,omitempty"`
 	IdemKey  string `json:"idem_key,omitempty"`
+	Deadline int64  `json:"deadline,omitempty"` // absolute virtual SLO deadline (0 = none)
 }
 
 // planEntryWAL is one (job, planned start) row of a logged plan.
@@ -81,7 +82,7 @@ type planEntryWAL struct {
 // records at or below the recovered state's StepSeq.
 type planWAL struct {
 	StepSeq      int64          `json:"step_seq"`
-	Kind         string         `json:"kind"` // "step" | "completion"
+	Kind         string         `json:"kind"` // "step" | "completion" | "anytime"
 	Now          int64          `json:"t"`
 	Batch        int            `json:"batch,omitempty"`
 	Degraded     bool           `json:"degraded,omitempty"`
@@ -119,6 +120,8 @@ type walJobState struct {
 	PlanDegraded bool    `json:"plan_degraded,omitempty"`
 	Start        int64   `json:"start"` // >= 0: running since Start
 	PlanLatMs    float64 `json:"plan_latency_ms,omitempty"`
+	Deadline     int64   `json:"deadline,omitempty"`
+	SLOMiss      bool    `json:"slo_miss,omitempty"`
 }
 
 // walState is the snapshot the writer persists every SnapshotEvery
@@ -297,6 +300,7 @@ func (c *Core) buildWALState() *walState {
 			Trace: r.trace, Planned: r.planned, PlannedStart: r.plannedStart,
 			PlanDegraded: r.degraded, Start: -1,
 			PlanLatMs: float64(r.planLatency) / float64(time.Millisecond),
+			Deadline:  r.deadline, SLOMiss: r.sloMiss,
 		})
 	}
 	for id, r := range c.running {
@@ -305,6 +309,7 @@ func (c *Core) buildWALState() *walState {
 			Trace: r.trace, Planned: r.planned, PlannedStart: r.plannedStart,
 			PlanDegraded: r.degraded, Start: r.start,
 			PlanLatMs: float64(r.planLatency) / float64(time.Millisecond),
+			Deadline:  r.deadline, SLOMiss: r.sloMiss,
 		})
 	}
 	for id, start := range c.plan {
@@ -406,6 +411,7 @@ func (c *Core) applyWALState(st *walState) {
 			planned: js.Planned, plannedStart: js.PlannedStart,
 			degraded: js.PlanDegraded, start: js.Start,
 			planLatency: time.Duration(js.PlanLatMs * float64(time.Millisecond)),
+			deadline:    js.Deadline, sloMiss: js.SLOMiss,
 		}
 		if js.Start >= 0 {
 			c.running[js.ID] = r
@@ -459,7 +465,7 @@ func (c *Core) applyWALRecord(r wal.Record) bool {
 		}
 		j := &job.Job{ID: s.ID, Submit: s.Submit, Width: s.Width, Estimate: s.Estimate, Runtime: s.Runtime}
 		c.waiting[s.ID] = j
-		c.recs[s.ID] = &rec{job: j, admitWall: time.Now(), trace: s.Trace, plannedStart: -1, start: -1}
+		c.recs[s.ID] = &rec{job: j, admitWall: time.Now(), trace: s.Trace, plannedStart: -1, start: -1, deadline: s.Deadline}
 		if s.IdemKey != "" {
 			c.idem.Store(s.IdemKey, s.ID)
 		}
@@ -480,11 +486,14 @@ func (c *Core) applyWALRecord(r wal.Record) bool {
 		if p.Now > c.vnow {
 			c.vnow = p.Now
 		}
-		c.counts.Steps++
-		if p.Kind == "completion" {
-			c.counts.Steps--
+		switch p.Kind {
+		case "completion":
 			c.counts.Replans++
-		} else {
+		case "anytime":
+			// An anytime adoption is neither a step nor a replan: only
+			// its StepSeq/plan bookkeeping matters on replay.
+		default:
+			c.counts.Steps++
 			c.counts.Batches++
 			c.counts.BatchedJobs += int64(p.Batch)
 		}

@@ -7,6 +7,12 @@
 // value-copied JobStatus), so sinks may retain the arguments.
 package schedd
 
+import (
+	"time"
+
+	"repro/internal/anytime"
+)
+
 // EventSink receives writer-loop lifecycle events. A nil sink in
 // Config.Events disables eventing with zero overhead.
 type EventSink interface {
@@ -18,6 +24,26 @@ type EventSink interface {
 	JobPlanned(st JobStatus)
 	// JobCompleted fires when a running job finishes.
 	JobCompleted(st JobStatus)
+	// PlanImproved fires when the background anytime optimizer's
+	// incumbent replaces the live plan, after the snapshot carrying the
+	// improved plan is published.
+	PlanImproved(pi PlanImprovement)
+}
+
+// PlanImprovement describes one adopted anytime incumbent.
+type PlanImprovement struct {
+	// Now and Version identify the snapshot that carries the plan.
+	Now     int64 `json:"now"`
+	Version int64 `json:"version"`
+	// Objective is the adopted plan's Eq. 2 objective.
+	Objective float64 `json:"objective"`
+	// Jobs is how many waiting jobs the plan covers.
+	Jobs int `json:"jobs"`
+	// FoundAfterMs is how far into its solve session the optimizer
+	// found this incumbent.
+	FoundAfterMs float64 `json:"found_after_ms"`
+	// Seq is the optimizer's publication sequence number.
+	Seq int64 `json:"seq"`
 }
 
 // emitPublished forwards a snapshot publication to the sink, if any.
@@ -51,4 +77,22 @@ func (c *Core) emitCompleted(st JobStatus) {
 	if sink := c.cfg.Events; sink != nil {
 		sink.JobCompleted(st)
 	}
+}
+
+// emitPlanImproved forwards an adopted anytime incumbent to the sink,
+// if any. Called after the snapshot carrying the plan is published, so
+// Version refers to a snapshot subscribers can already read.
+func (c *Core) emitPlanImproved(plan *anytime.Plan) {
+	sink := c.cfg.Events
+	if sink == nil {
+		return
+	}
+	sink.PlanImproved(PlanImprovement{
+		Now:          c.vnow,
+		Version:      c.version,
+		Objective:    plan.Objective,
+		Jobs:         len(plan.Schedule.Entries),
+		FoundAfterMs: float64(plan.FoundAfter) / float64(time.Millisecond),
+		Seq:          plan.Seq,
+	})
 }

@@ -33,6 +33,10 @@ type SubmitJSON struct {
 	Estimate int64  `json:"estimate_s"`
 	Runtime  int64  `json:"runtime_s,omitempty"`
 	Source   string `json:"source,omitempty"`
+	// Deadline is an optional start-SLO: the job must start within this
+	// many virtual seconds of admission, or the digital twin rejects it
+	// up front (429 with a deadline-aware Retry-After).
+	Deadline int64 `json:"deadline_s,omitempty"`
 }
 
 // HealthJSON is the GET /v1/healthz response body.
@@ -46,6 +50,9 @@ type HealthJSON struct {
 	// Phase is the WAL recovery phase: "replaying" until the writer has
 	// re-applied the log, "ready" after (always "ready" without a WAL).
 	Phase string `json:"phase"`
+	// PlanAgeMs is the wall-clock age of the adopted plan: how long ago
+	// the writer last replaced it (step, replan or anytime adoption).
+	PlanAgeMs float64 `json:"plan_age_ms"`
 }
 
 // MetricJSON is one instrument of the GET /v1/metrics dump. Histogram
@@ -115,6 +122,7 @@ func NewHandler(c *Core) http.Handler {
 			obs.Int("width", int64(req.Width)))
 		resp, err := c.SubmitCtx(ctx, SubmitRequest{
 			Width: req.Width, Estimate: req.Estimate, Runtime: req.Runtime, Source: req.Source,
+			Deadline:       req.Deadline,
 			IdempotencyKey: r.Header.Get(IdemHeader),
 		})
 		if err != nil {
@@ -162,7 +170,8 @@ func NewHandler(c *Core) http.Handler {
 		writeJSON(w, http.StatusOK, HealthJSON{
 			Status: status, Now: s.Now, QueueDepth: c.QueueDepth(),
 			Waiting: waiting, Running: running, Policy: s.Policy,
-			Phase: phase,
+			Phase:     phase,
+			PlanAgeMs: float64(c.PlanAge()) / float64(time.Millisecond),
 		})
 	})
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -186,8 +195,10 @@ func NewHandler(c *Core) http.Handler {
 
 // metricsSnapshot is the single snapshot pass shared by the JSON and
 // Prometheus encoders: the registry's instruments plus live Go runtime
-// gauges.
+// gauges. PlanAge refreshes the freshness gauge first, so scrapes read
+// the live plan age rather than the age at the last adoption.
 func metricsSnapshot(c *Core) []obs.Metric {
+	c.PlanAge()
 	ms := c.Metrics().Snapshot()
 	return append(ms, obs.RuntimeMetrics()...)
 }
@@ -210,12 +221,15 @@ func writePrometheus(w http.ResponseWriter, ms []obs.Metric) {
 // admitOutcome classifies a submit error for the admission span.
 func admitOutcome(err error) string {
 	var rl *RateLimitedError
+	var se *SLOExceededError
 	var ve *ValidationError
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		return "queue_full"
 	case errors.As(err, &rl):
 		return "rate_limited"
+	case errors.As(err, &se):
+		return "slo_deadline"
 	case errors.Is(err, ErrDraining):
 		return "draining"
 	case errors.Is(err, ErrRecovering):
@@ -232,6 +246,7 @@ func admitOutcome(err error) string {
 // malformed submissions.
 func writeSubmitError(w http.ResponseWriter, err error) {
 	var rl *RateLimitedError
+	var se *SLOExceededError
 	var ve *ValidationError
 	switch {
 	case errors.Is(err, ErrQueueFull):
@@ -239,6 +254,11 @@ func writeSubmitError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.As(err, &rl):
 		w.Header().Set("Retry-After", retryAfterSeconds(rl.RetryAfter))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.As(err, &se):
+		// The twin's predicted start busts the client's deadline: 429 with
+		// a Retry-After sized so a resubmission could still make it.
+		w.Header().Set("Retry-After", retryAfterSeconds(se.RetryAfter))
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err)

@@ -1,0 +1,87 @@
+// Weighted fair queueing admission: the replacement for flat per-source
+// token buckets. One aggregate admission rate is shared across sources
+// by virtual-time fair queueing — a lone source may consume the whole
+// rate (work conserving, which a fixed per-source slice never is), while
+// concurrent backlogged sources converge to weighted fair shares: each
+// admission advances its source's virtual finish time by 1/weight, the
+// global virtual clock advances with wall time at the aggregate rate,
+// and a source whose finish runs more than the burst tolerance ahead of
+// the clock is rejected with a Retry-After sized to when it falls back
+// within tolerance.
+package schedd
+
+import (
+	"sync"
+	"time"
+)
+
+// wfqLimiter implements weighted fair queueing over admission slots.
+type wfqLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // aggregate admissions per wall second
+	burst   float64 // tolerance in weight-1 admission units
+	weights map[string]float64
+
+	vtime  float64 // global virtual clock, in admission units
+	last   time.Time
+	finish map[string]float64 // per-source virtual finish time
+}
+
+// newWFQLimiter returns nil (admit everything) when rate <= 0.
+func newWFQLimiter(rate float64, burst int, weights map[string]float64) *wfqLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &wfqLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		weights: weights,
+		finish:  map[string]float64{},
+	}
+}
+
+// allow reports whether a submission from source may be admitted now,
+// and if not, how long until it could be. A nil limiter admits all.
+func (w *wfqLimiter) allow(source string, now time.Time) (bool, time.Duration) {
+	if w == nil {
+		return true, 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.last.IsZero() {
+		if dt := now.Sub(w.last).Seconds(); dt > 0 {
+			w.vtime += dt * w.rate
+		}
+	}
+	w.last = now
+	// Lazily drop sources whose backlog has fully drained, so the map
+	// does not grow with every source name ever seen.
+	if len(w.finish) > 1024 {
+		for s, f := range w.finish {
+			if f <= w.vtime {
+				delete(w.finish, s)
+			}
+		}
+	}
+	weight := 1.0
+	if wt, ok := w.weights[source]; ok && wt > 0 {
+		weight = wt
+	}
+	f := w.finish[source]
+	if f < w.vtime {
+		f = w.vtime
+	}
+	f += 1 / weight
+	if ahead := f - w.vtime; ahead > w.burst {
+		wait := time.Duration((ahead - w.burst) / w.rate * float64(time.Second))
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+		return false, wait
+	}
+	w.finish[source] = f
+	return true, 0
+}

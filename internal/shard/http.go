@@ -10,8 +10,9 @@
 //	GET  /v1/schedule  scatter-gather merged snapshot (partial=true
 //	                   instead of blocking when a shard stalls)
 //	GET  /v1/events    Server-Sent Events: plan-version, job-planned,
-//	                   job-completed (?types= filters; id: is the
-//	                   per-subscriber sequence)
+//	                   job-completed, plan-improved (?types= filters;
+//	                   id: is the hub-global event ID — reconnect with
+//	                   Last-Event-ID to resume exactly-once)
 //	GET  /v1/healthz   fabric health (per-shard phases)
 //	GET  /v1/metrics   merged metrics, per-shard "shard" labels (JSON,
 //	                   or Prometheus when Accept asks)
@@ -43,6 +44,9 @@ type HealthJSON struct {
 	Waiting    int      `json:"waiting"`
 	Running    int      `json:"running"`
 	Phases     []string `json:"phases"` // per-shard WAL recovery phase
+	// PlanAgeMs is the wall-clock age of the stalest shard's adopted
+	// plan — the fabric's plan-freshness signal.
+	PlanAgeMs float64 `json:"plan_age_ms"`
 }
 
 // ReplansJSON is one shard's flight-recorder dump in GET /v1/replans.
@@ -123,8 +127,9 @@ func NewHandler(r *Router) http.Handler {
 }
 
 // serveEvents is the SSE endpoint: one event per line-block, the
-// per-subscriber sequence as the id: field, a comment heartbeat every
-// 15s so idle connections stay alive through proxies.
+// hub-global event ID as the id: field (so a reconnect presenting
+// Last-Event-ID resumes exactly-once from the replay ring), a comment
+// heartbeat every 15s so idle connections stay alive through proxies.
 func serveEvents(r *Router, w http.ResponseWriter, req *http.Request) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
@@ -138,7 +143,11 @@ func serveEvents(r *Router, w http.ResponseWriter, req *http.Request) {
 			types[strings.TrimSpace(t)] = true
 		}
 	}
-	sub := r.hub.Subscribe(types)
+	var afterID uint64
+	if v := req.Header.Get("Last-Event-ID"); v != "" {
+		afterID, _ = strconv.ParseUint(v, 10, 64)
+	}
+	sub := r.hub.SubscribeFrom(types, afterID)
 	defer sub.Close()
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
@@ -158,7 +167,7 @@ func serveEvents(r *Router, w http.ResponseWriter, req *http.Request) {
 			if err != nil {
 				return
 			}
-			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.ID, ev.Type, data); err != nil {
 				return
 			}
 			flusher.Flush()
@@ -180,6 +189,9 @@ func health(r *Router) HealthJSON {
 	for i, c := range r.cores {
 		s := c.Snapshot()
 		h.Phases[i] = c.Phase()
+		if age := float64(c.PlanAge()) / float64(time.Millisecond); age > h.PlanAgeMs {
+			h.PlanAgeMs = age // stalest shard wins: the weakest freshness
+		}
 		if h.Phases[i] == schedd.PhaseReplaying {
 			status = "replaying"
 		}
@@ -237,6 +249,7 @@ func (r *Router) shardViews() []LoadJSON {
 func writeSubmitError(w http.ResponseWriter, err error) {
 	var bp *BackpressureError
 	var rl *schedd.RateLimitedError
+	var se *schedd.SLOExceededError
 	var ve *schedd.ValidationError
 	switch {
 	case errors.As(err, &bp):
@@ -247,6 +260,9 @@ func writeSubmitError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.As(err, &rl):
 		w.Header().Set("Retry-After", retryAfterSeconds(rl.RetryAfter))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.As(err, &se):
+		w.Header().Set("Retry-After", retryAfterSeconds(se.RetryAfter))
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, schedd.ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err)

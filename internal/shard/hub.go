@@ -26,22 +26,34 @@ const (
 	EventJobPlanned = "job-planned"
 	// EventJobCompleted announces a job's completion.
 	EventJobCompleted = "job-completed"
+	// EventPlanImproved announces that a shard's background anytime
+	// optimizer replaced the live plan with a better incumbent.
+	EventPlanImproved = "plan-improved"
 )
 
-// Event is one SSE payload. Seq is the per-subscriber stream position
-// (contiguous from 1), echoed as the SSE id: field.
+// ringCap bounds the replay ring backing Last-Event-ID resume. A client
+// that reconnects within the last ringCap hub-wide events resumes
+// exactly-once; older cursors fall back to a fresh primed stream.
+const ringCap = 4096
+
+// Event is one SSE payload. ID is the hub-global stream position
+// (echoed as the SSE id: field, the Last-Event-ID resume cursor); Seq
+// is the per-subscriber delivery position, contiguous from 1.
 type Event struct {
+	ID    uint64 `json:"id"`
 	Seq   int64  `json:"seq"`
 	Type  string `json:"type"`
 	Shard int    `json:"shard"`
 	// Version/Now/Degraded describe the published snapshot
-	// (plan-version events).
+	// (plan-version and plan-improved events).
 	Version  int64 `json:"version,omitempty"`
 	Now      int64 `json:"now,omitempty"`
 	Degraded bool  `json:"degraded,omitempty"`
 	// Job carries the subject of job-planned / job-completed events,
 	// with the ID already globalized.
 	Job *JobEvent `json:"job,omitempty"`
+	// Improvement carries the adopted incumbent of plan-improved events.
+	Improvement *schedd.PlanImprovement `json:"improvement,omitempty"`
 }
 
 // JobEvent is the job payload of a job-planned or job-completed event.
@@ -66,6 +78,8 @@ type Hub struct {
 	nows     []int64
 	degraded []bool
 	subs     map[*Subscription]struct{}
+	nextID   uint64  // hub-global event ID of the last publication
+	ring     []Event // last ringCap publications, for Last-Event-ID replay
 
 	vEvents    *obs.CounterVec // by type
 	cOverflows *obs.Counter
@@ -112,6 +126,14 @@ func (s *hubSink) JobCompleted(st schedd.JobStatus) {
 	s.h.publish(s.h.jobEvent(EventJobCompleted, s.shard, st), false)
 }
 
+func (s *hubSink) PlanImproved(pi schedd.PlanImprovement) {
+	s.h.publish(Event{
+		Type: EventPlanImproved, Shard: s.shard,
+		Version: pi.Version, Now: pi.Now,
+		Improvement: &pi,
+	}, false)
+}
+
 func (h *Hub) jobEvent(typ string, shard int, st schedd.JobStatus) Event {
 	return Event{
 		Type: typ, Shard: shard,
@@ -128,16 +150,23 @@ func (h *Hub) jobEvent(typ string, shard int, st schedd.JobStatus) Event {
 	}
 }
 
-// publish delivers one event to every live subscriber. Version events
-// also update the per-shard state that primes new subscriptions, under
-// the same lock, so no version can slip between a subscriber's primer
-// and its first live event.
+// publish delivers one event to every live subscriber. The hub-global
+// ID is assigned here, under the lock, so IDs are contiguous with the
+// replay ring; version events also update the per-shard state that
+// primes new subscriptions, under the same lock, so no version can slip
+// between a subscriber's primer and its first live event.
 func (h *Hub) publish(ev Event, isVersion bool) {
 	h.mu.Lock()
+	h.nextID++
+	ev.ID = h.nextID
 	if isVersion {
 		h.versions[ev.Shard] = ev.Version
 		h.nows[ev.Shard] = ev.Now
 		h.degraded[ev.Shard] = ev.Degraded
+	}
+	h.ring = append(h.ring, ev)
+	if len(h.ring) > ringCap {
+		h.ring = h.ring[len(h.ring)-ringCap:]
 	}
 	h.vEvents.With(ev.Type).Inc()
 	for sub := range h.subs {
@@ -151,18 +180,44 @@ func (h *Hub) publish(ev Event, isVersion bool) {
 // has published, so a consumer knows the current state before the first
 // live event; per shard, versions are then contiguous.
 func (h *Hub) Subscribe(types map[string]bool) *Subscription {
+	return h.SubscribeFrom(types, 0)
+}
+
+// SubscribeFrom registers a subscriber resuming after hub-global event
+// afterID (a Last-Event-ID cursor). When the replay ring still covers
+// everything past the cursor, those events are replayed in publication
+// order before any live one, making a reconnect exactly-once; a cursor
+// that has aged out of the ring falls back to the fresh-subscribe
+// primers, and the consumer must treat the stream as a new baseline.
+// afterID 0 is a fresh subscribe.
+func (h *Hub) SubscribeFrom(types map[string]bool, afterID uint64) *Subscription {
 	s := &Subscription{
 		hub:   h,
 		ch:    make(chan Event, h.buffer),
 		types: types,
 	}
 	h.mu.Lock()
-	for i := 0; i < h.n; i++ {
-		if h.versions[i] > 0 {
-			s.push(Event{
-				Type: EventPlanVersion, Shard: i,
-				Version: h.versions[i], Now: h.nows[i], Degraded: h.degraded[i],
-			})
+	// The ring covers (nextID-len(ring), nextID]; a cursor at or past its
+	// floor loses nothing to replay.
+	if afterID > 0 && afterID >= h.nextID-uint64(len(h.ring)) && afterID <= h.nextID {
+		for _, ev := range h.ring {
+			if ev.ID > afterID {
+				s.push(ev)
+			}
+		}
+		s.resumed = true
+	} else {
+		for i := 0; i < h.n; i++ {
+			if h.versions[i] > 0 {
+				// Primers are synthetic (not publications), so they carry
+				// the current cursor: a client that stores their id resumes
+				// from the right spot.
+				s.push(Event{
+					ID:   h.nextID,
+					Type: EventPlanVersion, Shard: i,
+					Version: h.versions[i], Now: h.nows[i], Degraded: h.degraded[i],
+				})
+			}
 		}
 	}
 	// Priming alone can overflow a tiny buffer (buffer < shard count):
@@ -187,12 +242,17 @@ func (h *Hub) Subscribers() int {
 // Subscription is one subscriber's event stream. Read Events until it
 // closes (hub overflow disconnect) and call Close when done.
 type Subscription struct {
-	hub   *Hub
-	ch    chan Event
-	types map[string]bool
-	seq   int64
-	dead  bool // guarded by hub.mu
+	hub     *Hub
+	ch      chan Event
+	types   map[string]bool
+	seq     int64
+	dead    bool // guarded by hub.mu
+	resumed bool // Last-Event-ID replay succeeded (no primers sent)
 }
+
+// Resumed reports whether the subscription resumed from a Last-Event-ID
+// cursor (replaying missed events) rather than starting fresh.
+func (s *Subscription) Resumed() bool { return s.resumed }
 
 // Events is the subscriber's delivery channel; it closes when the hub
 // disconnects the subscriber for falling too far behind.

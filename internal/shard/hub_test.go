@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -192,7 +193,7 @@ func TestHubPrimerOverflowNotRegistered(t *testing.T) {
 }
 
 // TestSSEEndpoint checks the wire format of GET /v1/events: id: is the
-// subscriber sequence, event: the type, data: the JSON payload, and a
+// hub-global event ID, event: the type, data: the JSON payload, and a
 // ?types= filter restricts delivery.
 func TestSSEEndpoint(t *testing.T) {
 	r := newTestRouter(t, Config{
@@ -261,8 +262,8 @@ func TestSSEEndpoint(t *testing.T) {
 		if err := json.Unmarshal([]byte(f.data), &ev); err != nil {
 			t.Fatalf("frame %d data %q: %v", i, f.data, err)
 		}
-		if f.id != "1" && i == 0 {
-			t.Errorf("first frame id %q, want 1", f.id)
+		if wantID := strconv.FormatUint(ev.ID, 10); f.id != wantID || ev.ID == 0 {
+			t.Errorf("frame %d id %q, want the hub-global ID %q (nonzero)", i, f.id, wantID)
 		}
 		if ev.Version < 1 {
 			t.Errorf("frame %d: primer version %d < 1", i, ev.Version)

@@ -48,6 +48,15 @@ func (r *Router) MergedMetrics() []obs.Metric {
 				aggOrder = append(aggOrder, k)
 				continue
 			}
+			if a.Kind == "gauge" {
+				// Gauges roll up as the worst reading, not a sum: a
+				// shard="all" plan age is the staleness of the *stalest*
+				// shard's plan.
+				if s.m.Sum > a.Sum {
+					a.Sum, a.Value = s.m.Sum, s.m.Value
+				}
+				continue
+			}
 			a.Value += s.m.Value
 			a.Sum += s.m.Sum
 			if len(a.Buckets) == len(s.m.Buckets) {

@@ -385,11 +385,17 @@ func (r *Router) submitShard(ctx context.Context, idx int, req schedd.SubmitRequ
 // retryAfterOf classifies a shard rejection as backpressure worth
 // fanning out over, and extracts its Retry-After hint. Queue-full
 // carries the HTTP layer's 1s constant; rate limiting carries the
-// bucket's own wait.
+// bucket's own wait; an SLO-deadline rejection is one shard's twin
+// predicting a late start — a less loaded shard may still make the
+// deadline, so it fans out too.
 func retryAfterOf(err error) (time.Duration, bool) {
 	var rl *schedd.RateLimitedError
 	if errors.As(err, &rl) {
 		return rl.RetryAfter, true
+	}
+	var se *schedd.SLOExceededError
+	if errors.As(err, &se) {
+		return se.RetryAfter, true
 	}
 	if errors.Is(err, schedd.ErrQueueFull) {
 		return time.Second, true

@@ -403,6 +403,153 @@ func solveOnce(ctx context.Context, cfg Config, inst *ilpsched.Instance, scale i
 	return sol, rs, err
 }
 
+// AnytimeIncumbent is one improved incumbent streamed out of an anytime
+// solve: the decoded full-instance solution plus when it was found.
+type AnytimeIncumbent struct {
+	// Solution carries the decoded grid and §3.2-compacted schedules.
+	Solution *ilpsched.Solution
+	// Objective is the full Eq. 2 objective including the presolve
+	// offset (Solution.Objective, hoisted for cheap comparison).
+	Objective float64
+	// At is the wall-clock offset from the anytime solve's start.
+	At time.Duration
+}
+
+// SolveAnytime runs a single long solve (no retry ladder) that streams
+// every strictly improving incumbent through onImproved as the branch
+// and bound finds it, instead of answering only at the end. stop is
+// polled at the solver's counter-gated checkpoint: returning true
+// preempts the search cooperatively, keeping the best incumbent (this
+// is how the anytime core aborts a solve the moment the queue changes).
+// onImproved runs on a solver worker goroutine under the solver's
+// incumbent lock — it must be fast and must never block; decode
+// failures of individual incumbents are skipped, not fatal. The final
+// Outcome mirrors Solve's shape (single attempt, cache never consulted:
+// an anytime session outlives any one fingerprint).
+func SolveAnytime(ctx context.Context, cfg Config, inst *ilpsched.Instance, stop func() bool, onImproved func(AnytimeIncumbent)) *Outcome {
+	cfg = cfg.withDefaults()
+	scale := cfg.FixedScale
+	if scale <= 0 {
+		scale = cfg.Scaling.TimeScale(inst)
+	}
+	out := &Outcome{}
+	att := Attempt{Scale: scale, Budget: cfg.Budget}
+	span := cfg.Trace.StartSpan("solve.anytime",
+		obs.Int("scale", scale),
+		obs.Int("budget_ms", cfg.Budget.Milliseconds()))
+	start := time.Now()
+	sol, rs, err := anytimeOnce(ctx, cfg, inst, scale, stop, start, onImproved)
+	att.Elapsed = time.Since(start)
+	att.Err = err
+	att.Failure = Classify(ctx, err)
+	out.Attempts = append(out.Attempts, att)
+	out.IncumbentReused = rs.incumbentReused
+	span.End(obs.Str("failure", att.Failure.String()))
+	cfg.Metrics.CounterVec("solve.attempts", "failure").With(att.Failure.String()).Inc()
+	if err == nil {
+		out.Solution, out.Scale, out.Presolve = sol, scale, rs.presolve
+	} else {
+		out.Err = err
+	}
+	return out
+}
+
+// anytimeOnce is solveOnce with incumbent streaming and a cooperative
+// stop wired into the MIP options.
+func anytimeOnce(ctx context.Context, cfg Config, inst *ilpsched.Instance, scale int64, stop func() bool, start time.Time, onImproved func(AnytimeIncumbent)) (sol *ilpsched.Solution, rs rungStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sol, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	var m *ilpsched.Model
+	if cfg.PresolveOff {
+		m, err = ilpsched.BuildGuarded(inst, scale, cfg.Limit)
+	} else {
+		var seeds []*schedule.Schedule
+		if cfg.Seed != nil {
+			seeds = append(seeds, cfg.Seed)
+		}
+		if cfg.ReuseSeed != nil {
+			seeds = append(seeds, cfg.ReuseSeed)
+		}
+		var st *ilpsched.PresolveStats
+		m, st, err = ilpsched.BuildPresolvedGuarded(inst, scale, cfg.Limit, ilpsched.PresolveOptions{Seeds: seeds})
+		if err == nil {
+			rs.presolve = st
+		}
+	}
+	if err != nil {
+		return nil, rs, err
+	}
+	opt := cfg.MIP
+	opt.TimeLimit = cfg.Budget
+	opt.Stop = stop
+	if opt.Trace == nil {
+		opt.Trace = cfg.Trace
+	}
+	if opt.Metrics == nil {
+		opt.Metrics = cfg.Metrics
+	}
+	var chosen []float64
+	bestObj := 0.0
+	for _, cand := range []struct {
+		s       *schedule.Schedule
+		isReuse bool
+	}{{cfg.Seed, false}, {cfg.ReuseSeed, true}} {
+		if cand.s == nil {
+			continue
+		}
+		inc, serr := m.IncumbentFromSchedule(cand.s)
+		if serr != nil {
+			continue
+		}
+		obj := m.ObjectiveOfVector(inc)
+		if chosen == nil || obj < bestObj {
+			chosen, bestObj = inc, obj
+			rs.incumbentReused = cand.isReuse
+		}
+	}
+	if chosen != nil {
+		opt.Incumbent = chosen
+	}
+	if onImproved != nil {
+		var streamedBest float64
+		streamedAny := false
+		prev := opt.OnIncumbent
+		opt.OnIncumbent = func(obj float64, x []float64) {
+			if prev != nil {
+				prev(obj, x)
+			}
+			if streamedAny && obj >= streamedBest {
+				return
+			}
+			// Decode on the worker goroutine: a malformed vector (or a
+			// compaction failure) skips this incumbent rather than
+			// poisoning the search.
+			dec, derr := m.SolutionFromVector(x, obj)
+			if derr != nil {
+				cfg.Trace.Emit("solve.anytime.decode.failed", obs.Str("err", derr.Error()))
+				return
+			}
+			streamedBest, streamedAny = obj, true
+			onImproved(AnytimeIncumbent{
+				Solution:  dec,
+				Objective: dec.Objective,
+				At:        time.Since(start),
+			})
+		}
+	}
+	fn := SolveFunc(func(ctx context.Context, m *ilpsched.Model, opt mip.Options) (*ilpsched.Solution, error) {
+		return m.SolveCtx(ctx, opt)
+	})
+	if cfg.Hook != nil {
+		fn = cfg.Hook(fn)
+	}
+	sol, err = fn(ctx, m, opt)
+	return sol, rs, err
+}
+
 // nextScale coarsens the grid for the next rung: multiply by factor,
 // round up to the RoundTo granularity, and guarantee strict growth so
 // the ladder always makes progress.
